@@ -1,0 +1,39 @@
+"""E1 -- Example 1 / Example 2: the paper's running example, both answers.
+
+Regenerates: the claim of Example 1 (some database drives an accepting run --
+the solver returns a concrete odd red cycle) and of Example 2 (no database in
+HOM(H) does), plus the explicit run on the paper's five-node figure graph.
+"""
+
+import pytest
+
+from repro.analysis import bench_once as run_once
+from repro import AllDatabasesTheory, EmptinessSolver, HomTheory, odd_red_cycle_free_template
+from repro.library import odd_red_cycle_system
+from repro.relational.csp import COLORED_GRAPH_SCHEMA, example_graph_g
+from repro.systems.simulate import find_accepting_run
+
+
+def test_e1_example1_all_databases(benchmark):
+    system = odd_red_cycle_system()
+    solver = EmptinessSolver(AllDatabasesTheory(COLORED_GRAPH_SCHEMA))
+    result = run_once(benchmark, solver.check, system)
+    assert result.nonempty
+    benchmark.extra_info["witness_size"] = result.witness_database.size
+    benchmark.extra_info["configurations"] = result.statistics.configurations_explored
+
+
+def test_e1_example2_hom_template(benchmark):
+    system = odd_red_cycle_system()
+    solver = EmptinessSolver(HomTheory(odd_red_cycle_free_template()))
+    result = run_once(benchmark, solver.check, system)
+    assert result.empty and result.exhausted
+    benchmark.extra_info["configurations"] = result.statistics.configurations_explored
+
+
+def test_e1_figure_graph_run(benchmark):
+    system = odd_red_cycle_system()
+    graph = example_graph_g()
+    run = run_once(benchmark, find_accepting_run, system, graph)
+    assert run is not None and run.final_state == "end"
+    benchmark.extra_info["run_length"] = run.length

@@ -1,0 +1,26 @@
+"""E2 -- Theorem 4: PSpace emptiness over HOM templates, scaling shape.
+
+Regenerates: the scaling of the decision procedure with the template size
+(clique templates K_2 .. K_4) on the clique-finding workload.  The expected
+shape: K_n templates make the n-clique system nonempty exactly when the
+sought clique fits (crossover at template size = clique size), and the work
+grows with the number of colours but stays far below database enumeration.
+"""
+
+import pytest
+
+from repro.analysis import bench_once as run_once
+from repro import EmptinessSolver, HomTheory, clique_template
+from repro.library import triangle_system
+
+
+@pytest.mark.parametrize("template_size", [2, 3])
+def test_e2_triangle_over_clique_templates(benchmark, template_size):
+    system = triangle_system()
+    solver = EmptinessSolver(HomTheory(clique_template(template_size)))
+    result = run_once(benchmark, solver.check, system)
+    assert result.nonempty == (template_size >= 3)
+    benchmark.extra_info["template_size"] = template_size
+    benchmark.extra_info["nonempty"] = result.nonempty
+    benchmark.extra_info["configurations"] = result.statistics.configurations_explored
+    benchmark.extra_info["candidates"] = result.statistics.candidates_generated

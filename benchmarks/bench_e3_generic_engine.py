@@ -1,0 +1,34 @@
+"""E3 -- Theorem 5 and Lemma 1: generic-engine scaling with control states and registers.
+
+Regenerates: the ``log(n) * poly(blowup(2k))`` shape of Theorem 5 -- the
+abstract configuration space grows mildly with the number of control states
+(the red-path family) and sharply with the number of registers (Lemma 1's
+PSpace-hardness is driven by registers, not states).
+"""
+
+import pytest
+
+from repro.analysis import bench_once as run_once
+from repro import AllDatabasesTheory, EmptinessSolver
+from repro.library import clique_system, red_path_system
+from repro.relational.csp import COLORED_GRAPH_SCHEMA, GRAPH_SCHEMA
+
+
+@pytest.mark.parametrize("length", [2, 4, 6, 8])
+def test_e3_states_scaling_red_path(benchmark, length):
+    system = red_path_system(length)
+    solver = EmptinessSolver(AllDatabasesTheory(COLORED_GRAPH_SCHEMA))
+    result = run_once(benchmark, solver.check, system)
+    assert result.nonempty
+    benchmark.extra_info["control_states"] = len(system.states)
+    benchmark.extra_info["configurations"] = result.statistics.configurations_explored
+
+
+@pytest.mark.parametrize("registers", [1, 2, 3])
+def test_e3_register_scaling_cliques(benchmark, registers):
+    system = clique_system(registers)
+    solver = EmptinessSolver(AllDatabasesTheory(GRAPH_SCHEMA))
+    result = run_once(benchmark, solver.check, system)
+    assert result.nonempty
+    benchmark.extra_info["registers"] = registers
+    benchmark.extra_info["candidates"] = result.statistics.candidates_generated

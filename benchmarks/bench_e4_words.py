@@ -1,0 +1,74 @@
+"""E4 -- Theorem 10 / Lemma 12 / Proposition 2: the word case.
+
+Regenerates: emptiness answers over a regular word language for a nonempty
+and an empty workload, the scaling with NFA size (one-b languages over
+growing alphabets), and the measured blowup of pointer-closed generated
+substructures against the ``2 |Q| n`` bound of Section 5.1.
+"""
+
+import pytest
+
+from repro.analysis import bench_once as run_once, measure_word_blowup
+from repro.fraisse.engine import EmptinessSolver
+from repro.systems.dds import DatabaseDrivenSystem
+from repro.words import NFA, PositionAutomaton, WordRunTheory, pre_run_of_word, word_schema
+
+
+def one_b_nfa(extra_letters=0):
+    letters = ["a", "b"] + [f"c{i}" for i in range(extra_letters)]
+    transitions = [("s0", "a", "s0"), ("s0", "b", "s1"), ("s1", "a", "s1")]
+    for i in range(extra_letters):
+        transitions.append(("s0", f"c{i}", "s0"))
+        transitions.append(("s1", f"c{i}", "s1"))
+    return NFA.make(["s0", "s1"], letters, transitions, ["s0"], ["s1"])
+
+
+def a_before_b_system(alphabet):
+    schema = word_schema(alphabet)
+    return DatabaseDrivenSystem.build(
+        schema=schema, registers=["x"], states=["p", "q"], initial="p", accepting="q",
+        transitions=[("p", "label_a(x_old) & label_b(x_new) & before(x_old, x_new)", "q")],
+    )
+
+
+def two_bs_system(alphabet):
+    schema = word_schema(alphabet)
+    return DatabaseDrivenSystem.build(
+        schema=schema, registers=["x", "y"], states=["p", "q"], initial="p", accepting="q",
+        transitions=[("p", "label_b(x_new) & label_b(y_new) & !(x_new = y_new)", "q")],
+    )
+
+
+@pytest.mark.parametrize("extra_letters", [0, 1, 2])
+def test_e4_nonempty_scaling_with_alphabet(benchmark, extra_letters):
+    nfa = one_b_nfa(extra_letters)
+    system = a_before_b_system(sorted(nfa.alphabet))
+    result = run_once(benchmark, EmptinessSolver(WordRunTheory(nfa)).check, system)
+    assert result.nonempty
+    benchmark.extra_info["alphabet"] = len(nfa.alphabet)
+    benchmark.extra_info["configurations"] = result.statistics.configurations_explored
+
+
+@pytest.mark.parametrize("extra_letters", [0, 1])
+def test_e4_empty_scaling_with_alphabet(benchmark, extra_letters):
+    nfa = one_b_nfa(extra_letters)
+    system = two_bs_system(sorted(nfa.alphabet))
+    result = run_once(benchmark, EmptinessSolver(WordRunTheory(nfa)).check, system)
+    assert result.empty and result.exhausted
+    benchmark.extra_info["alphabet"] = len(nfa.alphabet)
+    benchmark.extra_info["configurations"] = result.statistics.configurations_explored
+
+
+def test_e4_blowup_measurement(benchmark):
+    automaton = PositionAutomaton.from_nfa(one_b_nfa())
+    pre_run = pre_run_of_word(automaton, ("a", "a", "b", "a", "a"))
+    measurement = run_once(
+        benchmark,
+        measure_word_blowup,
+        automaton,
+        pre_run,
+        [[0], [0, 4], [1, 2, 3]],
+    )
+    for generators, observed, theoretical in measurement.rows():
+        assert observed <= theoretical
+    benchmark.extra_info["rows"] = measurement.rows()

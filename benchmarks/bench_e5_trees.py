@@ -1,0 +1,112 @@
+"""E5 -- Theorem 3 / Lemma 14 / Lemma 23 / Proposition 3: the tree case.
+
+Regenerates: emptiness answers over regular tree languages (universal,
+root-constrained, caterpillar), the measured blowup of pointer-closed
+generated substructures of tree run databases (Lemma 14's ``c * n`` bound),
+and a sampled check that actual runs satisfy the local characterisation of
+Lemma 23 -- the ingredients behind the amalgamation argument of Prop. 3.
+"""
+
+import pytest
+
+from repro.analysis import bench_once as run_once, measure_tree_blowup
+from repro.fraisse.engine import EmptinessSolver
+from repro.systems.dds import DatabaseDrivenSystem
+from repro.trees import (
+    TreeRunTheory,
+    all_trees,
+    caterpillar_automaton,
+    root_label_automaton,
+    run_of_tree,
+    satisfies_local_condition,
+    tree_schema,
+    universal_automaton,
+)
+
+
+def descendant_system():
+    schema = tree_schema(["a", "b"])
+    return DatabaseDrivenSystem.build(
+        schema=schema, registers=["x"], states=["p", "q"], initial="p", accepting="q",
+        transitions=[(
+            "p", "label_a(x_old) & label_b(x_new) & anc(x_old, x_new) & !(x_old = x_new)", "q",
+        )],
+    )
+
+
+def cca_system():
+    schema = tree_schema(["a", "b"])
+    return DatabaseDrivenSystem.build(
+        schema=schema, registers=["x", "y"], states=["p", "q"], initial="p", accepting="q",
+        transitions=[(
+            "p",
+            "!(x_new = y_new) & label_b(cca(x_new, y_new)) & "
+            "!(cca(x_new, y_new) = x_new) & !(cca(x_new, y_new) = y_new)",
+            "q",
+        )],
+    )
+
+
+@pytest.mark.parametrize(
+    "automaton_name,builder",
+    [
+        ("universal", lambda: universal_automaton(["a", "b"])),
+        ("root_a", lambda: root_label_automaton("a", ["b"])),
+    ],
+)
+def test_e5_descendant_query(benchmark, automaton_name, builder):
+    automaton = builder()
+    result = run_once(benchmark, EmptinessSolver(TreeRunTheory(automaton)).check,
+                      descendant_system())
+    assert result.nonempty
+    benchmark.extra_info["automaton"] = automaton_name
+    benchmark.extra_info["witness_size"] = result.witness_database.size
+
+
+def test_e5_cca_query_universal(benchmark):
+    automaton = universal_automaton(["a", "b"])
+    result = run_once(benchmark, EmptinessSolver(TreeRunTheory(automaton)).check, cca_system())
+    assert result.nonempty
+    benchmark.extra_info["witness_size"] = result.witness_database.size
+
+
+def test_e5_caterpillar_walk(benchmark):
+    schema = tree_schema(["a"])
+    system = DatabaseDrivenSystem.build(
+        schema=schema, registers=["x", "y"], states=["p", "q"], initial="p", accepting="q",
+        transitions=[("p", "anc(x_new, y_new) & !(x_new = y_new)", "q")],
+    )
+    result = run_once(benchmark, EmptinessSolver(TreeRunTheory(caterpillar_automaton())).check,
+                      system)
+    assert result.nonempty
+    benchmark.extra_info["witness_size"] = result.witness_database.size
+
+
+def test_e5_blowup_measurement(benchmark):
+    automaton = universal_automaton(["a", "b"])
+    trees = [t for t in all_trees(["a", "b"], 4) if t.size == 4]
+    pre_run = run_of_tree(automaton, trees[0])
+    measurement = run_once(
+        benchmark, measure_tree_blowup, automaton, pre_run, [[0], [0, 3], [1, 2, 3]]
+    )
+    for generators, observed, theoretical in measurement.rows():
+        assert observed <= theoretical
+    benchmark.extra_info["rows"] = measurement.rows()
+
+
+def test_e5_lemma23_on_sampled_runs(benchmark):
+    automaton = root_label_automaton("a", ["b"])
+
+    def check_all():
+        checked = 0
+        for tree in all_trees(["a", "b"], 4):
+            pre_run = run_of_tree(automaton, tree)
+            if pre_run is None:
+                continue
+            assert satisfies_local_condition(automaton, pre_run)
+            checked += 1
+        return checked
+
+    checked = run_once(benchmark, check_all)
+    assert checked > 0
+    benchmark.extra_info["runs_checked"] = checked

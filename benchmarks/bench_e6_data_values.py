@@ -1,0 +1,72 @@
+"""E6 -- Section 4.4 / Proposition 1 / Corollary 8 / Theorem 9: data values.
+
+Regenerates: the claim that adding data values (⊗/⊙ with ⟨N,~⟩ or ⟨Q,<⟩)
+keeps the decision procedure's blowup unchanged -- the same workload is run
+without values, with equality values and with ordered values, and the
+reported abstract-configuration counts stay in the same ballpark while the
+answers flip exactly where the paper says they should (shared values are
+impossible under the injective ⊙ product).
+"""
+
+import pytest
+
+from repro.analysis import bench_once as run_once
+from repro.datavalues import NATURALS_WITH_EQUALITY, RATIONALS_WITH_ORDER, with_data_values
+from repro.fraisse.engine import EmptinessSolver
+from repro.relational import AllDatabasesTheory
+from repro.relational.csp import GRAPH_SCHEMA
+from repro.systems.dds import DatabaseDrivenSystem
+from repro.trees import TreeRunTheory, tree_schema, universal_automaton
+
+
+def edge_system(schema, extra_guard=""):
+    guard = "x_old = x_new & y_old = y_new & E(x_new, y_new)"
+    if extra_guard:
+        guard = guard + " & " + extra_guard
+    return DatabaseDrivenSystem.build(
+        schema=schema, registers=["x", "y"], states=["a", "b"], initial="a", accepting="b",
+        transitions=[("a", guard, "b")],
+    )
+
+
+def test_e6_baseline_without_values(benchmark):
+    system = edge_system(GRAPH_SCHEMA)
+    result = run_once(benchmark, EmptinessSolver(AllDatabasesTheory(GRAPH_SCHEMA)).check, system)
+    assert result.nonempty
+    benchmark.extra_info["configurations"] = result.statistics.configurations_explored
+
+
+@pytest.mark.parametrize("injective,expected", [(False, True), (True, False)])
+def test_e6_equality_values(benchmark, injective, expected):
+    schema = GRAPH_SCHEMA.union(NATURALS_WITH_EQUALITY.schema)
+    system = edge_system(schema, "sim(x_new, y_new) & !(x_new = y_new)")
+    theory = with_data_values(AllDatabasesTheory(GRAPH_SCHEMA), NATURALS_WITH_EQUALITY, injective)
+    result = run_once(benchmark, EmptinessSolver(theory).check, system)
+    assert result.nonempty == expected
+    benchmark.extra_info["product"] = "odot" if injective else "tensor"
+    benchmark.extra_info["configurations"] = result.statistics.configurations_explored
+
+
+def test_e6_ordered_values(benchmark):
+    schema = GRAPH_SCHEMA.union(RATIONALS_WITH_ORDER.schema)
+    system = edge_system(schema, "lt(x_new, y_new)")
+    theory = with_data_values(AllDatabasesTheory(GRAPH_SCHEMA), RATIONALS_WITH_ORDER, True)
+    result = run_once(benchmark, EmptinessSolver(theory).check, system)
+    assert result.nonempty
+    benchmark.extra_info["configurations"] = result.statistics.configurations_explored
+
+
+def test_e6_data_trees_theorem9(benchmark):
+    automaton = universal_automaton(["a"])
+    schema = tree_schema(["a"]).union(NATURALS_WITH_EQUALITY.schema)
+    system = DatabaseDrivenSystem.build(
+        schema=schema, registers=["x"], states=["r", "s", "t"], initial="r", accepting="t",
+        transitions=[
+            ("r", "label_a(x_new)", "s"),
+            ("s", "anc(x_old, x_new) & !(x_old = x_new) & sim(x_old, x_new)", "t"),
+        ],
+    )
+    theory = with_data_values(TreeRunTheory(automaton), NATURALS_WITH_EQUALITY)
+    result = run_once(benchmark, EmptinessSolver(theory).check, system)
+    assert result.nonempty
+    benchmark.extra_info["witness_size"] = result.witness_database.size

@@ -1,0 +1,48 @@
+"""E7 -- Fact 2: compiling existential guards is linear and preserves answers.
+
+Regenerates: the compilation size/time grows linearly with the number of
+quantified variables, and the compiled quantifier-free system gives the same
+emptiness answer as direct (existential-aware) simulation.
+"""
+
+import pytest
+
+from repro.analysis import bench_once as run_once
+from repro.fraisse.engine import EmptinessSolver
+from repro.relational import AllDatabasesTheory
+from repro.relational.csp import COLORED_GRAPH_SCHEMA
+from repro.systems.dds import DatabaseDrivenSystem
+from repro.systems.existential import compile_existential_guards
+
+
+def existential_system(width: int) -> DatabaseDrivenSystem:
+    """A guard asking for a red out-neighbourhood of ``width`` fresh witnesses."""
+    names = [f"w{i}" for i in range(width)]
+    body = " & ".join(f"E(x_old, {n}) & red({n})" for n in names)
+    guard = f"x_old = x_new & (exists {', '.join(names)} . {body})"
+    return DatabaseDrivenSystem.build(
+        schema=COLORED_GRAPH_SCHEMA, registers=["x"], states=["a", "b"],
+        initial="a", accepting="b", transitions=[("a", guard, "b")],
+        allow_existential_guards=True,
+    )
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4])
+def test_e7_compilation_is_linear(benchmark, width):
+    system = existential_system(width)
+    compiled = run_once(benchmark, compile_existential_guards, system)
+    assert len(compiled.registers) == 1 + width
+    assert all(t.guard.is_quantifier_free() for t in compiled.transitions)
+    benchmark.extra_info["quantified_variables"] = width
+    benchmark.extra_info["compiled_registers"] = len(compiled.registers)
+
+
+@pytest.mark.parametrize("width", [1, 2])
+def test_e7_compiled_system_same_answer(benchmark, width):
+    system = existential_system(width)
+    compiled = compile_existential_guards(system)
+    result = run_once(
+        benchmark, EmptinessSolver(AllDatabasesTheory(COLORED_GRAPH_SCHEMA)).check, compiled
+    )
+    assert result.nonempty
+    benchmark.extra_info["quantified_variables"] = width

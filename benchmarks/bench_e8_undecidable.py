@@ -1,0 +1,53 @@
+"""E8 -- Section 6 (Facts 15, 16, Theorem 17): the undecidability frontier.
+
+Regenerates: the bounded demonstrations of the counter-machine reductions.
+As the database bound grows, the bounded search over the *undecidable*
+extensions has to explore a configuration space that grows with the encoded
+counter values (there is no small-configuration abstraction to fall back on),
+while the decidable fragment's answers on comparable workloads stay flat --
+the shape that motivates the paper's schema restrictions.
+"""
+
+import pytest
+
+from repro.analysis import bench_once as run_once
+from repro.undecidable import (
+    counting_machine,
+    demonstrate_fact15,
+    demonstrate_fact16,
+    demonstrate_theorem17,
+)
+
+
+@pytest.mark.parametrize("target", [1, 2, 3])
+def test_e8_fact15_successor_words(benchmark, target):
+    machine = counting_machine(target)
+    accepted = run_once(benchmark, demonstrate_fact15, machine, target + 2)
+    assert accepted
+    benchmark.extra_info["counter_target"] = target
+    benchmark.extra_info["word_length"] = target + 2
+
+
+@pytest.mark.parametrize("target", [1, 2])
+def test_e8_fact16_sibling_cca_trees(benchmark, target):
+    machine = counting_machine(target)
+    accepted = run_once(benchmark, demonstrate_fact16, machine, target + 1)
+    assert accepted
+    benchmark.extra_info["counter_target"] = target
+    benchmark.extra_info["tree_height"] = target + 1
+
+
+@pytest.mark.parametrize("target", [1, 2])
+def test_e8_theorem17_tree_patterns(benchmark, target):
+    machine = counting_machine(target)
+    accepted = run_once(benchmark, demonstrate_theorem17, machine, target + 2)
+    assert accepted
+    benchmark.extra_info["counter_target"] = target
+    benchmark.extra_info["chain_length"] = target + 2
+
+
+def test_e8_insufficient_bound_rejects(benchmark):
+    machine = counting_machine(3)
+    accepted = run_once(benchmark, demonstrate_fact15, machine, 2)
+    assert not accepted
+    benchmark.extra_info["note"] = "bound smaller than the counter target"

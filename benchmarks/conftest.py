@@ -1,0 +1,6 @@
+"""Benchmark harness configuration: make the src/ layout importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))

@@ -1,0 +1,65 @@
+"""The introduction's XML example: navigating a data tree by attribute value.
+
+The toy system of Section 1 stores one XML node in a register; each
+transition moves the register to a *descendant* whose attribute ``a`` carries
+the same data value.  The run starts at the root-most node it picked and must
+end at a node with no further same-attribute descendant available -- here we
+simply require two hops.
+
+This exercises Theorem 9: regular tree languages combined with data values
+from the homogeneous structure ⟨N, ~⟩.
+
+Run with::
+
+    python examples/xml_navigation.py
+"""
+
+from repro import DatabaseDrivenSystem, EmptinessSolver
+from repro.datavalues import NATURALS_WITH_EQUALITY, with_data_values
+from repro.trees import TreeRunTheory, root_label_automaton, tree_schema
+
+
+def main() -> None:
+    # XML documents: trees whose root element is <doc> with <item> elements below.
+    automaton = root_label_automaton("doc", ["item"])
+    labels = automaton.alphabet
+    schema = tree_schema(labels).union(NATURALS_WITH_EQUALITY.schema)
+
+    descend_same_attribute = (
+        "anc(x_old, x_new) & !(x_old = x_new) & sim(x_old, x_new)"
+    )
+    system = DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=["x"],
+        states=["at_root", "descended_once", "descended_twice"],
+        initial="at_root",
+        accepting="descended_twice",
+        transitions=[
+            ("at_root", "label_doc(x_new)", "descended_once"),
+            ("descended_once", descend_same_attribute, "descended_twice"),
+        ],
+    )
+    print("System: start at the <doc> element, move to a descendant with the")
+    print("same attribute value (attribute equality is the sim relation).")
+    print()
+
+    # With arbitrary attribute values (the ⊗ product) a witness document exists.
+    tensor = with_data_values(TreeRunTheory(automaton), NATURALS_WITH_EQUALITY)
+    result = EmptinessSolver(tensor).check(system)
+    print(f"With shared attribute values allowed: {'nonempty' if result.nonempty else 'empty'}")
+    print("Witness data tree (node ids are document order, sim links equal attributes):")
+    print(result.witness_database.describe())
+    print("Run:", result.run)
+    print()
+
+    # With pairwise distinct attribute values (the ⊙ product) it is impossible.
+    odot = with_data_values(TreeRunTheory(automaton), NATURALS_WITH_EQUALITY, injective=True)
+    odot_result = EmptinessSolver(odot).check(system)
+    print(
+        "With pairwise distinct attribute values: "
+        f"{'nonempty' if odot_result.nonempty else 'empty'} (expected: empty)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Instrumentation: blowup measurements, solver profiles, report tables."""
+
+from repro.analysis.blowup import (
+    BlowupMeasurement,
+    bench_once,
+    SolverProfile,
+    format_table,
+    measure_tree_blowup,
+    measure_word_blowup,
+    profile_check,
+)
+
+__all__ = [
+    "BlowupMeasurement",
+    "bench_once",
+    "SolverProfile",
+    "profile_check",
+    "measure_word_blowup",
+    "measure_tree_blowup",
+    "format_table",
+]

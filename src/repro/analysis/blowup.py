@@ -1,0 +1,144 @@
+"""Measuring blowup functions and abstract state spaces.
+
+The complexity statements of the paper are phrased through the *blowup
+function* of a class (Section 4.1) -- the largest size of an n-generated
+member -- and through the size of the space of small configurations explored
+by the algorithm of Theorem 5.  The helpers here measure both quantities on
+concrete instances so the benchmarks can report them next to the theoretical
+bounds (identity for relational classes, ``2|Q| n`` for words, ``c n`` with
+``c`` exponential in ``|Q|`` for trees, unchanged under data-value products).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.fraisse.base import DatabaseTheory
+from repro.fraisse.engine import EmptinessResult, EmptinessSolver
+from repro.logic.structures import Structure
+from repro.systems.dds import DatabaseDrivenSystem
+from repro.words.nfa import PositionAutomaton
+from repro.words.rundb import rundb as word_rundb
+from repro.trees.automata import TreeAutomaton
+from repro.trees.rundb import rundb as tree_rundb
+
+
+@dataclass
+class BlowupMeasurement:
+    """Observed vs theoretical blowup for a family of generator sizes."""
+
+    generator_sizes: List[int]
+    observed: List[int]
+    theoretical: List[int]
+
+    def rows(self) -> List[Tuple[int, int, int]]:
+        return list(zip(self.generator_sizes, self.observed, self.theoretical))
+
+
+def measure_word_blowup(
+    automaton: PositionAutomaton,
+    pre_run: Sequence[Tuple[object, str]],
+    generator_sets: Iterable[Sequence[object]],
+) -> BlowupMeasurement:
+    """Sizes of pointer-closed generated substructures of a word run database."""
+    database = word_rundb(automaton, pre_run)
+    sizes: List[int] = []
+    observed: List[int] = []
+    theoretical: List[int] = []
+    for generators in generator_sets:
+        closure = database.closure(generators)
+        sizes.append(len(set(generators)))
+        observed.append(len(closure))
+        theoretical.append(2 * automaton.component_count() * len(set(generators))
+                           + len(set(generators)))
+    return BlowupMeasurement(sizes, observed, theoretical)
+
+
+def measure_tree_blowup(
+    automaton: TreeAutomaton,
+    pre_run,
+    generator_sets: Iterable[Sequence[object]],
+) -> BlowupMeasurement:
+    """Sizes of pointer-closed generated substructures of a tree run database."""
+    database = tree_rundb(automaton, pre_run)
+    sizes: List[int] = []
+    observed: List[int] = []
+    theoretical: List[int] = []
+    constant = 2 ** min(len(automaton.states), 20)
+    for generators in generator_sets:
+        closure = database.closure(generators)
+        sizes.append(len(set(generators)))
+        observed.append(len(closure))
+        theoretical.append(constant * len(set(generators)))
+    return BlowupMeasurement(sizes, observed, theoretical)
+
+
+@dataclass
+class SolverProfile:
+    """A compact record of one emptiness check, used by EXPERIMENTS.md tables."""
+
+    label: str
+    nonempty: bool
+    configurations_explored: int
+    candidates_generated: int
+    elapsed_seconds: float
+    witness_size: Optional[int]
+
+    @classmethod
+    def from_result(cls, label: str, result: EmptinessResult) -> "SolverProfile":
+        return cls(
+            label=label,
+            nonempty=result.nonempty,
+            configurations_explored=result.statistics.configurations_explored,
+            candidates_generated=result.statistics.candidates_generated,
+            elapsed_seconds=result.statistics.elapsed_seconds,
+            witness_size=result.witness_database.size if result.witness_database else None,
+        )
+
+    def row(self) -> Tuple[str, str, int, int, float, Optional[int]]:
+        return (
+            self.label,
+            "nonempty" if self.nonempty else "empty",
+            self.configurations_explored,
+            self.candidates_generated,
+            round(self.elapsed_seconds, 4),
+            self.witness_size,
+        )
+
+
+def profile_check(
+    label: str,
+    theory: DatabaseTheory,
+    system: DatabaseDrivenSystem,
+    max_configurations: int = 200_000,
+) -> SolverProfile:
+    """Run one emptiness check and package the statistics for reporting."""
+    result = EmptinessSolver(theory, max_configurations=max_configurations).check(system)
+    return SolverProfile.from_result(label, result)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a small fixed-width text table (used by examples and benchmarks)."""
+    materialised = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def bench_once(benchmark, function, *args, **kwargs):
+    """Measure exactly one invocation with pytest-benchmark and return its result.
+
+    The benchmark harness cares about the shape of measured series across
+    parameters, not about statistical stability, so a single round keeps the
+    full suite fast enough to run alongside the tests.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

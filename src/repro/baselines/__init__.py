@@ -1,0 +1,27 @@
+"""Brute-force baselines: exhaustive database enumeration plus simulation."""
+
+from repro.baselines.brute_force import (
+    BruteForceResult,
+    BruteForceSolver,
+    brute_force_emptiness,
+)
+from repro.baselines.enumeration import (
+    all_databases_of_size,
+    all_databases_up_to,
+    count_databases_of_size,
+    random_colored_graph,
+    random_database,
+    random_databases,
+)
+
+__all__ = [
+    "BruteForceSolver",
+    "BruteForceResult",
+    "brute_force_emptiness",
+    "all_databases_of_size",
+    "all_databases_up_to",
+    "count_databases_of_size",
+    "random_database",
+    "random_databases",
+    "random_colored_graph",
+]

@@ -1,0 +1,142 @@
+"""Brute-force emptiness: enumerate databases, simulate on each.
+
+The baseline against which every abstraction-based decision procedure in this
+library is validated (and benchmarked, experiment E9).  It enumerates
+candidate databases of the class up to a size bound, filters them by the
+class's membership test, and searches the finite configuration graph of each
+with :func:`repro.systems.simulate.find_accepting_run`.
+
+The answer is exact *for the explored size bound*: a positive answer is
+definitive (a concrete witness is produced); a negative answer only says that
+no witness with at most ``max_size`` elements exists.  For the decidable
+classes of the paper the abstraction solver provides the matching upper
+bound, which is exactly how the integration tests use the two together.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.baselines.enumeration import all_databases_up_to
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+from repro.systems.dds import DatabaseDrivenSystem, Run
+from repro.systems.simulate import find_accepting_run
+
+
+@dataclass
+class BruteForceResult:
+    """Outcome of a brute-force emptiness search."""
+
+    nonempty: bool
+    witness_database: Optional[Structure] = None
+    run: Optional[Run] = None
+    databases_checked: int = 0
+    max_size_explored: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def empty(self) -> bool:
+        return not self.nonempty
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.nonempty
+
+
+class BruteForceSolver:
+    """Enumerate databases up to a size bound and simulate the system on each.
+
+    Parameters
+    ----------
+    membership:
+        Optional class-membership predicate (e.g.
+        ``HomTheory(template).membership``); ``None`` means all databases over
+        the schema are admitted.
+    database_source:
+        Optional custom iterator factory ``(schema, max_size) -> Iterable[Structure]``;
+        defaults to exhaustive enumeration of all databases over the schema.
+    """
+
+    def __init__(
+        self,
+        membership: Optional[Callable[[Structure], bool]] = None,
+        database_source: Optional[
+            Callable[[Schema, int], Iterable[Structure]]
+        ] = None,
+    ) -> None:
+        self._membership = membership
+        self._database_source = database_source or (
+            lambda schema, max_size: all_databases_up_to(schema, max_size)
+        )
+
+    def check(
+        self,
+        system: DatabaseDrivenSystem,
+        max_size: int,
+        max_steps: Optional[int] = None,
+    ) -> BruteForceResult:
+        """Search all admitted databases with at most ``max_size`` elements."""
+        start = time.perf_counter()
+        checked = 0
+        for database in self._database_source(system.schema, max_size):
+            if self._membership is not None and not self._membership(database):
+                continue
+            checked += 1
+            run = find_accepting_run(system, database, max_steps=max_steps)
+            if run is not None:
+                return BruteForceResult(
+                    nonempty=True,
+                    witness_database=database,
+                    run=run,
+                    databases_checked=checked,
+                    max_size_explored=max_size,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+        return BruteForceResult(
+            nonempty=False,
+            databases_checked=checked,
+            max_size_explored=max_size,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def check_databases(
+        self,
+        system: DatabaseDrivenSystem,
+        databases: Iterable[Structure],
+        max_steps: Optional[int] = None,
+    ) -> BruteForceResult:
+        """Same as :meth:`check` but over an explicit collection of databases."""
+        start = time.perf_counter()
+        checked = 0
+        for database in databases:
+            if self._membership is not None and not self._membership(database):
+                continue
+            checked += 1
+            run = find_accepting_run(system, database, max_steps=max_steps)
+            if run is not None:
+                return BruteForceResult(
+                    nonempty=True,
+                    witness_database=database,
+                    run=run,
+                    databases_checked=checked,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+        return BruteForceResult(
+            nonempty=False,
+            databases_checked=checked,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+
+def brute_force_emptiness(
+    system: DatabaseDrivenSystem,
+    max_size: int,
+    membership: Optional[Callable[[Structure], bool]] = None,
+    max_steps: Optional[int] = None,
+) -> BruteForceResult:
+    """One-shot convenience wrapper around :class:`BruteForceSolver`."""
+    return BruteForceSolver(membership=membership).check(
+        system, max_size, max_steps=max_steps
+    )

@@ -1,0 +1,128 @@
+"""Exhaustive and random enumeration of small databases.
+
+These generators feed the brute-force baseline (:mod:`repro.baselines.brute_force`)
+and the property-based tests: they produce *every* database over a relational
+schema up to a given domain size (so the baseline answer is exact for that
+size), as well as random samples for larger sizes.
+
+The number of databases grows doubly exponentially with the domain size, so
+exhaustive enumeration is only meant for sizes up to 3-4; this is exactly the
+regime where it serves as ground truth for the abstraction-based solvers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.logic.schema import Schema
+from repro.logic.structures import Element, Structure
+
+
+def all_tuple_sets(
+    elements: Sequence[Element], arity: int
+) -> Iterator[frozenset]:
+    """All subsets of the full tuple space ``elements^arity``."""
+    tuples = list(itertools.product(elements, repeat=arity))
+    for size in range(len(tuples) + 1):
+        for chosen in itertools.combinations(tuples, size):
+            yield frozenset(chosen)
+
+
+def all_databases_of_size(schema: Schema, size: int) -> Iterator[Structure]:
+    """Every database over a relational schema with domain ``{0, ..., size-1}``.
+
+    Databases are enumerated up to nothing (no isomorphism reduction); the
+    callers that care about counts de-duplicate themselves.
+    """
+    if not schema.is_relational:
+        raise ValueError("exhaustive enumeration is only supported for relational schemas")
+    elements = list(range(size))
+    relation_names = list(schema.relation_names)
+    spaces = [
+        list(all_tuple_sets(elements, schema.relation(name).arity))
+        for name in relation_names
+    ]
+    for combination in itertools.product(*spaces):
+        relations = dict(zip(relation_names, combination))
+        yield Structure(schema, elements, relations=relations, validate=False)
+
+
+def all_databases_up_to(schema: Schema, max_size: int) -> Iterator[Structure]:
+    """Every database with at most ``max_size`` elements (sizes 1..max_size)."""
+    for size in range(1, max_size + 1):
+        yield from all_databases_of_size(schema, size)
+
+
+def count_databases_of_size(schema: Schema, size: int) -> int:
+    """The number of databases of a given size (without building them)."""
+    total = 1
+    for name in schema.relation_names:
+        arity = schema.relation(name).arity
+        total *= 2 ** (size ** arity)
+    return total
+
+
+def random_database(
+    schema: Schema,
+    size: int,
+    tuple_probability: float = 0.3,
+    rng: Optional[random.Random] = None,
+) -> Structure:
+    """A random database: each potential tuple is included independently."""
+    rng = rng or random.Random()
+    elements = list(range(size))
+    relations = {}
+    for name in schema.relation_names:
+        arity = schema.relation(name).arity
+        chosen = {
+            t
+            for t in itertools.product(elements, repeat=arity)
+            if rng.random() < tuple_probability
+        }
+        relations[name] = chosen
+    return Structure(schema, elements, relations=relations, validate=False)
+
+
+def random_databases(
+    schema: Schema,
+    count: int,
+    size: int,
+    tuple_probability: float = 0.3,
+    seed: Optional[int] = None,
+) -> List[Structure]:
+    """A reproducible batch of random databases."""
+    rng = random.Random(seed)
+    return [
+        random_database(schema, size, tuple_probability, rng) for _ in range(count)
+    ]
+
+
+def random_colored_graph(
+    size: int,
+    edge_probability: float = 0.3,
+    red_probability: float = 0.5,
+    rng: Optional[random.Random] = None,
+) -> Structure:
+    """A random graph over the Example 1 schema (edge relation + red predicate)."""
+    from repro.relational.csp import COLORED_GRAPH_SCHEMA
+
+    rng = rng or random.Random()
+    elements = list(range(size))
+    edges = {
+        (a, b)
+        for a, b in itertools.product(elements, repeat=2)
+        if rng.random() < edge_probability
+    }
+    red = {(e,) for e in elements if rng.random() < red_probability}
+    return Structure(
+        COLORED_GRAPH_SCHEMA, elements, relations={"E": edges, "red": red}, validate=False
+    )
+
+
+def filtered(
+    databases: Iterator[Structure], predicate: Callable[[Structure], bool]
+) -> Iterator[Structure]:
+    """Keep only databases satisfying a class-membership predicate."""
+    return (database for database in databases if predicate(database))

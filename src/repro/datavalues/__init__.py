@@ -1,0 +1,24 @@
+"""Data values from homogeneous structures (Section 4.4, Proposition 1)."""
+
+from repro.datavalues.homogeneous import (
+    NATURALS_WITH_EQUALITY,
+    NATURALS_WITH_ORDER,
+    RATIONALS_WITH_ORDER,
+    HomogeneousStructure,
+    NaturalsWithEquality,
+    NaturalsWithOrder,
+    RationalsWithOrder,
+)
+from repro.datavalues.theory import DataValuedTheory, with_data_values
+
+__all__ = [
+    "HomogeneousStructure",
+    "NaturalsWithEquality",
+    "RationalsWithOrder",
+    "NaturalsWithOrder",
+    "NATURALS_WITH_EQUALITY",
+    "RATIONALS_WITH_ORDER",
+    "NATURALS_WITH_ORDER",
+    "DataValuedTheory",
+    "with_data_values",
+]

@@ -1,0 +1,221 @@
+"""Homogeneous structures used as data-value domains (Section 4.4).
+
+A homogeneous structure is an infinite structure in which every isomorphism
+between finite substructures extends to an automorphism.  The paper uses two
+running examples -- the natural numbers with equality ⟨N, ~⟩ and the rational
+numbers with their order ⟨Q, <⟩ -- and notes (Remark 1) that ⟨N, <⟩ works as
+well because its finite substructures are those of ⟨Q, <⟩.
+
+For the decision procedures we never materialise the infinite structure; all
+that is needed is:
+
+* the (purely relational) schema of the structure,
+* how to compute its relations on a finite set of *value tokens*,
+* which *fresh* values are available relative to an existing finite set of
+  values, up to isomorphism of the resulting finite substructure -- for
+  equality this is "equal to one of the existing values or fresh"; for a
+  dense order it is "equal to an existing value or in any gap",
+* an embedding test for finite structures (does a finite database embed into
+  the homogeneous structure?), which is what Proposition 1 requires to be
+  decidable in PSpace.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+
+
+class HomogeneousStructure(ABC):
+    """A homogeneous relational structure serving as a data-value domain."""
+
+    #: human-readable name used in reports
+    name: str = "homogeneous structure"
+
+    @property
+    @abstractmethod
+    def schema(self) -> Schema:
+        """The purely relational schema of the structure."""
+
+    @abstractmethod
+    def holds(self, relation: str, *values: object) -> bool:
+        """Truth of a relation on concrete value tokens."""
+
+    @abstractmethod
+    def fresh_value_choices(
+        self, existing: Sequence[object], injective: bool
+    ) -> Iterator[object]:
+        """Candidate values for a new element, up to isomorphism over ``existing``.
+
+        With ``injective=True`` (the ⊙ product) only values distinct from all
+        existing ones are offered.
+        """
+
+    # -- derived helpers ---------------------------------------------------------
+
+    def relations_over(self, values: Sequence[object]) -> dict:
+        """The relation facts induced on (indices of) a finite tuple of values."""
+        facts = {name: set() for name in self.schema.relation_names}
+        for name in self.schema.relation_names:
+            arity = self.schema.relation(name).arity
+            import itertools
+
+            for indices in itertools.product(range(len(values)), repeat=arity):
+                if self.holds(name, *[values[i] for i in indices]):
+                    facts[name].add(indices)
+        return facts
+
+    def embeds(self, database: Structure, assignment_limit: int = 100_000) -> bool:
+        """Does a finite database over :attr:`schema` embed into this structure?
+
+        A small backtracking search over value assignments; sufficient for the
+        finite substructures manipulated by tests and solvers.
+        """
+        if database.schema != self.schema:
+            return False
+        elements = sorted(database.domain, key=repr)
+        return self._embed_search(database, elements, [], assignment_limit)
+
+    def _embed_search(
+        self,
+        database: Structure,
+        elements: List[object],
+        chosen: List[object],
+        limit: int,
+    ) -> bool:
+        index = len(chosen)
+        if index == len(elements):
+            return self._consistent(database, elements, chosen)
+        candidates = list(self.fresh_value_choices(chosen, injective=False))
+        for value in candidates[:limit]:
+            chosen.append(value)
+            if self._consistent(database, elements[: index + 1], chosen):
+                if self._embed_search(database, elements, chosen, limit):
+                    chosen.pop()
+                    return True
+            chosen.pop()
+        return False
+
+    def _consistent(
+        self, database: Structure, elements: Sequence[object], values: Sequence[object]
+    ) -> bool:
+        position = {element: i for i, element in enumerate(elements)}
+        for name in self.schema.relation_names:
+            arity = self.schema.relation(name).arity
+            import itertools
+
+            for t in itertools.product(elements, repeat=arity):
+                expected = database.holds(name, *t)
+                actual = self.holds(name, *[values[position[e]] for e in t])
+                if expected != actual:
+                    return False
+        return True
+
+
+class NaturalsWithEquality(HomogeneousStructure):
+    """⟨N, ~⟩: natural numbers where the only relation is value equality.
+
+    The relation is named ``sim`` (for "similar"); guards write
+    ``sim(x_old, y_new)`` to test that two registers carry the same data
+    value, and ``!(sim(...))`` for inequality.
+    """
+
+    name = "naturals with equality"
+
+    def __init__(self, relation_name: str = "sim") -> None:
+        self._relation_name = relation_name
+        self._schema = Schema.relational(**{relation_name: 2})
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def relation_name(self) -> str:
+        return self._relation_name
+
+    def holds(self, relation: str, *values: object) -> bool:
+        if relation != self._relation_name:
+            return False
+        left, right = values
+        return left == right
+
+    def fresh_value_choices(
+        self, existing: Sequence[object], injective: bool
+    ) -> Iterator[object]:
+        if not injective:
+            seen = []
+            for value in existing:
+                if value not in seen:
+                    seen.append(value)
+                    yield value
+        used = {int(v) for v in existing} if existing else set()
+        fresh = 0
+        while fresh in used:
+            fresh += 1
+        yield fresh
+
+
+class RationalsWithOrder(HomogeneousStructure):
+    """⟨Q, <⟩: the dense linear order of the rationals.
+
+    The relation is named ``lt``; guards write ``lt(x_old, y_new)`` for a
+    strict data-value comparison.  Fresh values are offered in every gap of
+    the existing values (before all, between any two consecutive, after all),
+    plus equal to an existing value in the non-injective product.
+    """
+
+    name = "rationals with order"
+
+    def __init__(self, relation_name: str = "lt") -> None:
+        self._relation_name = relation_name
+        self._schema = Schema.relational(**{relation_name: 2})
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def relation_name(self) -> str:
+        return self._relation_name
+
+    def holds(self, relation: str, *values: object) -> bool:
+        if relation != self._relation_name:
+            return False
+        left, right = values
+        return Fraction(left) < Fraction(right)
+
+    def fresh_value_choices(
+        self, existing: Sequence[object], injective: bool
+    ) -> Iterator[object]:
+        distinct = sorted({Fraction(v) for v in existing})
+        if not injective:
+            for value in distinct:
+                yield value
+        if not distinct:
+            yield Fraction(0)
+            return
+        yield distinct[0] - 1
+        for left, right in zip(distinct, distinct[1:]):
+            yield (left + right) / 2
+        yield distinct[-1] + 1
+
+
+class NaturalsWithOrder(RationalsWithOrder):
+    """⟨N, <⟩ -- Remark 1: same finite substructures as ⟨Q, <⟩.
+
+    The implementation therefore simply reuses the dense-order choices; the
+    class exists to make the correspondence with the paper explicit and to
+    carry its own name in reports.
+    """
+
+    name = "naturals with order (via its substructure closure)"
+
+
+NATURALS_WITH_EQUALITY = NaturalsWithEquality()
+RATIONALS_WITH_ORDER = RationalsWithOrder()
+NATURALS_WITH_ORDER = NaturalsWithOrder()

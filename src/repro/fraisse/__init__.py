@@ -1,0 +1,45 @@
+"""Fraïssé classes, amalgamation, and the generic emptiness engine (Section 4)."""
+
+from repro.fraisse.base import (
+    DatabaseTheory,
+    TheoryConfiguration,
+    combined_guard_valuation,
+    generic_abstraction_key,
+    guard_holds,
+    set_partitions,
+)
+from repro.fraisse.amalgamation import (
+    AmalgamationInstance,
+    AmalgamationSolution,
+    find_amalgamation_solution,
+    free_amalgam,
+    has_joint_embedding,
+    union_of_consistent,
+    verify_solution,
+)
+from repro.fraisse.engine import (
+    EmptinessResult,
+    EmptinessSolver,
+    SearchStatistics,
+    decide_emptiness,
+)
+
+__all__ = [
+    "DatabaseTheory",
+    "TheoryConfiguration",
+    "generic_abstraction_key",
+    "combined_guard_valuation",
+    "guard_holds",
+    "set_partitions",
+    "AmalgamationInstance",
+    "AmalgamationSolution",
+    "free_amalgam",
+    "union_of_consistent",
+    "find_amalgamation_solution",
+    "verify_solution",
+    "has_joint_embedding",
+    "EmptinessSolver",
+    "EmptinessResult",
+    "SearchStatistics",
+    "decide_emptiness",
+]

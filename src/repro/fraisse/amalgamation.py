@@ -1,0 +1,300 @@
+"""Amalgamation instances, solutions, and checkers (Section 4.1).
+
+An instance of amalgamation consists of two embeddings of the same database
+``C`` into databases ``A1`` and ``A2``; a solution is a database ``D`` with
+embeddings of ``A1`` and ``A2`` that agree on (the images of) ``C``.
+
+By Lemma 13 / Lemma 18 of the paper, for classes closed under isomorphism it
+is enough to consider *inclusion* amalgamation: ``A1`` and ``A2`` are
+consistent structures (they agree on their common elements) and a solution is
+a structure containing both as induced substructures.
+
+This module provides:
+
+* the :class:`AmalgamationInstance` value object,
+* the *free amalgam* construction for relational schemas (disjoint union over
+  the shared part) -- the solution used in Lemma 7 and Lemma 19,
+* a bounded solver (:func:`find_amalgamation_solution`) that searches for a
+  solution within a given class, used by the property-based tests that check
+  closure under amalgamation on sampled instances (Propositions 2 and 3,
+  Example 3's forest counterexample).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import TheoryError
+from repro.logic.morphisms import find_embedding, is_embedding
+from repro.logic.structures import Element, Structure, sorted_key_list
+
+
+@dataclass(frozen=True)
+class AmalgamationInstance:
+    """Two embeddings ``e1 : C -> A1`` and ``e2 : C -> A2`` of a shared database."""
+
+    shared: Structure
+    left: Structure
+    right: Structure
+    embed_left: Tuple[Tuple[Element, Element], ...]
+    embed_right: Tuple[Tuple[Element, Element], ...]
+
+    @classmethod
+    def make(
+        cls,
+        shared: Structure,
+        left: Structure,
+        right: Structure,
+        embed_left: Mapping[Element, Element],
+        embed_right: Mapping[Element, Element],
+    ) -> "AmalgamationInstance":
+        if not is_embedding(embed_left, shared, left):
+            raise TheoryError("embed_left is not an embedding of the shared part into left")
+        if not is_embedding(embed_right, shared, right):
+            raise TheoryError("embed_right is not an embedding of the shared part into right")
+        return cls(
+            shared,
+            left,
+            right,
+            tuple(sorted(embed_left.items(), key=repr)),
+            tuple(sorted(embed_right.items(), key=repr)),
+        )
+
+    @classmethod
+    def inclusion(cls, shared: Structure, left: Structure, right: Structure) -> "AmalgamationInstance":
+        """An inclusion instance: the shared part is a substructure of both sides."""
+        identity = {e: e for e in shared.domain}
+        return cls.make(shared, left, right, identity, identity)
+
+    @property
+    def left_embedding(self) -> Dict[Element, Element]:
+        return dict(self.embed_left)
+
+    @property
+    def right_embedding(self) -> Dict[Element, Element]:
+        return dict(self.embed_right)
+
+
+@dataclass(frozen=True)
+class AmalgamationSolution:
+    """A database ``D`` with commuting embeddings of both sides of an instance."""
+
+    amalgam: Structure
+    embed_left: Tuple[Tuple[Element, Element], ...]
+    embed_right: Tuple[Tuple[Element, Element], ...]
+
+    @property
+    def left_embedding(self) -> Dict[Element, Element]:
+        return dict(self.embed_left)
+
+    @property
+    def right_embedding(self) -> Dict[Element, Element]:
+        return dict(self.embed_right)
+
+
+def verify_solution(instance: AmalgamationInstance, solution: AmalgamationSolution) -> bool:
+    """Check the commuting-diagram conditions of a proposed solution."""
+    left_map = solution.left_embedding
+    right_map = solution.right_embedding
+    if not is_embedding(left_map, instance.left, solution.amalgam):
+        return False
+    if not is_embedding(right_map, instance.right, solution.amalgam):
+        return False
+    el = instance.left_embedding
+    er = instance.right_embedding
+    for shared_element in instance.shared.domain:
+        if left_map[el[shared_element]] != right_map[er[shared_element]]:
+            return False
+    return True
+
+
+def free_amalgam(instance: AmalgamationInstance) -> AmalgamationSolution:
+    """The free amalgam over a purely relational schema.
+
+    Take the disjoint union of the two sides and identify the two images of
+    the shared part; no tuples are added beyond those of the two sides.  This
+    is the construction used in the proof of Lemma 7 (HOM classes) and of
+    Lemma 19 (homogeneous relational structures).
+    """
+    schema = instance.shared.schema
+    if not schema.is_relational:
+        raise TheoryError("the free amalgam is only defined for relational schemas")
+    el = instance.left_embedding
+    er = instance.right_embedding
+    shared_left = set(el.values())
+    shared_right = set(er.values())
+    right_of_shared = {er[c]: el[c] for c in instance.shared.domain}
+
+    def left_name(element: Element) -> Element:
+        return ("L", element)
+
+    def right_name(element: Element) -> Element:
+        if element in right_of_shared:
+            return ("L", right_of_shared[element])
+        return ("R", element)
+
+    domain = {left_name(e) for e in instance.left.domain}
+    domain |= {right_name(e) for e in instance.right.domain}
+    relations: Dict[str, set] = {name: set() for name in schema.relation_names}
+    for name in schema.relation_names:
+        for t in instance.left.relation(name):
+            relations[name].add(tuple(left_name(e) for e in t))
+        for t in instance.right.relation(name):
+            relations[name].add(tuple(right_name(e) for e in t))
+    amalgam = Structure(schema, domain, relations=relations)
+    embed_left = {e: left_name(e) for e in instance.left.domain}
+    embed_right = {e: right_name(e) for e in instance.right.domain}
+    solution = AmalgamationSolution(
+        amalgam,
+        tuple(sorted(embed_left.items(), key=repr)),
+        tuple(sorted(embed_right.items(), key=repr)),
+    )
+    if not verify_solution(instance, solution):  # pragma: no cover - sanity net
+        raise TheoryError("internal error: free amalgam failed verification")
+    return solution
+
+
+def union_of_consistent(left: Structure, right: Structure) -> Structure:
+    """The union of two consistent structures (inclusion amalgamation, Lemma 13).
+
+    The structures are *consistent* when relations and functions agree on the
+    elements common to both domains; the union then contains both as induced
+    substructures provided no new cross tuples are required -- which is the
+    case for relational schemas (the free solution) and is checked here.
+    """
+    if left.schema != right.schema:
+        raise TheoryError("cannot unite structures over different schemas")
+    schema = left.schema
+    if not schema.is_relational:
+        raise TheoryError("union_of_consistent currently supports relational schemas only")
+    common = left.domain & right.domain
+    for name in schema.relation_names:
+        left_common = {t for t in left.relation(name) if all(e in common for e in t)}
+        right_common = {t for t in right.relation(name) if all(e in common for e in t)}
+        if left_common != right_common:
+            raise TheoryError(f"structures are inconsistent on relation {name!r}")
+    relations = {
+        name: set(left.relation(name)) | set(right.relation(name))
+        for name in schema.relation_names
+    }
+    return Structure(schema, left.domain | right.domain, relations=relations)
+
+
+def enumerate_quotient_solutions(
+    instance: AmalgamationInstance, max_extra_identifications: int = 2
+) -> Iterator[AmalgamationSolution]:
+    """Enumerate solutions obtained from the free amalgam by identifying elements.
+
+    Some classes (e.g. linear orders) have no *free* solution but do have
+    solutions where elements of the two sides are identified, or where extra
+    tuples are added.  This generator yields the free amalgam first and then
+    amalgams obtained by identifying up to ``max_extra_identifications`` pairs
+    of elements across the two non-shared parts, each optionally saturated
+    with extra tuples (the caller filters by class membership).
+    """
+    free = free_amalgam(instance)
+    yield free
+    amalgam = free.amalgam
+    left_only = [
+        e for e in amalgam.domain
+        if isinstance(e, tuple) and e[0] == "L"
+        and e not in set(free.right_embedding.values())
+    ]
+    right_only = [e for e in amalgam.domain if isinstance(e, tuple) and e[0] == "R"]
+    pairs = list(itertools.product(left_only, right_only))
+    for count in range(1, max_extra_identifications + 1):
+        for chosen in itertools.combinations(pairs, count):
+            mapping = {}
+            used_left, used_right = set(), set()
+            valid = True
+            for left_e, right_e in chosen:
+                if left_e in used_left or right_e in used_right:
+                    valid = False
+                    break
+                used_left.add(left_e)
+                used_right.add(right_e)
+                mapping[right_e] = left_e
+            if not valid:
+                continue
+            quotient = _quotient(amalgam, mapping)
+            embed_left = dict(free.left_embedding)
+            embed_right = {
+                k: mapping.get(v, v) for k, v in free.right_embedding.items()
+            }
+            candidate = AmalgamationSolution(
+                quotient,
+                tuple(sorted(embed_left.items(), key=repr)),
+                tuple(sorted(embed_right.items(), key=repr)),
+            )
+            if verify_solution(instance, candidate):
+                yield candidate
+
+
+def _quotient(structure: Structure, mapping: Mapping[Element, Element]) -> Structure:
+    def conv(element: Element) -> Element:
+        return mapping.get(element, element)
+
+    relations = {
+        name: {tuple(conv(e) for e in t) for t in structure.relation(name)}
+        for name in structure.schema.relation_names
+    }
+    domain = {conv(e) for e in structure.domain}
+    return Structure(structure.schema, domain, relations=relations)
+
+
+def find_amalgamation_solution(
+    instance: AmalgamationInstance,
+    membership: Callable[[Structure], bool],
+    extra_tuple_budget: int = 0,
+    max_extra_identifications: int = 2,
+) -> Optional[AmalgamationSolution]:
+    """Search for a solution that belongs to a class given by a membership test.
+
+    The search space is: the free amalgam, its element-identifying quotients,
+    and (when ``extra_tuple_budget > 0``) each of those saturated with up to
+    the given number of additional tuples.  This covers the solutions needed
+    by every relational class in the paper (HOM classes and all-databases use
+    the free amalgam; linear orders need extra tuples).  Returns ``None`` if
+    no solution within the budget is in the class -- which is how the tests
+    demonstrate that forests are *not* closed under amalgamation (Example 3).
+    """
+    schema = instance.shared.schema
+    for base in enumerate_quotient_solutions(instance, max_extra_identifications):
+        candidates = [base.amalgam]
+        if extra_tuple_budget > 0:
+            missing = []
+            for name in schema.relation_names:
+                arity = schema.relation(name).arity
+                for t in itertools.product(
+                    sorted_key_list(base.amalgam.domain), repeat=arity
+                ):
+                    if t not in base.amalgam.relation(name):
+                        missing.append((name, t))
+            for count in range(1, extra_tuple_budget + 1):
+                for extra in itertools.combinations(missing, count):
+                    enriched = base.amalgam
+                    for name, t in extra:
+                        enriched = enriched.with_tuple(name, *t)
+                    candidates.append(enriched)
+        for candidate in candidates:
+            solution = AmalgamationSolution(candidate, base.embed_left, base.embed_right)
+            if verify_solution(instance, solution) and membership(candidate):
+                return solution
+    return None
+
+
+def has_joint_embedding(
+    left: Structure,
+    right: Structure,
+    membership: Callable[[Structure], bool],
+) -> bool:
+    """Joint embedding property check on one pair: is the disjoint union in the class?
+
+    (For every class in the paper the disjoint union witnesses joint
+    embedding; classes where it does not are outside the scope of this
+    helper.)
+    """
+    union = left.disjoint_union(right)
+    return membership(union)

@@ -1,0 +1,261 @@
+"""The generic emptiness decision procedure (Theorem 5).
+
+The engine explores the graph whose nodes are pairs ``(control state,
+abstraction key)`` -- the paper's *small configurations* -- and whose edges
+are the sub-transitions enumerated by a :class:`~repro.fraisse.base.DatabaseTheory`.
+It differs from the paper's presentation in one (behaviour-preserving) way:
+instead of a nondeterministic space-bounded walker it performs a
+deterministic breadth-first search with memoisation, carrying along a
+*cumulative concrete witness* so that every positive answer comes with an
+actual database and an actual accepting run that are re-validated against the
+semantics of :mod:`repro.systems`.
+
+Soundness therefore never depends on the abstraction: a reported run is a
+real run.  Completeness is exactly the paper's argument -- closure under
+embeddings and amalgamation of the underlying class guarantees that pruning
+revisited abstraction keys never loses reachable accepting states.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import SolverError
+from repro.fraisse.base import DatabaseTheory, TheoryConfiguration, guard_holds
+from repro.logic.structures import Structure
+from repro.systems.dds import DatabaseDrivenSystem, Run, Transition
+
+
+@dataclass
+class SearchStatistics:
+    """Instrumentation collected during a solver invocation."""
+
+    configurations_explored: int = 0
+    configurations_enqueued: int = 0
+    candidates_generated: int = 0
+    guard_evaluations: int = 0
+    duplicate_keys_pruned: int = 0
+    max_frontier_size: int = 0
+    elapsed_seconds: float = 0.0
+    largest_witness_size: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "configurations_explored": self.configurations_explored,
+            "configurations_enqueued": self.configurations_enqueued,
+            "candidates_generated": self.candidates_generated,
+            "guard_evaluations": self.guard_evaluations,
+            "duplicate_keys_pruned": self.duplicate_keys_pruned,
+            "max_frontier_size": self.max_frontier_size,
+            "elapsed_seconds": self.elapsed_seconds,
+            "largest_witness_size": self.largest_witness_size,
+        }
+
+
+@dataclass
+class EmptinessResult:
+    """Outcome of an emptiness check.
+
+    ``nonempty`` is True when an accepting run exists; in that case
+    ``witness_database`` and ``run`` describe a concrete database of the class
+    and an accepting run driven by it.  ``exhausted`` is True when the whole
+    abstract configuration space was explored (so a negative answer is
+    definitive); it is False only if a resource limit interrupted the search.
+    """
+
+    nonempty: bool
+    witness_database: Optional[Structure] = None
+    run: Optional[Run] = None
+    exhausted: bool = True
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+
+    @property
+    def empty(self) -> bool:
+        return not self.nonempty
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.nonempty
+
+
+@dataclass
+class _SearchNode:
+    state: str
+    config: TheoryConfiguration
+    parent: Optional["_SearchNode"]
+    transition: Optional[Transition]
+    depth: int
+
+
+class EmptinessSolver:
+    """Decides emptiness of database-driven systems over a database theory.
+
+    Parameters
+    ----------
+    theory:
+        The class of databases runs may be driven by.
+    max_configurations:
+        Safety cap on the number of abstract configurations explored.  The
+        abstract space is finite for the decidable theories shipped with the
+        library, so the default is simply a guard against pathological inputs;
+        if the cap is hit the result is returned with ``exhausted=False``.
+    verify_witnesses:
+        When True (the default), every positive answer is re-validated by
+        replaying the reconstructed run on the reconstructed database through
+        :meth:`repro.systems.dds.DatabaseDrivenSystem.validate_run`.
+    """
+
+    def __init__(
+        self,
+        theory: DatabaseTheory,
+        max_configurations: int = 200_000,
+        verify_witnesses: bool = True,
+    ) -> None:
+        if max_configurations <= 0:
+            raise SolverError("max_configurations must be positive")
+        self._theory = theory
+        self._max_configurations = max_configurations
+        self._verify_witnesses = verify_witnesses
+
+    @property
+    def theory(self) -> DatabaseTheory:
+        return self._theory
+
+    # -- main entry point ------------------------------------------------------
+
+    def check(self, system: DatabaseDrivenSystem) -> EmptinessResult:
+        """Is there a database in the theory's class driving an accepting run?"""
+        if not system.schema.is_subschema_of(self._theory.schema):
+            raise SolverError(
+                "the system's schema is not contained in the theory's schema: "
+                f"{system.schema!r} vs {self._theory.schema!r}"
+            )
+        stats = SearchStatistics()
+        start_time = time.perf_counter()
+        visited: Dict[Tuple[str, Hashable], int] = {}
+        frontier: deque = deque()
+
+        goal: Optional[_SearchNode] = None
+        for state in sorted(system.initial_states):
+            for config in self._theory.initial_configurations(system):
+                stats.candidates_generated += 1
+                key = (state, self._theory.abstraction_key(config))
+                if key in visited:
+                    stats.duplicate_keys_pruned += 1
+                    continue
+                visited[key] = len(visited)
+                node = _SearchNode(state, config, parent=None, transition=None, depth=0)
+                stats.configurations_enqueued += 1
+                if system.is_accepting(state):
+                    goal = node
+                    break
+                frontier.append(node)
+            if goal is not None:
+                break
+
+        while frontier and goal is None:
+            stats.max_frontier_size = max(stats.max_frontier_size, len(frontier))
+            node = frontier.popleft()
+            stats.configurations_explored += 1
+            if stats.configurations_explored > self._max_configurations:
+                stats.elapsed_seconds = time.perf_counter() - start_time
+                return EmptinessResult(
+                    nonempty=False, exhausted=False, statistics=stats
+                )
+            for transition in system.transitions_from(node.state):
+                for candidate in self._theory.successor_configurations(
+                    system, node.config, transition
+                ):
+                    stats.candidates_generated += 1
+                    database = self._theory.database(candidate)
+                    stats.guard_evaluations += 1
+                    if not guard_holds(
+                        database,
+                        system.registers,
+                        transition.guard,
+                        node.config.valuation,
+                        candidate.valuation,
+                    ):
+                        continue
+                    key = (transition.target, self._theory.abstraction_key(candidate))
+                    if key in visited:
+                        stats.duplicate_keys_pruned += 1
+                        continue
+                    visited[key] = len(visited)
+                    stats.configurations_enqueued += 1
+                    stats.largest_witness_size = max(
+                        stats.largest_witness_size, database.size
+                    )
+                    successor = _SearchNode(
+                        transition.target,
+                        candidate,
+                        parent=node,
+                        transition=transition,
+                        depth=node.depth + 1,
+                    )
+                    if system.is_accepting(transition.target):
+                        goal = successor
+                        frontier.clear()
+                        break
+                    frontier.append(successor)
+                if goal is not None:
+                    break
+
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        if goal is None:
+            return EmptinessResult(nonempty=False, exhausted=True, statistics=stats)
+
+        run = self._reconstruct_run(system, goal)
+        if self._verify_witnesses:
+            system.validate_run(run)
+        return EmptinessResult(
+            nonempty=True,
+            witness_database=run.database,
+            run=run,
+            exhausted=True,
+            statistics=stats,
+        )
+
+    # -- witness reconstruction -------------------------------------------------
+
+    def _reconstruct_run(self, system: DatabaseDrivenSystem, goal: _SearchNode) -> Run:
+        """Rebuild a concrete run from the chain of search nodes.
+
+        Because every theory extends its witness monotonically (each step's
+        witness embeds into the next by construction), the valuations recorded
+        along the path remain valid in the final witness and the guards keep
+        holding -- this is the concrete counterpart of the paper's
+        amalgamation-based soundness proof (Appendix C).
+        """
+        chain: List[_SearchNode] = []
+        node: Optional[_SearchNode] = goal
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        chain.reverse()
+        final_database, mapping = self._theory.finalize(chain[-1].config)
+        steps = [
+            (
+                n.state,
+                {
+                    register: mapping.get(value, value)
+                    for register, value in n.config.valuation.items()
+                },
+            )
+            for n in chain
+        ]
+        transitions_taken = [n.transition for n in chain[1:] if n.transition is not None]
+        return Run(
+            database=final_database, steps=steps, transitions_taken=transitions_taken
+        )
+
+
+def decide_emptiness(
+    system: DatabaseDrivenSystem,
+    theory: DatabaseTheory,
+    max_configurations: int = 200_000,
+) -> EmptinessResult:
+    """One-shot convenience wrapper around :class:`EmptinessSolver`."""
+    return EmptinessSolver(theory, max_configurations=max_configurations).check(system)

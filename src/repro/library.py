@@ -1,0 +1,185 @@
+"""A small library of ready-made database-driven systems used throughout.
+
+These are the systems that appear in the paper (Example 1's odd-red-cycle
+tracer, the XML navigation system of the introduction, the counter-machine
+encodings of Section 6) plus a few natural workloads used by the examples and
+benchmarks (a data-centric order-processing workflow, reachability tracers).
+Each builder returns a fully validated :class:`DatabaseDrivenSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.logic.schema import Schema
+from repro.relational.csp import COLORED_GRAPH_SCHEMA, GRAPH_SCHEMA
+from repro.systems.dds import DatabaseDrivenSystem
+
+
+def odd_red_cycle_system(schema: Schema = COLORED_GRAPH_SCHEMA) -> DatabaseDrivenSystem:
+    """Example 1: accepting runs trace odd-length cycles of red nodes.
+
+    The system alternates between states ``q0`` and ``q1``, each time moving
+    register ``y`` along an edge to a red node while register ``x`` stays
+    put; entering and leaving requires ``x = y``, so an accepting run closes
+    a red cycle whose length is odd because it ends in ``q1``.
+    """
+    move = "x_old = x_new & E(y_old, y_new) & red(y_new)"
+    stay = "x_old = x_new & x_new = y_old & y_old = y_new"
+    return DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=["x", "y"],
+        states=["start", "q0", "q1", "end"],
+        initial="start",
+        accepting="end",
+        transitions=[
+            ("start", stay, "q0"),
+            ("q0", move, "q1"),
+            ("q1", move, "q0"),
+            ("q1", stay, "end"),
+        ],
+    )
+
+
+def red_path_system(length: int, schema: Schema = COLORED_GRAPH_SCHEMA) -> DatabaseDrivenSystem:
+    """Accepting runs trace a directed path of ``length`` red edges.
+
+    A simple scalable family used by the benchmarks: the number of control
+    states grows linearly with ``length`` while the register count stays at
+    one, so the size of the abstract configuration space isolates the effect
+    of control-state growth (the ``log(n)`` factor of Theorem 5).
+    """
+    states = ["start"] + [f"step_{i}" for i in range(length + 1)]
+    transitions = [("start", "x_old = x_new & red(x_new)", "step_0")]
+    for i in range(length):
+        transitions.append(
+            (f"step_{i}", f"E(x_old, x_new) & red(x_new)", f"step_{i + 1}")
+        )
+    return DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=["x"],
+        states=states,
+        initial="start",
+        accepting=f"step_{length}",
+        transitions=transitions,
+    )
+
+
+def self_loop_required_system(schema: Schema = GRAPH_SCHEMA) -> DatabaseDrivenSystem:
+    """A two-step system whose second guard needs an edge guessed at seed time.
+
+    Step one only moves the register; step two requires a self-loop on the
+    element chosen at step one.  It exercises the completeness subtlety of
+    the small-configuration search: relational structure on elements must be
+    guessed when the elements first appear, not when a guard first needs it.
+    """
+    return DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=["x"],
+        states=["a", "b", "c"],
+        initial="a",
+        accepting="c",
+        transitions=[
+            ("a", "x_old = x_new", "b"),
+            ("b", "x_old = x_new & E(x_old, x_new)", "c"),
+        ],
+    )
+
+
+def triangle_system(schema: Schema = GRAPH_SCHEMA) -> DatabaseDrivenSystem:
+    """Accepting runs require a directed triangle in the database.
+
+    Nonempty over all graphs, empty over HOM(K_2) (bipartite graphs have no
+    triangle) -- one of the sanity checks of Theorem 4.
+    """
+    return DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=["x", "y", "z"],
+        states=["init", "picked", "done"],
+        initial="init",
+        accepting="done",
+        transitions=[
+            (
+                "init",
+                "x_old = x_new & y_old = y_new & z_old = z_new & "
+                "E(x_new, y_new) & E(y_new, z_new) & E(z_new, x_new)",
+                "picked",
+            ),
+            ("picked", "x_old = x_new & y_old = y_new & z_old = z_new", "done"),
+        ],
+    )
+
+
+def clique_system(size: int, schema: Schema = GRAPH_SCHEMA) -> DatabaseDrivenSystem:
+    """Accepting runs require a directed ``size``-clique to be discovered edge by edge.
+
+    The system keeps one register per clique vertex and adds vertices one at
+    a time, each time checking edges in both directions against all
+    previously chosen vertices.  Nonempty over all graphs; empty over
+    HOM(K_n) whenever ``size > n``.  Used by the scaling benchmarks.
+    """
+    registers = [f"v{i}" for i in range(size)]
+    states = ["init"] + [f"have_{i}" for i in range(1, size + 1)] + ["done"]
+    keep_all = " & ".join(f"{r}_old = {r}_new" for r in registers)
+    transitions = [("init", keep_all.replace("_old = ", "_old = ").__str__(), "have_1")]
+    transitions = [("init", keep_all, "have_1")]
+    for i in range(1, size):
+        edge_checks = []
+        for j in range(i):
+            edge_checks.append(f"E(v{j}_new, v{i}_new)")
+            edge_checks.append(f"E(v{i}_new, v{j}_new)")
+        guard = " & ".join([keep_all.replace(f"v{i}_old = v{i}_new", f"v{i}_new = v{i}_new")]
+                           + edge_checks)
+        transitions.append((f"have_{i}", guard, f"have_{i + 1}"))
+    transitions.append((f"have_{size}", keep_all, "done"))
+    return DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=registers,
+        states=states,
+        initial="init",
+        accepting="done",
+        transitions=transitions,
+    )
+
+
+def order_workflow_system() -> DatabaseDrivenSystem:
+    """A miniature data-centric business process (the motivation of Section 1).
+
+    The database holds a catalogue: ``offered(p)`` marks products that are on
+    offer, ``requires(p, q)`` says product ``p`` requires accessory ``q`` and
+    ``conflict(p, q)`` marks incompatible pairs.  The workflow picks a main
+    product, adds an accessory required by it, checks compatibility, and
+    ships.  Emptiness over HOM templates answers questions such as "can the
+    workflow ever ship an order under a catalogue policy?".
+    """
+    schema = Schema.relational(offered=1, requires=2, conflict=2)
+    keep = "main_old = main_new & acc_old = acc_new"
+    return DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=["main", "acc"],
+        states=["browse", "picked", "accessorised", "checked", "shipped"],
+        initial="browse",
+        accepting="shipped",
+        transitions=[
+            ("browse", "main_new = acc_new & offered(main_new)", "picked"),
+            ("picked", "main_old = main_new & requires(main_old, acc_new)", "accessorised"),
+            ("accessorised", keep + " & !(conflict(main_old, acc_old))", "checked"),
+            ("checked", keep, "shipped"),
+        ],
+    )
+
+
+def register_swap_system(registers: Sequence[str] = ("x", "y"), schema: Schema = GRAPH_SCHEMA) -> DatabaseDrivenSystem:
+    """A tiny two-state system that swaps two registers along an edge forever."""
+    x, y = registers
+    return DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=list(registers),
+        states=["p", "q"],
+        initial="p",
+        accepting="q",
+        transitions=[
+            ("p", f"E({x}_old, {y}_old) & {x}_new = {y}_old & {y}_new = {x}_old", "q"),
+            ("q", f"E({x}_old, {y}_old) & {x}_new = {y}_old & {y}_new = {x}_old", "p"),
+        ],
+    )

@@ -1,0 +1,388 @@
+"""Quantifier-free and existential first-order formulas.
+
+These are the guards of database-driven systems (Section 2).  The abstract
+syntax supports:
+
+* relational atoms ``R(t1, ..., tk)``,
+* equality atoms ``t1 = t2``,
+* the boolean connectives ``not``, ``and``, ``or`` and the constants
+  ``true`` / ``false``,
+* an existential prefix (:class:`Exists`), which by Fact 2 adds no expressive
+  power to systems but is convenient for writing specifications; the
+  compilation of Fact 2 lives in :mod:`repro.systems.existential`.
+
+Formulas are immutable, hashable and comparable, so they can be used as
+dictionary keys (the solvers cache per-guard information).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Mapping, Tuple
+
+from repro.errors import FormulaError
+from repro.logic.structures import Element, Structure, sorted_key_list
+from repro.logic.terms import Term, Var
+
+
+class Formula:
+    """Base class of formulas."""
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> bool:
+        """Truth value in ``structure`` under ``valuation`` (total on free vars)."""
+        raise NotImplementedError
+
+    def free_variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def substitute(self, substitution: Mapping[str, Term]) -> "Formula":
+        raise NotImplementedError
+
+    def rename_variables(self, renaming: Mapping[str, str]) -> "Formula":
+        return self.substitute({old: Var(new) for old, new in renaming.items()})
+
+    def atoms(self) -> Iterator["Formula"]:
+        """All atomic subformulas (relational and equality atoms)."""
+        raise NotImplementedError
+
+    def is_quantifier_free(self) -> bool:
+        return all(True for _ in ())  # overridden below where relevant
+
+    # -- connectives as operators -------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The always-true formula."""
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> bool:
+        return True
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, substitution: Mapping[str, Term]) -> Formula:
+        return self
+
+    def atoms(self) -> Iterator[Formula]:
+        return iter(())
+
+    def is_quantifier_free(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The always-false formula."""
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> bool:
+        return False
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, substitution: Mapping[str, Term]) -> Formula:
+        return self
+
+    def atoms(self) -> Iterator[Formula]:
+        return iter(())
+
+    def is_quantifier_free(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+@dataclass(frozen=True)
+class RelationAtom(Formula):
+    """An atom ``R(t1, ..., tk)`` for a relation symbol R."""
+
+    symbol: str
+    args: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> bool:
+        if not structure.schema.has_relation(self.symbol):
+            raise FormulaError(f"unknown relation symbol {self.symbol!r}")
+        expected = structure.schema.relation(self.symbol).arity
+        if len(self.args) != expected:
+            raise FormulaError(
+                f"relation {self.symbol!r} expects {expected} arguments, got {len(self.args)}"
+            )
+        values = tuple(arg.evaluate(structure, valuation) for arg in self.args)
+        return structure.holds(self.symbol, *values)
+
+    def free_variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            result |= arg.variables()
+        return result
+
+    def substitute(self, substitution: Mapping[str, Term]) -> Formula:
+        return RelationAtom(self.symbol, tuple(a.substitute(substitution) for a in self.args))
+
+    def atoms(self) -> Iterator[Formula]:
+        yield self
+
+    def is_quantifier_free(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.symbol}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Equality(Formula):
+    """An equality atom ``t1 = t2``."""
+
+    left: Term
+    right: Term
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> bool:
+        return self.left.evaluate(structure, valuation) == self.right.evaluate(
+            structure, valuation
+        )
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def substitute(self, substitution: Mapping[str, Term]) -> Formula:
+        return Equality(self.left.substitute(substitution), self.right.substitute(substitution))
+
+    def atoms(self) -> Iterator[Formula]:
+        yield self
+
+    def is_quantifier_free(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> bool:
+        return not self.operand.evaluate(structure, valuation)
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.operand.free_variables()
+
+    def substitute(self, substitution: Mapping[str, Term]) -> Formula:
+        return Not(self.operand.substitute(substitution))
+
+    def atoms(self) -> Iterator[Formula]:
+        return self.operand.atoms()
+
+    def is_quantifier_free(self) -> bool:
+        return self.operand.is_quantifier_free()
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of zero or more formulas (empty conjunction is true)."""
+
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> bool:
+        return all(op.evaluate(structure, valuation) for op in self.operands)
+
+    def free_variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            result |= op.free_variables()
+        return result
+
+    def substitute(self, substitution: Mapping[str, Term]) -> Formula:
+        return And(tuple(op.substitute(substitution) for op in self.operands))
+
+    def atoms(self) -> Iterator[Formula]:
+        for op in self.operands:
+            yield from op.atoms()
+
+    def is_quantifier_free(self) -> bool:
+        return all(op.is_quantifier_free() for op in self.operands)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true"
+        return " & ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of zero or more formulas (empty disjunction is false)."""
+
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> bool:
+        return any(op.evaluate(structure, valuation) for op in self.operands)
+
+    def free_variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            result |= op.free_variables()
+        return result
+
+    def substitute(self, substitution: Mapping[str, Term]) -> Formula:
+        return Or(tuple(op.substitute(substitution) for op in self.operands))
+
+    def atoms(self) -> Iterator[Formula]:
+        for op in self.operands:
+            yield from op.atoms()
+
+    def is_quantifier_free(self) -> bool:
+        return all(op.is_quantifier_free() for op in self.operands)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "false"
+        return " | ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """An existential formula ``exists v1, ..., vk . body``.
+
+    By Fact 2 these can be compiled away from system guards; they are also
+    evaluated directly (by enumerating the finite domain) for baseline
+    simulation and tests.
+    """
+
+    variables_bound: Tuple[str, ...]
+    body: Formula
+    distinct: bool = False
+    """With ``distinct=True`` the bound variables must take pairwise distinct
+    values -- the injective semantics used by the data tree patterns of
+    Section 6.3."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables_bound", tuple(self.variables_bound))
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> bool:
+        names = list(self.variables_bound)
+        domain = sorted_key_list(structure.domain)
+        if self.distinct:
+            candidates: Iterator[Tuple[Element, ...]] = itertools.permutations(
+                domain, len(names)
+            )
+        else:
+            candidates = itertools.product(domain, repeat=len(names))
+        for values in candidates:
+            extended = dict(valuation)
+            extended.update(zip(names, values))
+            if self.body.evaluate(structure, extended):
+                return True
+        return False
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.body.free_variables() - frozenset(self.variables_bound)
+
+    def substitute(self, substitution: Mapping[str, Term]) -> Formula:
+        filtered = {
+            name: term
+            for name, term in substitution.items()
+            if name not in self.variables_bound
+        }
+        clashing = set()
+        for term in filtered.values():
+            clashing |= set(term.variables())
+        if clashing & set(self.variables_bound):
+            raise FormulaError(
+                "substitution would capture a bound variable; rename bound variables first"
+            )
+        return Exists(self.variables_bound, self.body.substitute(filtered), self.distinct)
+
+    def atoms(self) -> Iterator[Formula]:
+        return self.body.atoms()
+
+    def is_quantifier_free(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        quantifier = "exists!=" if self.distinct else "exists"
+        return f"{quantifier} {', '.join(self.variables_bound)} . ({self.body})"
+
+
+# -- convenience constructors ------------------------------------------------
+
+def rel(symbol: str, *args: Term) -> RelationAtom:
+    return RelationAtom(symbol, tuple(args))
+
+
+def eq(left: Term, right: Term) -> Equality:
+    return Equality(left, right)
+
+
+def neq(left: Term, right: Term) -> Formula:
+    return Not(Equality(left, right))
+
+
+def conj(*formulas: Formula) -> Formula:
+    """N-ary conjunction, flattening nested conjunctions."""
+    flat: List[Formula] = []
+    for formula in formulas:
+        if isinstance(formula, And):
+            flat.extend(formula.operands)
+        elif isinstance(formula, TrueFormula):
+            continue
+        else:
+            flat.append(formula)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*formulas: Formula) -> Formula:
+    """N-ary disjunction, flattening nested disjunctions."""
+    flat: List[Formula] = []
+    for formula in formulas:
+        if isinstance(formula, Or):
+            flat.extend(formula.operands)
+        elif isinstance(formula, FalseFormula):
+            continue
+        else:
+            flat.append(formula)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def exists(variables: Tuple[str, ...], body: Formula, distinct: bool = False) -> Exists:
+    return Exists(tuple(variables), body, distinct)

@@ -1,0 +1,219 @@
+"""Homomorphisms, embeddings, isomorphisms between finite structures.
+
+These are the maps of Section 2 of the paper:
+
+* a *homomorphism* preserves relations and functions,
+* an *embedding* is an isomorphism onto the induced substructure of its image
+  (so it is injective, preserves and reflects relations, and commutes with
+  functions),
+* an *isomorphism* is a bijective embedding.
+
+Finding such maps is NP-hard in general; the backtracking searches below are
+meant for the small structures manipulated by the solvers and the test-suite
+(register-generated substructures, templates, sampled random graphs), where
+they are more than fast enough.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.logic.structures import Element, Structure, sorted_key_list
+
+
+def is_homomorphism(
+    mapping: Mapping[Element, Element], source: Structure, target: Structure
+) -> bool:
+    """Check that ``mapping`` is a homomorphism from ``source`` to ``target``."""
+    if source.schema != target.schema:
+        return False
+    if set(mapping) != set(source.domain):
+        return False
+    if any(v not in target.domain for v in mapping.values()):
+        return False
+    for name in source.schema.relation_names:
+        for t in source.relation(name):
+            image = tuple(mapping[e] for e in t)
+            if image not in target.relation(name):
+                return False
+    for name in source.schema.function_names:
+        for args, value in source.function(name).items():
+            image_args = tuple(mapping[e] for e in args)
+            if target.apply(name, *image_args) != mapping[value]:
+                return False
+    return True
+
+
+def is_embedding(
+    mapping: Mapping[Element, Element], source: Structure, target: Structure
+) -> bool:
+    """Check that ``mapping`` is an embedding (injective, reflects relations)."""
+    if not is_homomorphism(mapping, source, target):
+        return False
+    values = list(mapping.values())
+    if len(set(values)) != len(values):
+        return False
+    image = set(values)
+    inverse = {v: k for k, v in mapping.items()}
+    for name in source.schema.relation_names:
+        for t in target.relation(name):
+            if all(e in image for e in t):
+                preimage = tuple(inverse[e] for e in t)
+                if preimage not in source.relation(name):
+                    return False
+    # Function closure of the image: the image of an embedding must be an
+    # induced substructure, hence closed under functions.
+    for name in source.schema.function_names:
+        arity = source.schema.function(name).arity
+        for args in itertools.product(sorted_key_list(image), repeat=arity):
+            if target.apply(name, *args) not in image:
+                return False
+    return True
+
+
+def is_isomorphism(
+    mapping: Mapping[Element, Element], source: Structure, target: Structure
+) -> bool:
+    """Check that ``mapping`` is an isomorphism from ``source`` onto ``target``."""
+    if len(source.domain) != len(target.domain):
+        return False
+    if set(mapping.values()) != set(target.domain):
+        return False
+    return is_embedding(mapping, source, target)
+
+
+def _relation_profiles(structure: Structure) -> Dict[Element, tuple]:
+    """A cheap per-element invariant used to prune the backtracking search."""
+    profile: Dict[Element, list] = {e: [] for e in structure.domain}
+    for name in structure.schema.relation_names:
+        counts: Dict[Element, int] = {e: 0 for e in structure.domain}
+        for t in structure.relation(name):
+            for e in t:
+                counts[e] += 1
+        for e in structure.domain:
+            profile[e].append(counts[e])
+    return {e: tuple(v) for e, v in profile.items()}
+
+
+def find_homomorphisms(
+    source: Structure,
+    target: Structure,
+    partial: Optional[Mapping[Element, Element]] = None,
+    injective: bool = False,
+) -> Iterator[Dict[Element, Element]]:
+    """Enumerate homomorphisms from ``source`` to ``target``.
+
+    ``partial`` fixes the image of some elements in advance (used e.g. to
+    enforce that colour predicates are respected).  With ``injective=True``
+    only injective homomorphisms are produced.
+    """
+    if source.schema != target.schema:
+        return
+    elements = sorted_key_list(source.domain)
+    fixed: Dict[Element, Element] = dict(partial or {})
+    for key, value in fixed.items():
+        if key not in source.domain or value not in target.domain:
+            return
+    targets = sorted_key_list(target.domain)
+
+    def consistent(mapping: Dict[Element, Element]) -> bool:
+        assigned = set(mapping)
+        for name in source.schema.relation_names:
+            for t in source.relation(name):
+                if all(e in assigned for e in t):
+                    if tuple(mapping[e] for e in t) not in target.relation(name):
+                        return False
+        for name in source.schema.function_names:
+            for args, value in source.function(name).items():
+                if all(e in assigned for e in args) and value in assigned:
+                    image_args = tuple(mapping[e] for e in args)
+                    if target.apply(name, *image_args) != mapping[value]:
+                        return False
+        return True
+
+    def backtrack(index: int, mapping: Dict[Element, Element]) -> Iterator[Dict[Element, Element]]:
+        if index == len(elements):
+            yield dict(mapping)
+            return
+        element = elements[index]
+        if element in mapping:
+            yield from backtrack(index + 1, mapping)
+            return
+        used = set(mapping.values())
+        for candidate in targets:
+            if injective and candidate in used:
+                continue
+            mapping[element] = candidate
+            if consistent(mapping):
+                yield from backtrack(index + 1, mapping)
+            del mapping[element]
+
+    if not consistent(fixed):
+        return
+    yield from backtrack(0, dict(fixed))
+
+
+def find_homomorphism(
+    source: Structure,
+    target: Structure,
+    partial: Optional[Mapping[Element, Element]] = None,
+    injective: bool = False,
+) -> Optional[Dict[Element, Element]]:
+    """The first homomorphism found, or ``None``."""
+    for mapping in find_homomorphisms(source, target, partial=partial, injective=injective):
+        return mapping
+    return None
+
+
+def find_embeddings(
+    source: Structure,
+    target: Structure,
+    partial: Optional[Mapping[Element, Element]] = None,
+) -> Iterator[Dict[Element, Element]]:
+    """Enumerate embeddings of ``source`` into ``target``."""
+    source_profiles = _relation_profiles(source)
+    target_profiles = _relation_profiles(target)
+    for mapping in find_homomorphisms(source, target, partial=partial, injective=True):
+        # Quick necessary condition before the full (quadratic) reflection check.
+        if any(
+            source_profiles[e] > target_profiles[mapping[e]] for e in source.domain
+        ):
+            continue
+        if is_embedding(mapping, source, target):
+            yield mapping
+
+
+def find_embedding(
+    source: Structure,
+    target: Structure,
+    partial: Optional[Mapping[Element, Element]] = None,
+) -> Optional[Dict[Element, Element]]:
+    for mapping in find_embeddings(source, target, partial=partial):
+        return mapping
+    return None
+
+
+def embeds_into(source: Structure, target: Structure) -> bool:
+    """True if some embedding of ``source`` into ``target`` exists."""
+    return find_embedding(source, target) is not None
+
+
+def are_isomorphic(left: Structure, right: Structure) -> bool:
+    """True if the two structures are isomorphic."""
+    if left.schema != right.schema or len(left.domain) != len(right.domain):
+        return False
+    for name in left.schema.relation_names:
+        if len(left.relation(name)) != len(right.relation(name)):
+            return False
+    for mapping in find_embeddings(left, right):
+        if len(set(mapping.values())) == len(right.domain):
+            return True
+    return False
+
+
+def automorphisms(structure: Structure) -> Iterator[Dict[Element, Element]]:
+    """Enumerate the automorphisms of a structure."""
+    for mapping in find_embeddings(structure, structure):
+        if set(mapping.values()) == set(structure.domain):
+            yield mapping

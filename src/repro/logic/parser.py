@@ -1,0 +1,224 @@
+"""A small text syntax for guards.
+
+The grammar (whitespace-insensitive)::
+
+    formula  :=  or_expr
+    or_expr  :=  and_expr ( '|' and_expr )*
+    and_expr :=  unary ( '&' unary )*
+    unary    :=  '!' unary
+              |  'exists' ident (',' ident)* '.' unary
+              |  'exists!=' ident (',' ident)* '.' unary
+              |  '(' formula ')'
+              |  'true' | 'false'
+              |  atom
+    atom     :=  term '=' term
+              |  term '!=' term
+              |  ident '(' term (',' term)* ')'        -- relation atom
+    term     :=  ident
+              |  ident '(' term (',' term)* ')'        -- function application
+
+Whether ``ident(...)`` denotes a relation atom or a function term is decided
+by position: if it is immediately followed by ``=`` or ``!=`` it is a term,
+otherwise it is a relation atom.  Identifiers may contain letters, digits,
+underscores and ``@``.
+
+Examples
+--------
+>>> str(parse_formula("x_old = x_new & E(y_old, y_new) & red(y_new)"))
+'(x_old = x_new) & (E(y_old, y_new)) & (red(y_new))'
+>>> str(parse_formula("desc(cca(x_old, y_old), x_new) | !(x_old = y_old)"))
+'(desc(cca(x_old, y_old), x_new)) | (!(x_old = y_old))'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    Equality,
+    Exists,
+    Formula,
+    Not,
+    RelationAtom,
+    conj,
+    disj,
+)
+from repro.logic.terms import FuncTerm, Term, Var
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<neq>!=)|(?P<exists_distinct>exists!=)|(?P<ident>[A-Za-z_@][A-Za-z_0-9@]*)"
+    r"|(?P<punct>[()=,.!&|]))"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected character at {text[position:position + 10]!r}")
+        token = match.group("neq") or match.group("exists_distinct") or match.group(
+            "ident"
+        ) or match.group("punct")
+        tokens.append(token)
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], text: str) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._text = text
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> Optional[str]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, expected: str) -> None:
+        token = self._advance()
+        if token != expected:
+            raise ParseError(f"expected {expected!r} but found {token!r} in {self._text!r}")
+
+    def _at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self._or_expr()
+        if not self._at_end():
+            raise ParseError(
+                f"unexpected trailing token {self._peek()!r} in {self._text!r}"
+            )
+        return formula
+
+    def _or_expr(self) -> Formula:
+        operands = [self._and_expr()]
+        while self._peek() == "|":
+            self._advance()
+            operands.append(self._and_expr())
+        return disj(*operands) if len(operands) > 1 else operands[0]
+
+    def _and_expr(self) -> Formula:
+        operands = [self._unary()]
+        while self._peek() == "&":
+            self._advance()
+            operands.append(self._unary())
+        return conj(*operands) if len(operands) > 1 else operands[0]
+
+    def _unary(self) -> Formula:
+        token = self._peek()
+        if token == "!":
+            self._advance()
+            return Not(self._unary())
+        if token in ("exists", "exists!="):
+            self._advance()
+            distinct = token == "exists!="
+            names = [self._identifier()]
+            while self._peek() == ",":
+                self._advance()
+                names.append(self._identifier())
+            self._expect(".")
+            # The quantifier scope extends as far to the right as possible,
+            # following the usual logical convention.
+            return Exists(tuple(names), self._or_expr(), distinct)
+        if token == "(":
+            self._advance()
+            inner = self._or_expr()
+            self._expect(")")
+            return inner
+        if token == "true":
+            self._advance()
+            return TRUE
+        if token == "false":
+            self._advance()
+            return FALSE
+        return self._atom()
+
+    def _identifier(self) -> str:
+        token = self._advance()
+        if not re.fullmatch(r"[A-Za-z_@][A-Za-z_0-9@]*", token):
+            raise ParseError(f"expected an identifier, found {token!r} in {self._text!r}")
+        return token
+
+    def _atom(self) -> Formula:
+        item = self._term_or_application()
+        nxt = self._peek()
+        if nxt == "=":
+            self._advance()
+            right = self._term()
+            return Equality(_as_term(item, self._text), right)
+        if nxt == "!=":
+            self._advance()
+            right = self._term()
+            return Not(Equality(_as_term(item, self._text), right))
+        # Must be a relation atom.
+        if isinstance(item, tuple):
+            symbol, args = item
+            return RelationAtom(symbol, tuple(args))
+        raise ParseError(
+            f"bare term {item!r} is not a formula (did you forget '= ...'?) in {self._text!r}"
+        )
+
+    def _term(self) -> Term:
+        return _as_term(self._term_or_application(), self._text)
+
+    def _term_or_application(self) -> Union[Term, Tuple[str, List[Term]]]:
+        """Parse an identifier or ``ident(args)``.
+
+        Returns a :class:`Term` for bare identifiers and a ``(symbol, args)``
+        pair for applications; the caller decides whether an application is a
+        relation atom or a function term based on what follows.
+        """
+        name = self._identifier()
+        if self._peek() != "(":
+            return Var(name)
+        self._advance()
+        args = [self._term()]
+        while self._peek() == ",":
+            self._advance()
+            args.append(self._term())
+        self._expect(")")
+        return (name, args)
+
+
+def _as_term(item: Union[Term, Tuple[str, List[Term]]], text: str) -> Term:
+    if isinstance(item, Term):
+        return item
+    symbol, args = item
+    return FuncTerm(symbol, tuple(args))
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse the textual guard syntax into a :class:`Formula`."""
+    if not text.strip():
+        raise ParseError("empty formula")
+    return _Parser(_tokenize(text), text).parse()
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (variable or nested function application)."""
+    parser = _Parser(_tokenize(text), text)
+    term = parser._term()
+    if not parser._at_end():
+        raise ParseError(f"unexpected trailing tokens in term {text!r}")
+    return term

@@ -1,0 +1,232 @@
+"""Schemas: finite sets of relation and function symbols with arities.
+
+A *schema* (called a signature in model theory) lists the symbols a database
+may interpret.  Following Section 2 of the paper, a schema may contain both
+relation symbols and function symbols; constant symbols are 0-ary functions.
+
+The class is deliberately small and immutable: schemas are shared freely
+between structures, formulas and database theories, and are hashed so they
+can key caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSymbol:
+    """A named relation symbol with a fixed arity (arity >= 1)."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise SchemaError(
+                f"relation symbol {self.name!r} must have arity >= 1, got {self.arity}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}/{self.arity}"
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """A named function symbol with a fixed arity (arity >= 0).
+
+    0-ary function symbols are constants.
+    """
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise SchemaError(
+                f"function symbol {self.name!r} must have arity >= 0, got {self.arity}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}/{self.arity} (function)"
+
+
+class Schema:
+    """An immutable collection of relation and function symbols.
+
+    Symbols are addressed by name; a name may not simultaneously denote a
+    relation and a function.
+
+    Examples
+    --------
+    >>> graphs = Schema.relational(E=2, red=1)
+    >>> graphs.relation("E").arity
+    2
+    >>> trees = Schema(relations={"doc": 2, "desc": 2}, functions={"cca": 2})
+    >>> trees.is_relational
+    False
+    """
+
+    __slots__ = ("_relations", "_functions", "_hash")
+
+    def __init__(
+        self,
+        relations: Mapping[str, int] = (),
+        functions: Mapping[str, int] = (),
+    ) -> None:
+        rels: Dict[str, RelationSymbol] = {}
+        funcs: Dict[str, FunctionSymbol] = {}
+        for name, arity in dict(relations).items():
+            rels[name] = RelationSymbol(name, arity)
+        for name, arity in dict(functions).items():
+            if name in rels:
+                raise SchemaError(
+                    f"symbol {name!r} declared both as a relation and a function"
+                )
+            funcs[name] = FunctionSymbol(name, arity)
+        self._relations: Dict[str, RelationSymbol] = rels
+        self._functions: Dict[str, FunctionSymbol] = funcs
+        self._hash = hash(
+            (
+                tuple(sorted((s.name, s.arity) for s in rels.values())),
+                tuple(sorted((s.name, s.arity) for s in funcs.values())),
+            )
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def relational(cls, **relations: int) -> "Schema":
+        """Build a purely relational schema from ``name=arity`` keywords."""
+        return cls(relations=relations)
+
+    @classmethod
+    def empty(cls) -> "Schema":
+        """The empty schema (pure sets)."""
+        return cls()
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    @property
+    def function_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._functions))
+
+    @property
+    def symbol_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(list(self._relations) + list(self._functions)))
+
+    @property
+    def is_relational(self) -> bool:
+        """True if the schema contains no function symbols."""
+        return not self._functions
+
+    def relation(self, name: str) -> RelationSymbol:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation symbol {name!r}") from None
+
+    def function(self, name: str) -> FunctionSymbol:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise SchemaError(f"unknown function symbol {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def has_symbol(self, name: str) -> bool:
+        return name in self._relations or name in self._functions
+
+    def arity(self, name: str) -> int:
+        if name in self._relations:
+            return self._relations[name].arity
+        if name in self._functions:
+            return self._functions[name].arity
+        raise SchemaError(f"unknown symbol {name!r}")
+
+    # -- algebra -----------------------------------------------------------
+
+    def extend(
+        self,
+        relations: Mapping[str, int] = (),
+        functions: Mapping[str, int] = (),
+    ) -> "Schema":
+        """Return a new schema with additional symbols.
+
+        Re-declaring an existing symbol with the same kind and arity is
+        allowed (and is a no-op); conflicting declarations raise
+        :class:`SchemaError`.
+        """
+        new_rels = {s.name: s.arity for s in self._relations.values()}
+        new_funcs = {s.name: s.arity for s in self._functions.values()}
+        for name, arity in dict(relations).items():
+            if name in new_funcs:
+                raise SchemaError(f"cannot re-declare function {name!r} as relation")
+            if name in new_rels and new_rels[name] != arity:
+                raise SchemaError(f"conflicting arity for relation {name!r}")
+            new_rels[name] = arity
+        for name, arity in dict(functions).items():
+            if name in new_rels:
+                raise SchemaError(f"cannot re-declare relation {name!r} as function")
+            if name in new_funcs and new_funcs[name] != arity:
+                raise SchemaError(f"conflicting arity for function {name!r}")
+            new_funcs[name] = arity
+        return Schema(relations=new_rels, functions=new_funcs)
+
+    def union(self, other: "Schema") -> "Schema":
+        """Union of two schemas; symbol declarations must be compatible."""
+        return self.extend(
+            relations={s.name: s.arity for s in other._relations.values()},
+            functions={s.name: s.arity for s in other._functions.values()},
+        )
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """Keep only the given symbols (the sigma-projection of Section 4.2)."""
+        keep = set(names)
+        return Schema(
+            relations={n: s.arity for n, s in self._relations.items() if n in keep},
+            functions={n: s.arity for n, s in self._functions.items() if n in keep},
+        )
+
+    def is_subschema_of(self, other: "Schema") -> bool:
+        """True if every symbol of ``self`` appears in ``other`` with the same kind/arity."""
+        for name, sym in self._relations.items():
+            if not other.has_relation(name) or other.relation(name).arity != sym.arity:
+                return False
+        for name, sym in self._functions.items():
+            if not other.has_function(name) or other.function(name).arity != sym.arity:
+                return False
+        return True
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self._relations == other._relations
+            and self._functions == other._functions
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        rels = ", ".join(f"{s.name}/{s.arity}" for s in self._relations.values())
+        funcs = ", ".join(f"{s.name}/{s.arity}()" for s in self._functions.values())
+        parts = [p for p in (rels, funcs) if p]
+        return f"Schema({'; '.join(parts)})"
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.has_symbol(name)

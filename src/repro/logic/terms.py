@@ -1,0 +1,106 @@
+"""Terms of quantifier-free first-order logic.
+
+A term is either a variable or a function symbol applied to terms.  Terms
+evaluate to domain elements of a structure, given a valuation of the
+variables.
+
+Variables are plain strings.  The database-driven systems of Section 2 use
+register variables tagged with ``old`` / ``new``; the convention adopted by
+this library is the textual suffix ``_old`` / ``_new`` (see
+:mod:`repro.systems.dds` for the helpers :func:`old` and :func:`new`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Tuple
+
+from repro.errors import FormulaError
+from repro.logic.structures import Element, Structure
+
+
+class Term:
+    """Base class of terms.  Terms are immutable and hashable."""
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> Element:
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def substitute(self, substitution: Mapping[str, "Term"]) -> "Term":
+        raise NotImplementedError
+
+    def rename_variables(self, renaming: Mapping[str, str]) -> "Term":
+        return self.substitute({old: Var(new) for old, new in renaming.items()})
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A variable, evaluated through the valuation."""
+
+    name: str
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> Element:
+        try:
+            value = valuation[self.name]
+        except KeyError:
+            raise FormulaError(f"variable {self.name!r} is not assigned a value") from None
+        if value not in structure.domain:
+            raise FormulaError(
+                f"variable {self.name!r} is valued outside the structure's domain"
+            )
+        return value
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def substitute(self, substitution: Mapping[str, Term]) -> Term:
+        return substitution.get(self.name, self)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FuncTerm(Term):
+    """A function symbol applied to argument terms."""
+
+    symbol: str
+    args: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> Element:
+        if not structure.schema.has_function(self.symbol):
+            raise FormulaError(f"unknown function symbol {self.symbol!r}")
+        expected = structure.schema.function(self.symbol).arity
+        if len(self.args) != expected:
+            raise FormulaError(
+                f"function {self.symbol!r} expects {expected} arguments, got {len(self.args)}"
+            )
+        values = [arg.evaluate(structure, valuation) for arg in self.args]
+        return structure.apply(self.symbol, *values)
+
+    def variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            result |= arg.variables()
+        return result
+
+    def substitute(self, substitution: Mapping[str, Term]) -> Term:
+        return FuncTerm(self.symbol, tuple(arg.substitute(substitution) for arg in self.args))
+
+    def __str__(self) -> str:
+        return f"{self.symbol}({', '.join(str(a) for a in self.args)})"
+
+
+def var(name: str) -> Var:
+    """Convenience constructor for a variable term."""
+    return Var(name)
+
+
+def func(symbol: str, *args: Term) -> FuncTerm:
+    """Convenience constructor for a function application term."""
+    return FuncTerm(symbol, tuple(args))

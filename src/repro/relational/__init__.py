@@ -1,0 +1,31 @@
+"""Relational database theories: all databases and HOM(H) (Theorem 4)."""
+
+from repro.relational.all_databases import AllDatabasesTheory
+from repro.relational.hom import HomTheory
+from repro.relational.theory import RelationalTheory
+from repro.relational.csp import (
+    COLORED_GRAPH_SCHEMA,
+    GRAPH_SCHEMA,
+    bipartite_template,
+    clique_template,
+    cycle_graph,
+    example_graph_g,
+    odd_red_cycle_free_template,
+    path_graph,
+    template_from_edges,
+)
+
+__all__ = [
+    "RelationalTheory",
+    "AllDatabasesTheory",
+    "HomTheory",
+    "GRAPH_SCHEMA",
+    "COLORED_GRAPH_SCHEMA",
+    "clique_template",
+    "bipartite_template",
+    "odd_red_cycle_free_template",
+    "template_from_edges",
+    "cycle_graph",
+    "path_graph",
+    "example_graph_g",
+]

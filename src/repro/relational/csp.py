@@ -1,0 +1,122 @@
+"""Constraint-satisfaction conveniences for HOM templates.
+
+The paper observes that HOM(H) captures "any property of databases expressed
+as a Constraint Satisfaction Problem": n-colourability (H an n-clique),
+2-colourability / bipartiteness, and the red-odd-cycle-free template of
+Example 2.  This module builds the corresponding template structures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import TheoryError
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+
+GRAPH_SCHEMA = Schema.relational(E=2)
+COLORED_GRAPH_SCHEMA = Schema.relational(E=2, red=1)
+
+
+def clique_template(n: int, with_loops: bool = False) -> Structure:
+    """The n-clique template: HOM(K_n) is exactly the n-colourable graphs.
+
+    With ``with_loops=True`` every template node gets a self-loop, which makes
+    HOM(H) the class of *all* graphs (useful as a sanity baseline).
+    """
+    if n < 1:
+        raise TheoryError("a clique template needs at least one node")
+    nodes = list(range(n))
+    edges = {
+        (a, b)
+        for a, b in itertools.product(nodes, repeat=2)
+        if a != b or with_loops
+    }
+    return Structure(GRAPH_SCHEMA, nodes, relations={"E": edges})
+
+
+def bipartite_template() -> Structure:
+    """The 2-clique: HOM(K_2) is the class of graphs without odd cycles (Example 4)."""
+    return clique_template(2)
+
+
+def odd_red_cycle_free_template() -> Structure:
+    """The template H of Example 2.
+
+    A graph with a ``red`` predicate maps homomorphically into this template
+    exactly when it has no odd-length cycle consisting of red nodes: the two
+    red template nodes form a 2-clique (so the red part of the source must be
+    2-colourable) while the white template node absorbs everything else.
+    """
+    white, red_a, red_b = "w", "r1", "r2"
+    nodes = [white, red_a, red_b]
+    edges = {
+        (white, white),
+        (white, red_a), (red_a, white),
+        (white, red_b), (red_b, white),
+        (red_a, red_b), (red_b, red_a),
+    }
+    return Structure(
+        COLORED_GRAPH_SCHEMA,
+        nodes,
+        relations={"E": edges, "red": {(red_a,), (red_b,)}},
+    )
+
+
+def template_from_edges(
+    nodes: Sequence[object],
+    edges: Iterable[Tuple[object, object]],
+    red_nodes: Iterable[object] = (),
+    symmetric: bool = False,
+) -> Structure:
+    """Build a (possibly red-coloured) graph template from an edge list."""
+    edge_set = set()
+    for a, b in edges:
+        edge_set.add((a, b))
+        if symmetric:
+            edge_set.add((b, a))
+    relations = {"E": edge_set}
+    red = {(r,) for r in red_nodes}
+    schema = COLORED_GRAPH_SCHEMA if red else GRAPH_SCHEMA
+    if red:
+        relations["red"] = red
+    return Structure(schema, nodes, relations=relations)
+
+
+def cycle_graph(length: int, red: bool = True, schema: Schema = COLORED_GRAPH_SCHEMA) -> Structure:
+    """A directed cycle of the given length, optionally with all nodes red.
+
+    Used by the examples and benchmarks as the canonical witness / obstruction
+    for the Example 1 / Example 2 systems.
+    """
+    if length < 1:
+        raise TheoryError("a cycle needs at least one node")
+    nodes = list(range(length))
+    edges = {(i, (i + 1) % length) for i in nodes}
+    relations = {"E": edges}
+    if schema.has_relation("red"):
+        relations["red"] = {(i,) for i in nodes} if red else set()
+    return Structure(schema, nodes, relations=relations)
+
+
+def path_graph(length: int, red: bool = False, schema: Schema = COLORED_GRAPH_SCHEMA) -> Structure:
+    """A directed path with ``length`` edges."""
+    nodes = list(range(length + 1))
+    edges = {(i, i + 1) for i in range(length)}
+    relations = {"E": edges}
+    if schema.has_relation("red"):
+        relations["red"] = {(i,) for i in nodes} if red else set()
+    return Structure(schema, nodes, relations=relations)
+
+
+def example_graph_g() -> Structure:
+    """The five-node graph G of Example 1 (figure in Section 2).
+
+    Nodes 1..5; node 1 closes an odd red cycle 1 -> 2 -> 3 -> 4 -> 5 -> 1 and
+    every node on the cycle is red.
+    """
+    nodes = [1, 2, 3, 4, 5]
+    edges = {(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)}
+    red = {(n,) for n in nodes}
+    return Structure(COLORED_GRAPH_SCHEMA, nodes, relations={"E": edges, "red": red})

@@ -1,0 +1,428 @@
+"""Shared machinery for relational database theories.
+
+Both :class:`~repro.relational.all_databases.AllDatabasesTheory` and
+:class:`~repro.relational.hom.HomTheory` plug into the generic engine the
+same way: witnesses are plain :class:`~repro.logic.structures.Structure`
+objects that only ever grow by *embeddings* (fresh elements plus tuples
+touching at least one fresh element), so every run prefix found by the engine
+keeps holding as the witness grows -- quantifier-free guards are invariant
+under embeddings (the observation behind Lemma 6).
+
+The successor enumeration implements the sub-transition guess of Theorem 5 in
+a factored form:
+
+* which new register shares an element with which (identification pattern),
+* which new registers point at existing elements of the *old* register-
+  generated part and which at fresh elements,
+* the full relational structure among the new register values that involves a
+  fresh element (these tuples may matter to later guards, so all subsets are
+  enumerated),
+* tuples linking fresh elements to old-only elements are only enumerated when
+  the current guard mentions them (they can never matter later because later
+  configurations only see elements through registers).
+
+The factoring is complete for classes that are closed under removing tuples
+that involve a discarded element -- true for all finite databases and for
+HOM classes -- and keeps the per-step work bounded by a function of the
+number of registers only, exactly as Theorem 5 requires.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.fraisse.base import DatabaseTheory, TheoryConfiguration, set_partitions
+from repro.logic.formulas import Formula, RelationAtom
+from repro.logic.schema import Schema
+from repro.logic.structures import Element, Structure, sorted_key_list
+from repro.logic.terms import Term, Var
+from repro.systems.dds import DatabaseDrivenSystem, Transition, new, old
+
+Decoration = Tuple[Tuple[str, Tuple[Element, ...]], ...]
+"""A decoration is a tuple of relation facts attached to a fresh element
+(for example its colour predicate in a HOM theory)."""
+
+
+class RelationalTheory(DatabaseTheory):
+    """Base class of theories whose members are relational structures."""
+
+    def __init__(self, schema: Schema) -> None:
+        if not schema.is_relational:
+            raise ValueError("relational theories require purely relational schemas")
+        self._schema = schema
+
+    # -- DatabaseTheory interface ----------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def database(self, config: TheoryConfiguration) -> Structure:
+        return config.witness
+
+    def blowup(self, n: int) -> int:
+        # No function symbols: an n-generated database has exactly n elements.
+        return n
+
+    # -- hooks overridden by subclasses -----------------------------------------
+
+    def witness_schema(self) -> Schema:
+        """The schema of witness structures (may extend :attr:`schema`)."""
+        return self._schema
+
+    def free_relation_names(self) -> Tuple[str, ...]:
+        """Relations whose tuples are enumerated freely (default: all of them)."""
+        return self.witness_schema().relation_names
+
+    def element_decorations(self) -> Sequence[Decoration]:
+        """Possible decorations of a fresh element (default: none)."""
+        return ((),)
+
+    def tuple_allowed(
+        self, witness_relations: Dict[str, Set[Tuple[Element, ...]]],
+        relation: str, elements: Tuple[Element, ...],
+    ) -> bool:
+        """Whether a candidate tuple may be added (given current unary facts)."""
+        return True
+
+    def membership(self, database: Structure) -> bool:
+        """Membership of an arbitrary finite database in the (projected) class."""
+        return True
+
+    # -- seeds -------------------------------------------------------------------
+
+    def initial_configurations(
+        self, system: DatabaseDrivenSystem
+    ) -> Iterator[TheoryConfiguration]:
+        registers = list(system.registers)
+        schema = self.witness_schema()
+        for partition in set_partitions(registers):
+            elements = list(range(len(partition)))
+            valuation = {}
+            for element, block in zip(elements, partition):
+                for register in block:
+                    valuation[register] = element
+            decoration_choices = itertools.product(
+                self.element_decorations(), repeat=len(elements)
+            )
+            for decorations in decoration_choices:
+                decoration_facts: Dict[str, Set[Tuple[Element, ...]]] = {
+                    name: set() for name in schema.relation_names
+                }
+                for element, decoration in zip(elements, decorations):
+                    for relation, args in decoration:
+                        decoration_facts[relation].add(
+                            tuple(element if a is FRESH_SELF else a for a in args)
+                        )
+                candidate_tuples = self._all_tuples(elements, elements)
+                for chosen in self._tuple_subsets(candidate_tuples, decoration_facts):
+                    relations = {
+                        name: set(facts) for name, facts in decoration_facts.items()
+                    }
+                    for relation, t in chosen:
+                        relations[relation].add(t)
+                    witness = Structure(
+                        schema, elements, relations=relations, validate=False
+                    )
+                    yield TheoryConfiguration.make(
+                        witness, valuation, fresh_elements=tuple(elements)
+                    )
+
+    # -- successors ----------------------------------------------------------------
+
+    def successor_configurations(
+        self,
+        system: DatabaseDrivenSystem,
+        config: TheoryConfiguration,
+        transition: Transition,
+    ) -> Iterator[TheoryConfiguration]:
+        registers = list(system.registers)
+        witness: Structure = config.witness
+        valuation_old = config.valuation
+        old_values = sorted_key_list(set(valuation_old.values()))
+        next_id = self._next_element_id(witness)
+
+        for assignment, fresh_count in _register_targets(registers, old_values):
+            fresh_elements = [next_id + i for i in range(fresh_count)]
+            valuation_new: Dict[str, Element] = {}
+            for register, target in assignment.items():
+                if isinstance(target, _FreshSlot):
+                    valuation_new[register] = fresh_elements[target.index]
+                else:
+                    valuation_new[register] = target
+            if not fresh_elements:
+                # No new elements: the witness is unchanged, only registers move.
+                yield TheoryConfiguration.make(witness, valuation_new, ())
+                continue
+            yield from self._extended_witnesses(
+                witness,
+                transition.guard,
+                registers,
+                valuation_old,
+                valuation_new,
+                fresh_elements,
+            )
+
+    # -- internal helpers -------------------------------------------------------
+
+    def _extended_witnesses(
+        self,
+        witness: Structure,
+        guard: Formula,
+        registers: List[str],
+        valuation_old: Dict[str, Element],
+        valuation_new: Dict[str, Element],
+        fresh_elements: List[Element],
+    ) -> Iterator[TheoryConfiguration]:
+        schema = self.witness_schema()
+        new_values = sorted_key_list(set(valuation_new.values()))
+        old_values = sorted_key_list(set(valuation_old.values()))
+        old_only = [e for e in old_values if e not in set(new_values)]
+
+        decoration_choices = itertools.product(
+            self.element_decorations(), repeat=len(fresh_elements)
+        )
+        # Tuples entirely among the new register values that involve a fresh
+        # element: enumerated exhaustively (they may matter to later guards).
+        future_tuples = [
+            (relation, t)
+            for relation, t in self._all_tuples(new_values, fresh_elements)
+        ]
+        # Tuples connecting a fresh element with an old-only element: only the
+        # ones the current guard mentions can matter.
+        guard_tuples = self._guard_instantiated_tuples(
+            guard, registers, valuation_old, valuation_new
+        )
+        mixed_tuples = [
+            (relation, t)
+            for relation, t in guard_tuples
+            if any(e in fresh_elements for e in t)
+            and any(e in old_only for e in t)
+            and not all(e in new_values for e in t)
+        ]
+
+        # Guards only mention register values, so their truth value depends on
+        # the tuples of the small "delta" over the old/new register values
+        # only; among the freely-enumerated tuples, only the ones that
+        # instantiate a guard atom can change it.  The subset enumeration is
+        # therefore factored into guard-relevant tuples (guard evaluated once
+        # per choice) and guard-irrelevant tuples (no re-evaluation).
+        small_domain = set(old_values) | set(new_values) | set(fresh_elements)
+        base_small = {
+            name: {
+                t
+                for t in witness.relation(name)
+                if all(e in small_domain for e in t)
+            }
+            for name in schema.relation_names
+        }
+        base_relations = {
+            name: set(witness.relation(name)) for name in schema.relation_names
+        }
+        guard_atom_set = set(guard_tuples)
+        relevant_future = [ft for ft in future_tuples if ft in guard_atom_set]
+        irrelevant_future = [ft for ft in future_tuples if ft not in guard_atom_set]
+
+        for decorations in decoration_choices:
+            decoration_facts: Dict[str, Set[Tuple[Element, ...]]] = {
+                name: set() for name in schema.relation_names
+            }
+            for element, decoration in zip(fresh_elements, decorations):
+                for relation, args in decoration:
+                    decoration_facts[relation].add(
+                        tuple(element if a is FRESH_SELF else a for a in args)
+                    )
+            unary_facts = {
+                name: base_relations[name] | decoration_facts[name]
+                for name in schema.relation_names
+            }
+            for chosen_relevant in self._tuple_subsets(
+                relevant_future + mixed_tuples, unary_facts
+            ):
+                relevant_added: Dict[str, Set[Tuple[Element, ...]]] = {
+                    name: set(decoration_facts[name]) for name in schema.relation_names
+                }
+                for relation, t in chosen_relevant:
+                    relevant_added[relation].add(t)
+                small = Structure(
+                    schema,
+                    small_domain,
+                    relations={
+                        name: base_small[name] | relevant_added[name]
+                        for name in schema.relation_names
+                    },
+                    validate=False,
+                )
+                if not _guard_holds_small(
+                    small, registers, guard, valuation_old, valuation_new
+                ):
+                    continue
+                for chosen_irrelevant in self._tuple_subsets(
+                    irrelevant_future, unary_facts
+                ):
+                    added = {
+                        name: set(relevant_added[name])
+                        for name in schema.relation_names
+                    }
+                    ok = True
+                    for relation, t in chosen_irrelevant:
+                        if not self.tuple_allowed(unary_facts, relation, t):
+                            ok = False
+                            break
+                        added[relation].add(t)
+                    if not ok:
+                        continue
+                    extended = Structure(
+                        schema,
+                        set(witness.domain) | set(fresh_elements),
+                        relations={
+                            name: base_relations[name] | added[name]
+                            for name in schema.relation_names
+                        },
+                        validate=False,
+                    )
+                    yield TheoryConfiguration.make(
+                        extended, valuation_new, tuple(fresh_elements)
+                    )
+
+    def _tuple_subsets(
+        self,
+        candidates: List[Tuple[str, Tuple[Element, ...]]],
+        unary_facts: Dict[str, Set[Tuple[Element, ...]]],
+    ) -> Iterator[Tuple[Tuple[str, Tuple[Element, ...]], ...]]:
+        allowed = [
+            (relation, t)
+            for relation, t in candidates
+            if self.tuple_allowed(unary_facts, relation, t)
+        ]
+        for size in range(len(allowed) + 1):
+            yield from itertools.combinations(allowed, size)
+
+    def _all_tuples(
+        self, elements: Iterable[Element], must_touch: Iterable[Element]
+    ) -> List[Tuple[str, Tuple[Element, ...]]]:
+        """All free-relation tuples over ``elements`` touching ``must_touch``."""
+        elements = sorted_key_list(set(elements))
+        touch = set(must_touch)
+        result: List[Tuple[str, Tuple[Element, ...]]] = []
+        schema = self.witness_schema()
+        for relation in self.free_relation_names():
+            arity = schema.relation(relation).arity
+            for t in itertools.product(elements, repeat=arity):
+                if touch and not any(e in touch for e in t):
+                    continue
+                result.append((relation, t))
+        return result
+
+    def _guard_instantiated_tuples(
+        self,
+        guard: Formula,
+        registers: List[str],
+        valuation_old: Dict[str, Element],
+        valuation_new: Dict[str, Element],
+    ) -> List[Tuple[str, Tuple[Element, ...]]]:
+        combined: Dict[str, Element] = {}
+        for register in registers:
+            combined[old(register)] = valuation_old[register]
+            combined[new(register)] = valuation_new[register]
+        tuples: List[Tuple[str, Tuple[Element, ...]]] = []
+        for atom in guard.atoms():
+            if not isinstance(atom, RelationAtom):
+                continue
+            if atom.symbol not in self.free_relation_names():
+                continue
+            instantiated: List[Element] = []
+            resolvable = True
+            for term in atom.args:
+                value = _resolve_variable_term(term, combined)
+                if value is None:
+                    resolvable = False
+                    break
+                instantiated.append(value)
+            if resolvable:
+                tuples.append((atom.symbol, tuple(instantiated)))
+        return tuples
+
+    @staticmethod
+    def _next_element_id(witness: Structure) -> int:
+        numeric = [e for e in witness.domain if isinstance(e, int)]
+        return (max(numeric) + 1) if numeric else 0
+
+
+class _FreshSlot:
+    """A placeholder for 'the i-th fresh element' in register target assignments."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+
+FRESH_SELF = object()
+"""Sentinel used inside decorations to refer to the fresh element itself."""
+
+
+def decoration(relation: str, *args: object) -> Tuple[str, Tuple[object, ...]]:
+    """Build one decoration fact; use :data:`FRESH_SELF` for the fresh element."""
+    return (relation, tuple(args))
+
+
+def _register_targets(
+    registers: List[str], old_values: List[Element]
+) -> Iterator[Tuple[Dict[str, object], int]]:
+    """Enumerate new-register target assignments in canonical form.
+
+    Every register is mapped either to an existing old register value or to a
+    fresh slot; fresh slots are introduced in increasing order (register r may
+    use fresh slot j only if slots 0..j-1 are already used by earlier
+    registers), which enumerates identification patterns without duplicates.
+    """
+
+    def recurse(index: int, assignment: Dict[str, object], fresh_used: int):
+        if index == len(registers):
+            yield dict(assignment), fresh_used
+            return
+        register = registers[index]
+        for value in old_values:
+            assignment[register] = value
+            yield from recurse(index + 1, assignment, fresh_used)
+        for slot in range(fresh_used + 1):
+            assignment[register] = _FreshSlot(slot)
+            yield from recurse(index + 1, assignment, max(fresh_used, slot + 1))
+        del assignment[register]
+
+    yield from recurse(0, {}, 0)
+
+
+def _resolve_variable_term(term: Term, combined: Dict[str, Element]) -> Optional[Element]:
+    """Resolve a variable term to its element, or None for non-variable terms."""
+    if isinstance(term, Var):
+        return combined.get(term.name)
+    return None
+
+
+def _guard_holds_small(
+    small: Structure,
+    registers: List[str],
+    guard: Formula,
+    valuation_old: Dict[str, Element],
+    valuation_new: Dict[str, Element],
+) -> bool:
+    """Pre-filter candidates by the guard, evaluated on the small delta structure.
+
+    Guards that mention symbols outside the theory's schema (e.g. the data
+    value relations added by :mod:`repro.datavalues`) cannot be decided here;
+    in that case the candidate is conservatively kept and the engine performs
+    the authoritative evaluation on the full (expanded) database.
+    """
+    from repro.errors import FormulaError
+
+    combined: Dict[str, Element] = {}
+    for register in registers:
+        combined[old(register)] = valuation_old[register]
+        combined[new(register)] = valuation_new[register]
+    try:
+        return guard.evaluate(small, combined)
+    except FormulaError:
+        return True

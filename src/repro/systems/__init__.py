@@ -1,0 +1,35 @@
+"""Database-driven systems: the register-automaton model of Section 2."""
+
+from repro.systems.dds import (
+    Configuration,
+    DatabaseDrivenSystem,
+    Run,
+    Transition,
+    new,
+    old,
+    split_register_variable,
+)
+from repro.systems.existential import (
+    auxiliary_register_count,
+    compile_existential_guards,
+)
+from repro.systems.simulate import (
+    count_reachable_configurations,
+    find_accepting_run,
+    has_accepting_run,
+)
+
+__all__ = [
+    "DatabaseDrivenSystem",
+    "Transition",
+    "Configuration",
+    "Run",
+    "old",
+    "new",
+    "split_register_variable",
+    "compile_existential_guards",
+    "auxiliary_register_count",
+    "find_accepting_run",
+    "has_accepting_run",
+    "count_reachable_configurations",
+]

@@ -1,0 +1,401 @@
+"""Database-driven systems (Section 2 of the paper).
+
+A database-driven system is a register automaton: finitely many control
+states, finitely many registers storing database elements, and transition
+rules ``p --phi--> q`` whose guard ``phi`` is a quantifier-free formula over
+the database schema with free variables among ``{x_old, x_new : x register}``.
+The database is read-only and fixed for the whole run.
+
+This module defines the system itself, its configurations and runs, and run
+validation.  Concrete-database simulation lives in
+:mod:`repro.systems.simulate`; the emptiness decision procedures live in
+:mod:`repro.fraisse` and the class-specific packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import RunError, SystemError_
+from repro.logic.formulas import Formula
+from repro.logic.parser import parse_formula
+from repro.logic.schema import Schema
+from repro.logic.structures import Element, Structure
+
+OLD_SUFFIX = "_old"
+NEW_SUFFIX = "_new"
+
+
+def old(register: str) -> str:
+    """The guard variable referring to register ``register`` before the transition."""
+    return register + OLD_SUFFIX
+
+
+def new(register: str) -> str:
+    """The guard variable referring to register ``register`` after the transition."""
+    return register + NEW_SUFFIX
+
+
+def split_register_variable(variable: str) -> Tuple[str, str]:
+    """Split a guard variable into ``(register, "old" | "new")``.
+
+    Raises :class:`SystemError_` for variables that do not follow the
+    ``<register>_old`` / ``<register>_new`` convention.
+    """
+    if variable.endswith(OLD_SUFFIX):
+        return variable[: -len(OLD_SUFFIX)], "old"
+    if variable.endswith(NEW_SUFFIX):
+        return variable[: -len(NEW_SUFFIX)], "new"
+    raise SystemError_(
+        f"guard variable {variable!r} is neither an _old nor a _new register variable"
+    )
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A transition rule ``source --guard--> target``."""
+
+    source: str
+    guard: Formula
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.source} --[{self.guard}]--> {self.target}"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A configuration ``(database, state, valuation)``.
+
+    The valuation maps every register to an element of the database's domain.
+    Valuations are stored as sorted tuples so configurations are hashable.
+    """
+
+    database: Structure
+    state: str
+    valuation_items: Tuple[Tuple[str, Element], ...]
+
+    @classmethod
+    def make(
+        cls, database: Structure, state: str, valuation: Mapping[str, Element]
+    ) -> "Configuration":
+        return cls(database, state, tuple(sorted(valuation.items())))
+
+    @property
+    def valuation(self) -> Dict[str, Element]:
+        return dict(self.valuation_items)
+
+    def __str__(self) -> str:
+        values = ", ".join(f"{r}={v!r}" for r, v in self.valuation_items)
+        return f"({self.state}; {values})"
+
+
+@dataclass
+class Run:
+    """A run: a database together with the visited (state, valuation) sequence."""
+
+    database: Structure
+    steps: List[Tuple[str, Dict[str, Element]]] = field(default_factory=list)
+    transitions_taken: List[Transition] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    @property
+    def final_state(self) -> str:
+        if not self.steps:
+            raise RunError("empty run has no final state")
+        return self.steps[-1][0]
+
+    def configurations(self) -> Iterator[Configuration]:
+        for state, valuation in self.steps:
+            yield Configuration.make(self.database, state, valuation)
+
+    def __str__(self) -> str:
+        parts = []
+        for state, valuation in self.steps:
+            values = ", ".join(f"{r}={v!r}" for r, v in sorted(valuation.items()))
+            parts.append(f"({state}; {values})")
+        return " -> ".join(parts)
+
+
+GuardLike = Union[str, Formula]
+
+
+class DatabaseDrivenSystem:
+    """A database-driven system over a database schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema of the databases the system queries.
+    states, registers:
+        Finite sets of control states and registers.
+    initial, accepting:
+        Subsets of the states.
+    transitions:
+        :class:`Transition` objects; guards must be quantifier-free (use
+        :func:`repro.systems.existential.compile_existential_guards` first if
+        they are existential).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        states: Iterable[str],
+        registers: Iterable[str],
+        initial: Iterable[str],
+        accepting: Iterable[str],
+        transitions: Iterable[Transition],
+        allow_existential_guards: bool = False,
+    ) -> None:
+        self._schema = schema
+        self._states: Tuple[str, ...] = tuple(dict.fromkeys(states))
+        self._registers: Tuple[str, ...] = tuple(dict.fromkeys(registers))
+        self._initial: FrozenSet[str] = frozenset(initial)
+        self._accepting: FrozenSet[str] = frozenset(accepting)
+        self._transitions: Tuple[Transition, ...] = tuple(transitions)
+        self._allow_existential = allow_existential_guards
+        self._validate()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        schema: Schema,
+        registers: Sequence[str],
+        states: Sequence[str],
+        initial: Union[str, Sequence[str]],
+        accepting: Union[str, Sequence[str]],
+        transitions: Sequence[Tuple[str, GuardLike, str]],
+        allow_existential_guards: bool = False,
+    ) -> "DatabaseDrivenSystem":
+        """Convenience constructor accepting textual guards.
+
+        ``transitions`` is a sequence of ``(source, guard, target)`` triples
+        where the guard may be a :class:`Formula` or a string parsed by
+        :func:`repro.logic.parser.parse_formula`.
+        """
+        if isinstance(initial, str):
+            initial = [initial]
+        if isinstance(accepting, str):
+            accepting = [accepting]
+        compiled = []
+        for source, guard, target in transitions:
+            formula = parse_formula(guard) if isinstance(guard, str) else guard
+            compiled.append(Transition(source, formula, target))
+        return cls(
+            schema=schema,
+            states=states,
+            registers=registers,
+            initial=initial,
+            accepting=accepting,
+            transitions=compiled,
+            allow_existential_guards=allow_existential_guards,
+        )
+
+    def _validate(self) -> None:
+        if not self._states:
+            raise SystemError_("a system needs at least one control state")
+        if not self._registers:
+            raise SystemError_("a system needs at least one register")
+        unknown_initial = self._initial - set(self._states)
+        if unknown_initial:
+            raise SystemError_(f"initial states {sorted(unknown_initial)} are not states")
+        unknown_accepting = self._accepting - set(self._states)
+        if unknown_accepting:
+            raise SystemError_(
+                f"accepting states {sorted(unknown_accepting)} are not states"
+            )
+        if not self._initial:
+            raise SystemError_("a system needs at least one initial state")
+        allowed_variables = self.guard_variables()
+        for transition in self._transitions:
+            if transition.source not in self._states:
+                raise SystemError_(f"unknown source state {transition.source!r}")
+            if transition.target not in self._states:
+                raise SystemError_(f"unknown target state {transition.target!r}")
+            if not self._allow_existential and not transition.guard.is_quantifier_free():
+                raise SystemError_(
+                    f"guard of {transition} is not quantifier-free; "
+                    "compile it with repro.systems.existential first "
+                    "or pass allow_existential_guards=True"
+                )
+            stray = transition.guard.free_variables() - allowed_variables
+            if stray:
+                raise SystemError_(
+                    f"guard of {transition} uses unknown register variables {sorted(stray)}"
+                )
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def states(self) -> Tuple[str, ...]:
+        return self._states
+
+    @property
+    def registers(self) -> Tuple[str, ...]:
+        return self._registers
+
+    @property
+    def initial_states(self) -> FrozenSet[str]:
+        return self._initial
+
+    @property
+    def accepting_states(self) -> FrozenSet[str]:
+        return self._accepting
+
+    @property
+    def transitions(self) -> Tuple[Transition, ...]:
+        return self._transitions
+
+    def transitions_from(self, state: str) -> Iterator[Transition]:
+        for transition in self._transitions:
+            if transition.source == state:
+                yield transition
+
+    def guard_variables(self) -> FrozenSet[str]:
+        """All guard variables the registers give rise to."""
+        names = set()
+        for register in self._registers:
+            names.add(old(register))
+            names.add(new(register))
+        return frozenset(names)
+
+    def is_accepting(self, state: str) -> bool:
+        return state in self._accepting
+
+    # -- semantics ------------------------------------------------------------
+
+    def guard_holds(
+        self,
+        guard: Formula,
+        database: Structure,
+        valuation_old: Mapping[str, Element],
+        valuation_new: Mapping[str, Element],
+    ) -> bool:
+        """Evaluate a guard with the combined old/new register valuation."""
+        combined: Dict[str, Element] = {}
+        for register in self._registers:
+            combined[old(register)] = valuation_old[register]
+            combined[new(register)] = valuation_new[register]
+        return guard.evaluate(database, combined)
+
+    def is_transition(
+        self, before: Configuration, after: Configuration
+    ) -> Optional[Transition]:
+        """Return a witnessing transition rule if ``before -> after`` is a step."""
+        if before.database != after.database:
+            return None
+        for transition in self.transitions_from(before.state):
+            if transition.target != after.state:
+                continue
+            if self.guard_holds(
+                transition.guard, before.database, before.valuation, after.valuation
+            ):
+                return transition
+        return None
+
+    def validate_run(self, run: Run, require_accepting: bool = True) -> None:
+        """Raise :class:`RunError` unless ``run`` is a valid (accepting) run."""
+        if not run.steps:
+            raise RunError("a run must contain at least one configuration")
+        first_state, first_valuation = run.steps[0]
+        if first_state not in self._initial:
+            raise RunError(f"run starts in non-initial state {first_state!r}")
+        for state, valuation in run.steps:
+            if state not in self._states:
+                raise RunError(f"unknown state {state!r} in run")
+            if set(valuation) != set(self._registers):
+                raise RunError(
+                    f"valuation {valuation!r} does not assign exactly the registers"
+                )
+            for value in valuation.values():
+                if value not in run.database.domain:
+                    raise RunError(f"register value {value!r} outside the database domain")
+        for index in range(len(run.steps) - 1):
+            before = Configuration.make(run.database, *_step(run.steps[index]))
+            after = Configuration.make(run.database, *_step(run.steps[index + 1]))
+            if self.is_transition(before, after) is None:
+                raise RunError(
+                    f"no transition rule justifies step {index}: {before} -> {after}"
+                )
+        if require_accepting and run.final_state not in self._accepting:
+            raise RunError(f"run ends in non-accepting state {run.final_state!r}")
+
+    def is_valid_run(self, run: Run, require_accepting: bool = True) -> bool:
+        try:
+            self.validate_run(run, require_accepting=require_accepting)
+        except RunError:
+            return False
+        return True
+
+    # -- misc -----------------------------------------------------------------
+
+    def renamed_states(self, prefix: str) -> "DatabaseDrivenSystem":
+        """A copy with every state name prefixed (used by product constructions)."""
+        mapping = {state: prefix + state for state in self._states}
+        return DatabaseDrivenSystem(
+            schema=self._schema,
+            states=[mapping[s] for s in self._states],
+            registers=self._registers,
+            initial=[mapping[s] for s in self._initial],
+            accepting=[mapping[s] for s in self._accepting],
+            transitions=[
+                Transition(mapping[t.source], t.guard, mapping[t.target])
+                for t in self._transitions
+            ],
+            allow_existential_guards=self._allow_existential,
+        )
+
+    def with_schema(self, schema: Schema) -> "DatabaseDrivenSystem":
+        """A copy of the system over a (typically larger) schema."""
+        return DatabaseDrivenSystem(
+            schema=schema,
+            states=self._states,
+            registers=self._registers,
+            initial=self._initial,
+            accepting=self._accepting,
+            transitions=self._transitions,
+            allow_existential_guards=self._allow_existential,
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"states: {list(self._states)}",
+            f"registers: {list(self._registers)}",
+            f"initial: {sorted(self._initial)}",
+            f"accepting: {sorted(self._accepting)}",
+            "transitions:",
+        ]
+        lines.extend(f"  {t}" for t in self._transitions)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseDrivenSystem(states={len(self._states)}, "
+            f"registers={len(self._registers)}, transitions={len(self._transitions)})"
+        )
+
+
+def _step(step: Tuple[str, Dict[str, Element]]) -> Tuple[str, Dict[str, Element]]:
+    state, valuation = step
+    return state, valuation

@@ -1,0 +1,147 @@
+"""Compiling existential guards into quantifier-free guards (Fact 2).
+
+Fact 2 of the paper: for every database-driven system with existential guards
+one can compute, in linear time, a system with quantifier-free guards that
+accepts the same runs driven by the same databases.  The construction adds
+one auxiliary register per quantified variable (reused across transitions)
+and lets nondeterminism pick the witnesses: the existential variables of a
+guard are replaced by the *new* values of the auxiliary registers.
+
+Only *positive* combinations of existential formulas can be compiled this
+way; a negated existential guard is rejected (allowing boolean combinations
+of existential formulas makes emptiness undecidable, Section 6.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+from repro.errors import SystemError_
+from repro.logic.formulas import (
+    And,
+    Equality,
+    Exists,
+    FalseFormula,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    TrueFormula,
+    conj,
+    disj,
+    neq,
+)
+from repro.logic.terms import Var
+from repro.systems.dds import DatabaseDrivenSystem, Transition, new
+
+AUX_PREFIX = "_aux"
+
+
+def _prenex(formula: Formula, counter: itertools.count) -> Tuple[List[str], Formula]:
+    """Pull existential quantifiers to the front of a positive formula.
+
+    Returns ``(bound_variables, quantifier_free_body)``.  Bound variables are
+    renamed apart using ``counter`` so blocks from different subformulas never
+    clash.  The ``distinct`` flag of a block is compiled into explicit
+    pairwise inequalities.  Raises :class:`SystemError_` when a quantifier
+    occurs under a negation.
+    """
+    if isinstance(formula, (TrueFormula, FalseFormula, RelationAtom, Equality)):
+        return [], formula
+    if isinstance(formula, Not):
+        if not formula.operand.is_quantifier_free():
+            raise SystemError_(
+                "cannot compile a negated existential guard (Section 6.2: "
+                "boolean combinations of existential formulas are undecidable)"
+            )
+        return [], formula
+    if isinstance(formula, And):
+        bound: List[str] = []
+        bodies: List[Formula] = []
+        for operand in formula.operands:
+            operand_bound, operand_body = _prenex(operand, counter)
+            bound.extend(operand_bound)
+            bodies.append(operand_body)
+        return bound, conj(*bodies)
+    if isinstance(formula, Or):
+        bound = []
+        bodies = []
+        for operand in formula.operands:
+            operand_bound, operand_body = _prenex(operand, counter)
+            bound.extend(operand_bound)
+            bodies.append(operand_body)
+        return bound, disj(*bodies)
+    if isinstance(formula, Exists):
+        fresh_names = {}
+        for name in formula.variables_bound:
+            fresh_names[name] = f"{AUX_PREFIX}{next(counter)}"
+        renamed_body = formula.body.rename_variables(fresh_names)
+        inner_bound, inner_body = _prenex(renamed_body, counter)
+        block = list(fresh_names.values())
+        if formula.distinct:
+            inequalities = [
+                neq(Var(a), Var(b)) for a, b in itertools.combinations(block, 2)
+            ]
+            inner_body = conj(inner_body, *inequalities)
+        return block + inner_bound, inner_body
+    raise SystemError_(f"unsupported formula shape for compilation: {formula!r}")
+
+
+def compile_guard(
+    guard: Formula, counter: itertools.count
+) -> Tuple[List[str], Formula]:
+    """Compile one guard; returns the auxiliary variables used and the new guard."""
+    bound, body = _prenex(guard, counter)
+    if not bound:
+        return [], body
+    substitution = {name: Var(new(_aux_register(index))) for index, name in enumerate(bound)}
+    return [_aux_register(index) for index in range(len(bound))], body.substitute(substitution)
+
+
+def _aux_register(index: int) -> str:
+    return f"{AUX_PREFIX}_r{index}"
+
+
+def compile_existential_guards(system: DatabaseDrivenSystem) -> DatabaseDrivenSystem:
+    """Apply Fact 2: return an equivalent system with quantifier-free guards.
+
+    The returned system has the original registers plus ``m`` auxiliary
+    registers, where ``m`` is the largest number of quantified variables in a
+    single guard; its runs project onto exactly the runs of the original
+    system (forget the auxiliary registers).
+    """
+    compiled: List[Transition] = []
+    max_aux = 0
+    for transition in system.transitions:
+        counter = itertools.count()
+        aux_registers, guard = compile_guard(transition.guard, counter)
+        max_aux = max(max_aux, len(aux_registers))
+        compiled.append(Transition(transition.source, guard, transition.target))
+
+    registers = list(system.registers) + [_aux_register(i) for i in range(max_aux)]
+    return DatabaseDrivenSystem(
+        schema=system.schema,
+        states=system.states,
+        registers=registers,
+        initial=system.initial_states,
+        accepting=system.accepting_states,
+        transitions=compiled,
+    )
+
+
+def auxiliary_register_count(system: DatabaseDrivenSystem) -> int:
+    """How many auxiliary registers Fact 2 compilation would add."""
+    max_aux = 0
+    for transition in system.transitions:
+        counter = itertools.count()
+        bound, _ = _prenex(transition.guard, counter)
+        max_aux = max(max_aux, len(bound))
+    return max_aux
+
+
+def project_run_to_original_registers(
+    run_valuation: Dict[str, object], original_registers: Tuple[str, ...]
+) -> Dict[str, object]:
+    """Drop the auxiliary registers from a valuation of the compiled system."""
+    return {r: run_valuation[r] for r in original_registers}

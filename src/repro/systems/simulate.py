@@ -1,0 +1,173 @@
+"""Explicit simulation of a database-driven system on a fixed database.
+
+Given a concrete database ``D``, the configuration graph of the system has
+nodes ``(state, valuation)`` with ``valuation : registers -> dom(D)``; this is
+finite (``|Q| * |D|^k`` nodes), so reachability of an accepting configuration
+is a plain graph search.  This is the semantic ground truth against which the
+abstraction-based decision procedures are validated, and the engine used by
+the brute-force baselines of :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.logic.structures import Element, Structure, sorted_key_list
+from repro.systems.dds import DatabaseDrivenSystem, Run, Transition, new, old
+
+
+def all_valuations(
+    system: DatabaseDrivenSystem, database: Structure
+) -> Iterator[Dict[str, Element]]:
+    """Every valuation of the system's registers into the database's domain."""
+    registers = list(system.registers)
+    domain = sorted_key_list(database.domain)
+    for values in itertools.product(domain, repeat=len(registers)):
+        yield dict(zip(registers, values))
+
+
+def successor_valuations(
+    system: DatabaseDrivenSystem,
+    database: Structure,
+    valuation_old: Mapping[str, Element],
+    transition: Transition,
+) -> Iterator[Dict[str, Element]]:
+    """All new valuations such that the transition's guard holds.
+
+    The guard is evaluated once per candidate valuation; candidate generation
+    enumerates the full domain per register, which is exactly the
+    configuration-graph semantics (registers are reassigned
+    nondeterministically subject to the guard).
+    """
+    registers = list(system.registers)
+    domain = sorted_key_list(database.domain)
+    combined_base = {old(r): valuation_old[r] for r in registers}
+    for values in itertools.product(domain, repeat=len(registers)):
+        valuation_new = dict(zip(registers, values))
+        combined = dict(combined_base)
+        combined.update({new(r): valuation_new[r] for r in registers})
+        if transition.guard.evaluate(database, combined):
+            yield valuation_new
+
+
+def find_accepting_run(
+    system: DatabaseDrivenSystem,
+    database: Structure,
+    max_steps: Optional[int] = None,
+) -> Optional[Run]:
+    """Search the configuration graph of ``database`` for an accepting run.
+
+    Returns a shortest accepting :class:`Run`, or ``None`` when no accepting
+    configuration is reachable.  ``max_steps`` optionally bounds the run
+    length (number of transitions); it is mainly useful for the bounded
+    demonstrations of the undecidable extensions.
+    """
+    if not database.domain:
+        return None
+    start_nodes: List[Tuple[str, Tuple[Tuple[str, Element], ...]]] = []
+    for state in system.initial_states:
+        for valuation in all_valuations(system, database):
+            start_nodes.append((state, tuple(sorted(valuation.items()))))
+
+    # Breadth-first search over (state, valuation) nodes.
+    parents: Dict[
+        Tuple[str, Tuple[Tuple[str, Element], ...]],
+        Optional[Tuple[Tuple[str, Tuple[Tuple[str, Element], ...]], Transition]],
+    ] = {}
+    queue = deque()
+    depth: Dict[Tuple[str, Tuple[Tuple[str, Element], ...]], int] = {}
+    for node in start_nodes:
+        if node not in parents:
+            parents[node] = None
+            depth[node] = 0
+            queue.append(node)
+
+    goal = None
+    for node in start_nodes:
+        if system.is_accepting(node[0]):
+            goal = node
+            break
+
+    while queue and goal is None:
+        node = queue.popleft()
+        if max_steps is not None and depth[node] >= max_steps:
+            continue
+        state, valuation_items = node
+        valuation_old = dict(valuation_items)
+        for transition in system.transitions_from(state):
+            for valuation_new in successor_valuations(
+                system, database, valuation_old, transition
+            ):
+                successor = (transition.target, tuple(sorted(valuation_new.items())))
+                if successor in parents:
+                    continue
+                parents[successor] = (node, transition)
+                depth[successor] = depth[node] + 1
+                if system.is_accepting(transition.target):
+                    goal = successor
+                    queue.clear()
+                    break
+                queue.append(successor)
+            if goal is not None:
+                break
+
+    if goal is None:
+        return None
+
+    # Reconstruct the run from the parent pointers.
+    steps: List[Tuple[str, Dict[str, Element]]] = []
+    transitions_taken: List[Transition] = []
+    node: Optional[Tuple[str, Tuple[Tuple[str, Element], ...]]] = goal
+    while node is not None:
+        state, valuation_items = node
+        steps.append((state, dict(valuation_items)))
+        parent = parents[node]
+        if parent is None:
+            node = None
+        else:
+            node, transition = parent
+            transitions_taken.append(transition)
+    steps.reverse()
+    transitions_taken.reverse()
+    run = Run(database=database, steps=steps, transitions_taken=transitions_taken)
+    system.validate_run(run)
+    return run
+
+
+def has_accepting_run(
+    system: DatabaseDrivenSystem,
+    database: Structure,
+    max_steps: Optional[int] = None,
+) -> bool:
+    """True if the system has an accepting run driven by ``database``."""
+    return find_accepting_run(system, database, max_steps=max_steps) is not None
+
+
+def count_reachable_configurations(
+    system: DatabaseDrivenSystem, database: Structure
+) -> int:
+    """Number of reachable configurations (used by the analysis module)."""
+    if not database.domain:
+        return 0
+    visited = set()
+    queue = deque()
+    for state in system.initial_states:
+        for valuation in all_valuations(system, database):
+            node = (state, tuple(sorted(valuation.items())))
+            if node not in visited:
+                visited.add(node)
+                queue.append(node)
+    while queue:
+        state, valuation_items = queue.popleft()
+        valuation_old = dict(valuation_items)
+        for transition in system.transitions_from(state):
+            for valuation_new in successor_valuations(
+                system, database, valuation_old, transition
+            ):
+                successor = (transition.target, tuple(sorted(valuation_new.items())))
+                if successor not in visited:
+                    visited.add(successor)
+                    queue.append(successor)
+    return len(visited)

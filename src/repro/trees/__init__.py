@@ -1,0 +1,53 @@
+"""Regular tree languages: trees, tree automata, tree databases, Theorem 3."""
+
+from repro.trees.tree import Tree, all_trees, random_tree, trees_of_size
+from repro.trees.treedb import (
+    ANCESTOR,
+    CCA,
+    DOCUMENT_ORDER,
+    label_predicate,
+    node_index_by_path,
+    tree_schema,
+    treedb,
+)
+from repro.trees.automata import (
+    AutomatonAnalysis,
+    TreeAutomaton,
+    caterpillar_automaton,
+    grid_encoding_automaton,
+    root_label_automaton,
+    universal_automaton,
+)
+from repro.trees.rundb import (
+    rundb,
+    run_of_tree,
+    run_schema,
+    satisfies_local_condition,
+)
+from repro.trees.theory import Skeleton, TreeRunTheory
+
+__all__ = [
+    "Tree",
+    "all_trees",
+    "trees_of_size",
+    "random_tree",
+    "tree_schema",
+    "treedb",
+    "label_predicate",
+    "node_index_by_path",
+    "ANCESTOR",
+    "DOCUMENT_ORDER",
+    "CCA",
+    "TreeAutomaton",
+    "AutomatonAnalysis",
+    "universal_automaton",
+    "root_label_automaton",
+    "caterpillar_automaton",
+    "grid_encoding_automaton",
+    "rundb",
+    "run_schema",
+    "run_of_tree",
+    "satisfies_local_condition",
+    "Skeleton",
+    "TreeRunTheory",
+]

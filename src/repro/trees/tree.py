@@ -1,0 +1,203 @@
+"""Unranked, ordered, labelled trees (Section 3.1).
+
+:class:`Tree` is a plain recursive value object -- a label and an ordered list
+of child trees.  Nodes acquire identities (their preorder / document-order
+index) only when a tree is rendered as a database by
+:mod:`repro.trees.treedb` or annotated by a run of a tree automaton.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Tree:
+    """An unranked ordered tree: a label and a tuple of child trees."""
+
+    label: str
+    children: Tuple["Tree", ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", tuple(self.children))
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def leaf(cls, label: str) -> "Tree":
+        return cls(label, ())
+
+    @classmethod
+    def node(cls, label: str, *children: "Tree") -> "Tree":
+        return cls(label, tuple(children))
+
+    @classmethod
+    def from_spec(cls, spec) -> "Tree":
+        """Build a tree from nested ``(label, [children...])`` pairs or a bare label."""
+        if isinstance(spec, str):
+            return cls.leaf(spec)
+        label, children = spec
+        return cls(label, tuple(cls.from_spec(child) for child in children))
+
+    # -- basic measures -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return 1 + sum(child.size for child in self.children)
+
+    @property
+    def height(self) -> int:
+        if not self.children:
+            return 0
+        return 1 + max(child.height for child in self.children)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def labels(self) -> List[str]:
+        """All labels in document order."""
+        return [label for label, _ in self.preorder()]
+
+    # -- traversal ------------------------------------------------------------------
+
+    def preorder(self) -> Iterator[Tuple[str, Tuple[int, ...]]]:
+        """Yield ``(label, path)`` pairs in document order.
+
+        The *path* of a node is the sequence of child indices from the root,
+        which doubles as a stable node identifier.
+        """
+
+        def walk(tree: "Tree", path: Tuple[int, ...]) -> Iterator[Tuple[str, Tuple[int, ...]]]:
+            yield tree.label, path
+            for index, child in enumerate(tree.children):
+                yield from walk(child, path + (index,))
+
+        return walk(self, ())
+
+    def node_paths(self) -> List[Tuple[int, ...]]:
+        """All node paths in document order."""
+        return [path for _, path in self.preorder()]
+
+    def subtree(self, path: Sequence[int]) -> "Tree":
+        """The subtree rooted at a path."""
+        tree = self
+        for index in path:
+            tree = tree.children[index]
+        return tree
+
+    def label_at(self, path: Sequence[int]) -> str:
+        return self.subtree(path).label
+
+    # -- node relations (on paths) ------------------------------------------------------
+
+    @staticmethod
+    def is_ancestor(path_a: Sequence[int], path_b: Sequence[int]) -> bool:
+        """``a`` is an ancestor of or equal to ``b`` (prefix of paths)."""
+        return len(path_a) <= len(path_b) and tuple(path_b[: len(path_a)]) == tuple(path_a)
+
+    @staticmethod
+    def closest_common_ancestor(
+        path_a: Sequence[int], path_b: Sequence[int]
+    ) -> Tuple[int, ...]:
+        """The longest common prefix of two paths."""
+        common: List[int] = []
+        for a, b in zip(path_a, path_b):
+            if a != b:
+                break
+            common.append(a)
+        return tuple(common)
+
+    @staticmethod
+    def document_before(path_a: Sequence[int], path_b: Sequence[int]) -> bool:
+        """Strict document (preorder) order on node paths."""
+        return tuple(path_a) != tuple(path_b) and tuple(path_a) < tuple(path_b)
+
+    # -- editing (functional) --------------------------------------------------------------
+
+    def with_child_inserted(self, path: Sequence[int], index: int, child: "Tree") -> "Tree":
+        """Insert ``child`` as the ``index``-th child of the node at ``path``."""
+        if not path:
+            children = list(self.children)
+            children.insert(index, child)
+            return Tree(self.label, tuple(children))
+        head, rest = path[0], path[1:]
+        children = list(self.children)
+        children[head] = children[head].with_child_inserted(rest, index, child)
+        return Tree(self.label, tuple(children))
+
+    def with_subtree_replaced(self, path: Sequence[int], replacement: "Tree") -> "Tree":
+        if not path:
+            return replacement
+        head, rest = path[0], path[1:]
+        children = list(self.children)
+        children[head] = children[head].with_subtree_replaced(rest, replacement)
+        return Tree(self.label, tuple(children))
+
+    # -- rendering ---------------------------------------------------------------------------
+
+    def to_spec(self):
+        if not self.children:
+            return self.label
+        return (self.label, [child.to_spec() for child in self.children])
+
+    def __str__(self) -> str:
+        if not self.children:
+            return self.label
+        return f"{self.label}({', '.join(str(child) for child in self.children)})"
+
+
+def all_trees(labels: Sequence[str], max_size: int) -> Iterator[Tree]:
+    """Every labelled unranked tree with at most ``max_size`` nodes.
+
+    Used by the brute-force baseline; the count grows very quickly, so callers
+    keep ``max_size`` small (4-5).
+    """
+    for size in range(1, max_size + 1):
+        yield from trees_of_size(labels, size)
+
+
+def trees_of_size(labels: Sequence[str], size: int) -> Iterator[Tree]:
+    """Every labelled tree with exactly ``size`` nodes."""
+    if size <= 0:
+        return
+    if size == 1:
+        for label in labels:
+            yield Tree.leaf(label)
+        return
+    for label in labels:
+        for children in _forests_of_size(labels, size - 1):
+            yield Tree(label, children)
+
+
+def _forests_of_size(labels: Sequence[str], size: int) -> Iterator[Tuple[Tree, ...]]:
+    """Every non-empty ordered forest with exactly ``size`` nodes."""
+    if size == 0:
+        yield ()
+        return
+    for first_size in range(1, size + 1):
+        for first in trees_of_size(labels, first_size):
+            for rest in _forests_of_size(labels, size - first_size):
+                yield (first,) + rest
+
+
+def random_tree(
+    labels: Sequence[str],
+    max_size: int,
+    rng,
+    branching: float = 0.6,
+) -> Tree:
+    """A random tree with at most ``max_size`` nodes (used by property tests)."""
+    budget = [max(1, max_size)]
+
+    def build() -> Tree:
+        budget[0] -= 1
+        label = rng.choice(list(labels))
+        children = []
+        while budget[0] > 0 and rng.random() < branching and len(children) < 3:
+            children.append(build())
+        return Tree(label, tuple(children))
+
+    return build()

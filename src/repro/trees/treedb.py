@@ -1,0 +1,81 @@
+"""Tree databases: ``Treedb(t)`` and ``TreeSchema(A)`` (Section 3.1).
+
+A tree is modelled as a database whose domain is its set of nodes with
+
+* one unary predicate per label,
+* the binary *ancestor* order ``anc(x, y)`` -- ``x`` is an ancestor of or
+  equal to ``y`` (the paper writes ``x ⊑ y``; recall ``x ⊑ y  iff  x = x∧y``),
+* the binary strict *document order* ``doc(x, y)``,
+* the binary *closest common ancestor* function ``cca(x, y)``.
+
+Note the deliberately excluded predicates: child, parent, next/previous
+sibling and sibling are **not** part of the schema -- adding any of them makes
+emptiness undecidable (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+from repro.trees.tree import Tree
+
+ANCESTOR = "anc"
+DOCUMENT_ORDER = "doc"
+CCA = "cca"
+LABEL_PREFIX = "label_"
+
+
+def label_predicate(label: str) -> str:
+    """The unary predicate naming a node label, e.g. ``label_a``."""
+    return f"{LABEL_PREFIX}{label}"
+
+
+def tree_schema(labels: Iterable[str]) -> Schema:
+    """``TreeSchema(A)``: labels, ancestor order, document order, cca function."""
+    relations: Dict[str, int] = {ANCESTOR: 2, DOCUMENT_ORDER: 2}
+    for label in labels:
+        relations[label_predicate(label)] = 1
+    return Schema(relations=relations, functions={CCA: 2})
+
+
+def treedb(tree: Tree, labels: Iterable[str] = ()) -> Structure:
+    """``Treedb(t)``: the database of a concrete tree.
+
+    Node identities are document-order (preorder) indices.  The label alphabet
+    defaults to the labels occurring in the tree but may be given explicitly
+    so different trees share a schema.
+    """
+    alphabet = sorted(set(labels) | set(tree.labels()))
+    schema = tree_schema(alphabet)
+    nodes = list(tree.preorder())
+    ids = list(range(len(nodes)))
+    paths = [path for _, path in nodes]
+    node_labels = [label for label, _ in nodes]
+
+    relations: Dict[str, set] = {ANCESTOR: set(), DOCUMENT_ORDER: set()}
+    for label in alphabet:
+        relations[label_predicate(label)] = set()
+    for i, label in enumerate(node_labels):
+        relations[label_predicate(label)].add((i,))
+    for i, j in itertools.product(ids, repeat=2):
+        if Tree.is_ancestor(paths[i], paths[j]):
+            relations[ANCESTOR].add((i, j))
+        if i != j and Tree.document_before(paths[i], paths[j]):
+            relations[DOCUMENT_ORDER].add((i, j))
+
+    path_index = {path: i for i, path in enumerate(paths)}
+    cca_table: Dict[Tuple[int, ...], int] = {}
+    for i, j in itertools.product(ids, repeat=2):
+        cca_table[(i, j)] = path_index[Tree.closest_common_ancestor(paths[i], paths[j])]
+
+    return Structure(
+        schema, ids, relations=relations, functions={CCA: cca_table}, validate=False
+    )
+
+
+def node_index_by_path(tree: Tree) -> Dict[Tuple[int, ...], int]:
+    """Mapping from node paths to their document-order indices."""
+    return {path: index for index, (_, path) in enumerate(tree.preorder())}

@@ -1,0 +1,172 @@
+"""Two-counter (Minsky) machines.
+
+Section 6 of the paper proves its undecidability results by reduction from
+the halting problem of two-counter machines.  This module provides the
+machine model, a direct interpreter (used to know the ground truth on the
+bounded instances exercised by tests and benchmarks), and a few concrete
+machines with known behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class OpKind(Enum):
+    """The instruction kinds of a Minsky machine."""
+
+    INC = "inc"
+    DEC = "dec"
+    JZ = "jz"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One labelled instruction.
+
+    * ``INC counter -> target``: increment and jump.
+    * ``DEC counter -> target``: decrement (only enabled when non-zero) and jump.
+    * ``JZ counter -> target / fallthrough``: jump to ``target`` when the
+      counter is zero, else to ``fallthrough``.
+    * ``HALT``.
+    """
+
+    kind: OpKind
+    counter: Optional[int] = None
+    target: Optional[str] = None
+    fallthrough: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CounterMachine:
+    """A two-counter machine with labelled instructions."""
+
+    instructions: Tuple[Tuple[str, Instruction], ...]
+    initial_label: str
+
+    @classmethod
+    def make(
+        cls, instructions: Dict[str, Instruction], initial_label: str
+    ) -> "CounterMachine":
+        if initial_label not in instructions:
+            raise ValueError("unknown initial label")
+        for label, instruction in instructions.items():
+            for target in (instruction.target, instruction.fallthrough):
+                if target is not None and target not in instructions:
+                    raise ValueError(f"instruction {label!r} jumps to unknown label {target!r}")
+        return cls(tuple(sorted(instructions.items())), initial_label)
+
+    @property
+    def instruction_of(self) -> Dict[str, Instruction]:
+        return dict(self.instructions)
+
+    @property
+    def labels(self) -> List[str]:
+        return [label for label, _ in self.instructions]
+
+    def run(
+        self, max_steps: int, counters: Tuple[int, int] = (0, 0)
+    ) -> Tuple[bool, int, Tuple[int, int]]:
+        """Execute the machine for at most ``max_steps`` steps.
+
+        Returns ``(halted, steps_used, final_counters)``.
+        """
+        table = self.instruction_of
+        label = self.initial_label
+        values = list(counters)
+        for step in range(max_steps):
+            instruction = table[label]
+            if instruction.kind is OpKind.HALT:
+                return True, step, (values[0], values[1])
+            if instruction.kind is OpKind.INC:
+                values[instruction.counter] += 1
+                label = instruction.target
+            elif instruction.kind is OpKind.DEC:
+                if values[instruction.counter] == 0:
+                    # A decrement of zero blocks the machine forever.
+                    return False, step, (values[0], values[1])
+                values[instruction.counter] -= 1
+                label = instruction.target
+            elif instruction.kind is OpKind.JZ:
+                if values[instruction.counter] == 0:
+                    label = instruction.target
+                else:
+                    label = instruction.fallthrough
+        return False, max_steps, (values[0], values[1])
+
+    def halts_within(self, max_steps: int) -> bool:
+        halted, _, _ = self.run(max_steps)
+        return halted
+
+    def max_counter_value(self, max_steps: int) -> int:
+        """The largest counter value seen within a bounded execution."""
+        table = self.instruction_of
+        label = self.initial_label
+        values = [0, 0]
+        best = 0
+        for _ in range(max_steps):
+            instruction = table[label]
+            if instruction.kind is OpKind.HALT:
+                break
+            if instruction.kind is OpKind.INC:
+                values[instruction.counter] += 1
+                best = max(best, values[instruction.counter])
+                label = instruction.target
+            elif instruction.kind is OpKind.DEC:
+                if values[instruction.counter] == 0:
+                    break
+                values[instruction.counter] -= 1
+                label = instruction.target
+            else:
+                label = instruction.target if values[instruction.counter] == 0 else instruction.fallthrough
+        return best
+
+
+def inc(counter: int, target: str) -> Instruction:
+    return Instruction(OpKind.INC, counter=counter, target=target)
+
+
+def dec(counter: int, target: str) -> Instruction:
+    return Instruction(OpKind.DEC, counter=counter, target=target)
+
+
+def jz(counter: int, target: str, fallthrough: str) -> Instruction:
+    return Instruction(OpKind.JZ, counter=counter, target=target, fallthrough=fallthrough)
+
+
+def halt() -> Instruction:
+    return Instruction(OpKind.HALT)
+
+
+def counting_machine(n: int) -> CounterMachine:
+    """A machine that counts to ``n`` on counter 0, copies it to counter 1, halts.
+
+    It halts after Theta(n) steps and its counters reach ``n`` -- a convenient
+    family for the bounded undecidability demonstrations (the encoded system
+    needs a word / tree of size about ``n`` to accept).
+    """
+    instructions: Dict[str, Instruction] = {}
+    for i in range(n):
+        instructions[f"up{i}"] = inc(0, f"up{i + 1}" if i + 1 < n else "copy")
+    if n == 0:
+        instructions["copy"] = jz(0, "done", "move")
+    else:
+        instructions["copy"] = jz(0, "done", "move")
+    instructions["move"] = dec(0, "bump")
+    instructions["bump"] = inc(1, "copy")
+    instructions["done"] = halt()
+    initial = "up0" if n > 0 else "copy"
+    return CounterMachine.make(instructions, initial)
+
+
+def diverging_machine() -> CounterMachine:
+    """A machine that never halts (it increments counter 0 forever)."""
+    return CounterMachine.make({"loop": inc(0, "loop"), "stop": halt()}, "loop")
+
+
+def blocked_machine() -> CounterMachine:
+    """A machine that blocks immediately (decrement of a zero counter)."""
+    return CounterMachine.make({"start": dec(0, "start"), "stop": halt()}, "start")

@@ -1,0 +1,328 @@
+"""The undecidability reductions of Section 6, as bounded demonstrations.
+
+Each construction turns a two-counter machine ``M`` into a database-driven
+system ``S_M`` over a schema that *extends* the decidable ones (successor on
+word positions for Fact 15; the sibling relation plus closest common ancestor
+for Fact 16; data tree patterns for Theorem 17), such that ``S_M`` has an
+accepting run driven by a suitable database iff ``M`` halts.
+
+Because these problems are undecidable, the library does not (and cannot)
+ship a decision procedure for them; instead the constructions are
+*demonstrated*: the reduction is materialised and checked on bounded
+databases with the explicit simulator of :mod:`repro.systems.simulate`,
+which is exactly how the benchmarks exhibit the blow-up at the decidability
+frontier (experiment E8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+from repro.systems.dds import DatabaseDrivenSystem
+from repro.systems.simulate import find_accepting_run
+from repro.undecidable.counter_machines import CounterMachine, OpKind
+
+SUCCESSOR_SCHEMA = Schema.relational(succ=2)
+SIBLING_CCA_SCHEMA = Schema(relations={"sibling": 2}, functions={"cca": 2})
+
+
+# -- Fact 15: unary words with successor ---------------------------------------------------------
+
+
+def successor_word_database(length: int) -> Structure:
+    """The unary word of the given length with the successor relation."""
+    positions = list(range(length))
+    succ = {(i, i + 1) for i in range(length - 1)}
+    return Structure(SUCCESSOR_SCHEMA, positions, relations={"succ": succ}, validate=False)
+
+
+def fact15_system(machine: CounterMachine) -> DatabaseDrivenSystem:
+    """The Fact 15 encoding: counters as positions of a successor word.
+
+    Registers ``c0`` and ``c1`` hold one word position per counter; the fixed
+    register ``z`` marks the zero position.  Increment moves a counter
+    register one successor step to the right, decrement one step to the left,
+    and a zero test compares the register with ``z``.
+    """
+    registers = ["c0", "c1", "z"]
+    keep = {r: f"{r}_old = {r}_new" for r in registers}
+
+    def keep_except(*moved: str) -> str:
+        return " & ".join(keep[r] for r in registers if r not in moved)
+
+    transitions: List[Tuple[str, str, str]] = []
+    transitions.append(
+        ("boot", " & ".join([keep["z"], "c0_new = z_new", "c1_new = z_new"]), machine.initial_label)
+    )
+    for label, instruction in machine.instructions:
+        if instruction.kind is OpKind.HALT:
+            continue
+        counter = f"c{instruction.counter}"
+        if instruction.kind is OpKind.INC:
+            guard = f"succ({counter}_old, {counter}_new) & " + keep_except(counter)
+            transitions.append((label, guard, instruction.target))
+        elif instruction.kind is OpKind.DEC:
+            guard = (
+                f"!({counter}_old = z_old) & succ({counter}_new, {counter}_old) & "
+                + keep_except(counter)
+            )
+            transitions.append((label, guard, instruction.target))
+        elif instruction.kind is OpKind.JZ:
+            zero_guard = f"{counter}_old = z_old & " + keep_except()
+            nonzero_guard = f"!({counter}_old = z_old) & " + keep_except()
+            transitions.append((label, zero_guard, instruction.target))
+            transitions.append((label, nonzero_guard, instruction.fallthrough))
+
+    states = ["boot"] + machine.labels
+    accepting = [
+        label for label, instruction in machine.instructions if instruction.kind is OpKind.HALT
+    ]
+    return DatabaseDrivenSystem.build(
+        schema=SUCCESSOR_SCHEMA,
+        registers=registers,
+        states=states,
+        initial="boot",
+        accepting=accepting,
+        transitions=transitions,
+    )
+
+
+def demonstrate_fact15(
+    machine: CounterMachine, word_length: int, max_steps: Optional[int] = None
+) -> bool:
+    """Does the Fact 15 system accept over a successor word of the given length?
+
+    This is the *bounded* question; it answers True exactly when the machine
+    halts without any counter exceeding ``word_length - 1``.
+    """
+    system = fact15_system(machine)
+    database = successor_word_database(word_length)
+    return find_accepting_run(system, database, max_steps=max_steps) is not None
+
+
+# -- Fact 16: the sibling relation plus closest common ancestor -------------------------------------
+
+
+def caterpillar_database(height: int) -> Structure:
+    """The database of the tree ``t_height`` of Fact 16 (sibling + cca only).
+
+    The tree is a spine of ``height`` inner nodes; every spine node has two
+    children: the next spine node and a leaf (the last spine node has two
+    leaves).  Node ``(i, "spine")`` is the spine node at depth ``i`` and
+    ``(i, "leaf")`` its leaf sibling.
+    """
+    if height < 1:
+        raise ValueError("the caterpillar needs height >= 1")
+    nodes: List[Tuple[int, str]] = [(0, "spine")]
+    for depth in range(1, height + 1):
+        nodes.append((depth, "spine"))
+        nodes.append((depth, "leaf"))
+
+    def parent(node: Tuple[int, str]) -> Optional[Tuple[int, str]]:
+        depth, kind = node
+        if depth == 0:
+            return None
+        return (depth - 1, "spine")
+
+    def ancestors(node: Tuple[int, str]) -> List[Tuple[int, str]]:
+        chain = [node]
+        while parent(chain[-1]) is not None:
+            chain.append(parent(chain[-1]))
+        return chain
+
+    sibling = set()
+    for depth in range(1, height + 1):
+        sibling.add(((depth, "spine"), (depth, "leaf")))
+        sibling.add(((depth, "leaf"), (depth, "spine")))
+
+    cca: Dict[Tuple[Tuple[int, str], Tuple[int, str]], Tuple[int, str]] = {}
+    for a in nodes:
+        for b in nodes:
+            chain_a = ancestors(a)
+            chain_b = set(ancestors(b))
+            meet = next(n for n in chain_a if n in chain_b)
+            cca[(a, b)] = meet
+
+    return Structure(
+        SIBLING_CCA_SCHEMA,
+        nodes,
+        relations={"sibling": sibling},
+        functions={"cca": cca},
+        validate=False,
+    )
+
+
+def fact16_system(machine: CounterMachine) -> DatabaseDrivenSystem:
+    """The Fact 16 encoding: counters as depths in the caterpillar tree.
+
+    Each counter is a register holding a spine node; its value is the node's
+    depth.  Increment uses an auxiliary register and the guard
+    ``x_old = cca(x_new, y_new) & sibling(x_new, y_new)`` which forces
+    ``x_new`` to be a child of ``x_old``; decrement swaps old and new; a zero
+    test compares against the fixed register ``z`` (the root).
+    """
+    registers = ["c0", "c1", "z", "aux"]
+    keep = {r: f"{r}_old = {r}_new" for r in registers}
+
+    def keep_except(*moved: str) -> str:
+        return " & ".join(keep[r] for r in registers if r not in moved)
+
+    transitions: List[Tuple[str, str, str]] = []
+    transitions.append(
+        ("boot", " & ".join([keep["z"], "c0_new = z_new", "c1_new = z_new"]), machine.initial_label)
+    )
+    for label, instruction in machine.instructions:
+        if instruction.kind is OpKind.HALT:
+            continue
+        counter = f"c{instruction.counter}"
+        if instruction.kind is OpKind.INC:
+            guard = (
+                f"{counter}_old = cca({counter}_new, aux_new) & "
+                f"sibling({counter}_new, aux_new) & " + keep_except(counter, "aux")
+            )
+            transitions.append((label, guard, instruction.target))
+        elif instruction.kind is OpKind.DEC:
+            guard = (
+                f"!({counter}_old = z_old) & "
+                f"{counter}_new = cca({counter}_old, aux_new) & "
+                f"sibling({counter}_old, aux_new) & " + keep_except(counter, "aux")
+            )
+            transitions.append((label, guard, instruction.target))
+        elif instruction.kind is OpKind.JZ:
+            zero_guard = f"{counter}_old = z_old & " + keep_except()
+            nonzero_guard = f"!({counter}_old = z_old) & " + keep_except()
+            transitions.append((label, zero_guard, instruction.target))
+            transitions.append((label, nonzero_guard, instruction.fallthrough))
+
+    states = ["boot"] + machine.labels
+    accepting = [
+        label for label, instruction in machine.instructions if instruction.kind is OpKind.HALT
+    ]
+    return DatabaseDrivenSystem.build(
+        schema=SIBLING_CCA_SCHEMA,
+        registers=registers,
+        states=states,
+        initial="boot",
+        accepting=accepting,
+        transitions=transitions,
+    )
+
+
+def demonstrate_fact16(
+    machine: CounterMachine, height: int, max_steps: Optional[int] = None
+) -> bool:
+    """Does the Fact 16 system accept over the caterpillar of the given height?"""
+    system = fact16_system(machine)
+    database = caterpillar_database(height)
+    return find_accepting_run(system, database, max_steps=max_steps) is not None
+
+
+# -- Theorem 17: data tree patterns ----------------------------------------------------------------------
+
+
+def pattern_chain_database(length: int) -> Structure:
+    """The Theorem 17 tree: a root ``r`` with ``length`` subtrees ``a_i -> b_i``.
+
+    Data values link consecutive subtrees: the ``b`` node of subtree ``i``
+    shares its value with the ``a`` node of subtree ``i+1``, which is how the
+    encoded counter machine steps from one subtree to the next.  The schema
+    uses the descendant order, the labels and the data-equality relation
+    ``sim`` (the tree-pattern formulas of Section 6.3 only need these).
+    """
+    schema = Schema.relational(anc=2, sim=2, label_r=1, label_a=1, label_b=1)
+    nodes: List[object] = ["root"]
+    values: Dict[object, int] = {"root": -1}
+    anc = {("root", "root")}
+    labels = {"label_r": {("root",)}, "label_a": set(), "label_b": set()}
+    for i in range(length):
+        a, b = f"a{i}", f"b{i}"
+        nodes.extend([a, b])
+        labels["label_a"].add((a,))
+        labels["label_b"].add((b,))
+        anc |= {("root", a), ("root", b), (a, b), (a, a), (b, b)}
+        values[a] = i
+        values[b] = i + 1
+    sim = {
+        (x, y)
+        for x in nodes
+        for y in nodes
+        if values[x] == values[y]
+    }
+    return Structure(
+        schema,
+        nodes,
+        relations={"anc": anc, "sim": sim, **labels},
+        validate=False,
+    )
+
+
+def theorem17_system(machine: CounterMachine) -> DatabaseDrivenSystem:
+    """A data-tree-pattern encoding of a counter machine (Theorem 17, simplified).
+
+    Counters are registers holding ``a`` nodes of the chain database; the
+    counter's value is the index of the subtree.  Increment asks -- with a
+    tree-pattern-style existential guard -- for another subtree whose ``a``
+    node shares its data value with the current subtree's ``b`` node.  The
+    guards are boolean combinations of (distinct-variable) existential
+    patterns, which is exactly the feature Theorem 17 shows to be undecidable.
+    """
+    schema = Schema.relational(anc=2, sim=2, label_r=1, label_a=1, label_b=1)
+    registers = ["c0", "c1", "z"]
+    keep = {r: f"{r}_old = {r}_new" for r in registers}
+
+    def keep_except(*moved: str) -> str:
+        return " & ".join(keep[r] for r in registers if r not in moved)
+
+    def step_guard(counter: str, forward: bool) -> str:
+        source = f"{counter}_old" if forward else f"{counter}_new"
+        target = f"{counter}_new" if forward else f"{counter}_old"
+        return (
+            f"exists!= u, v . (label_a({source}) & label_a({target}) & label_b(u) "
+            f"& anc({source}, u) & sim(u, {target}) & anc(v, {target}) & label_r(v)) & "
+            + keep_except(counter)
+        )
+
+    transitions: List[Tuple[str, str, str]] = []
+    transitions.append(
+        ("boot", " & ".join([keep["z"], "c0_new = z_new", "c1_new = z_new", "label_a(z_new)"]),
+         machine.initial_label)
+    )
+    for label, instruction in machine.instructions:
+        if instruction.kind is OpKind.HALT:
+            continue
+        counter = f"c{instruction.counter}"
+        if instruction.kind is OpKind.INC:
+            transitions.append((label, step_guard(counter, True), instruction.target))
+        elif instruction.kind is OpKind.DEC:
+            transitions.append((label, step_guard(counter, False), instruction.target))
+        elif instruction.kind is OpKind.JZ:
+            transitions.append((label, f"sim({counter}_old, z_old) & " + keep_except(),
+                                instruction.target))
+            transitions.append((label, f"!(sim({counter}_old, z_old)) & " + keep_except(),
+                                instruction.fallthrough))
+
+    states = ["boot"] + machine.labels
+    accepting = [
+        label for label, instruction in machine.instructions if instruction.kind is OpKind.HALT
+    ]
+    return DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=registers,
+        states=states,
+        initial="boot",
+        accepting=accepting,
+        transitions=transitions,
+        allow_existential_guards=True,
+    )
+
+
+def demonstrate_theorem17(
+    machine: CounterMachine, chain_length: int, max_steps: Optional[int] = None
+) -> bool:
+    """Does the Theorem 17 system accept over the chain of the given length?"""
+    system = theorem17_system(machine)
+    database = pattern_chain_database(chain_length)
+    return find_accepting_run(system, database, max_steps=max_steps) is not None

@@ -1,0 +1,40 @@
+"""Regular word languages: NFAs, word/run databases, Theorem 10."""
+
+from repro.words.nfa import NFA, PositionAutomaton
+from repro.words.worddb import (
+    BEFORE,
+    all_words,
+    label_predicate,
+    word_schema,
+    worddb,
+    worddb_language,
+)
+from repro.words.rundb import (
+    in_class_c,
+    leftmost_function,
+    pre_run_of_word,
+    rightmost_function,
+    run_schema,
+    rundb,
+    state_predicate,
+)
+from repro.words.theory import WordRunTheory
+
+__all__ = [
+    "NFA",
+    "PositionAutomaton",
+    "WordRunTheory",
+    "word_schema",
+    "worddb",
+    "worddb_language",
+    "all_words",
+    "label_predicate",
+    "BEFORE",
+    "run_schema",
+    "rundb",
+    "in_class_c",
+    "pre_run_of_word",
+    "state_predicate",
+    "leftmost_function",
+    "rightmost_function",
+]

@@ -1,0 +1,359 @@
+"""Nondeterministic finite automata and their run-position normal form.
+
+Section 5.1 of the paper works with NFAs in a particular normal form: runs
+label word *positions* with states (the state reached after reading the
+position) and every state can read a unique letter.  :class:`NFA` is the
+ordinary textbook model; :class:`PositionAutomaton` is the normal form, with
+
+* ``letter(state)`` -- the unique input letter read in a state,
+* the one-step relation ``->`` between consecutive position states,
+* *initial followers* (states allowed on the first position) and accepting
+  states (allowed on the last position),
+* trimming (every state lies on some accepting run), and
+* the strongly connected *components* of ``->+`` together with reachability,
+  which drive both the Lemma 12 chain condition and the pointer functions of
+  the run databases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AutomatonError
+
+State = str
+Letter = str
+
+
+@dataclass(frozen=True)
+class NFA:
+    """A classical NFA over a finite alphabet."""
+
+    states: FrozenSet[State]
+    alphabet: FrozenSet[Letter]
+    transitions: FrozenSet[Tuple[State, Letter, State]]
+    initial: FrozenSet[State]
+    accepting: FrozenSet[State]
+
+    @classmethod
+    def make(
+        cls,
+        states: Iterable[State],
+        alphabet: Iterable[Letter],
+        transitions: Iterable[Tuple[State, Letter, State]],
+        initial: Iterable[State],
+        accepting: Iterable[State],
+    ) -> "NFA":
+        states = frozenset(states)
+        alphabet = frozenset(alphabet)
+        transitions = frozenset(transitions)
+        initial = frozenset(initial)
+        accepting = frozenset(accepting)
+        for p, a, q in transitions:
+            if p not in states or q not in states:
+                raise AutomatonError(f"transition ({p}, {a}, {q}) uses unknown states")
+            if a not in alphabet:
+                raise AutomatonError(f"transition letter {a!r} not in the alphabet")
+        if not initial <= states or not accepting <= states:
+            raise AutomatonError("initial/accepting states must be states")
+        return cls(states, alphabet, transitions, initial, accepting)
+
+    def accepts(self, word: Sequence[Letter]) -> bool:
+        """Membership of a word in the language (subset construction on the fly)."""
+        current = set(self.initial)
+        for letter in word:
+            current = {
+                q for p, a, q in self.transitions if p in current and a == letter
+            }
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def language_sample(self, max_length: int) -> Iterator[Tuple[Letter, ...]]:
+        """All accepted words up to a length bound (used by the baselines)."""
+        alphabet = sorted(self.alphabet)
+        for length in range(max_length + 1):
+            for word in itertools.product(alphabet, repeat=length):
+                if self.accepts(word):
+                    yield word
+
+
+@dataclass
+class PositionAutomaton:
+    """The position-labelling normal form of an NFA (Section 5.1).
+
+    States are pairs ``(q, a)`` of an NFA state and the letter read to reach
+    it, collapsed into strings ``"q|a"`` for readability.  Position ``x`` of a
+    word carries the state reached *after* reading ``x``.
+    """
+
+    states: List[State]
+    letter: Dict[State, Letter]
+    step: Dict[State, Set[State]]
+    initial_followers: Set[State]
+    accepting: Set[State]
+    alphabet: List[Letter]
+
+    # Populated by _analyse().
+    reach_plus: Dict[State, Set[State]] = field(default_factory=dict)
+    component_of: Dict[State, int] = field(default_factory=dict)
+    components: List[FrozenSet[State]] = field(default_factory=list)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_nfa(cls, nfa: NFA, trim: bool = True) -> "PositionAutomaton":
+        states: List[State] = []
+        letter: Dict[State, Letter] = {}
+        origin: Dict[State, Set[State]] = {}
+        for p, a, q in sorted(nfa.transitions):
+            name = f"{q}|{a}"
+            if name not in letter:
+                states.append(name)
+                letter[name] = a
+                origin[name] = set()
+            origin[name].add(q)
+        step: Dict[State, Set[State]] = {s: set() for s in states}
+        for s in states:
+            nfa_state = s.rsplit("|", 1)[0]
+            for p, a, q in nfa.transitions:
+                if p == nfa_state:
+                    step[s].add(f"{q}|{a}")
+        initial_followers = {
+            f"{q}|{a}" for p, a, q in nfa.transitions if p in nfa.initial
+        }
+        accepting = {s for s in states if s.rsplit("|", 1)[0] in nfa.accepting}
+        automaton = cls(
+            states=states,
+            letter=letter,
+            step=step,
+            initial_followers=initial_followers,
+            accepting=accepting,
+            alphabet=sorted(nfa.alphabet),
+        )
+        if trim:
+            automaton = automaton.trimmed()
+        automaton._analyse()
+        return automaton
+
+    def trimmed(self) -> "PositionAutomaton":
+        """Keep only states reachable from an initial follower and co-reachable
+        to an accepting state (useless states would break the completability
+        arguments of Section 5.1)."""
+        forward = _closure(self.initial_followers, self.step)
+        reverse_step: Dict[State, Set[State]] = {s: set() for s in self.states}
+        for s, targets in self.step.items():
+            for t in targets:
+                reverse_step.setdefault(t, set()).add(s)
+        backward = _closure(self.accepting, reverse_step)
+        keep = forward & backward
+        states = [s for s in self.states if s in keep]
+        return PositionAutomaton(
+            states=states,
+            letter={s: self.letter[s] for s in states},
+            step={s: {t for t in self.step[s] if t in keep} for s in states},
+            initial_followers=self.initial_followers & keep,
+            accepting=self.accepting & keep,
+            alphabet=self.alphabet,
+        )
+
+    # -- analysis -----------------------------------------------------------------
+
+    def _analyse(self) -> None:
+        self.reach_plus = {s: _reachable_from(s, self.step) for s in self.states}
+        self.components, self.component_of = _strongly_connected_components(
+            self.states, self.step
+        )
+
+    def reaches_plus(self, source: State, target: State) -> bool:
+        """``source ->+ target`` (one or more steps)."""
+        return target in self.reach_plus.get(source, set())
+
+    def reaches_star(self, source: State, target: State) -> bool:
+        """``source ->* target`` (zero or more steps)."""
+        return source == target or self.reaches_plus(source, target)
+
+    def chain_condition(self, states: Sequence[State]) -> bool:
+        """Lemma 12: consecutive position states must satisfy ``->+``."""
+        return all(
+            self.reaches_plus(left, right) for left, right in zip(states, states[1:])
+        )
+
+    def component_count(self) -> int:
+        return len(self.components)
+
+    # -- runs and words ------------------------------------------------------------
+
+    def accepts_with_run(self, word: Sequence[Letter]) -> Optional[List[State]]:
+        """A position run for the word, or ``None`` if the word is rejected."""
+        if not word:
+            return None
+        layers: List[Set[State]] = []
+        current = {
+            s for s in self.initial_followers if self.letter[s] == word[0]
+        }
+        layers.append(set(current))
+        for a in word[1:]:
+            current = {
+                t for s in current for t in self.step[s] if self.letter[t] == a
+            }
+            layers.append(set(current))
+            if not current:
+                return None
+        final = [s for s in layers[-1] if s in self.accepting]
+        if not final:
+            return None
+        run = [final[0]]
+        for index in range(len(word) - 2, -1, -1):
+            previous = next(
+                s for s in layers[index] if run[0] in self.step[s]
+            )
+            run.insert(0, previous)
+        return run
+
+    def chain_to_word(
+        self, states: Sequence[State], complete: bool = True
+    ) -> Tuple[List[Letter], List[State]]:
+        """Expand a ``->+`` chain into a concrete accepted word with its run.
+
+        Consecutive chain states are joined by explicit shortest ``->`` paths;
+        with ``complete=True`` the word is additionally prefixed so it starts
+        at an initial follower and suffixed so it ends in an accepting state.
+        This is the witness-expansion step used when reconstructing concrete
+        word databases from abstract run fragments.
+        """
+        if not states:
+            raise AutomatonError("cannot expand an empty chain")
+        full: List[State] = [states[0]]
+        for target in states[1:]:
+            path = self._shortest_path(full[-1], target)
+            if path is None:
+                raise AutomatonError(f"no ->+ path from {full[-1]} to {target}")
+            full.extend(path[1:])
+        if complete:
+            prefix = self._path_from_initial(full[0])
+            suffix = self._path_to_accepting(full[-1])
+            full = prefix[:-1] + full + suffix[1:]
+        return [self.letter[s] for s in full], full
+
+    def _shortest_path(self, source: State, target: State) -> Optional[List[State]]:
+        if target in self.step.get(source, set()):
+            return [source, target]
+        frontier = [[source, t] for t in sorted(self.step.get(source, set()))]
+        seen = {source}
+        while frontier:
+            path = frontier.pop(0)
+            last = path[-1]
+            if last == target:
+                return path
+            if last in seen and len(path) > 2:
+                continue
+            seen.add(last)
+            for nxt in sorted(self.step.get(last, set())):
+                if nxt == target:
+                    return path + [nxt]
+                if nxt not in seen:
+                    frontier.append(path + [nxt])
+        return None
+
+    def _path_from_initial(self, state: State) -> List[State]:
+        if state in self.initial_followers:
+            return [state]
+        for start in sorted(self.initial_followers):
+            path = self._shortest_path(start, state)
+            if path is not None:
+                return path
+        raise AutomatonError(f"state {state} unreachable from initial followers")
+
+    def _path_to_accepting(self, state: State) -> List[State]:
+        if state in self.accepting:
+            return [state]
+        for end in sorted(self.accepting):
+            path = self._shortest_path(state, end)
+            if path is not None:
+                return path
+        raise AutomatonError(f"no accepting state reachable from {state}")
+
+
+def _closure(seeds: Set[State], step: Dict[State, Set[State]]) -> Set[State]:
+    seen = set(seeds)
+    frontier = list(seeds)
+    while frontier:
+        state = frontier.pop()
+        for nxt in step.get(state, set()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def _reachable_from(state: State, step: Dict[State, Set[State]]) -> Set[State]:
+    """States reachable in one or more steps."""
+    seen: Set[State] = set()
+    frontier = list(step.get(state, set()))
+    seen.update(frontier)
+    while frontier:
+        current = frontier.pop()
+        for nxt in step.get(current, set()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def _strongly_connected_components(
+    states: List[State], step: Dict[State, Set[State]]
+) -> Tuple[List[FrozenSet[State]], Dict[State, int]]:
+    """Tarjan's algorithm; singleton non-self-reachable states form their own
+    component, matching the paper's convention."""
+    index_counter = itertools.count()
+    stack: List[State] = []
+    lowlink: Dict[State, int] = {}
+    index: Dict[State, int] = {}
+    on_stack: Dict[State, bool] = {}
+    components: List[FrozenSet[State]] = []
+    component_of: Dict[State, int] = {}
+
+    def strongconnect(node: State) -> None:
+        work = [(node, iter(sorted(step.get(node, set()))))]
+        index[node] = lowlink[node] = next(index_counter)
+        stack.append(node)
+        on_stack[node] = True
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = next(index_counter)
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append((successor, iter(sorted(step.get(successor, set())))))
+                    advanced = True
+                    break
+                if on_stack.get(successor):
+                    lowlink[current] = min(lowlink[current], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index[current]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == current:
+                        break
+                identifier = len(components)
+                components.append(frozenset(component))
+                for member in component:
+                    component_of[member] = identifier
+
+    for state in states:
+        if state not in index:
+            strongconnect(state)
+    return components, component_of

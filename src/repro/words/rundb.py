@@ -1,0 +1,126 @@
+"""Run databases for words: ``Rundb(pi)`` with component pointers (Section 5.1).
+
+A *pre-run* is a word whose positions are additionally labelled with states
+of the position automaton.  Its run database extends ``Worddb`` with
+
+* a unary predicate per state,
+* for every strongly connected component Γ of the one-step relation, unary
+  functions ``leftmost_Γ`` / ``rightmost_Γ`` mapping a position ``x`` to the
+  left-most / right-most position before / after ``x`` whose state lies in Γ
+  (or to ``x`` itself when there is none -- the paper's encoding of
+  "undefined").
+
+The class ``C`` of Section 5.1 is the closure under (induced, pointer-closed)
+substructures of the run databases of runs; Lemma 12 characterises its
+members by the ``->+`` chain condition.  These constructions are used for the
+abstraction keys of :class:`repro.words.theory.WordRunTheory` and by the
+property-based tests of Proposition 2 (closure under amalgamation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+from repro.words.nfa import PositionAutomaton
+from repro.words.worddb import BEFORE, label_predicate
+
+STATE_PREFIX = "state_"
+LEFTMOST_PREFIX = "leftmost_"
+RIGHTMOST_PREFIX = "rightmost_"
+
+
+def state_predicate(state: str) -> str:
+    """The unary predicate naming an automaton state."""
+    return f"{STATE_PREFIX}{state}"
+
+
+def leftmost_function(component: int) -> str:
+    return f"{LEFTMOST_PREFIX}{component}"
+
+
+def rightmost_function(component: int) -> str:
+    return f"{RIGHTMOST_PREFIX}{component}"
+
+
+def run_schema(automaton: PositionAutomaton) -> Schema:
+    """The extended schema of run databases for a position automaton."""
+    relations: Dict[str, int] = {BEFORE: 2}
+    for letter in automaton.alphabet:
+        relations[label_predicate(letter)] = 1
+    for state in automaton.states:
+        relations[state_predicate(state)] = 1
+    functions: Dict[str, int] = {}
+    for component in range(automaton.component_count()):
+        functions[leftmost_function(component)] = 1
+        functions[rightmost_function(component)] = 1
+    return Schema(relations=relations, functions=functions)
+
+
+def rundb(
+    automaton: PositionAutomaton,
+    positions: Sequence[Tuple[object, str]],
+) -> Structure:
+    """The run database of a pre-run given as ``(position, state)`` pairs in order.
+
+    Positions may be arbitrary hashable identifiers; their order in the
+    sequence is the word order.  Pointer functions are computed exactly as in
+    the paper: ``leftmost_Γ(x)`` is the left-most position *before* ``x``
+    carrying a state in Γ, defaulting to ``x``.
+    """
+    schema = run_schema(automaton)
+    ids = [p for p, _ in positions]
+    states = [s for _, s in positions]
+    index_of = {p: i for i, (p, _) in enumerate(positions)}
+
+    relations: Dict[str, set] = {
+        BEFORE: {
+            (a, b)
+            for a in ids
+            for b in ids
+            if index_of[a] < index_of[b]
+        }
+    }
+    for letter in automaton.alphabet:
+        relations[label_predicate(letter)] = set()
+    for state in automaton.states:
+        relations[state_predicate(state)] = set()
+    for position, state in positions:
+        relations[label_predicate(automaton.letter[state])].add((position,))
+        relations[state_predicate(state)].add((position,))
+
+    functions: Dict[str, Dict[Tuple[object, ...], object]] = {}
+    for component in range(automaton.component_count()):
+        left_table: Dict[Tuple[object, ...], object] = {}
+        right_table: Dict[Tuple[object, ...], object] = {}
+        members = [
+            i
+            for i, state in enumerate(states)
+            if automaton.component_of.get(state) == component
+        ]
+        for i, position in enumerate(ids):
+            before_members = [m for m in members if m < i]
+            after_members = [m for m in members if m > i]
+            left_table[(position,)] = ids[min(before_members)] if before_members else position
+            right_table[(position,)] = ids[max(after_members)] if after_members else position
+        functions[leftmost_function(component)] = left_table
+        functions[rightmost_function(component)] = right_table
+
+    return Structure(schema, ids, relations=relations, functions=functions, validate=False)
+
+
+def in_class_c(automaton: PositionAutomaton, positions: Sequence[Tuple[object, str]]) -> bool:
+    """Lemma 12: is the run database of this pre-run in the class C?"""
+    states = [s for _, s in positions]
+    return automaton.chain_condition(states)
+
+
+def pre_run_of_word(
+    automaton: PositionAutomaton, word: Sequence[str]
+) -> List[Tuple[int, str]]:
+    """An accepting pre-run of a word (positions numbered 0..n-1), if any."""
+    run = automaton.accepts_with_run(word)
+    if run is None:
+        raise ValueError("the word is not accepted by the automaton")
+    return list(enumerate(run))

@@ -1,0 +1,67 @@
+"""Word databases: ``Worddb(w)`` and the schema ``WordSchema(A)`` (Section 5.1).
+
+A word is modelled as a database whose domain is its set of positions, with a
+unary label predicate per letter and the binary order ``before`` on
+positions.  Guards of database-driven systems over words use exactly these
+symbols (Theorem 10); the extended *run* schema with state predicates and the
+leftmost/rightmost component pointers lives in :mod:`repro.words.rundb`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+
+BEFORE = "before"
+LABEL_PREFIX = "label_"
+
+
+def label_predicate(letter: str) -> str:
+    """The unary predicate naming a letter, e.g. ``label_a``."""
+    return f"{LABEL_PREFIX}{letter}"
+
+
+def word_schema(alphabet: Iterable[str]) -> Schema:
+    """``WordSchema(A)``: label predicates plus the position order ``before``."""
+    relations: Dict[str, int] = {BEFORE: 2}
+    for letter in alphabet:
+        relations[label_predicate(letter)] = 1
+    return Schema(relations=relations)
+
+
+def worddb(word: Sequence[str], alphabet: Iterable[str] = ()) -> Structure:
+    """``Worddb(w)``: the database of a concrete word.
+
+    Positions are numbered from 0; ``before`` is the strict order on positions.
+    The alphabet defaults to the set of letters occurring in the word but may
+    be passed explicitly so different words share a schema.
+    """
+    letters = set(alphabet) | set(word)
+    schema = word_schema(sorted(letters))
+    positions = list(range(len(word)))
+    relations: Dict[str, set] = {
+        BEFORE: {(i, j) for i, j in itertools.product(positions, repeat=2) if i < j}
+    }
+    for letter in letters:
+        relations[label_predicate(letter)] = {
+            (i,) for i, a in enumerate(word) if a == letter
+        }
+    return Structure(schema, positions, relations=relations, validate=False)
+
+
+def worddb_language(
+    words: Iterable[Sequence[str]], alphabet: Iterable[str]
+) -> Iterator[Structure]:
+    """``Worddb(L)`` restricted to an explicit finite sample of ``L``."""
+    letters = sorted(set(alphabet))
+    for word in words:
+        yield worddb(word, letters)
+
+
+def all_words(alphabet: Sequence[str], max_length: int) -> Iterator[Tuple[str, ...]]:
+    """Every word over the alphabet up to a length bound (baseline enumeration)."""
+    for length in range(max_length + 1):
+        yield from itertools.product(sorted(alphabet), repeat=length)

@@ -1,0 +1,188 @@
+"""Tests for Fraïssé-class machinery: amalgamation instances and solutions."""
+
+import pytest
+
+from repro.errors import TheoryError
+from repro.fraisse.amalgamation import (
+    AmalgamationInstance,
+    find_amalgamation_solution,
+    free_amalgam,
+    has_joint_embedding,
+    union_of_consistent,
+    verify_solution,
+)
+from repro.fraisse.base import generic_abstraction_key, set_partitions
+from repro.logic.morphisms import find_homomorphism
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+from repro.relational.csp import clique_template
+
+GRAPH = Schema.relational(E=2)
+
+
+def edgeless(n):
+    return Structure(GRAPH, list(range(n)))
+
+
+def edge(a, b, extra=()):
+    nodes = {a, b} | set(extra)
+    return Structure(GRAPH, nodes, relations={"E": {(a, b)}})
+
+
+def test_inclusion_instance_and_free_amalgam_basics():
+    shared = edgeless(1)  # the single node 0
+    left = edge(0, 1)
+    right = edge(0, 2)
+    instance = AmalgamationInstance.inclusion(shared, left, right)
+    solution = free_amalgam(instance)
+    assert verify_solution(instance, solution)
+    amalgam = solution.amalgam
+    assert amalgam.size == 3
+    # Both edges survive; no cross edge between the two non-shared parts.
+    assert len(amalgam.relation("E")) == 2
+
+
+def test_make_rejects_non_embeddings():
+    shared = edge(0, 1)
+    left = edgeless(2)
+    with pytest.raises(TheoryError):
+        AmalgamationInstance.make(shared, left, left, {0: 0, 1: 1}, {0: 0, 1: 1})
+
+
+def test_free_amalgam_requires_relational_schema():
+    schema = Schema(relations={}, functions={"f": 1})
+    shared = Structure(schema, [0], functions={"f": {(0,): 0}})
+    instance = AmalgamationInstance.inclusion(shared, shared, shared)
+    with pytest.raises(TheoryError):
+        free_amalgam(instance)
+
+
+def test_union_of_consistent_structures():
+    left = edge(0, 1)
+    right = edge(1, 2)
+    union = union_of_consistent(left, right)
+    assert union.size == 3
+    assert union.holds("E", 0, 1) and union.holds("E", 1, 2)
+    inconsistent_left = Structure(GRAPH, [0, 1], relations={"E": {(0, 1), (1, 0)}})
+    inconsistent_right = Structure(GRAPH, [0, 1, 2], relations={"E": {(1, 2)}})
+    with pytest.raises(TheoryError):
+        union_of_consistent(inconsistent_left, inconsistent_right)
+
+
+def test_forests_not_closed_under_amalgamation_example3():
+    """Example 3: the class of forests is not closed under amalgamation."""
+
+    def is_forest(structure: Structure) -> bool:
+        # A directed forest: every node has at most one parent and no cycles.
+        parents = {}
+        for a, b in structure.relation("E"):
+            if b in parents:
+                return False
+            parents[b] = a
+        # cycle check
+        for start in structure.domain:
+            seen = set()
+            node = start
+            while node in parents:
+                node = parents[node]
+                if node in seen or node == start:
+                    return False
+                seen.add(node)
+        return True
+
+    # Shared part: three isolated nodes x, y, v.  The left side routes x to v
+    # through a fresh node a, the right side routes y to v through a fresh
+    # node b.  In any amalgam either v keeps two distinct parents (a and b) or,
+    # if a and b are identified, the merged node gets the two distinct shared
+    # parents x and y -- never a forest.
+    shared = Structure(GRAPH, ["x", "y", "v"])
+    left = Structure(
+        GRAPH, ["x", "y", "v", "a"], relations={"E": {("x", "a"), ("a", "v")}}
+    )
+    right = Structure(
+        GRAPH, ["x", "y", "v", "b"], relations={"E": {("y", "b"), ("b", "v")}}
+    )
+    instance = AmalgamationInstance.inclusion(shared, left, right)
+    assert is_forest(left) and is_forest(right)
+    solution = find_amalgamation_solution(instance, is_forest, extra_tuple_budget=0)
+    assert solution is None
+    # ... while the class of all graphs of course has the free solution.
+    assert find_amalgamation_solution(instance, lambda s: True) is not None
+
+
+def test_hom_class_closed_under_amalgamation_lemma7():
+    """Lemma 7: the (coloured) HOM class admits the free amalgam."""
+    template = clique_template(2)
+
+    def in_hom(structure: Structure) -> bool:
+        return find_homomorphism(structure, template) is not None
+
+    shared = edgeless(1)
+    left = edge(0, 1)
+    right = edge(0, 2)
+    instance = AmalgamationInstance.inclusion(shared, left, right)
+    solution = find_amalgamation_solution(instance, in_hom)
+    assert solution is not None
+    assert in_hom(solution.amalgam)
+
+
+def test_linear_orders_need_extra_tuples():
+    """Linear orders have no free amalgam but do amalgamate with added tuples."""
+
+    def is_strict_linear_order(structure: Structure) -> bool:
+        nodes = list(structure.domain)
+        rel = structure.relation("E")
+        for a in nodes:
+            if (a, a) in rel:
+                return False
+            for b in nodes:
+                if a != b and (((a, b) in rel) == ((b, a) in rel)):
+                    return False
+                for c in nodes:
+                    if (a, b) in rel and (b, c) in rel and (a, c) not in rel:
+                        return False
+        return True
+
+    shared = edgeless(1)
+    left = edge(0, 1)      # 0 < 1
+    right = edge(0, 2)     # 0 < 2
+    instance = AmalgamationInstance.inclusion(shared, left, right)
+    free = free_amalgam(instance)
+    assert not is_strict_linear_order(free.amalgam)
+    solution = find_amalgamation_solution(
+        instance, is_strict_linear_order, extra_tuple_budget=1
+    )
+    assert solution is not None
+    assert is_strict_linear_order(solution.amalgam)
+
+
+def test_joint_embedding_via_disjoint_union():
+    assert has_joint_embedding(edge(0, 1), edge(0, 1), lambda s: True)
+
+
+# -- generic abstraction key -------------------------------------------------------------------
+
+
+def test_generic_abstraction_key_identifies_register_isomorphic_configs():
+    g1 = Structure(GRAPH, [0, 1, 5], relations={"E": {(0, 1), (1, 5)}})
+    g2 = Structure(GRAPH, [3, 7, 9], relations={"E": {(3, 7), (7, 9), (9, 9)}})
+    key1 = generic_abstraction_key(g1, {"x": 0, "y": 1})
+    key2 = generic_abstraction_key(g2, {"x": 3, "y": 7})
+    assert key1 == key2  # the (9,9) loop is outside the generated part
+    key3 = generic_abstraction_key(g2, {"x": 7, "y": 3})
+    assert key3 != key1  # register assignment matters
+
+
+def test_generic_abstraction_key_includes_function_closure():
+    schema = Schema(relations={}, functions={"f": 1})
+    a = Structure(schema, [0, 1, 2], functions={"f": {(0,): 1, (1,): 2, (2,): 2}})
+    b = Structure(schema, [0, 1, 2], functions={"f": {(0,): 1, (1,): 1, (2,): 2}})
+    assert generic_abstraction_key(a, {"x": 0}) != generic_abstraction_key(b, {"x": 0})
+
+
+def test_set_partitions_counts():
+    assert len(list(set_partitions([1]))) == 1
+    assert len(list(set_partitions([1, 2]))) == 2
+    assert len(list(set_partitions([1, 2, 3]))) == 5  # Bell number B3
+    assert len(list(set_partitions([1, 2, 3, 4]))) == 15  # Bell number B4
+    assert list(set_partitions([])) == [[]]

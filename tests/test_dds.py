@@ -1,0 +1,222 @@
+"""Unit tests for database-driven systems, simulation and Fact 2 compilation."""
+
+import pytest
+
+from repro.errors import RunError, SystemError_
+from repro.library import (
+    odd_red_cycle_system,
+    red_path_system,
+    self_loop_required_system,
+    triangle_system,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+from repro.relational.csp import (
+    COLORED_GRAPH_SCHEMA,
+    GRAPH_SCHEMA,
+    cycle_graph,
+    example_graph_g,
+    path_graph,
+)
+from repro.systems.dds import Configuration, DatabaseDrivenSystem, Run, Transition, new, old, split_register_variable
+from repro.systems.existential import (
+    auxiliary_register_count,
+    compile_existential_guards,
+)
+from repro.systems.simulate import (
+    count_reachable_configurations,
+    find_accepting_run,
+    has_accepting_run,
+)
+
+
+def test_old_new_helpers():
+    assert old("x") == "x_old" and new("x") == "x_new"
+    assert split_register_variable("x_old") == ("x", "old")
+    assert split_register_variable("acc_new") == ("acc", "new")
+    with pytest.raises(SystemError_):
+        split_register_variable("x")
+
+
+def test_build_validates_states_and_registers():
+    with pytest.raises(SystemError_):
+        DatabaseDrivenSystem.build(
+            schema=GRAPH_SCHEMA, registers=["x"], states=["a"], initial="a",
+            accepting="missing", transitions=[],
+        )
+    with pytest.raises(SystemError_):
+        DatabaseDrivenSystem.build(
+            schema=GRAPH_SCHEMA, registers=["x"], states=["a"], initial="a",
+            accepting="a", transitions=[("a", "E(y_old, y_new)", "a")],
+        )
+    with pytest.raises(SystemError_):
+        DatabaseDrivenSystem.build(
+            schema=GRAPH_SCHEMA, registers=[], states=["a"], initial="a",
+            accepting="a", transitions=[],
+        )
+
+
+def test_existential_guard_rejected_unless_allowed():
+    with pytest.raises(SystemError_):
+        DatabaseDrivenSystem.build(
+            schema=GRAPH_SCHEMA, registers=["x"], states=["a", "b"], initial="a",
+            accepting="b", transitions=[("a", "exists u . E(x_old, u)", "b")],
+        )
+    system = DatabaseDrivenSystem.build(
+        schema=GRAPH_SCHEMA, registers=["x"], states=["a", "b"], initial="a",
+        accepting="b", transitions=[("a", "exists u . E(x_old, u)", "b")],
+        allow_existential_guards=True,
+    )
+    assert len(system.transitions) == 1
+
+
+def test_example1_accepting_run_on_example_graph():
+    system = odd_red_cycle_system()
+    graph = example_graph_g()
+    run = find_accepting_run(system, graph)
+    assert run is not None
+    assert run.final_state == "end"
+    system.validate_run(run)
+    # The accepted cycle has odd length: the run visits q0/q1 alternately and
+    # ends right after q1, so the number of moves is odd.
+    moves = sum(1 for state, _ in run.steps if state in ("q0", "q1")) - 1
+    assert moves % 2 == 1
+
+
+def test_example1_rejects_even_red_cycle_only_graph():
+    system = odd_red_cycle_system()
+    even_cycle = cycle_graph(4, red=True)
+    assert not has_accepting_run(system, even_cycle)
+    odd_cycle = cycle_graph(3, red=True)
+    assert has_accepting_run(system, odd_cycle)
+    white_odd_cycle = cycle_graph(3, red=False)
+    assert not has_accepting_run(system, white_odd_cycle)
+
+
+def test_run_validation_errors():
+    system = odd_red_cycle_system()
+    graph = cycle_graph(3, red=True)
+    run = Run(database=graph, steps=[("q0", {"x": 0, "y": 0})])
+    with pytest.raises(RunError):
+        system.validate_run(run)  # not an initial state
+    bad = Run(database=graph, steps=[("start", {"x": 0})])
+    with pytest.raises(RunError):
+        system.validate_run(bad)  # missing register
+    empty = Run(database=graph, steps=[])
+    with pytest.raises(RunError):
+        system.validate_run(empty)
+
+
+def test_is_transition_and_configurations():
+    system = odd_red_cycle_system()
+    graph = cycle_graph(3, red=True)
+    before = Configuration.make(graph, "start", {"x": 0, "y": 0})
+    after = Configuration.make(graph, "q0", {"x": 0, "y": 0})
+    assert system.is_transition(before, after) is not None
+    wrong = Configuration.make(graph, "q0", {"x": 0, "y": 1})
+    assert system.is_transition(before, wrong) is None
+
+
+def test_simulation_respects_max_steps():
+    system = red_path_system(3)
+    long_path = path_graph(5, red=True)
+    assert has_accepting_run(system, long_path)
+    assert not has_accepting_run(system, long_path, max_steps=2)
+
+
+def test_red_path_system_needs_red_nodes():
+    system = red_path_system(2)
+    assert not has_accepting_run(system, path_graph(5, red=False))
+
+
+def test_count_reachable_configurations():
+    system = self_loop_required_system()
+    loop = Structure(GRAPH_SCHEMA, [0], relations={"E": {(0, 0)}})
+    no_loop = Structure(GRAPH_SCHEMA, [0, 1], relations={"E": {(0, 1)}})
+    assert count_reachable_configurations(system, loop) >= 2
+    assert has_accepting_run(system, loop)
+    assert not has_accepting_run(system, no_loop)
+
+
+def test_triangle_system_semantics():
+    system = triangle_system()
+    triangle = Structure(GRAPH_SCHEMA, [0, 1, 2], relations={"E": {(0, 1), (1, 2), (2, 0)}})
+    square = cycle_graph(4, schema=GRAPH_SCHEMA)
+    assert has_accepting_run(system, triangle)
+    assert not has_accepting_run(system, square)
+
+
+def test_renamed_states_and_with_schema():
+    system = odd_red_cycle_system()
+    renamed = system.renamed_states("A_")
+    assert "A_start" in renamed.states
+    assert renamed.initial_states == frozenset({"A_start"})
+    extended = system.with_schema(COLORED_GRAPH_SCHEMA.extend(relations={"blue": 1}))
+    assert extended.schema.has_relation("blue")
+
+
+def test_describe_contains_transitions():
+    text = odd_red_cycle_system().describe()
+    assert "start" in text and "E(" in text
+
+
+# -- Fact 2: existential guard compilation ----------------------------------------------------------
+
+
+def test_fact2_compilation_preserves_emptiness_on_fixed_databases():
+    system = DatabaseDrivenSystem.build(
+        schema=GRAPH_SCHEMA, registers=["x"], states=["a", "b"], initial="a",
+        accepting="b",
+        transitions=[("a", "x_old = x_new & (exists u . E(x_old, u) & red(u))",
+                      "b")],
+        allow_existential_guards=True,
+    )
+    compiled = compile_existential_guards(system)
+    assert all(t.guard.is_quantifier_free() for t in compiled.transitions)
+    assert len(compiled.registers) == len(system.registers) + 1
+
+    schema = Schema.relational(E=2, red=1)
+    yes = Structure(schema, [0, 1], relations={"E": {(0, 1)}, "red": {(1,)}})
+    no = Structure(schema, [0, 1], relations={"E": {(0, 1)}, "red": set()})
+    sys_red = DatabaseDrivenSystem.build(
+        schema=schema, registers=["x"], states=["a", "b"], initial="a", accepting="b",
+        transitions=[("a", "x_old = x_new & (exists u . E(x_old, u) & red(u))", "b")],
+        allow_existential_guards=True,
+    )
+    compiled_red = compile_existential_guards(sys_red)
+    assert has_accepting_run(sys_red, yes) == has_accepting_run(compiled_red, yes) == True
+    assert has_accepting_run(sys_red, no) == has_accepting_run(compiled_red, no) == False
+
+
+def test_fact2_distinct_quantifier_compiles_to_inequalities():
+    system = DatabaseDrivenSystem.build(
+        schema=GRAPH_SCHEMA, registers=["x"], states=["a", "b"], initial="a",
+        accepting="b",
+        transitions=[("a", "exists!= u, v . E(u, v)", "b")],
+        allow_existential_guards=True,
+    )
+    compiled = compile_existential_guards(system)
+    assert auxiliary_register_count(system) == 2
+    loop_only = Structure(GRAPH_SCHEMA, [0], relations={"E": {(0, 0)}})
+    two_nodes = Structure(GRAPH_SCHEMA, [0, 1], relations={"E": {(0, 1)}})
+    assert not has_accepting_run(compiled, loop_only)
+    assert has_accepting_run(compiled, two_nodes)
+
+
+def test_fact2_rejects_negated_existential():
+    system = DatabaseDrivenSystem.build(
+        schema=GRAPH_SCHEMA, registers=["x"], states=["a", "b"], initial="a",
+        accepting="b",
+        transitions=[("a", "!(exists u . E(x_old, u))", "b")],
+        allow_existential_guards=True,
+    )
+    with pytest.raises(SystemError_):
+        compile_existential_guards(system)
+
+
+def test_fact2_quantifier_free_guard_untouched():
+    system = odd_red_cycle_system()
+    compiled = compile_existential_guards(system)
+    assert auxiliary_register_count(system) == 0
+    assert compiled.registers == system.registers

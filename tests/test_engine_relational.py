@@ -1,0 +1,231 @@
+"""Integration tests: the Theorem 5 engine over relational theories.
+
+Every answer of the abstraction-based solver is cross-validated -- positive
+answers by replaying the produced witness run, negative answers against the
+brute-force baseline on bounded database sizes.
+"""
+
+import pytest
+
+from repro.baselines import BruteForceSolver, brute_force_emptiness
+from repro.fraisse.engine import EmptinessSolver, decide_emptiness
+from repro.library import (
+    odd_red_cycle_system,
+    order_workflow_system,
+    red_path_system,
+    register_swap_system,
+    self_loop_required_system,
+    triangle_system,
+)
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+from repro.relational import (
+    AllDatabasesTheory,
+    HomTheory,
+    bipartite_template,
+    clique_template,
+    odd_red_cycle_free_template,
+)
+from repro.relational.csp import COLORED_GRAPH_SCHEMA, GRAPH_SCHEMA
+from repro.systems.dds import DatabaseDrivenSystem
+
+
+def check_both(system, theory, membership=None, max_size=3, expect=None):
+    """Run the engine and the brute-force baseline and compare them."""
+    result = EmptinessSolver(theory).check(system)
+    baseline = brute_force_emptiness(system, max_size=max_size, membership=membership)
+    if result.nonempty:
+        # Engine positive answers are always certified by run replay already;
+        # the baseline must agree whenever its bound is large enough to see
+        # the engine's witness.
+        if baseline.nonempty is False:
+            assert result.witness_database.size > max_size
+    else:
+        assert not baseline.nonempty
+    if expect is not None:
+        assert result.nonempty is expect
+    return result
+
+
+def test_example1_nonempty_over_all_databases():
+    system = odd_red_cycle_system()
+    result = check_both(system, AllDatabasesTheory(COLORED_GRAPH_SCHEMA), expect=True)
+    assert result.run is not None
+    assert result.witness_database.size >= 1
+
+
+def test_example2_empty_over_hom_template():
+    """Example 2: no database in HOM(H) drives an accepting run of Example 1."""
+    system = odd_red_cycle_system()
+    theory = HomTheory(odd_red_cycle_free_template())
+    result = check_both(system, theory, membership=theory.membership, expect=False)
+    assert result.exhausted
+
+
+def test_self_loop_system_needs_seed_guessing():
+    system = self_loop_required_system()
+    result = check_both(system, AllDatabasesTheory(GRAPH_SCHEMA), expect=True)
+    # The witness must contain a self loop.
+    assert any(a == b for a, b in result.witness_database.relation("E"))
+
+
+def test_triangle_over_bipartite_template_is_empty():
+    system = triangle_system()
+    theory = HomTheory(bipartite_template())
+    result = EmptinessSolver(theory).check(system)
+    assert result.empty and result.exhausted
+
+
+def test_triangle_over_k3_template_is_nonempty():
+    system = triangle_system()
+    theory = HomTheory(clique_template(3))
+    result = EmptinessSolver(theory).check(system)
+    assert result.nonempty
+    assert theory.membership(result.witness_database.project(GRAPH_SCHEMA))
+
+
+def test_red_path_system_scaling_and_witness_length():
+    system = red_path_system(3)
+    result = EmptinessSolver(AllDatabasesTheory(COLORED_GRAPH_SCHEMA)).check(system)
+    assert result.nonempty
+    assert result.run.length == 5  # start + 4 path states
+
+
+def test_register_swap_system():
+    system = register_swap_system()
+    result = check_both(system, AllDatabasesTheory(GRAPH_SCHEMA), expect=True)
+    assert result.nonempty
+
+
+def test_order_workflow_nonempty_and_hom_restriction():
+    system = order_workflow_system()
+    all_result = EmptinessSolver(AllDatabasesTheory(system.schema)).check(system)
+    assert all_result.nonempty
+    # A template where nothing is offered: the workflow can never ship.
+    template = Structure(
+        system.schema,
+        ["t"],
+        relations={"offered": set(), "requires": {("t", "t")}, "conflict": set()},
+    )
+    hom_result = EmptinessSolver(HomTheory(template)).check(system)
+    assert hom_result.empty
+
+
+def test_unsatisfiable_guard_is_empty():
+    system = DatabaseDrivenSystem.build(
+        schema=GRAPH_SCHEMA, registers=["x"], states=["a", "b"], initial="a",
+        accepting="b", transitions=[("a", "E(x_new, x_new) & !(E(x_new, x_new))", "b")],
+    )
+    result = EmptinessSolver(AllDatabasesTheory(GRAPH_SCHEMA)).check(system)
+    assert result.empty and result.exhausted
+
+
+def test_initially_accepting_state():
+    system = DatabaseDrivenSystem.build(
+        schema=GRAPH_SCHEMA, registers=["x"], states=["a"], initial="a",
+        accepting="a", transitions=[],
+    )
+    result = EmptinessSolver(AllDatabasesTheory(GRAPH_SCHEMA)).check(system)
+    assert result.nonempty
+    assert result.run.length == 1
+
+
+def test_no_accepting_states_reachable():
+    system = DatabaseDrivenSystem.build(
+        schema=GRAPH_SCHEMA, registers=["x"], states=["a", "b"], initial="a",
+        accepting="b", transitions=[],
+    )
+    result = EmptinessSolver(AllDatabasesTheory(GRAPH_SCHEMA)).check(system)
+    assert result.empty
+
+
+def test_max_configurations_limit_marks_not_exhausted():
+    system = odd_red_cycle_system()
+    result = EmptinessSolver(
+        HomTheory(odd_red_cycle_free_template()), max_configurations=5
+    ).check(system)
+    assert result.empty and not result.exhausted
+
+
+def test_decide_emptiness_wrapper():
+    assert decide_emptiness(
+        self_loop_required_system(), AllDatabasesTheory(GRAPH_SCHEMA)
+    ).nonempty
+
+
+def test_statistics_are_populated():
+    result = EmptinessSolver(AllDatabasesTheory(GRAPH_SCHEMA)).check(
+        self_loop_required_system()
+    )
+    stats = result.statistics.as_dict()
+    assert stats["configurations_explored"] >= 1
+    assert stats["candidates_generated"] >= 1
+    assert stats["elapsed_seconds"] >= 0
+
+
+def test_engine_rejects_schema_mismatch():
+    from repro.errors import SolverError
+
+    system = odd_red_cycle_system()  # uses E and red
+    with pytest.raises(SolverError):
+        EmptinessSolver(AllDatabasesTheory(GRAPH_SCHEMA)).check(system)
+
+
+def test_witness_runs_are_replayable_on_witness_database():
+    """The soundness contract: every positive answer carries a valid run."""
+    for system, theory in [
+        (odd_red_cycle_system(), AllDatabasesTheory(COLORED_GRAPH_SCHEMA)),
+        (triangle_system(), AllDatabasesTheory(GRAPH_SCHEMA)),
+        (self_loop_required_system(), AllDatabasesTheory(GRAPH_SCHEMA)),
+    ]:
+        result = EmptinessSolver(theory).check(system)
+        assert result.nonempty
+        system.validate_run(result.run)
+
+
+def test_agreement_with_brute_force_on_random_single_register_systems():
+    """Randomised cross-validation of the PSpace procedure (Theorem 4 / 5)."""
+    import random
+
+    rng = random.Random(2013)
+    guards = [
+        "E(x_old, x_new)",
+        "E(x_new, x_old)",
+        "E(x_new, x_new)",
+        "red(x_new)",
+        "!(red(x_new)) & E(x_old, x_new)",
+        "x_old = x_new & red(x_old)",
+        "!(x_old = x_new)",
+    ]
+    for trial in range(6):
+        transitions = []
+        states = ["s0", "s1", "s2"]
+        for source in states:
+            for target in states:
+                if rng.random() < 0.4:
+                    transitions.append((source, rng.choice(guards), target))
+        transitions.append(("s0", "x_old = x_new", "s1"))
+        system = DatabaseDrivenSystem.build(
+            schema=COLORED_GRAPH_SCHEMA, registers=["x"], states=states,
+            initial="s0", accepting="s2", transitions=transitions,
+        )
+        engine = EmptinessSolver(AllDatabasesTheory(COLORED_GRAPH_SCHEMA)).check(system)
+        baseline = brute_force_emptiness(system, max_size=2)
+        if engine.nonempty:
+            # Positive answers are certified by run replay; the baseline must
+            # agree whenever its size bound covers the engine's witness.
+            system.validate_run(engine.run)
+            assert baseline.nonempty or engine.witness_database.size > 2, (
+                f"trial {trial}: engine found a small witness the baseline missed"
+            )
+        else:
+            assert not baseline.nonempty, f"trial {trial}: engine is incomplete"
+
+
+def test_brute_force_solver_membership_filter():
+    system = triangle_system()
+    theory = HomTheory(bipartite_template())
+    solver = BruteForceSolver(membership=theory.membership)
+    result = solver.check(system, max_size=3)
+    assert result.empty
+    assert result.databases_checked > 0

@@ -1,0 +1,183 @@
+"""Unit tests for terms, formulas, evaluation and the guard parser."""
+
+import pytest
+
+from repro.errors import FormulaError, ParseError
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Equality,
+    Exists,
+    Not,
+    Or,
+    RelationAtom,
+    conj,
+    disj,
+    eq,
+    neq,
+    rel,
+)
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+from repro.logic.terms import FuncTerm, Var, func, var
+
+GRAPH = Schema.relational(E=2, red=1)
+TREEISH = Schema(relations={"anc": 2}, functions={"cca": 2})
+
+
+def graph():
+    return Structure(
+        GRAPH, [0, 1, 2], relations={"E": {(0, 1), (1, 2)}, "red": {(1,)}}
+    )
+
+
+def tiny_tree():
+    return Structure(
+        TREEISH,
+        [0, 1, 2],
+        relations={"anc": {(0, 0), (0, 1), (0, 2), (1, 1), (2, 2)}},
+        functions={"cca": {(a, b): (a if a == b else 0) for a in range(3) for b in range(3)}},
+    )
+
+
+def test_variable_evaluation_and_errors():
+    assert Var("x").evaluate(graph(), {"x": 1}) == 1
+    with pytest.raises(FormulaError):
+        Var("x").evaluate(graph(), {})
+    with pytest.raises(FormulaError):
+        Var("x").evaluate(graph(), {"x": 99})
+
+
+def test_function_term_evaluation():
+    term = func("cca", var("x"), var("y"))
+    assert term.evaluate(tiny_tree(), {"x": 1, "y": 2}) == 0
+    assert str(term) == "cca(x, y)"
+    with pytest.raises(FormulaError):
+        func("cca", var("x")).evaluate(tiny_tree(), {"x": 1})
+    with pytest.raises(FormulaError):
+        func("nope", var("x")).evaluate(tiny_tree(), {"x": 1})
+
+
+def test_atom_evaluation():
+    g = graph()
+    assert rel("E", var("x"), var("y")).evaluate(g, {"x": 0, "y": 1})
+    assert not rel("E", var("x"), var("y")).evaluate(g, {"x": 1, "y": 0})
+    assert rel("red", var("x")).evaluate(g, {"x": 1})
+    with pytest.raises(FormulaError):
+        rel("blue", var("x")).evaluate(g, {"x": 1})
+    with pytest.raises(FormulaError):
+        rel("E", var("x")).evaluate(g, {"x": 1})
+
+
+def test_boolean_connectives():
+    g = graph()
+    formula = (rel("E", var("x"), var("y")) & rel("red", var("y"))) | eq(var("x"), var("y"))
+    assert formula.evaluate(g, {"x": 0, "y": 1})
+    assert formula.evaluate(g, {"x": 2, "y": 2})
+    assert not formula.evaluate(g, {"x": 2, "y": 0})
+    assert (~eq(var("x"), var("y"))).evaluate(g, {"x": 0, "y": 1})
+    assert TRUE.evaluate(g, {}) and not FALSE.evaluate(g, {})
+
+
+def test_conj_disj_flatten():
+    a, b, c = (rel("red", var(v)) for v in "xyz")
+    assert conj(a, conj(b, c)) == And((a, b, c))
+    assert disj(a, disj(b, c)) == Or((a, b, c))
+    assert conj() is TRUE
+    assert disj() is FALSE
+    assert conj(a) is a
+
+
+def test_free_variables():
+    formula = conj(rel("E", var("x"), var("y")), Exists(("z",), rel("E", var("y"), var("z"))))
+    assert formula.free_variables() == frozenset({"x", "y"})
+    assert not formula.is_quantifier_free()
+
+
+def test_exists_semantics():
+    g = graph()
+    formula = Exists(("z",), rel("E", var("x"), var("z")))
+    assert formula.evaluate(g, {"x": 0})
+    assert not formula.evaluate(g, {"x": 2})
+
+
+def test_exists_distinct_semantics():
+    g = graph()
+    two_distinct_red = Exists(("u", "v"), conj(rel("red", var("u")), rel("red", var("v"))), distinct=True)
+    two_red = Exists(("u", "v"), conj(rel("red", var("u")), rel("red", var("v"))))
+    assert two_red.evaluate(g, {})
+    assert not two_distinct_red.evaluate(g, {})
+
+
+def test_substitution_and_renaming():
+    formula = rel("E", var("x"), var("y"))
+    renamed = formula.rename_variables({"x": "a"})
+    assert renamed == rel("E", var("a"), var("y"))
+    substituted = formula.substitute({"y": func("cca", var("x"), var("x"))})
+    assert isinstance(substituted.args[1], FuncTerm)
+    with pytest.raises(FormulaError):
+        Exists(("z",), rel("E", var("x"), var("z"))).substitute({"x": var("z")})
+
+
+def test_atoms_iteration():
+    formula = conj(rel("E", var("x"), var("y")), Not(eq(var("x"), var("y"))))
+    atoms = list(formula.atoms())
+    assert len(atoms) == 2
+    assert any(isinstance(a, RelationAtom) for a in atoms)
+    assert any(isinstance(a, Equality) for a in atoms)
+
+
+# -- parser ---------------------------------------------------------------------------------------
+
+
+def test_parse_simple_guard():
+    formula = parse_formula("x_old = x_new & E(y_old, y_new) & red(y_new)")
+    g = graph()
+    assert formula.evaluate(g, {"x_old": 0, "x_new": 0, "y_old": 0, "y_new": 1})
+    assert not formula.evaluate(g, {"x_old": 0, "x_new": 2, "y_old": 0, "y_new": 1})
+
+
+def test_parse_inequality_and_negation():
+    formula = parse_formula("!(x = y) & x != z")
+    assert formula == conj(Not(eq(var("x"), var("y"))), neq(var("x"), var("z")))
+
+
+def test_parse_function_terms():
+    formula = parse_formula("anc(cca(x, y), x)")
+    assert formula.evaluate(tiny_tree(), {"x": 1, "y": 2})
+    term = parse_term("cca(cca(x, y), z)")
+    assert isinstance(term, FuncTerm)
+
+
+def test_parse_precedence_and_parentheses():
+    formula = parse_formula("red(x) | red(y) & x = y")
+    # '&' binds tighter than '|'
+    g = graph()
+    assert formula.evaluate(g, {"x": 1, "y": 0})
+    grouped = parse_formula("(red(x) | red(y)) & x = y")
+    assert not grouped.evaluate(g, {"x": 1, "y": 0})
+
+
+def test_parse_exists_forms():
+    formula = parse_formula("exists u, v . E(u, v) & red(v)")
+    assert isinstance(formula, Exists)
+    assert formula.evaluate(graph(), {})
+    distinct = parse_formula("exists!= u, v . red(u) & red(v)")
+    assert isinstance(distinct, Exists) and distinct.distinct
+    assert not distinct.evaluate(graph(), {})
+
+
+def test_parse_true_false_and_errors():
+    assert parse_formula("true") is TRUE
+    assert parse_formula("false") is FALSE
+    for bad in ["", "E(x", "x =", "E(x, y) &", "& x = y", "x", "x = y extra", "E(x, y"]:
+        with pytest.raises(ParseError):
+            parse_formula(bad)
+
+
+def test_parse_roundtrip_through_str():
+    formula = parse_formula("(E(x, y) & !(x = y)) | red(cca_like)")
+    # str() output is re-parseable
+    assert parse_formula(str(formula)) is not None

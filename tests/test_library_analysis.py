@@ -1,0 +1,118 @@
+"""Tests for the ready-made systems library, baselines and the analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    SolverProfile,
+    format_table,
+    measure_word_blowup,
+    profile_check,
+)
+from repro.baselines import (
+    all_databases_of_size,
+    all_databases_up_to,
+    count_databases_of_size,
+    random_colored_graph,
+    random_databases,
+)
+from repro.library import clique_system, odd_red_cycle_system, red_path_system
+from repro.logic.schema import Schema
+from repro.relational import AllDatabasesTheory
+from repro.relational.csp import (
+    COLORED_GRAPH_SCHEMA,
+    GRAPH_SCHEMA,
+    bipartite_template,
+    clique_template,
+    cycle_graph,
+    example_graph_g,
+    odd_red_cycle_free_template,
+    path_graph,
+    template_from_edges,
+)
+from repro.systems.simulate import has_accepting_run
+from repro.words import NFA, PositionAutomaton, pre_run_of_word
+
+
+def test_enumeration_counts_match_formula():
+    schema = Schema.relational(R=1)
+    assert count_databases_of_size(schema, 2) == 4
+    assert len(list(all_databases_of_size(schema, 2))) == 4
+    assert len(list(all_databases_up_to(schema, 2))) == 2 + 4
+    graph_count = count_databases_of_size(GRAPH_SCHEMA, 2)
+    assert graph_count == 2 ** 4
+    assert len(list(all_databases_of_size(GRAPH_SCHEMA, 2))) == graph_count
+
+
+def test_random_databases_reproducible():
+    a = random_databases(GRAPH_SCHEMA, count=3, size=3, seed=7)
+    b = random_databases(GRAPH_SCHEMA, count=3, size=3, seed=7)
+    assert a == b
+    g = random_colored_graph(4)
+    assert g.schema == COLORED_GRAPH_SCHEMA
+
+
+def test_csp_templates():
+    k3 = clique_template(3)
+    assert len(k3.relation("E")) == 6
+    loops = clique_template(2, with_loops=True)
+    assert loops.holds("E", 0, 0)
+    assert bipartite_template().size == 2
+    template = odd_red_cycle_free_template()
+    assert template.holds("red", "r1") and not template.holds("red", "w")
+    custom = template_from_edges(["u", "v"], [("u", "v")], red_nodes=["u"], symmetric=True)
+    assert custom.holds("E", "v", "u")
+    with pytest.raises(Exception):
+        clique_template(0)
+
+
+def test_example_graph_and_cycles():
+    g = example_graph_g()
+    assert g.size == 5
+    assert has_accepting_run(odd_red_cycle_system(), g)
+    assert cycle_graph(3).holds("E", 2, 0)
+    assert path_graph(2).holds("E", 0, 1)
+
+
+def test_clique_system_builder():
+    system = clique_system(3)
+    assert len(system.registers) == 3
+    triangle = cycle_graph(3, schema=GRAPH_SCHEMA)
+    both_ways = template_from_edges([0, 1, 2], [(0, 1), (1, 2), (2, 0)], symmetric=True)
+    assert not has_accepting_run(system, triangle)  # directed cycle is not a 2-way clique
+    assert has_accepting_run(system, both_ways)
+
+
+def test_red_path_system_family_sizes():
+    for length in (1, 2, 3):
+        system = red_path_system(length)
+        assert len(system.states) == length + 2
+        assert has_accepting_run(system, path_graph(length + 1, red=True))
+
+
+def test_profile_check_and_format_table():
+    profile = profile_check(
+        "example1", AllDatabasesTheory(COLORED_GRAPH_SCHEMA), odd_red_cycle_system()
+    )
+    assert isinstance(profile, SolverProfile)
+    assert profile.nonempty
+    row = profile.row()
+    assert row[0] == "example1" and row[1] == "nonempty"
+    table = format_table(["label", "status"], [["a", "ok"], ["bb", "also ok"]])
+    assert "label" in table and "also ok" in table
+    assert len(table.splitlines()) == 4
+
+
+def test_measure_word_blowup_bound():
+    nfa = NFA.make(
+        states=["s0", "s1"], alphabet=["a", "b"],
+        transitions=[("s0", "a", "s0"), ("s0", "b", "s1"), ("s1", "a", "s1")],
+        initial=["s0"], accepting=["s1"],
+    )
+    automaton = PositionAutomaton.from_nfa(nfa)
+    pre_run = pre_run_of_word(automaton, ("a", "a", "b", "a"))
+    measurement = measure_word_blowup(
+        automaton, pre_run, [[0], [0, 3], [1, 2, 3]]
+    )
+    for generators, observed, theoretical in measurement.rows():
+        assert observed <= theoretical
+        assert observed >= generators

@@ -1,0 +1,124 @@
+"""Unit tests for homomorphisms, embeddings and isomorphisms."""
+
+from repro.logic.morphisms import (
+    are_isomorphic,
+    automorphisms,
+    embeds_into,
+    find_embedding,
+    find_embeddings,
+    find_homomorphism,
+    find_homomorphisms,
+    is_embedding,
+    is_homomorphism,
+    is_isomorphism,
+)
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+
+GRAPH = Schema.relational(E=2)
+
+
+def path(n):
+    return Structure(GRAPH, list(range(n + 1)), relations={"E": {(i, i + 1) for i in range(n)}})
+
+
+def cycle(n):
+    return Structure(GRAPH, list(range(n)), relations={"E": {(i, (i + 1) % n) for i in range(n)}})
+
+
+def clique(n):
+    return Structure(
+        GRAPH, list(range(n)), relations={"E": {(a, b) for a in range(n) for b in range(n) if a != b}}
+    )
+
+
+def test_is_homomorphism_checks_edges():
+    p = path(2)
+    k2 = clique(2)
+    assert is_homomorphism({0: 0, 1: 1, 2: 0}, p, k2)
+    assert not is_homomorphism({0: 0, 1: 0, 2: 0}, p, k2)
+
+
+def test_homomorphism_requires_total_map_into_target():
+    p = path(1)
+    k2 = clique(2)
+    assert not is_homomorphism({0: 0}, p, k2)
+    assert not is_homomorphism({0: 0, 1: 7}, p, k2)
+
+
+def test_find_homomorphism_odd_cycle_not_bipartite():
+    assert find_homomorphism(cycle(3), clique(2)) is None
+    assert find_homomorphism(cycle(4), clique(2)) is not None
+    assert find_homomorphism(cycle(3), clique(3)) is not None
+
+
+def test_homomorphism_count_on_small_instance():
+    # Hom(path with one edge -> K2): 2 orientations.
+    homs = list(find_homomorphisms(path(1), clique(2)))
+    assert len(homs) == 2
+
+
+def test_injective_homomorphisms():
+    homs = list(find_homomorphisms(path(1), clique(3), injective=True))
+    assert len(homs) == 6
+    assert all(len(set(h.values())) == 2 for h in homs)
+
+
+def test_partial_assignment_respected():
+    homs = list(find_homomorphisms(path(1), clique(2), partial={0: 1}))
+    assert all(h[0] == 1 for h in homs)
+    assert len(homs) == 1
+
+
+def test_embedding_reflects_edges():
+    # A one-edge path does NOT embed into a clique: the clique's reverse edge
+    # (1, 0) would have to be reflected, so the image is not an induced copy.
+    p = path(1)
+    k3 = clique(3)
+    assert find_embedding(p, k3) is None
+    assert find_homomorphism(p, k3) is not None
+    # It does embed into a longer path (an induced copy exists there).
+    target = path(4)
+    embedding = find_embedding(p, target)
+    assert embedding is not None
+    assert is_embedding(embedding, p, target)
+
+
+def test_path_embeds_into_longer_path_but_not_conversely():
+    assert embeds_into(path(1), path(3))
+    assert not embeds_into(path(3), path(1))
+
+
+def test_cycle_does_not_embed_into_path():
+    assert not embeds_into(cycle(3), path(5))
+
+
+def test_isomorphism_detection():
+    c = cycle(4)
+    renamed = c.rename({0: "a", 1: "b", 2: "c", 3: "d"})
+    assert are_isomorphic(c, renamed)
+    assert not are_isomorphic(cycle(3), cycle(4))
+    assert not are_isomorphic(cycle(4), path(3))
+
+
+def test_is_isomorphism_explicit_map():
+    c = cycle(3)
+    rotated = {0: 1, 1: 2, 2: 0}
+    assert is_isomorphism(rotated, c, c)
+    assert not is_isomorphism({0: 0, 1: 1, 2: 1}, c, c)
+
+
+def test_automorphisms_of_directed_cycle():
+    autos = list(automorphisms(cycle(3)))
+    assert len(autos) == 3  # the three rotations of a directed triangle
+
+
+def test_embedding_with_functions():
+    schema = Schema(relations={}, functions={"f": 1})
+    a = Structure(schema, [0, 1], functions={"f": {(0,): 1, (1,): 1}})
+    b = Structure(
+        schema, [0, 1, 2], functions={"f": {(0,): 1, (1,): 1, (2,): 0}}
+    )
+    embedding = find_embedding(a, b)
+    assert embedding is not None
+    assert is_embedding(embedding, a, b)

@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for the core invariants of the paper.
+
+* quantifier-free formulas are invariant under embeddings (the engine's
+  soundness hinge, Lemma 6);
+* the word run class satisfies the Lemma 12 characterisation and is closed
+  under the amalgamation step used in Proposition 2;
+* generated substructures / closure laws;
+* HOM membership is monotone under removing tuples;
+* the canonical abstraction key is isomorphism-invariant.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.enumeration import random_colored_graph
+from repro.fraisse.base import generic_abstraction_key
+from repro.logic.morphisms import find_homomorphism, is_embedding
+from repro.logic.parser import parse_formula
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure
+from repro.relational.csp import COLORED_GRAPH_SCHEMA, clique_template
+from repro.words import NFA, PositionAutomaton, in_class_c, rundb
+
+GRAPH = Schema.relational(E=2, red=1)
+
+GUARDS = [
+    "E(x, y) & red(y)",
+    "!(E(y, x)) | x = y",
+    "red(x) & !(red(y))",
+    "E(x, x) | (E(x, y) & E(y, x))",
+    "!(x = y) & !(E(x, y))",
+]
+
+
+@st.composite
+def colored_graphs(draw, max_size=4):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_colored_graph(size, rng=random.Random(seed))
+
+
+@st.composite
+def graph_with_extension(draw):
+    """A graph together with a strictly larger extension it embeds into."""
+    base = draw(colored_graphs(max_size=3))
+    extra = draw(st.integers(min_value=1, max_value=2))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    nodes = list(base.domain) + [("new", i) for i in range(extra)]
+    edges = set(base.relation("E"))
+    red = set(base.relation("red"))
+    for new_node in [n for n in nodes if isinstance(n, tuple)]:
+        for other in nodes:
+            if rng.random() < 0.4:
+                edges.add((new_node, other))
+            if rng.random() < 0.4 and other != new_node:
+                edges.add((other, new_node))
+        if rng.random() < 0.5:
+            red.add((new_node,))
+    extension = Structure(COLORED_GRAPH_SCHEMA, nodes, relations={"E": edges, "red": red},
+                          validate=False)
+    return base, extension
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_with_extension(), st.sampled_from(GUARDS))
+def test_quantifier_free_formulas_invariant_under_embeddings(pair, guard_text):
+    """Lemma 6's engine-side core: extending the database never changes the
+    truth of a quantifier-free formula on the old elements."""
+    base, extension = pair
+    identity = {e: e for e in base.domain}
+    assert is_embedding(identity, base, extension)
+    formula = parse_formula(guard_text)
+    elements = sorted(base.domain, key=repr)
+    for x in elements:
+        for y in elements:
+            valuation = {"x": x, "y": y}
+            assert formula.evaluate(base, valuation) == formula.evaluate(extension, valuation)
+
+
+@settings(max_examples=40, deadline=None)
+@given(colored_graphs())
+def test_generated_substructure_laws(graph):
+    elements = sorted(graph.domain, key=repr)
+    subset = elements[: max(1, len(elements) // 2)]
+    generated = graph.generated_substructure(subset)
+    assert generated.is_substructure_of(graph)
+    assert generated.domain == frozenset(subset)  # relational: closure adds nothing
+    # Idempotence.
+    again = generated.generated_substructure(subset)
+    assert again == generated
+
+
+@settings(max_examples=40, deadline=None)
+@given(colored_graphs())
+def test_hom_membership_monotone_under_tuple_removal(graph):
+    template = clique_template(2)
+    projected = graph.project(Schema.relational(E=2))
+    if find_homomorphism(projected, template) is None:
+        return
+    edges = sorted(projected.relation("E"), key=repr)
+    if not edges:
+        return
+    smaller = projected.without_tuple("E", *edges[0])
+    assert find_homomorphism(smaller, template) is not None
+
+
+@settings(max_examples=30, deadline=None)
+@given(colored_graphs(), st.integers(min_value=0, max_value=10_000))
+def test_abstraction_key_is_isomorphism_invariant(graph, seed):
+    elements = sorted(graph.domain, key=repr)
+    registers = {"x": elements[0], "y": elements[-1]}
+    rng = random.Random(seed)
+    relabel = {e: ("copy", i) for i, e in enumerate(elements)}
+    renamed = graph.rename(relabel)
+    renamed_registers = {r: relabel[v] for r, v in registers.items()}
+    assert generic_abstraction_key(graph, registers) == generic_abstraction_key(
+        renamed, renamed_registers
+    )
+
+
+def _one_b_automaton():
+    nfa = NFA.make(
+        states=["s0", "s1"], alphabet=["a", "b"],
+        transitions=[("s0", "a", "s0"), ("s0", "b", "s1"), ("s1", "a", "s1")],
+        initial=["s0"], accepting=["s1"],
+    )
+    return nfa, PositionAutomaton.from_nfa(nfa)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=6))
+def test_lemma12_characterisation_on_words(letters):
+    """A pre-run of an accepted word satisfies the chain condition; words with
+    the wrong number of b's admit no run at all."""
+    nfa, automaton = _one_b_automaton()
+    word = tuple(letters)
+    run = automaton.accepts_with_run(word)
+    if nfa.accepts(word):
+        assert run is not None
+        assert in_class_c(automaton, list(enumerate(run)))
+    else:
+        assert run is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=5),
+       st.integers(min_value=0, max_value=100))
+def test_proposition2_substructures_of_runs_amalgamate(letters, seed):
+    """Proposition 2 on sampled instances: two pointer-closed substructures of
+    the same run database are consistent and their union is again a
+    substructure of that run database (the inclusion amalgamation step)."""
+    nfa, automaton = _one_b_automaton()
+    word = tuple(letters)
+    if not nfa.accepts(word):
+        return
+    run = automaton.accepts_with_run(word)
+    database = rundb(automaton, list(enumerate(run)))
+    rng = random.Random(seed)
+    positions = sorted(database.domain)
+    sample_a = {p for p in positions if rng.random() < 0.6} or {positions[0]}
+    sample_b = {p for p in positions if rng.random() < 0.6} or {positions[-1]}
+    left = database.generated_substructure(sample_a)
+    right = database.generated_substructure(sample_b)
+    union_domain = set(left.domain) | set(right.domain)
+    union = database.generated_substructure(union_domain)
+    assert left.is_substructure_of(union)
+    assert right.is_substructure_of(union)
+    assert union.is_substructure_of(database)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=5))
+def test_word_theory_membership_matches_nfa(letters):
+    from repro.words import WordRunTheory, worddb
+
+    nfa, _ = _one_b_automaton()
+    theory = WordRunTheory(nfa)
+    word = tuple(letters)
+    assert theory.membership(worddb(word, ["a", "b"])) == nfa.accepts(word)

