@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Unified benchmark runner: the e1-e9 suite plus the engine fast-path record.
+
+Two phases, both optional:
+
+* **suite** -- runs the pytest-benchmark files ``bench_e1`` .. ``bench_e9``
+  and stores pytest-benchmark's machine-readable output as
+  ``BENCH_suite.json`` (``--smoke`` keeps only the quick files so CI can
+  afford it).
+* **engine** -- measures the fast-path engine core against the legacy
+  (cache-free) path on the two workloads the refactor targeted: the HOM
+  scaling instance of ``bench_e2`` and the tree exploration of ``bench_e5``.
+  Both paths run on the same build; the legacy path disables every
+  canonical-form cache via :mod:`repro.perf`, which restores the
+  pre-refactor recompute-everything behaviour.  Results -- including the
+  speedup and a cross-check that all three search strategies agree on the
+  e1-e3 example systems -- are written to ``BENCH_engine.json``, the perf
+  trajectory baseline for future PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # everything
+    PYTHONPATH=src python benchmarks/run_all.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/run_all.py --skip-suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import AllDatabasesTheory, EmptinessSolver, HomTheory, clique_template  # noqa: E402
+from repro.fraisse.search import STRATEGY_NAMES  # noqa: E402
+from repro.library import odd_red_cycle_system, triangle_system  # noqa: E402
+from repro.perf import cache_stats_snapshot, caches_disabled, reset_cache_stats  # noqa: E402
+from repro.relational.csp import COLORED_GRAPH_SCHEMA, GRAPH_SCHEMA  # noqa: E402
+from repro.systems.dds import DatabaseDrivenSystem  # noqa: E402
+from repro.trees import TreeRunTheory, tree_schema, universal_automaton  # noqa: E402
+
+#: Quick benchmark files used by the ``--smoke`` suite phase.
+SMOKE_SUITE = ["bench_e1_examples.py", "bench_e4_words.py", "bench_e7_existential.py"]
+
+
+# -- engine workloads -----------------------------------------------------------
+
+
+def _tree_exploration_system() -> DatabaseDrivenSystem:
+    """An empty system over trees: two registers on a common ancestor cycle.
+
+    Unsatisfiable (mutual proper ancestry), so the engine exhausts the whole
+    abstract configuration space -- the representative worst case for the
+    tree theory's successor enumeration that ``bench_e5`` scales along.
+    """
+    schema = tree_schema(["a", "b"])
+    return DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=["x", "y"],
+        states=["p", "q"],
+        initial="p",
+        accepting="q",
+        transitions=[
+            ("p", "anc(x_new, y_new) & anc(y_new, x_new) & !(x_new = y_new)", "q")
+        ],
+    )
+
+
+def engine_workloads(smoke: bool):
+    """The named (bench, builder) workloads of the engine comparison."""
+    e2_template = 2 if smoke else 3
+    return {
+        "bench_e2": {
+            "description": (
+                f"triangle system over HOM(K_{e2_template}) "
+                "(Theorem 4 scaling instance)"
+            ),
+            "system": triangle_system,
+            "theory": lambda: HomTheory(clique_template(e2_template)),
+            "expected_nonempty": e2_template >= 3,
+        },
+        "bench_e5": {
+            "description": "mutual-ancestor tree system over the universal "
+            "tree language (full abstract-space exploration)",
+            "system": _tree_exploration_system,
+            "theory": lambda: TreeRunTheory(universal_automaton(["a", "b"])),
+            "expected_nonempty": False,
+        },
+    }
+
+
+def _time_check(theory_factory, system, legacy: bool) -> float:
+    solver = EmptinessSolver(theory_factory())
+    if legacy:
+        with caches_disabled():
+            start = time.perf_counter()
+            solver.check(system)
+            return time.perf_counter() - start
+    start = time.perf_counter()
+    solver.check(system)
+    return time.perf_counter() - start
+
+
+def run_engine_comparison(smoke: bool, rounds: int) -> dict:
+    """Fast vs legacy timings (best of ``rounds``) for the target workloads."""
+    results = {}
+    for name, workload in engine_workloads(smoke).items():
+        system = workload["system"]()
+        fast_times = []
+        legacy_times = []
+        verdict = None
+        for _ in range(rounds):
+            fast_times.append(_time_check(workload["theory"], system, legacy=False))
+            legacy_times.append(_time_check(workload["theory"], system, legacy=True))
+        result = EmptinessSolver(workload["theory"]()).check(system)
+        verdict = result.nonempty
+        assert verdict == workload["expected_nonempty"], (
+            f"{name}: engine verdict {verdict} does not match the expected "
+            f"answer {workload['expected_nonempty']}"
+        )
+        fast = min(fast_times)
+        legacy = min(legacy_times)
+        results[name] = {
+            "workload": workload["description"],
+            "nonempty": verdict,
+            "rounds": rounds,
+            "fast_seconds": round(fast, 4),
+            "legacy_seconds": round(legacy, 4),
+            "speedup": round(legacy / fast, 3) if fast > 0 else None,
+            "statistics": result.statistics.as_dict(),
+        }
+        print(
+            f"  {name}: fast {fast:.3f}s  legacy {legacy:.3f}s  "
+            f"speedup {legacy / fast:.2f}x"
+        )
+    return results
+
+
+def run_strategy_agreement() -> dict:
+    """All three strategies must return the same verdict on e1-e3 systems."""
+    cases = {
+        "e1_odd_red_cycle_all_databases": (
+            odd_red_cycle_system(),
+            lambda: AllDatabasesTheory(COLORED_GRAPH_SCHEMA),
+        ),
+        "e2_triangle_hom_k2": (
+            triangle_system(),
+            lambda: HomTheory(clique_template(2)),
+        ),
+        "e3_triangle_all_databases": (
+            triangle_system(),
+            lambda: AllDatabasesTheory(GRAPH_SCHEMA),
+        ),
+    }
+    report = {}
+    for name, (system, theory_factory) in cases.items():
+        verdicts = {}
+        for strategy in STRATEGY_NAMES:
+            result = EmptinessSolver(theory_factory(), strategy=strategy).check(system)
+            verdicts[strategy] = result.nonempty
+        agree = len(set(verdicts.values())) == 1
+        report[name] = {**verdicts, "agree": agree}
+        status = "ok" if agree else "DISAGREE"
+        print(f"  {name}: {verdicts} [{status}]")
+    return report
+
+
+# -- suite phase ----------------------------------------------------------------
+
+
+def run_suite(smoke: bool, output_path: Path) -> int:
+    """Run the pytest-benchmark files, exporting their JSON."""
+    bench_dir = Path(__file__).resolve().parent
+    if smoke:
+        targets = [str(bench_dir / name) for name in SMOKE_SUITE]
+    else:
+        targets = [str(bench_dir)]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        *targets,
+        f"--benchmark-json={output_path}",
+    ]
+    print(f"running benchmark suite ({'smoke' if smoke else 'full'}) ...")
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    return completed.returncode
+
+
+# -- entry point ----------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: quick suite files, smaller engine workloads",
+    )
+    parser.add_argument(
+        "--skip-suite", action="store_true", help="skip the pytest-benchmark phase"
+    )
+    parser.add_argument(
+        "--skip-engine", action="store_true", help="skip the engine comparison phase"
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="timing rounds per engine workload (best-of; default 3, smoke 2)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory for BENCH_suite.json / BENCH_engine.json",
+    )
+    args = parser.parse_args(argv)
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    exit_code = 0
+    if not args.skip_suite:
+        suite_path = args.output_dir / "BENCH_suite.json"
+        exit_code = run_suite(args.smoke, suite_path)
+        if exit_code != 0:
+            print(f"benchmark suite FAILED (exit {exit_code})", file=sys.stderr)
+
+    if not args.skip_engine:
+        rounds = args.rounds if args.rounds is not None else (2 if args.smoke else 3)
+        print("running engine fast-path comparison ...")
+        reset_cache_stats()
+        engine = run_engine_comparison(args.smoke, rounds)
+        print("checking strategy agreement ...")
+        agreement = run_strategy_agreement()
+        record = {
+            "schema_version": 1,
+            "mode": "smoke" if args.smoke else "full",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "engine": engine,
+            "strategy_agreement": agreement,
+            "cache_stats": cache_stats_snapshot(),
+        }
+        engine_path = args.output_dir / "BENCH_engine.json"
+        engine_path.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {engine_path}")
+        if not all(case["agree"] for case in agreement.values()):
+            print("strategy disagreement detected", file=sys.stderr)
+            exit_code = exit_code or 1
+
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

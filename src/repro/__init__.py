@@ -47,7 +47,7 @@ from repro.relational import (
     odd_red_cycle_free_template,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Schema",

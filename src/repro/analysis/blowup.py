@@ -12,16 +12,15 @@ bounds (identity for relational classes, ``2|Q| n`` for words, ``c n`` with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.fraisse.base import DatabaseTheory
 from repro.fraisse.engine import EmptinessResult, EmptinessSolver
-from repro.logic.structures import Structure
 from repro.systems.dds import DatabaseDrivenSystem
-from repro.words.nfa import PositionAutomaton
-from repro.words.rundb import rundb as word_rundb
 from repro.trees.automata import TreeAutomaton
 from repro.trees.rundb import rundb as tree_rundb
+from repro.words.nfa import PositionAutomaton
+from repro.words.rundb import rundb as word_rundb
 
 
 @dataclass

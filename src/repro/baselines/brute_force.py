@@ -16,8 +16,8 @@ bound, which is exactly how the integration tests use the two together.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
 
 from repro.baselines.enumeration import all_databases_up_to
 from repro.logic.schema import Schema

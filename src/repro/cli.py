@@ -1,0 +1,184 @@
+"""The ``repro`` command-line interface.
+
+A thin operational front door to the library:
+
+* ``repro demo`` -- run the paper's Example 1 / Example 2 end to end and
+  print the verdicts with the discovered witness;
+* ``repro check`` -- decide emptiness of one of the library's named example
+  systems over a chosen theory and search strategy, printing statistics;
+* ``repro bench`` -- shortcut to the unified benchmark runner (equivalent to
+  ``python benchmarks/run_all.py`` when running from a checkout);
+* ``repro info`` -- version, available strategies, cache configuration.
+
+The CLI exists so deployments installed via ``pip install -e .`` have a
+stable executable without the ``PYTHONPATH=src`` workaround.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Tuple
+
+from repro import (
+    AllDatabasesTheory,
+    EmptinessSolver,
+    HomTheory,
+    __version__,
+    clique_template,
+    odd_red_cycle_free_template,
+)
+from repro.fraisse.search import STRATEGY_NAMES
+from repro.library import (
+    odd_red_cycle_system,
+    self_loop_required_system,
+    triangle_system,
+)
+from repro.perf import cache_stats_snapshot, caches_enabled, set_caches_enabled
+from repro.relational.csp import COLORED_GRAPH_SCHEMA, GRAPH_SCHEMA
+
+#: Named example workloads: name -> (system builder, theory builder).
+EXAMPLES: Dict[str, Tuple[Callable, Callable]] = {
+    "odd-red-cycle": (
+        odd_red_cycle_system,
+        lambda: AllDatabasesTheory(COLORED_GRAPH_SCHEMA),
+    ),
+    "odd-red-cycle-hom": (
+        odd_red_cycle_system,
+        lambda: HomTheory(odd_red_cycle_free_template()),
+    ),
+    "triangle": (triangle_system, lambda: AllDatabasesTheory(GRAPH_SCHEMA)),
+    "triangle-k2": (triangle_system, lambda: HomTheory(clique_template(2))),
+    "triangle-k3": (triangle_system, lambda: HomTheory(clique_template(3))),
+    "self-loop": (self_loop_required_system, lambda: AllDatabasesTheory(GRAPH_SCHEMA)),
+}
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    system = odd_red_cycle_system()
+    all_result = EmptinessSolver(AllDatabasesTheory(COLORED_GRAPH_SCHEMA)).check(system)
+    print("Example 1 (all databases):", "nonempty" if all_result.nonempty else "empty")
+    if all_result.witness_database is not None:
+        print("  witness database:")
+        for line in all_result.witness_database.describe().splitlines():
+            print("   ", line)
+    hom_result = EmptinessSolver(HomTheory(odd_red_cycle_free_template())).check(system)
+    print("Example 2 (HOM template):", "nonempty" if hom_result.nonempty else "empty")
+    return 0
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    try:
+        system_builder, theory_builder = EXAMPLES[args.example]
+    except KeyError:
+        print(
+            f"unknown example {args.example!r}; available: {', '.join(sorted(EXAMPLES))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.no_caches:
+        set_caches_enabled(False)
+    solver = EmptinessSolver(
+        theory_builder(),
+        max_configurations=args.max_configurations,
+        strategy=args.strategy,
+    )
+    result = solver.check(system_builder())
+    print(f"{args.example}: {'nonempty' if result.nonempty else 'empty'}")
+    if not result.exhausted:
+        print("  (search interrupted by the configuration cap; verdict not definitive)")
+    if args.json:
+        print(json.dumps(result.statistics.as_dict(), indent=2))
+    else:
+        for key, value in result.statistics.as_dict().items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    try:
+        from benchmarks.run_all import main as bench_main  # type: ignore
+    except ImportError:
+        print(
+            "the benchmark runner ships with the repository checkout; run "
+            "`python benchmarks/run_all.py` from the repo root instead",
+            file=sys.stderr,
+        )
+        return 2
+    forwarded = []
+    if args.smoke:
+        forwarded.append("--smoke")
+    if args.skip_suite:
+        forwarded.append("--skip-suite")
+    return bench_main(forwarded)
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__}")
+    print(f"  search strategies: {', '.join(STRATEGY_NAMES)}")
+    print(f"  engine caches enabled: {caches_enabled()}")
+    stats = {
+        name: values
+        for name, values in cache_stats_snapshot().items()
+        if values["hits"] + values["misses"] > 0
+    }
+    if stats:
+        print("  cache stats:")
+        for name, values in stats.items():
+            print(f"    {name}: {values}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Verification of database-driven systems via amalgamation",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the paper's Example 1 / Example 2")
+    demo.set_defaults(handler=_command_demo)
+
+    check = subparsers.add_parser("check", help="decide emptiness of a named example")
+    check.add_argument("example", choices=sorted(EXAMPLES), help="example workload")
+    check.add_argument(
+        "--strategy",
+        choices=STRATEGY_NAMES,
+        default="bfs",
+        help="frontier discipline (default: bfs)",
+    )
+    check.add_argument(
+        "--max-configurations",
+        type=int,
+        default=200_000,
+        help="abstract configuration cap (default: 200000)",
+    )
+    check.add_argument(
+        "--no-caches",
+        action="store_true",
+        help="run on the legacy cache-free engine path",
+    )
+    check.add_argument("--json", action="store_true", help="statistics as JSON")
+    check.set_defaults(handler=_command_check)
+
+    bench = subparsers.add_parser("bench", help="run the unified benchmark runner")
+    bench.add_argument("--smoke", action="store_true", help="CI-sized benchmark run")
+    bench.add_argument(
+        "--skip-suite", action="store_true", help="engine comparison only"
+    )
+    bench.set_defaults(handler=_command_bench)
+
+    info = subparsers.add_parser("info", help="version and engine configuration")
+    info.set_defaults(handler=_command_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

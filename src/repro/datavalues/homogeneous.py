@@ -22,9 +22,10 @@ that is needed is:
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from fractions import Fraction
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Sequence
 
 from repro.logic.schema import Schema
 from repro.logic.structures import Structure
@@ -62,8 +63,6 @@ class HomogeneousStructure(ABC):
         facts = {name: set() for name in self.schema.relation_names}
         for name in self.schema.relation_names:
             arity = self.schema.relation(name).arity
-            import itertools
-
             for indices in itertools.product(range(len(values)), repeat=arity):
                 if self.holds(name, *[values[i] for i in indices]):
                     facts[name].add(indices)
@@ -106,8 +105,6 @@ class HomogeneousStructure(ABC):
         position = {element: i for i, element in enumerate(elements)}
         for name in self.schema.relation_names:
             arity = self.schema.relation(name).arity
-            import itertools
-
             for t in itertools.product(elements, repeat=arity):
                 expected = database.holds(name, *t)
                 actual = self.holds(name, *[values[position[e]] for e in t])

@@ -34,6 +34,7 @@ from repro.fraisse.base import (
 )
 from repro.logic.schema import Schema
 from repro.logic.structures import Element, Structure, sorted_key_list
+from repro.perf import BoundedCache
 from repro.systems.dds import DatabaseDrivenSystem, Transition
 
 
@@ -67,6 +68,12 @@ class DataValuedTheory(DatabaseTheory):
         self._values = values
         self._injective = injective
         self._schema = base.schema.union(values.schema)
+        # The engine renders the expanded product database once for the guard
+        # and once for the abstraction key of every candidate; both renders
+        # are pure functions of the (immutable) wrapped witness, so they are
+        # memoised per witness / per (witness, valuation).
+        self._database_cache = BoundedCache("datavalues_database")
+        self._key_cache = BoundedCache("datavalues_abstraction_key")
 
     # -- accessors -----------------------------------------------------------------
 
@@ -122,6 +129,11 @@ class DataValuedTheory(DatabaseTheory):
 
     def database(self, config: TheoryConfiguration) -> Structure:
         witness: _DataWitness = config.witness
+        return self._database_cache.get_or_compute(
+            witness, lambda: self._render_database(witness)
+        )
+
+    def _render_database(self, witness: _DataWitness) -> Structure:
         base_database = self._base.database(witness.base_config)
         values = witness.values
         relations: Dict[str, set] = {}
@@ -174,6 +186,14 @@ class DataValuedTheory(DatabaseTheory):
 
     def abstraction_key(self, config: TheoryConfiguration) -> Hashable:
         witness: _DataWitness = config.witness
+        return self._key_cache.get_or_compute(
+            (witness, config.valuation_items),
+            lambda: self._abstraction_key_uncached(config, witness),
+        )
+
+    def _abstraction_key_uncached(
+        self, config: TheoryConfiguration, witness: _DataWitness
+    ) -> Hashable:
         base_key = self._base.abstraction_key(witness.base_config)
         # The value pattern only matters on the register-generated part; the
         # generic key over the expanded database captures exactly the relations

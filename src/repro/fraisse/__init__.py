@@ -23,8 +23,22 @@ from repro.fraisse.engine import (
     SearchStatistics,
     decide_emptiness,
 )
+from repro.fraisse.search import (
+    BestFirstStrategy,
+    BreadthFirstStrategy,
+    DepthFirstStrategy,
+    STRATEGY_NAMES,
+    SearchStrategy,
+    make_strategy,
+)
 
 __all__ = [
+    "SearchStrategy",
+    "BreadthFirstStrategy",
+    "DepthFirstStrategy",
+    "BestFirstStrategy",
+    "make_strategy",
+    "STRATEGY_NAMES",
     "DatabaseTheory",
     "TheoryConfiguration",
     "generic_abstraction_key",

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.errors import TheoryError
-from repro.logic.morphisms import find_embedding, is_embedding
+from repro.logic.morphisms import is_embedding
 from repro.logic.structures import Element, Structure, sorted_key_list
 
 
@@ -63,7 +63,9 @@ class AmalgamationInstance:
         )
 
     @classmethod
-    def inclusion(cls, shared: Structure, left: Structure, right: Structure) -> "AmalgamationInstance":
+    def inclusion(
+        cls, shared: Structure, left: Structure, right: Structure
+    ) -> "AmalgamationInstance":
         """An inclusion instance: the shared part is a substructure of both sides."""
         identity = {e: e for e in shared.domain}
         return cls.make(shared, left, right, identity, identity)
@@ -123,8 +125,6 @@ def free_amalgam(instance: AmalgamationInstance) -> AmalgamationSolution:
         raise TheoryError("the free amalgam is only defined for relational schemas")
     el = instance.left_embedding
     er = instance.right_embedding
-    shared_left = set(el.values())
-    shared_right = set(er.values())
     right_of_shared = {er[c]: el[c] for c in instance.shared.domain}
 
     def left_name(element: Element) -> Element:

@@ -5,27 +5,35 @@ abstraction key)`` -- the paper's *small configurations* -- and whose edges
 are the sub-transitions enumerated by a :class:`~repro.fraisse.base.DatabaseTheory`.
 It differs from the paper's presentation in one (behaviour-preserving) way:
 instead of a nondeterministic space-bounded walker it performs a
-deterministic breadth-first search with memoisation, carrying along a
-*cumulative concrete witness* so that every positive answer comes with an
-actual database and an actual accepting run that are re-validated against the
-semantics of :mod:`repro.systems`.
+deterministic memoised search, carrying along a *cumulative concrete
+witness* so that every positive answer comes with an actual database and an
+actual accepting run that are re-validated against the semantics of
+:mod:`repro.systems`.
 
-Soundness therefore never depends on the abstraction: a reported run is a
-real run.  Completeness is exactly the paper's argument -- closure under
-embeddings and amalgamation of the underlying class guarantees that pruning
-revisited abstraction keys never loses reachable accepting states.
+The exploration order is pluggable (:mod:`repro.fraisse.search`): breadth
+first, depth first, or best first by abstraction-key size.  Order never
+affects the verdict -- soundness rests on witness re-validation and
+completeness is exactly the paper's argument: closure under embeddings and
+amalgamation of the underlying class guarantees that pruning revisited
+abstraction keys never loses reachable accepting states, whichever frontier
+discipline drains the (finite) abstract space.
+
+Abstraction keys are canonical forms and therefore cacheable: the engine
+memoises them per configuration (see :mod:`repro.perf` for the global cache
+switch used to measure the legacy, cache-free path).
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SolverError
 from repro.fraisse.base import DatabaseTheory, TheoryConfiguration, guard_holds
+from repro.fraisse.search import StrategySpec, abstraction_key_score, make_strategy
 from repro.logic.structures import Structure
+from repro.perf import BoundedCache, caches_enabled
 from repro.systems.dds import DatabaseDrivenSystem, Run, Transition
 
 
@@ -41,6 +49,9 @@ class SearchStatistics:
     max_frontier_size: int = 0
     elapsed_seconds: float = 0.0
     largest_witness_size: int = 0
+    key_cache_hits: int = 0
+    key_cache_misses: int = 0
+    strategy: str = "bfs"
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -52,6 +63,9 @@ class SearchStatistics:
             "max_frontier_size": self.max_frontier_size,
             "elapsed_seconds": self.elapsed_seconds,
             "largest_witness_size": self.largest_witness_size,
+            "key_cache_hits": self.key_cache_hits,
+            "key_cache_misses": self.key_cache_misses,
+            "strategy": self.strategy,
         }
 
 
@@ -105,6 +119,12 @@ class EmptinessSolver:
         When True (the default), every positive answer is re-validated by
         replaying the reconstructed run on the reconstructed database through
         :meth:`repro.systems.dds.DatabaseDrivenSystem.validate_run`.
+    strategy:
+        Exploration order: ``"bfs"`` (default, the seed engine's behaviour),
+        ``"dfs"``, ``"priority"``, or any
+        :class:`~repro.fraisse.search.SearchStrategy` factory.  The verdict
+        is strategy-independent; only the discovered witness and the explored
+        portion of the space vary.
     """
 
     def __init__(
@@ -112,16 +132,43 @@ class EmptinessSolver:
         theory: DatabaseTheory,
         max_configurations: int = 200_000,
         verify_witnesses: bool = True,
+        strategy: StrategySpec = "bfs",
     ) -> None:
         if max_configurations <= 0:
             raise SolverError("max_configurations must be positive")
         self._theory = theory
         self._max_configurations = max_configurations
         self._verify_witnesses = verify_witnesses
+        self._strategy_spec = strategy
+        self._key_cache = BoundedCache("engine_abstraction_keys")
 
     @property
     def theory(self) -> DatabaseTheory:
         return self._theory
+
+    # -- abstraction-key memo --------------------------------------------------
+
+    def _abstraction_key(
+        self, config: TheoryConfiguration, stats: SearchStatistics
+    ) -> Hashable:
+        """The theory's canonical key for ``config``, memoised per configuration.
+
+        Configurations are immutable value objects, so the canonical form of
+        the register-generated substructure can be computed once and reused
+        whenever enumeration re-produces an equal configuration (which
+        happens whenever different parents generate the same candidate).
+        """
+        if not caches_enabled():
+            stats.key_cache_misses += 1
+            return self._theory.abstraction_key(config)
+        key = self._key_cache.get(config)
+        if key is not None:
+            stats.key_cache_hits += 1
+            return key
+        stats.key_cache_misses += 1
+        key = self._theory.abstraction_key(config)
+        self._key_cache.put(config, key)
+        return key
 
     # -- main entry point ------------------------------------------------------
 
@@ -132,16 +179,22 @@ class EmptinessSolver:
                 "the system's schema is not contained in the theory's schema: "
                 f"{system.schema!r} vs {self._theory.schema!r}"
             )
-        stats = SearchStatistics()
+        frontier = make_strategy(self._strategy_spec)
+        # A spec may resolve to a caller-supplied instance; a previous check
+        # that hit the configuration cap (or found a goal among the seeds)
+        # can have left nodes behind, so always start from an empty frontier.
+        frontier.clear()
+        # bfs/dfs ignore scores; skip the per-node key walk for them.
+        needs_scores = getattr(frontier, "needs_scores", True)
+        stats = SearchStatistics(strategy=frontier.name)
         start_time = time.perf_counter()
         visited: Dict[Tuple[str, Hashable], int] = {}
-        frontier: deque = deque()
 
         goal: Optional[_SearchNode] = None
         for state in sorted(system.initial_states):
             for config in self._theory.initial_configurations(system):
                 stats.candidates_generated += 1
-                key = (state, self._theory.abstraction_key(config))
+                key = (state, self._abstraction_key(config, stats))
                 if key in visited:
                     stats.duplicate_keys_pruned += 1
                     continue
@@ -151,13 +204,15 @@ class EmptinessSolver:
                 if system.is_accepting(state):
                     goal = node
                     break
-                frontier.append(node)
+                frontier.push(
+                    node, abstraction_key_score(key) if needs_scores else 0
+                )
             if goal is not None:
                 break
 
-        while frontier and goal is None:
+        while len(frontier) and goal is None:
             stats.max_frontier_size = max(stats.max_frontier_size, len(frontier))
-            node = frontier.popleft()
+            node = frontier.pop()
             stats.configurations_explored += 1
             if stats.configurations_explored > self._max_configurations:
                 stats.elapsed_seconds = time.perf_counter() - start_time
@@ -179,7 +234,7 @@ class EmptinessSolver:
                         candidate.valuation,
                     ):
                         continue
-                    key = (transition.target, self._theory.abstraction_key(candidate))
+                    key = (transition.target, self._abstraction_key(candidate, stats))
                     if key in visited:
                         stats.duplicate_keys_pruned += 1
                         continue
@@ -199,7 +254,10 @@ class EmptinessSolver:
                         goal = successor
                         frontier.clear()
                         break
-                    frontier.append(successor)
+                    frontier.push(
+                        successor,
+                        abstraction_key_score(key) if needs_scores else 0,
+                    )
                 if goal is not None:
                     break
 
@@ -256,6 +314,9 @@ def decide_emptiness(
     system: DatabaseDrivenSystem,
     theory: DatabaseTheory,
     max_configurations: int = 200_000,
+    strategy: StrategySpec = "bfs",
 ) -> EmptinessResult:
     """One-shot convenience wrapper around :class:`EmptinessSolver`."""
-    return EmptinessSolver(theory, max_configurations=max_configurations).check(system)
+    return EmptinessSolver(
+        theory, max_configurations=max_configurations, strategy=strategy
+    ).check(system)

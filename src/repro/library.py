@@ -53,7 +53,7 @@ def red_path_system(length: int, schema: Schema = COLORED_GRAPH_SCHEMA) -> Datab
     transitions = [("start", "x_old = x_new & red(x_new)", "step_0")]
     for i in range(length):
         transitions.append(
-            (f"step_{i}", f"E(x_old, x_new) & red(x_new)", f"step_{i + 1}")
+            (f"step_{i}", "E(x_old, x_new) & red(x_new)", f"step_{i + 1}")
         )
     return DatabaseDrivenSystem.build(
         schema=schema,
@@ -169,7 +169,9 @@ def order_workflow_system() -> DatabaseDrivenSystem:
     )
 
 
-def register_swap_system(registers: Sequence[str] = ("x", "y"), schema: Schema = GRAPH_SCHEMA) -> DatabaseDrivenSystem:
+def register_swap_system(
+    registers: Sequence[str] = ("x", "y"), schema: Schema = GRAPH_SCHEMA
+) -> DatabaseDrivenSystem:
     """A tiny two-state system that swaps two registers along an edge forever."""
     x, y = registers
     return DatabaseDrivenSystem.build(

@@ -70,7 +70,7 @@ class Schema:
     False
     """
 
-    __slots__ = ("_relations", "_functions", "_hash")
+    __slots__ = ("_relations", "_functions", "_hash", "_relation_names", "_function_names")
 
     def __init__(
         self,
@@ -89,6 +89,8 @@ class Schema:
             funcs[name] = FunctionSymbol(name, arity)
         self._relations: Dict[str, RelationSymbol] = rels
         self._functions: Dict[str, FunctionSymbol] = funcs
+        self._relation_names: Tuple[str, ...] = tuple(sorted(rels))
+        self._function_names: Tuple[str, ...] = tuple(sorted(funcs))
         self._hash = hash(
             (
                 tuple(sorted((s.name, s.arity) for s in rels.values())),
@@ -112,11 +114,11 @@ class Schema:
 
     @property
     def relation_names(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._relations))
+        return self._relation_names
 
     @property
     def function_names(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._functions))
+        return self._function_names
 
     @property
     def symbol_names(self) -> Tuple[str, ...]:

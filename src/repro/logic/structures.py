@@ -12,6 +12,10 @@ Design notes
   This keeps solver code free of aliasing surprises at the price of copies,
   which is fine at the sizes we manipulate (register-generated substructures
   have a handful of elements).
+* Because structures are immutable, every per-structure cache (hash, digest,
+  closure results, the element-to-tuples index) is valid for the lifetime of
+  the object; the ``with_*`` helpers return *new* structures whose caches
+  start empty, which is what "invalidated on mutation" means here.
 * Domain elements may be arbitrary hashable Python values.  The library uses
   integers, strings and small tuples (for tree nodes and data-valued
   elements).
@@ -28,6 +32,7 @@ from typing import (
     FrozenSet,
     Iterable,
     Iterator,
+    List,
     Mapping,
     Optional,
     Sequence,
@@ -37,6 +42,7 @@ from typing import (
 
 from repro.errors import StructureError
 from repro.logic.schema import Schema
+from repro.perf import BoundedCache, caches_enabled
 
 Element = Any
 TupleOfElements = Tuple[Element, ...]
@@ -45,7 +51,16 @@ TupleOfElements = Tuple[Element, ...]
 class Structure:
     """A finite structure (database) over a :class:`Schema`."""
 
-    __slots__ = ("_schema", "_domain", "_relations", "_functions", "_hash")
+    __slots__ = (
+        "_schema",
+        "_domain",
+        "_relations",
+        "_functions",
+        "_hash",
+        "_canonical_key",
+        "_closure_cache",
+        "_touching",
+    )
 
     def __init__(
         self,
@@ -74,6 +89,9 @@ class Structure:
         self._relations = rels
         self._functions = funcs
         self._hash: Optional[int] = None
+        self._canonical_key: Optional[tuple] = None
+        self._closure_cache: Optional[Dict[FrozenSet[Element], FrozenSet[Element]]] = None
+        self._touching: Optional[Dict[Element, tuple]] = None
         if validate:
             self._validate()
 
@@ -188,7 +206,9 @@ class Structure:
     def __repr__(self) -> str:
         return (
             f"Structure(|dom|={len(self._domain)}, "
-            f"relations={{{', '.join(f'{n}:{len(t)}' for n, t in sorted(self._relations.items()))}}}, "
+            "relations={"
+            + ", ".join(f"{n}:{len(t)}" for n, t in sorted(self._relations.items()))
+            + "}, "
             f"functions={sorted(self._functions)})"
         )
 
@@ -284,11 +304,23 @@ class Structure:
         """The least superset of ``subset`` closed under the function symbols.
 
         This is the set generated by ``subset`` in the sense of Section 4.1.
+        Results are memoised per structure (structures are immutable, so the
+        cache can never go stale); for purely relational schemas the closure
+        is the subset itself and is returned without touching the cache.
         """
         closed: Set[Element] = set(subset)
         for e in closed:
             if e not in self._domain:
                 raise StructureError(f"element {e!r} not in the domain")
+        if not self._functions:
+            return frozenset(closed)
+        generators = frozenset(closed)
+        if caches_enabled():
+            if self._closure_cache is None:
+                self._closure_cache = {}
+            cached = self._closure_cache.get(generators)
+            if cached is not None:
+                return cached
         changed = True
         while changed:
             changed = False
@@ -299,7 +331,10 @@ class Structure:
                     if value not in closed:
                         closed.add(value)
                         changed = True
-        return frozenset(closed)
+        result = frozenset(closed)
+        if caches_enabled() and self._closure_cache is not None:
+            self._closure_cache[generators] = result
+        return result
 
     def restrict(self, subset: Iterable[Element]) -> "Structure":
         """The induced substructure on ``subset`` (must be function-closed)."""
@@ -434,6 +469,74 @@ class Structure:
             validate=False,
         )
 
+    # -- canonical forms and indexes ------------------------------------------
+
+    def canonical_key(self) -> tuple:
+        """A stable, hashable canonical description of this structure.
+
+        Two structures get the same key iff they are equal (same schema, same
+        domain, same interpretations) -- the key is the content of the
+        structure rendered in a deterministic order, independent of the
+        insertion order of tuples or the identity of the containers.  It is
+        the interning key of :class:`StructureInterner` and a convenient
+        dictionary key for per-structure memo tables.  Computed once and
+        cached (structures are immutable).
+        """
+        if self._canonical_key is None:
+            relation_part = tuple(
+                (name, tuple(sorted(self._relations[name], key=repr)))
+                for name in self._schema.relation_names
+            )
+            function_part = tuple(
+                (name, tuple(sorted(self._functions[name].items(), key=repr)))
+                for name in self._schema.function_names
+            )
+            self._canonical_key = (
+                hash(self._schema),
+                tuple(sorted_key_list(self._domain)),
+                relation_part,
+                function_part,
+            )
+        return self._canonical_key
+
+    def has_tuple_index(self) -> bool:
+        """Whether the element-to-tuples index has already been built.
+
+        Callers that would use the index exactly once (throwaway structures)
+        should check this and fall back to a plain scan: building the index
+        costs more than one scan and only pays off when the structure is
+        queried repeatedly.
+        """
+        return self._touching is not None
+
+    def ensure_tuple_index(self) -> "Structure":
+        """Build the element-to-tuples index now (returns self for chaining).
+
+        Called by owners that know the structure will serve many
+        canonical-key queries (e.g. a cached run-database view).
+        """
+        if self._touching is None:
+            self.tuples_touching(_INDEX_PRIME)
+        return self
+
+    def tuples_touching(self, element: Element) -> Tuple[Tuple[str, TupleOfElements], ...]:
+        """All ``(relation, tuple)`` facts mentioning ``element``.
+
+        Backed by a lazily-built per-structure index (see
+        :meth:`has_tuple_index`), so repeated canonical-key construction
+        over small generated substructures of one database does not rescan
+        every tuple per call (the pre-refactor hot spot for cached word-run
+        views).
+        """
+        if self._touching is None:
+            index: Dict[Element, List[Tuple[str, TupleOfElements]]] = {}
+            for name, tuples in self._relations.items():
+                for t in tuples:
+                    for e in set(t):
+                        index.setdefault(e, []).append((name, t))
+            self._touching = {e: tuple(facts) for e, facts in index.items()}
+        return self._touching.get(element, ())
+
     # -- statistics -----------------------------------------------------------
 
     def tuple_count(self) -> int:
@@ -453,6 +556,10 @@ class Structure:
             )
             lines.append(f"{name}(): {entries}")
         return "\n".join(lines)
+
+
+#: Sentinel element used by ensure_tuple_index to force the index build.
+_INDEX_PRIME = object()
 
 
 def sorted_key_list(elements: Iterable[Element]) -> list:
@@ -477,3 +584,141 @@ def singleton_structure(schema: Schema, element: Element = 0) -> Structure:
         arity = schema.function(name).arity
         functions[name] = {(element,) * arity: element}
     return Structure(schema, [element], functions=functions)
+
+
+# -- isomorphism-canonical forms and hash-consing ------------------------------
+
+
+def _invariant_signature(structure: Structure, element: Element) -> tuple:
+    """An isomorphism-invariant local signature of one element.
+
+    Records, per relation symbol and argument position, how many tuples the
+    element appears in, plus the function symbols it participates in.  Used
+    to cut the permutation search of :func:`isomorphism_key` down to
+    signature-preserving bijections.
+    """
+    parts: List[tuple] = []
+    for name in structure.schema.relation_names:
+        counts = [0] * structure.schema.relation(name).arity
+        for t in structure.relation(name):
+            for position, e in enumerate(t):
+                if e == element:
+                    counts[position] += 1
+        parts.append((name, tuple(counts)))
+    for name in structure.schema.function_names:
+        in_args = 0
+        as_value = 0
+        for args, value in structure.function(name).items():
+            if element in args:
+                in_args += 1
+            if value == element:
+                as_value += 1
+        parts.append((name, (in_args, as_value)))
+    return tuple(parts)
+
+
+def isomorphism_key(structure: Structure, max_size: int = 8) -> tuple:
+    """A canonical key equal for isomorphic structures (small structures).
+
+    Elements are renamed to ``0..n-1``; among all signature-preserving
+    renamings the lexicographically least encoding is returned, so two
+    isomorphic structures always produce the same key.  The search is
+    exponential in the worst case, which is fine for the register-generated
+    substructures the solvers intern (their size is bounded by the register
+    count and the class blowup); beyond ``max_size`` elements the key falls
+    back to the labelled :meth:`Structure.canonical_key` (still deterministic,
+    but only equal for *equal* structures), tagged so the two regimes can
+    never collide.
+    """
+    elements = sorted_key_list(structure.domain)
+    if len(elements) > max_size:
+        return ("labelled", structure.canonical_key())
+
+    groups: Dict[tuple, List[Element]] = {}
+    for element in elements:
+        groups.setdefault(_invariant_signature(structure, element), []).append(element)
+    ordered_groups = [groups[s] for s in sorted(groups)]
+
+    def encode(index_of: Dict[Element, int]) -> tuple:
+        relation_part = tuple(
+            tuple(sorted(tuple(index_of[e] for e in t) for t in structure.relation(name)))
+            for name in structure.schema.relation_names
+        )
+        function_part = tuple(
+            tuple(
+                sorted(
+                    (tuple(index_of[e] for e in args), index_of[value])
+                    for args, value in structure.function(name).items()
+                )
+            )
+            for name in structure.schema.function_names
+        )
+        return (relation_part, function_part)
+
+    best: Optional[tuple] = None
+    for group_orders in itertools.product(
+        *(itertools.permutations(group) for group in ordered_groups)
+    ):
+        index_of: Dict[Element, int] = {}
+        for group in group_orders:
+            for element in group:
+                index_of[element] = len(index_of)
+        candidate = encode(index_of)
+        if best is None or candidate < best:
+            best = candidate
+    signature_part = tuple(sorted((s, len(g)) for s, g in groups.items()))
+    return ("canonical", hash(structure.schema), signature_part, best)
+
+
+class StructureInterner:
+    """Hash-consing of structures: one shared instance per canonical content.
+
+    Solvers produce large numbers of equal (and often isomorphic) small
+    structures while enumerating sub-transitions.  Interning maps each of
+    them to a single representative, so downstream hashing, equality checks
+    and per-structure caches (closure, tuple index) are paid once per
+    distinct structure instead of once per copy.
+
+    By default structures are deduplicated by *equality* (labelled canonical
+    key).  ``up_to_isomorphism=True`` additionally folds isomorphic small
+    structures onto one representative -- only sound for callers that treat
+    structures up to isomorphism, e.g. membership caches.
+    """
+
+    def __init__(
+        self,
+        name: str = "structure_interner",
+        up_to_isomorphism: bool = False,
+        max_iso_size: int = 8,
+        cap: int = 1 << 16,
+    ) -> None:
+        self._cache = BoundedCache(name, cap=cap)
+        self._up_to_isomorphism = up_to_isomorphism
+        self._max_iso_size = max_iso_size
+
+    def intern(self, structure: Structure) -> Structure:
+        """The shared representative of ``structure`` (itself on first sight)."""
+        if not caches_enabled():
+            return structure
+        if self._up_to_isomorphism:
+            key = isomorphism_key(structure, max_size=self._max_iso_size)
+        else:
+            key = structure.canonical_key()
+        representative = self._cache.get(key)
+        if representative is not None:
+            return representative
+        self._cache.put(key, structure)
+        return structure
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+
+#: The default interner used by the theories' sub-transition enumeration.
+DEFAULT_INTERNER = StructureInterner("witness_interner")
+
+
+def intern_structure(structure: Structure) -> Structure:
+    """Intern through the process-wide default interner."""
+    return DEFAULT_INTERNER.intern(structure)

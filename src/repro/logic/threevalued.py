@@ -1,0 +1,87 @@
+"""Three-valued compilation of quantifier-free boolean combinations.
+
+The theory-level guard pre-filters evaluate guards on *partial* views of the
+eventual database (a relational delta, a tree skeleton).  Atoms the view
+cannot decide -- data-value relations, unresolvable terms -- historically
+surfaced as a :class:`~repro.errors.FormulaError` during evaluation, which
+the pre-filters caught and treated as "conservatively keep the candidate".
+
+The compiled pre-filters reproduce exactly those semantics with a third
+truth value :data:`UNKNOWN` instead of an exception: connectives evaluate
+their operands left to right and short-circuit, and the first operand that
+neither decides nor continues the walk propagates outwards -- ``False``
+stops an ``And`` (prune is safe), ``True`` stops an ``Or``, and ``UNKNOWN``
+stops both, bubbling to the top where the caller keeps the candidate for
+the engine's authoritative evaluation on the full database.
+
+:func:`compile_three_valued` owns the connective layer once; each theory
+supplies only its atom compiler (how equalities and relation atoms resolve
+against its particular view/context).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.logic.formulas import And, FalseFormula, Formula, Not, Or, TrueFormula
+
+#: Third truth value: "undecidable on this partial view".
+UNKNOWN = object()
+
+#: A compiled node: maps the theory's evaluation context to True/False/UNKNOWN.
+CompiledNode = Callable[[Any], Any]
+
+
+def unknown_node(context: Any) -> Any:
+    """The compiled form of an atom the view cannot decide."""
+    return UNKNOWN
+
+
+def compile_three_valued(
+    formula: Formula, compile_atom: Callable[[Formula], CompiledNode]
+) -> CompiledNode:
+    """Compile a boolean combination into a closure over a theory context.
+
+    ``compile_atom`` receives every non-connective sub-formula and returns a
+    compiled node (use :func:`unknown_node` for undecidable atoms, including
+    unknown connectives).  The returned closure evaluates with left-to-right
+    short-circuiting and :data:`UNKNOWN` propagation as described in the
+    module docstring.
+    """
+    if isinstance(formula, TrueFormula):
+        return lambda context: True
+    if isinstance(formula, FalseFormula):
+        return lambda context: False
+    if isinstance(formula, And):
+        operands = [compile_three_valued(op, compile_atom) for op in formula.operands]
+
+        def eval_and(context: Any) -> Any:
+            for operand in operands:
+                value = operand(context)
+                if value is not True:
+                    return value
+            return True
+
+        return eval_and
+    if isinstance(formula, Or):
+        operands = [compile_three_valued(op, compile_atom) for op in formula.operands]
+
+        def eval_or(context: Any) -> Any:
+            for operand in operands:
+                value = operand(context)
+                if value is not False:
+                    return value
+            return False
+
+        return eval_or
+    if isinstance(formula, Not):
+        operand = compile_three_valued(formula.operand, compile_atom)
+
+        def eval_not(context: Any) -> Any:
+            value = operand(context)
+            if value is UNKNOWN:
+                return UNKNOWN
+            return not value
+
+        return eval_not
+    return compile_atom(formula)

@@ -16,7 +16,7 @@ Theorem 4 work.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TheoryError
 from repro.logic.morphisms import find_homomorphism
@@ -100,6 +100,35 @@ class HomTheory(RelationalTheory):
                 return False
             colors.append(color)
         return self._template.holds(relation, *colors)
+
+    def tuple_filter(
+        self, witness_relations: Dict[str, Set[Tuple[Element, ...]]]
+    ) -> Callable[[str, Tuple[Element, ...]], bool]:
+        """Specialised admissibility check with the colouring extracted once.
+
+        The unary colour facts are fixed for the whole subset enumeration, so
+        the element-to-colour map is computed a single time up front; the
+        per-tuple check is then a pair of dictionary lookups instead of a
+        scan over every colour predicate per element (the pre-refactor cost).
+        """
+        coloring: Dict[Element, Element] = {}
+        for template_element, name in self._color_names.items():
+            for (element,) in witness_relations.get(name, ()):
+                # setdefault: on a (malformed) multi-coloured element the first
+                # colour in _color_names order wins, matching color_of.
+                coloring.setdefault(element, template_element)
+        template_holds = self._template.holds
+
+        def allowed(relation: str, elements: Tuple[Element, ...]) -> bool:
+            colors = []
+            for element in elements:
+                color = coloring.get(element)
+                if color is None:
+                    return False
+                colors.append(color)
+            return template_holds(relation, *colors)
+
+        return allowed
 
     # -- membership of the projected class (used by tests and baselines) -----------
 

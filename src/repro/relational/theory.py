@@ -25,18 +25,46 @@ The factoring is complete for classes that are closed under removing tuples
 that involve a discarded element -- true for all finite databases and for
 HOM classes -- and keeps the per-step work bounded by a function of the
 number of registers only, exactly as Theorem 5 requires.
+
+Fast path
+---------
+Guard pre-filtering used to build a fresh small :class:`Structure` per
+candidate delta and re-walk the guard formula on it.  Both valuations are
+fixed across one subset enumeration, so the guard is now *compiled* once per
+enumeration: every equality atom folds to a constant, every relation atom
+resolves to a concrete ``(symbol, tuple)`` fact, and the per-candidate check
+reduces to a handful of set-membership tests -- no structure, no dictionary
+copies, no term resolution.  Guards that cannot be compiled (symbols outside
+the witness schema, non-variable terms, quantifiers) skip the pre-filter
+conservatively; the engine's authoritative evaluation on the full database
+is unchanged either way.  With caches disabled (:mod:`repro.perf`) the
+legacy build-a-structure path runs instead, which is what the benchmark
+runner measures as the pre-refactor engine.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.fraisse.base import DatabaseTheory, TheoryConfiguration, set_partitions
-from repro.logic.formulas import Formula, RelationAtom
+from repro.errors import FormulaError
+from repro.fraisse.base import (
+    DatabaseTheory,
+    TheoryConfiguration,
+    combined_guard_valuation,
+    set_partitions,
+)
+from repro.logic.formulas import Equality, Formula, RelationAtom
 from repro.logic.schema import Schema
-from repro.logic.structures import Element, Structure, sorted_key_list
+from repro.logic.structures import (
+    Element,
+    Structure,
+    intern_structure,
+    sorted_key_list,
+)
 from repro.logic.terms import Term, Var
+from repro.logic.threevalued import UNKNOWN, compile_three_valued, unknown_node
+from repro.perf import caches_enabled
 from repro.systems.dds import DatabaseDrivenSystem, Transition, new, old
 
 Decoration = Tuple[Tuple[str, Tuple[Element, ...]], ...]
@@ -86,6 +114,21 @@ class RelationalTheory(DatabaseTheory):
         """Whether a candidate tuple may be added (given current unary facts)."""
         return True
 
+    def tuple_filter(
+        self, witness_relations: Dict[str, Set[Tuple[Element, ...]]]
+    ) -> Callable[[str, Tuple[Element, ...]], bool]:
+        """A tuple-admissibility predicate specialised to fixed unary facts.
+
+        ``witness_relations`` is constant across one subset enumeration, so
+        subclasses may precompute lookups once (e.g. :class:`HomTheory`
+        extracts the element colouring) instead of re-deriving them per
+        candidate tuple.  The default simply closes over
+        :meth:`tuple_allowed`.
+        """
+        return lambda relation, elements: self.tuple_allowed(
+            witness_relations, relation, elements
+        )
+
     def membership(self, database: Structure) -> bool:
         """Membership of an arbitrary finite database in the (projected) class."""
         return True
@@ -116,14 +159,15 @@ class RelationalTheory(DatabaseTheory):
                             tuple(element if a is FRESH_SELF else a for a in args)
                         )
                 candidate_tuples = self._all_tuples(elements, elements)
-                for chosen in self._tuple_subsets(candidate_tuples, decoration_facts):
+                allowed = self.tuple_filter(decoration_facts)
+                for chosen in self._tuple_subsets(candidate_tuples, allowed):
                     relations = {
                         name: set(facts) for name, facts in decoration_facts.items()
                     }
                     for relation, t in chosen:
                         relations[relation].add(t)
-                    witness = Structure(
-                        schema, elements, relations=relations, validate=False
+                    witness = intern_structure(
+                        Structure(schema, elements, relations=relations, validate=False)
                     )
                     yield TheoryConfiguration.make(
                         witness, valuation, fresh_elements=tuple(elements)
@@ -224,6 +268,12 @@ class RelationalTheory(DatabaseTheory):
         relevant_future = [ft for ft in future_tuples if ft in guard_atom_set]
         irrelevant_future = [ft for ft in future_tuples if ft not in guard_atom_set]
 
+        combined = combined_guard_valuation(tuple(registers), valuation_old, valuation_new)
+        use_fast = caches_enabled()
+        prefilter = (
+            _compile_guard_prefilter(guard, combined, schema) if use_fast else None
+        )
+
         for decorations in decoration_choices:
             decoration_facts: Dict[str, Set[Tuple[Element, ...]]] = {
                 name: set() for name in schema.relation_names
@@ -237,42 +287,47 @@ class RelationalTheory(DatabaseTheory):
                 name: base_relations[name] | decoration_facts[name]
                 for name in schema.relation_names
             }
+            allowed = self.tuple_filter(unary_facts)
             for chosen_relevant in self._tuple_subsets(
-                relevant_future + mixed_tuples, unary_facts
+                relevant_future + mixed_tuples, allowed
             ):
+                if use_fast:
+                    if prefilter is not None:
+                        chosen_set = frozenset(chosen_relevant)
+
+                        def fact_present(relation: str, t: Tuple[Element, ...]) -> bool:
+                            return (
+                                t in base_small[relation]
+                                or t in decoration_facts[relation]
+                                or (relation, t) in chosen_set
+                            )
+
+                        if not prefilter(fact_present):
+                            continue
+                elif not self._guard_holds_small_structure(
+                    schema,
+                    small_domain,
+                    base_small,
+                    decoration_facts,
+                    chosen_relevant,
+                    guard,
+                    combined,
+                ):
+                    continue
                 relevant_added: Dict[str, Set[Tuple[Element, ...]]] = {
                     name: set(decoration_facts[name]) for name in schema.relation_names
                 }
                 for relation, t in chosen_relevant:
                     relevant_added[relation].add(t)
-                small = Structure(
-                    schema,
-                    small_domain,
-                    relations={
-                        name: base_small[name] | relevant_added[name]
-                        for name in schema.relation_names
-                    },
-                    validate=False,
-                )
-                if not _guard_holds_small(
-                    small, registers, guard, valuation_old, valuation_new
-                ):
-                    continue
                 for chosen_irrelevant in self._tuple_subsets(
-                    irrelevant_future, unary_facts
+                    irrelevant_future, allowed
                 ):
                     added = {
                         name: set(relevant_added[name])
                         for name in schema.relation_names
                     }
-                    ok = True
                     for relation, t in chosen_irrelevant:
-                        if not self.tuple_allowed(unary_facts, relation, t):
-                            ok = False
-                            break
                         added[relation].add(t)
-                    if not ok:
-                        continue
                     extended = Structure(
                         schema,
                         set(witness.domain) | set(fresh_elements),
@@ -286,15 +341,42 @@ class RelationalTheory(DatabaseTheory):
                         extended, valuation_new, tuple(fresh_elements)
                     )
 
+    def _guard_holds_small_structure(
+        self,
+        schema: Schema,
+        small_domain: Set[Element],
+        base_small: Dict[str, Set[Tuple[Element, ...]]],
+        decoration_facts: Dict[str, Set[Tuple[Element, ...]]],
+        chosen_relevant: Sequence[Tuple[str, Tuple[Element, ...]]],
+        guard: Formula,
+        combined: Dict[str, Element],
+    ) -> bool:
+        """The legacy (cache-free) pre-filter: build the delta, walk the guard.
+
+        Guards mentioning symbols outside the witness schema (e.g. the data
+        value relations of :mod:`repro.datavalues`) cannot be decided here;
+        such candidates are conservatively kept and the engine performs the
+        authoritative evaluation on the full (expanded) database.
+        """
+        relations = {
+            name: base_small[name] | decoration_facts[name]
+            for name in schema.relation_names
+        }
+        for relation, t in chosen_relevant:
+            relations[relation].add(t)
+        small = Structure(schema, small_domain, relations=relations, validate=False)
+        try:
+            return guard.evaluate(small, combined)
+        except FormulaError:
+            return True
+
     def _tuple_subsets(
         self,
         candidates: List[Tuple[str, Tuple[Element, ...]]],
-        unary_facts: Dict[str, Set[Tuple[Element, ...]]],
+        allowed_fn: Callable[[str, Tuple[Element, ...]], bool],
     ) -> Iterator[Tuple[Tuple[str, Tuple[Element, ...]], ...]]:
         allowed = [
-            (relation, t)
-            for relation, t in candidates
-            if self.tuple_allowed(unary_facts, relation, t)
+            (relation, t) for relation, t in candidates if allowed_fn(relation, t)
         ]
         for size in range(len(allowed) + 1):
             yield from itertools.combinations(allowed, size)
@@ -402,27 +484,56 @@ def _resolve_variable_term(term: Term, combined: Dict[str, Element]) -> Optional
     return None
 
 
-def _guard_holds_small(
-    small: Structure,
-    registers: List[str],
-    guard: Formula,
-    valuation_old: Dict[str, Element],
-    valuation_new: Dict[str, Element],
-) -> bool:
-    """Pre-filter candidates by the guard, evaluated on the small delta structure.
+def _compile_guard_prefilter(
+    guard: Formula, combined: Dict[str, Element], schema: Schema
+):
+    """Compile a guard into a fast predicate over candidate delta facts.
 
-    Guards that mention symbols outside the theory's schema (e.g. the data
-    value relations added by :mod:`repro.datavalues`) cannot be decided here;
-    in that case the candidate is conservatively kept and the engine performs
-    the authoritative evaluation on the full (expanded) database.
+    With both register valuations fixed, every equality atom is a constant
+    and every relation atom denotes one concrete ``(symbol, tuple)`` fact;
+    the returned closure takes a ``fact_present(symbol, tuple)`` test and
+    decides the guard without touching structures or terms again.
+
+    Atoms that cannot be compiled (symbols outside the witness schema such
+    as data-value relations, non-variable terms, quantifiers) evaluate to
+    :data:`repro.logic.threevalued.UNKNOWN`, which propagates through the
+    connectives with exactly the short-circuit semantics the structure-based
+    pre-filter had via :class:`~repro.errors.FormulaError`: a conjunct that
+    is already false prunes the candidate without consulting the unknown
+    atom, while any evaluation that would have touched the unknown atom
+    conservatively keeps the candidate for the engine's authoritative check.
+    The returned predicate yields True for "keep" (guard holds or unknown)
+    and False for "prune".
     """
-    from repro.errors import FormulaError
 
-    combined: Dict[str, Element] = {}
-    for register in registers:
-        combined[old(register)] = valuation_old[register]
-        combined[new(register)] = valuation_new[register]
-    try:
-        return guard.evaluate(small, combined)
-    except FormulaError:
-        return True
+    def resolve(term: Term):
+        if isinstance(term, Var):
+            return combined.get(term.name, UNKNOWN)
+        return UNKNOWN
+
+    def compile_atom(formula: Formula):
+        if isinstance(formula, Equality):
+            left = resolve(formula.left)
+            right = resolve(formula.right)
+            if left is UNKNOWN or right is UNKNOWN:
+                return unknown_node
+            outcome = left == right
+            return lambda fact_present: outcome
+        if isinstance(formula, RelationAtom):
+            symbol = formula.symbol
+            if not schema.has_relation(symbol):
+                return unknown_node
+            if len(formula.args) != schema.relation(symbol).arity:
+                return unknown_node
+            arguments = tuple(resolve(argument) for argument in formula.args)
+            if any(argument is UNKNOWN for argument in arguments):
+                return unknown_node
+            return lambda fact_present: fact_present(symbol, arguments)
+        return unknown_node
+
+    compiled = compile_three_valued(guard, compile_atom)
+
+    def keep_candidate(fact_present) -> bool:
+        return compiled(fact_present) is not False
+
+    return keep_candidate

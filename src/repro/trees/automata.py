@@ -21,9 +21,7 @@ by the run databases (:mod:`repro.trees.rundb`), the emptiness procedure
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from functools import lru_cache
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import AutomatonError
@@ -259,11 +257,6 @@ class AutomatonAnalysis:
         if not states:
             return True
         starts = self.can_first.get(parent, set())
-        current = {
-            s
-            for s in starts
-            if states[0] == s or states[0] in self.sib_reach_plus.get(s, set())
-        }
         if states[0] not in {
             t for s in starts for t in ({s} | self.sib_reach_plus.get(s, set()))
         }:

@@ -42,6 +42,7 @@ from repro.fraisse.base import (
 )
 from repro.logic.schema import Schema
 from repro.logic.structures import Element, Structure
+from repro.perf import BoundedCache, caches_enabled
 from repro.systems.dds import DatabaseDrivenSystem, Transition
 from repro.trees.automata import AutomatonAnalysis, TreeAutomaton
 from repro.trees.tree import Tree
@@ -68,6 +69,16 @@ class Skeleton:
     """(node id, skeleton parent id or None for the skeleton root)."""
     children: Tuple[Tuple[int, Tuple[int, ...]], ...]
     """(node id, ordered skeleton children) -- order is document order."""
+
+    def __hash__(self) -> int:
+        # Skeletons key several hot memo tables; the generated dataclass
+        # hash walks all three field tuples on every lookup, so cache it
+        # (skeletons are immutable).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.states, self.parents, self.children))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     # -- views (cached: skeletons are immutable) ---------------------------------------
 
@@ -160,10 +171,18 @@ class Skeleton:
         return cls(states=((0, state),), parents=((0, None),), children=((0, ()),))
 
     def _replace(self, states, parents, children) -> "Skeleton":
+        """Build the updated skeleton from the working dictionaries.
+
+        The working dictionaries are copies of the cached views (whose
+        insertion order is the sorted field order) updated either in place or
+        by appending a fresh id larger than every existing one, so their
+        iteration order is already the canonical sorted order -- no re-sort
+        needed on this hot construction path.
+        """
         return Skeleton(
-            states=tuple(sorted(states.items())),
-            parents=tuple(sorted(parents.items())),
-            children=tuple(sorted((k, tuple(v)) for k, v in children.items())),
+            states=tuple(states.items()),
+            parents=tuple(parents.items()),
+            children=tuple((k, tuple(v)) for k, v in children.items()),
         )
 
     def with_root_above(self, new_id: int, state: str) -> "Skeleton":
@@ -219,6 +238,15 @@ class TreeRunTheory(DatabaseTheory):
         self._key_schema = self._schema.extend(relations=key_relations)
         self._anchor_cache: Dict[Tuple[str, Tuple[str, ...]], Optional[List[str]]] = {}
         self._up_cache: Dict[str, Set[str]] = {}
+        # Canonical-form caches (see repro.perf): node placement only depends
+        # on the (immutable) skeleton and the number of fresh nodes, yet the
+        # successor enumeration used to recompute it for every register-target
+        # combination; completability and abstraction keys are likewise pure
+        # functions of the skeleton (and valuation).
+        self._placement_cache = BoundedCache("trees_placements", cap=1 << 12)
+        self._completable_cache = BoundedCache("trees_completable")
+        self._key_cache = BoundedCache("trees_abstraction_key")
+        self._compiled_guards = BoundedCache("trees_compiled_guards", cap=1 << 10)
 
     # -- accessors -----------------------------------------------------------------------
 
@@ -258,19 +286,37 @@ class TreeRunTheory(DatabaseTheory):
 
     def skeleton_completable(self, skeleton: Skeleton) -> bool:
         """The vertical + horizontal conditions at every skeleton node."""
+        return self._completable_cache.get_or_compute(
+            skeleton, lambda: self._skeleton_completable_uncached(skeleton)
+        )
+
+    def _skeleton_completable_uncached(self, skeleton: Skeleton) -> bool:
+        for node in skeleton.children_of:
+            if not self._node_completable(skeleton, node):
+                return False
+        return True
+
+    def _node_completable(self, skeleton: Skeleton, node: int) -> bool:
+        """The vertical + horizontal conditions at one skeleton node.
+
+        Every placement move touches at most two nodes (the fresh node and
+        the node whose child list changed), so candidates grown from a
+        completable skeleton only need this local check at the touched nodes
+        -- the fast path of :meth:`_single_placements`.
+        """
         analysis = self._analysis
         state_of = skeleton.state_of
-        for node, children in skeleton.children_of.items():
-            parent_state = state_of[node]
-            if parent_state not in analysis.trimmed_states:
+        parent_state = state_of[node]
+        if parent_state not in analysis.trimmed_states:
+            return False
+        children = skeleton.children_of[node]
+        for child in children:
+            if not analysis.proper_descendant(state_of[child], parent_state):
                 return False
-            for child in children:
-                if not analysis.proper_descendant(state_of[child], parent_state):
-                    return False
-            if children and not self._horizontal_ok(
-                parent_state, [state_of[c] for c in children]
-            ):
-                return False
+        if children and not self._horizontal_ok(
+            parent_state, [state_of[c] for c in children]
+        ):
+            return False
         return True
 
     def _horizontal_ok(self, parent_state: str, child_states: Sequence[str]) -> bool:
@@ -314,7 +360,7 @@ class TreeRunTheory(DatabaseTheory):
                         skeleton, valuation, fresh_elements=tuple(skeleton.node_ids)
                     )
 
-    # -- successors ------------------------------------------------------------------------------------
+    # -- successors --------------------------------------------------------------------
 
     def successor_configurations(
         self,
@@ -369,16 +415,30 @@ class TreeRunTheory(DatabaseTheory):
 
         Guards mentioning symbols outside TreeSchema (e.g. data-value
         relations) cannot be decided here; such candidates are kept and the
-        engine performs the authoritative evaluation.
+        engine performs the authoritative evaluation.  On the fast path the
+        guard is compiled once (per formula) into closures over the skeleton
+        relations, skipping the per-candidate formula walk.
         """
         from repro.errors import FormulaError
         from repro.systems.dds import new, old
 
-        view = _SkeletonView(self, skeleton)
+        if caches_enabled():
+            # Keyed by id with the guard kept alive in the entry: hashing the
+            # formula itself per candidate was measurably hot, and the strong
+            # reference makes id reuse impossible while the entry lives.
+            entry = self._compiled_guards.get(id(transition.guard))
+            if entry is None or entry[0] is not transition.guard:
+                entry = (
+                    transition.guard,
+                    _compile_skeleton_prefilter(transition.guard, self),
+                )
+                self._compiled_guards.put(id(transition.guard), entry)
+            return entry[1]((skeleton, valuation_old, valuation_new)) is not False
         combined: Dict[str, Element] = {}
         for register in system.registers:
             combined[old(register)] = valuation_old[register]
             combined[new(register)] = valuation_new[register]
+        view = _SkeletonView(self, skeleton)
         try:
             return transition.guard.evaluate(view, combined)
         except FormulaError:
@@ -388,26 +448,66 @@ class TreeRunTheory(DatabaseTheory):
         self, skeleton: Skeleton, count: int
     ) -> Iterator[Tuple[Skeleton, List[int]]]:
         """Place ``count`` fresh nodes one after another, every intermediate
-        skeleton remaining cca-closed and completable."""
+        skeleton remaining cca-closed and completable.
+
+        Placements depend only on the skeleton and the count -- not on the
+        register assignment that asked for them -- so the successor
+        enumeration memoises the materialised list per ``(skeleton, count)``
+        instead of re-walking the placement tree for every register-target
+        combination (the pre-refactor tree hot spot).
+        """
+        if not caches_enabled():
+            yield from self._place_nodes_uncached(skeleton, count)
+            return
+        # Only top-level results are cached: interior skeletons of the
+        # placement recursion are mostly unique, and caching them would
+        # pollute (and repeatedly overflow) the table for no hits.
+        key = (skeleton, count)
+        cached = self._placement_cache.get(key)
+        if cached is None:
+            cached = list(self._place_nodes_uncached(skeleton, count))
+            self._placement_cache.put(key, cached)
+        yield from cached
+
+    def _place_nodes_uncached(
+        self, skeleton: Skeleton, count: int
+    ) -> Iterator[Tuple[Skeleton, List[int]]]:
         if count == 0:
             yield skeleton, []
             return
         for extended, new_id in self._single_placements(skeleton):
-            for final, rest in self._place_nodes(extended, count - 1):
+            for final, rest in self._place_nodes_uncached(extended, count - 1):
                 yield final, [new_id] + rest
 
     def _single_placements(self, skeleton: Skeleton) -> Iterator[Tuple[Skeleton, int]]:
-        """All ways to add one node (possibly with one helper cca node)."""
+        """All ways to add one node (possibly with one helper cca node).
+
+        ``skeleton`` is always completable here (seeds start from single
+        nodes and every intermediate candidate is filtered), so on the fast
+        path completability of a candidate reduces to the local conditions
+        at the nodes the move touched; the legacy path re-checks the whole
+        skeleton, as the seed engine did.
+        """
         analysis = self._analysis
         states = sorted(analysis.trimmed_states)
         state_of = skeleton.state_of
         new_id = skeleton.next_id()
         seen: Set[Skeleton] = set()
+        local_check = caches_enabled()
 
-        def emit(candidate: Skeleton, node: int) -> Iterator[Tuple[Skeleton, int]]:
+        def admissible(candidate: Skeleton, affected: Tuple[int, ...]) -> bool:
+            if local_check:
+                return all(
+                    self._node_completable(candidate, node) for node in affected
+                )
+            return self.skeleton_completable(candidate)
+
+        def emit(
+            candidate: Skeleton, node: int, affected: Tuple[int, ...]
+        ) -> Iterator[Tuple[Skeleton, int]]:
             if candidate in seen:
                 return
-            if self.skeleton_completable(candidate):
+            if admissible(candidate, affected):
                 seen.add(candidate)
                 yield candidate, node
 
@@ -417,7 +517,9 @@ class TreeRunTheory(DatabaseTheory):
         # M1: a new ancestor of the whole skeleton.
         for state in states:
             if proper(state_of[root], state):
-                yield from emit(skeleton.with_root_above(new_id, state), new_id)
+                yield from emit(
+                    skeleton.with_root_above(new_id, state), new_id, (new_id,)
+                )
         # M2: a node inside an existing skeleton edge.
         for node in skeleton.node_ids:
             parent = parent_of[node]
@@ -426,7 +528,11 @@ class TreeRunTheory(DatabaseTheory):
             for state in states:
                 if not (proper(state_of[node], state) and proper(state, state_of[parent])):
                     continue
-                yield from emit(skeleton.with_node_on_edge(new_id, state, node), new_id)
+                yield from emit(
+                    skeleton.with_node_on_edge(new_id, state, node),
+                    new_id,
+                    (new_id, parent),
+                )
         # M3: a new leaf branch under an existing node, at every slot.
         for node in skeleton.node_ids:
             arity = len(skeleton.children_of[node])
@@ -434,7 +540,11 @@ class TreeRunTheory(DatabaseTheory):
                 for state in states:
                     if not proper(state, state_of[node]):
                         continue
-                    yield from emit(skeleton.with_branch(new_id, state, node, slot), new_id)
+                    yield from emit(
+                        skeleton.with_branch(new_id, state, node, slot),
+                        new_id,
+                        (new_id, node),
+                    )
         # M4: a helper cca node on an edge (or above the root) with the new node
         # hanging next to the detached branch.
         helper_id = new_id
@@ -446,11 +556,13 @@ class TreeRunTheory(DatabaseTheory):
                     continue
                 if parent is None:
                     with_helper = skeleton.with_root_above(helper_id, helper_state)
+                    helper_affected: Tuple[int, ...] = (helper_id,)
                 else:
                     if not proper(helper_state, state_of[parent]):
                         continue
                     with_helper = skeleton.with_node_on_edge(helper_id, helper_state, node)
-                if not self.skeleton_completable(with_helper):
+                    helper_affected = (helper_id, parent)
+                if not admissible(with_helper, helper_affected):
                     continue
                 for state in states:
                     if not proper(state, helper_state):
@@ -461,17 +573,25 @@ class TreeRunTheory(DatabaseTheory):
                         )
                         if candidate in seen:
                             continue
-                        if self.skeleton_completable(candidate):
+                        if admissible(candidate, (branch_id, helper_id)):
                             seen.add(candidate)
                             yield candidate, branch_id
 
-    # -- rendering -----------------------------------------------------------------------------------------
+    # -- rendering ---------------------------------------------------------------------
 
     def database(self, config: TheoryConfiguration) -> Structure:
         return self._skeleton_structure(config.witness, self._schema, with_states=False)
 
     def abstraction_key(self, config: TheoryConfiguration) -> Hashable:
         skeleton: Skeleton = config.witness
+        return self._key_cache.get_or_compute(
+            (skeleton, config.valuation_items),
+            lambda: self._abstraction_key_uncached(skeleton, config),
+        )
+
+    def _abstraction_key_uncached(
+        self, skeleton: Skeleton, config: TheoryConfiguration
+    ) -> Hashable:
         generated = self._cca_closure(skeleton, set(config.valuation.values()))
         restricted = self._restrict(skeleton, generated)
         view = self._skeleton_structure(restricted, self._key_schema, with_states=True)
@@ -549,7 +669,7 @@ class TreeRunTheory(DatabaseTheory):
             schema, nodes, relations=relations, functions={CCA: cca_table}, validate=False
         )
 
-    # -- witness expansion -----------------------------------------------------------------------------------
+    # -- witness expansion -------------------------------------------------------------
 
     def finalize(
         self, config: TheoryConfiguration
@@ -695,6 +815,118 @@ class _SkeletonView:
         if name == CCA:
             return self._skeleton.cca(args[0], args[1])
         raise KeyError(name)
+
+
+def _compile_skeleton_prefilter(guard, theory: "TreeRunTheory"):
+    """Compile a guard into closures over skeleton relations.
+
+    Returns a function over a context ``(skeleton, valuation_old,
+    valuation_new)`` yielding ``True | False | UNKNOWN``, built on the
+    shared three-valued connective compiler
+    (:mod:`repro.logic.threevalued`): atoms over symbols the skeleton
+    cannot decide (data-value relations, unknown functions) yield
+    ``UNKNOWN``, which propagates to the top where the caller
+    conservatively keeps the candidate.  Register slots (``x_old`` /
+    ``x_new``) resolve directly into the corresponding valuation at compile
+    time, so no combined valuation dictionary is built per candidate.
+    """
+    from repro.logic.formulas import Equality, RelationAtom
+    from repro.logic.terms import FuncTerm, Var
+    from repro.logic.threevalued import (
+        UNKNOWN,
+        compile_three_valued,
+        unknown_node,
+    )
+    from repro.systems.dds import NEW_SUFFIX, OLD_SUFFIX
+
+    letter_of = theory.automaton.letter_of
+
+    def compile_term(term):
+        if isinstance(term, Var):
+            name = term.name
+            if name.endswith(OLD_SUFFIX):
+                register = name[: -len(OLD_SUFFIX)]
+                return lambda context: context[1].get(register, UNKNOWN)
+            if name.endswith(NEW_SUFFIX):
+                register = name[: -len(NEW_SUFFIX)]
+                return lambda context: context[2].get(register, UNKNOWN)
+            return lambda context: UNKNOWN
+        if isinstance(term, FuncTerm) and term.symbol == CCA and len(term.args) == 2:
+            left = compile_term(term.args[0])
+            right = compile_term(term.args[1])
+
+            def eval_cca(context):
+                a = left(context)
+                b = right(context)
+                if a is UNKNOWN or b is UNKNOWN:
+                    return UNKNOWN
+                return context[0].cca(a, b)
+
+            return eval_cca
+        return lambda context: UNKNOWN
+
+    def compile_atom(formula):
+        if isinstance(formula, Equality):
+            left = compile_term(formula.left)
+            right = compile_term(formula.right)
+
+            def eval_eq(context):
+                a = left(context)
+                b = right(context)
+                if a is UNKNOWN or b is UNKNOWN:
+                    return UNKNOWN
+                return a == b
+
+            return eval_eq
+        if isinstance(formula, RelationAtom):
+            symbol = formula.symbol
+            if not theory.schema.has_relation(symbol):
+                # Outside TreeSchema (e.g. data-value relations): undecidable
+                # here, exactly like the FormulaError path of the view.
+                return unknown_node
+            arguments = [compile_term(argument) for argument in formula.args]
+
+            def resolve_arguments(context):
+                values = []
+                for argument in arguments:
+                    value = argument(context)
+                    if value is UNKNOWN:
+                        return None
+                    values.append(value)
+                return values
+
+            if symbol == ANCESTOR and len(arguments) == 2:
+
+                def eval_anc(context):
+                    values = resolve_arguments(context)
+                    if values is None:
+                        return UNKNOWN
+                    return context[0].is_ancestor(values[0], values[1])
+
+                return eval_anc
+            if symbol == DOCUMENT_ORDER and len(arguments) == 2:
+
+                def eval_doc(context):
+                    values = resolve_arguments(context)
+                    if values is None:
+                        return UNKNOWN
+                    return context[0].document_before(values[0], values[1])
+
+                return eval_doc
+            if symbol.startswith("label_") and len(arguments) == 1:
+                label = symbol[len("label_"):]
+
+                def eval_label(context):
+                    values = resolve_arguments(context)
+                    if values is None:
+                        return UNKNOWN
+                    return letter_of[context[0].state_of[values[0]]] == label
+
+                return eval_label
+            return unknown_node
+        return unknown_node
+
+    return compile_three_valued(guard, compile_atom)
 
 
 def _match_subsequence(sequence: Sequence[str], anchors: Sequence[str]) -> List[int]:

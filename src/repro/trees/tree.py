@@ -8,9 +8,8 @@ index) only when a tree is rendered as a database by
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)

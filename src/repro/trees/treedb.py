@@ -16,7 +16,7 @@ emptiness undecidable (Section 6.1).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Tuple
 
 from repro.logic.schema import Schema
 from repro.logic.structures import Structure

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class OpKind(Enum):
@@ -121,7 +121,11 @@ class CounterMachine:
                 values[instruction.counter] -= 1
                 label = instruction.target
             else:
-                label = instruction.target if values[instruction.counter] == 0 else instruction.fallthrough
+                label = (
+                    instruction.target
+                    if values[instruction.counter] == 0
+                    else instruction.fallthrough
+                )
         return best
 
 

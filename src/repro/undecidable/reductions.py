@@ -16,7 +16,6 @@ frontier (experiment E8).
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.logic.schema import Schema
@@ -103,7 +102,7 @@ def demonstrate_fact15(
     return find_accepting_run(system, database, max_steps=max_steps) is not None
 
 
-# -- Fact 16: the sibling relation plus closest common ancestor -------------------------------------
+# -- Fact 16: the sibling relation plus closest common ancestor ---------------
 
 
 def caterpillar_database(height: int) -> Structure:
@@ -220,7 +219,7 @@ def demonstrate_fact16(
     return find_accepting_run(system, database, max_steps=max_steps) is not None
 
 
-# -- Theorem 17: data tree patterns ----------------------------------------------------------------------
+# -- Theorem 17: data tree patterns -------------------------------------------
 
 
 def pattern_chain_database(length: int) -> Structure:

@@ -19,7 +19,7 @@ property-based tests of Proposition 2 (closure under amalgamation).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.logic.schema import Schema
 from repro.logic.structures import Structure
@@ -61,15 +61,19 @@ def run_schema(automaton: PositionAutomaton) -> Schema:
 def rundb(
     automaton: PositionAutomaton,
     positions: Sequence[Tuple[object, str]],
+    schema: Optional[Schema] = None,
 ) -> Structure:
     """The run database of a pre-run given as ``(position, state)`` pairs in order.
 
     Positions may be arbitrary hashable identifiers; their order in the
     sequence is the word order.  Pointer functions are computed exactly as in
     the paper: ``leftmost_Γ(x)`` is the left-most position *before* ``x``
-    carrying a state in Γ, defaulting to ``x``.
+    carrying a state in Γ, defaulting to ``x``.  Callers rendering many
+    fragments of the same automaton (the word theory's abstraction keys) may
+    pass the precomputed ``run_schema`` to skip rebuilding it per fragment.
     """
-    schema = run_schema(automaton)
+    if schema is None:
+        schema = run_schema(automaton)
     ids = [p for p, _ in positions]
     states = [s for _, s in positions]
     index_of = {p: i for i, (p, _) in enumerate(positions)}

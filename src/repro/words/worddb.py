@@ -10,7 +10,7 @@ leftmost/rightmost component pointers lives in :mod:`repro.words.rundb`.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
 
 from repro.logic.schema import Schema
 from repro.logic.structures import Structure

@@ -146,3 +146,77 @@ def test_describe_and_tuple_count():
     assert g.tuple_count() == 4
     text = g.describe()
     assert "E" in text and "red" in text
+
+
+# -- canonicalisation / interning layer ----------------------------------------
+
+
+def test_canonical_key_is_content_canonical():
+    a = Structure(GRAPH, [0, 1], relations={"E": [(0, 1), (1, 0)], "red": [(0,)]})
+    b = Structure(GRAPH, [1, 0], relations={"E": [(1, 0), (0, 1)], "red": [(0,)]})
+    assert a.canonical_key() == b.canonical_key()
+    c = a.with_tuple("red", 1)
+    assert a.canonical_key() != c.canonical_key()
+
+
+def test_tuples_touching_index_matches_relations():
+    g = triangle()
+    facts = set(g.tuples_touching(0))
+    assert facts == {("E", (0, 1)), ("E", (2, 0)), ("red", (0,))}
+    assert g.tuples_touching("not-an-element") == ()
+
+
+def test_closure_memo_returns_same_result():
+    s = singleton_structure(TREEISH, "x")
+    first = s.closure(["x"])
+    second = s.closure(["x"])
+    assert first == second == frozenset({"x"})
+
+
+def test_isomorphism_key_identifies_isomorphic_structures():
+    from repro.logic.structures import isomorphism_key
+
+    a = Structure(GRAPH, [0, 1, 2], relations={"E": [(0, 1), (1, 2)], "red": [(0,)]})
+    b = Structure(
+        GRAPH, ["p", "q", "r"], relations={"E": [("q", "r"), ("r", "p")], "red": [("q",)]}
+    )
+    assert isomorphism_key(a) == isomorphism_key(b)
+    # Breaking the isomorphism (recolouring) must change the key.
+    c = Structure(GRAPH, [0, 1, 2], relations={"E": [(0, 1), (1, 2)], "red": [(1,)]})
+    assert isomorphism_key(a) != isomorphism_key(c)
+    # Beyond the size cap the key falls back to the labelled regime.
+    big = Structure(GRAPH, range(10), relations={"E": [(i, i + 1) for i in range(9)]})
+    assert isomorphism_key(big, max_size=4)[0] == "labelled"
+
+
+def test_structure_interner_hash_conses_equal_structures():
+    from repro.logic.structures import StructureInterner
+
+    interner = StructureInterner("test_interner_eq")
+    first = triangle()
+    second = triangle()
+    assert interner.intern(first) is first
+    assert interner.intern(second) is first
+    assert interner.stats.hits == 1 and interner.stats.misses == 1
+
+
+def test_structure_interner_up_to_isomorphism():
+    from repro.logic.structures import StructureInterner
+
+    interner = StructureInterner("test_interner_iso", up_to_isomorphism=True)
+    a = Structure(GRAPH, [0, 1], relations={"E": [(0, 1)]})
+    b = Structure(GRAPH, ["x", "y"], relations={"E": [("x", "y")]})
+    representative = interner.intern(a)
+    assert interner.intern(b) is representative
+
+
+def test_interning_disabled_with_caches_off():
+    from repro.logic.structures import StructureInterner
+    from repro.perf import caches_disabled
+
+    interner = StructureInterner("test_interner_off")
+    with caches_disabled():
+        first = triangle()
+        second = triangle()
+        assert interner.intern(first) is first
+        assert interner.intern(second) is second
