@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Unified benchmark runner: the e1-e9 suite plus the engine fast-path record.
+"""Unified benchmark runner: e1-e9 suite, engine fast-path, batch service.
 
-Two phases, both optional:
+Three phases, all optional:
 
 * **suite** -- runs the pytest-benchmark files ``bench_e1`` .. ``bench_e9``
   and stores pytest-benchmark's machine-readable output as
@@ -16,6 +16,12 @@ Two phases, both optional:
   speedup and a cross-check that all three search strategies agree on the
   e1-e3 example systems -- are written to ``BENCH_engine.json``, the perf
   trajectory baseline for future PRs.
+* **service** -- measures the batch verification service
+  (:mod:`repro.service`) on a seeded random workload batch
+  (:mod:`repro.workloads`): serial vs parallel execution and cold vs
+  warm-cache reruns against the fingerprinted result store, cross-checking
+  that every mode returns identical verdicts.  Results go to
+  ``BENCH_service.json``.
 
 Usage::
 
@@ -172,6 +178,97 @@ def run_strategy_agreement() -> dict:
     return report
 
 
+# -- service phase ---------------------------------------------------------------
+
+
+def _service_comparison(jobs, workers: int) -> dict:
+    """Serial vs parallel vs warm-cache timings for one batch of jobs.
+
+    The warm rerun hits the same store the parallel cold run populated, so
+    it measures exactly the cache path a deployed service would take on
+    repeat traffic; verdict lists are asserted identical across all modes.
+    """
+    import tempfile
+
+    from repro.service import BatchRunner, ResultStore
+
+    serial = BatchRunner(workers=1, timeout_seconds=300).run(jobs)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "service.sqlite")
+        try:
+            cold = BatchRunner(store=store, workers=workers, timeout_seconds=300).run(
+                jobs
+            )
+            warm = BatchRunner(store=store, workers=workers, timeout_seconds=300).run(
+                jobs
+            )
+        finally:
+            store.close()
+
+    verdicts_match = serial.verdicts == cold.verdicts == warm.verdicts
+    assert verdicts_match, "parallel/warm verdicts differ from the serial run"
+    assert warm.cache_hits == len(jobs), "warm rerun did not hit the store for every job"
+    speedup = (
+        cold.elapsed_seconds / warm.elapsed_seconds if warm.elapsed_seconds else None
+    )
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cpus = os.cpu_count()
+    return {
+        "job_count": len(jobs),
+        "workers": workers,
+        # Worker processes are single-core; parallel fan-out can only beat
+        # serial execution when this exceeds 1.
+        "cpus_available": cpus,
+        "verdict_counts": cold.verdict_counts(),
+        "serial_seconds": round(serial.elapsed_seconds, 4),
+        "parallel_cold_seconds": round(cold.elapsed_seconds, 4),
+        "serial_vs_parallel_speedup": round(
+            serial.elapsed_seconds / cold.elapsed_seconds, 2
+        )
+        if cold.elapsed_seconds
+        else None,
+        "warm_seconds": round(warm.elapsed_seconds, 4),
+        "cold_vs_warm_speedup": round(speedup, 1) if speedup else None,
+        "warm_cache_hits": warm.cache_hits,
+        "serial_parallel_verdicts_match": verdicts_match,
+        "errors": len(cold.errors),
+    }
+
+
+def run_service_benchmark(smoke: bool) -> dict:
+    """The batch-service record: a light store-focused batch + a heavy one.
+
+    The light batch (many tiny heterogeneous jobs) measures the fingerprint
+    store -- its warm rerun is the acceptance-gated >=10x path.  The heavy
+    batch (0.1-1s relational jobs) is where parallel fan-out beats serial
+    execution; it is skipped in smoke mode to keep CI cheap.
+    """
+    from repro.workloads import generate_jobs
+
+    light_jobs = generate_jobs(10 if smoke else 60, seed=2013)
+    light = _service_comparison(light_jobs, workers=2 if smoke else 4)
+    print(
+        f"  light: {light['job_count']} jobs  serial {light['serial_seconds']:.3f}s  "
+        f"parallel({light['workers']}) {light['parallel_cold_seconds']:.3f}s  "
+        f"warm {light['warm_seconds']:.4f}s  "
+        f"cold/warm {light['cold_vs_warm_speedup']:.0f}x"
+    )
+    record = {"light": light}
+    if not smoke:
+        heavy_jobs = generate_jobs(16, seed=2013, profile="heavy")
+        heavy = _service_comparison(heavy_jobs, workers=4)
+        print(
+            f"  heavy: {heavy['job_count']} jobs  serial {heavy['serial_seconds']:.3f}s  "
+            f"parallel({heavy['workers']}) {heavy['parallel_cold_seconds']:.3f}s  "
+            f"({heavy['serial_vs_parallel_speedup']:.2f}x)  "
+            f"warm {heavy['warm_seconds']:.4f}s"
+        )
+        record["heavy"] = heavy
+    return record
+
+
 # -- suite phase ----------------------------------------------------------------
 
 
@@ -214,6 +311,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--skip-engine", action="store_true", help="skip the engine comparison phase"
+    )
+    parser.add_argument(
+        "--skip-service", action="store_true", help="skip the batch service phase"
     )
     parser.add_argument(
         "--rounds",
@@ -259,6 +359,25 @@ def main(argv=None) -> int:
         if not all(case["agree"] for case in agreement.values()):
             print("strategy disagreement detected", file=sys.stderr)
             exit_code = exit_code or 1
+
+    if not args.skip_service:
+        print("running batch service benchmark ...")
+        try:
+            service = run_service_benchmark(args.smoke)
+        except AssertionError as error:
+            print(f"service benchmark FAILED: {error}", file=sys.stderr)
+            exit_code = exit_code or 1
+        else:
+            service_record = {
+                "schema_version": 1,
+                "mode": "smoke" if args.smoke else "full",
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "service": service,
+            }
+            service_path = args.output_dir / "BENCH_service.json"
+            service_path.write_text(json.dumps(service_record, indent=2) + "\n")
+            print(f"wrote {service_path}")
 
     return exit_code
 

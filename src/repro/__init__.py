@@ -46,8 +46,23 @@ from repro.relational import (
     clique_template,
     odd_red_cycle_free_template,
 )
+from repro.perf import (
+    cache_stats_snapshot,
+    caches_enabled,
+    reset_cache_stats,
+    set_caches_enabled,
+)
+from repro.service import (
+    BatchReport,
+    BatchRunner,
+    JobResult,
+    ResultStore,
+    VerificationJob,
+    run_batch,
+)
+from repro.workloads import generate_jobs
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Schema",
@@ -72,5 +87,16 @@ __all__ = [
     "HomTheory",
     "clique_template",
     "odd_red_cycle_free_template",
+    "cache_stats_snapshot",
+    "reset_cache_stats",
+    "caches_enabled",
+    "set_caches_enabled",
+    "VerificationJob",
+    "JobResult",
+    "ResultStore",
+    "BatchRunner",
+    "BatchReport",
+    "run_batch",
+    "generate_jobs",
     "__version__",
 ]

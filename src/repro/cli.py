@@ -6,6 +6,9 @@ A thin operational front door to the library:
   print the verdicts with the discovered witness;
 * ``repro check`` -- decide emptiness of one of the library's named example
   systems over a chosen theory and search strategy, printing statistics;
+* ``repro batch`` -- generate seeded random workloads and run them through
+  the batch verification service (parallel workers, persistent store);
+* ``repro store`` -- inspect, export or clear a result store;
 * ``repro bench`` -- shortcut to the unified benchmark runner (equivalent to
   ``python benchmarks/run_all.py`` when running from a checkout);
 * ``repro info`` -- version, available strategies, cache configuration.
@@ -19,7 +22,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
 
 from repro import (
     AllDatabasesTheory,
@@ -37,6 +41,8 @@ from repro.library import (
 )
 from repro.perf import cache_stats_snapshot, caches_enabled, set_caches_enabled
 from repro.relational.csp import COLORED_GRAPH_SCHEMA, GRAPH_SCHEMA
+from repro.service import BatchRunner, ResultStore
+from repro.workloads import FAMILIES, generate_jobs
 
 #: Named example workloads: name -> (system builder, theory builder).
 EXAMPLES: Dict[str, Tuple[Callable, Callable]] = {
@@ -96,37 +102,169 @@ def _command_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _locate_benchmark_runner() -> Optional[Path]:
+    """Find ``benchmarks/run_all.py`` relative to a checkout, if any.
+
+    Walks up from this file: in a ``pip install -e .`` checkout the package
+    lives at ``<repo>/src/repro``, so the runner sits two levels above.  A
+    site-packages install has no such directory and returns None.
+    """
+    for parent in Path(__file__).resolve().parents:
+        candidate = parent / "benchmarks" / "run_all.py"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
 def _command_bench(args: argparse.Namespace) -> int:
-    try:
-        from benchmarks.run_all import main as bench_main  # type: ignore
-    except ImportError:
+    runner_path = _locate_benchmark_runner()
+    if runner_path is None:
         print(
-            "the benchmark runner ships with the repository checkout; run "
-            "`python benchmarks/run_all.py` from the repo root instead",
+            "the benchmark runner ships with the repository checkout, not the "
+            "installed package; clone the repository and run "
+            "`python benchmarks/run_all.py` from its root",
             file=sys.stderr,
         )
         return 2
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("benchmarks.run_all", runner_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
     forwarded = []
     if args.smoke:
         forwarded.append("--smoke")
     if args.skip_suite:
         forwarded.append("--skip-suite")
-    return bench_main(forwarded)
+    if args.skip_engine:
+        forwarded.append("--skip-engine")
+    if args.skip_service:
+        forwarded.append("--skip-service")
+    return module.main(forwarded)
 
 
 def _command_info(args: argparse.Namespace) -> int:
-    print(f"repro {__version__}")
-    print(f"  search strategies: {', '.join(STRATEGY_NAMES)}")
-    print(f"  engine caches enabled: {caches_enabled()}")
     stats = {
         name: values
         for name, values in cache_stats_snapshot().items()
         if values["hits"] + values["misses"] > 0
     }
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "version": __version__,
+                    "strategies": list(STRATEGY_NAMES),
+                    "caches_enabled": caches_enabled(),
+                    "cache_stats": stats,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"repro {__version__}")
+    print(f"  search strategies: {', '.join(STRATEGY_NAMES)}")
+    print(f"  engine caches enabled: {caches_enabled()}")
     if stats:
         print("  cache stats:")
         for name, values in stats.items():
             print(f"    {name}: {values}")
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    families = (
+        [family.strip() for family in args.families.split(",") if family.strip()]
+        if args.families
+        else list(FAMILIES)
+    )
+    try:
+        jobs = generate_jobs(
+            args.count,
+            seed=args.seed,
+            families=families,
+            max_configurations=args.max_configurations,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    store = ResultStore(args.store) if args.store else None
+    try:
+        try:
+            runner = BatchRunner(
+                store=store, workers=args.workers, timeout_seconds=args.timeout
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        report = runner.run(jobs)
+        if args.json:
+            payload = report.as_dict()
+            payload["seed"] = args.seed
+            payload["families"] = families
+            payload["store"] = args.store
+            print(json.dumps(payload, indent=2))
+        else:
+            counts = report.verdict_counts()
+            print(
+                f"batch: {len(jobs)} jobs, {args.workers} worker(s), "
+                f"seed {args.seed}"
+            )
+            print(
+                f"  verdicts: {counts['nonempty']} nonempty, "
+                f"{counts['empty']} empty, {counts['error']} errors"
+                + (
+                    f", {counts['inconclusive']} inconclusive (cap hit)"
+                    if counts["inconclusive"]
+                    else ""
+                )
+            )
+            print(
+                f"  cache hits: {report.cache_hits}, executed: {report.executed}"
+            )
+            print(f"  elapsed: {report.elapsed_seconds:.3f}s")
+            if args.store:
+                print(f"  store: {args.store} ({len(store)} results)")
+            for result in report.errors:
+                print(f"  ERROR {result.label}: {result.error}")
+        return 1 if report.errors else 0
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    if not Path(args.db).is_file():
+        # Opening a missing path would create an empty database -- for every
+        # action that is a typo, not an intent.
+        print(f"no result store at {args.db}", file=sys.stderr)
+        return 2
+    with ResultStore(args.db) as store:
+        if args.action == "stats":
+            export = store.export()
+            nonempty = sum(1 for e in export["results"] if e["nonempty"])
+            definitive_empty = sum(
+                1
+                for e in export["results"]
+                if not e["nonempty"] and e["exhausted"]
+            )
+            inconclusive = export["count"] - nonempty - definitive_empty
+            print(f"store {args.db}: {export['count']} results")
+            print(
+                f"  nonempty: {nonempty}, empty: {definitive_empty}"
+                + (f", inconclusive: {inconclusive}" if inconclusive else "")
+            )
+            total = sum(e["elapsed_seconds"] for e in export["results"])
+            print(f"  total engine seconds cached: {total:.3f}")
+        elif args.action == "export":
+            if args.output:
+                store.export_json(args.output)
+                print(f"wrote {args.output}")
+            else:
+                print(json.dumps(store.export(), indent=2))
+        elif args.action == "clear":
+            removed = store.clear()
+            print(f"removed {removed} results from {args.db}")
     return 0
 
 
@@ -162,14 +300,68 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", action="store_true", help="statistics as JSON")
     check.set_defaults(handler=_command_check)
 
+    batch = subparsers.add_parser(
+        "batch", help="run a batch of generated workloads through the service"
+    )
+    batch.add_argument(
+        "--count", type=int, default=50, help="number of jobs to generate (default: 50)"
+    )
+    batch.add_argument(
+        "--seed", type=int, default=0, help="workload generator seed (default: 0)"
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: 1)"
+    )
+    batch.add_argument(
+        "--families",
+        default=None,
+        help=f"comma-separated workload families (default: {','.join(FAMILIES)})",
+    )
+    batch.add_argument(
+        "--store",
+        default=None,
+        help="path of the SQLite result store (default: no persistence)",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds (Unix only)",
+    )
+    batch.add_argument(
+        "--max-configurations",
+        type=int,
+        default=None,
+        help="override the per-family abstract configuration caps",
+    )
+    batch.add_argument("--json", action="store_true", help="full report as JSON")
+    batch.set_defaults(handler=_command_batch)
+
+    store = subparsers.add_parser("store", help="inspect or manage a result store")
+    store.add_argument(
+        "action", choices=["stats", "export", "clear"], help="what to do"
+    )
+    store.add_argument("--db", required=True, help="path of the SQLite result store")
+    store.add_argument(
+        "--output", default=None, help="file for `export` (default: stdout)"
+    )
+    store.set_defaults(handler=_command_store)
+
     bench = subparsers.add_parser("bench", help="run the unified benchmark runner")
     bench.add_argument("--smoke", action="store_true", help="CI-sized benchmark run")
     bench.add_argument(
-        "--skip-suite", action="store_true", help="engine comparison only"
+        "--skip-suite", action="store_true", help="skip the pytest-benchmark phase"
+    )
+    bench.add_argument(
+        "--skip-engine", action="store_true", help="skip the engine comparison phase"
+    )
+    bench.add_argument(
+        "--skip-service", action="store_true", help="skip the batch service phase"
     )
     bench.set_defaults(handler=_command_bench)
 
     info = subparsers.add_parser("info", help="version and engine configuration")
+    info.add_argument("--json", action="store_true", help="machine-readable output")
     info.set_defaults(handler=_command_info)
     return parser
 

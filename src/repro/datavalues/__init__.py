@@ -8,6 +8,7 @@ from repro.datavalues.homogeneous import (
     NaturalsWithEquality,
     NaturalsWithOrder,
     RationalsWithOrder,
+    homogeneous_from_spec,
 )
 from repro.datavalues.theory import DataValuedTheory, with_data_values
 
@@ -19,6 +20,7 @@ __all__ = [
     "NATURALS_WITH_EQUALITY",
     "RATIONALS_WITH_ORDER",
     "NATURALS_WITH_ORDER",
+    "homogeneous_from_spec",
     "DataValuedTheory",
     "with_data_values",
 ]

@@ -37,6 +37,27 @@ class HomogeneousStructure(ABC):
     #: human-readable name used in reports
     name: str = "homogeneous structure"
 
+    #: spec tag used by :meth:`to_spec` / :func:`homogeneous_from_spec`
+    SPEC_KIND: str = ""
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_spec(self) -> dict:
+        """A JSON-safe description; rebuild with :func:`homogeneous_from_spec`.
+
+        The shipped value domains are fully determined by their kind and the
+        relation name, so the spec is just those two fields.
+        """
+        if not self.SPEC_KIND:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not support spec serialization"
+            )
+        return {"kind": self.SPEC_KIND, "relation_name": self.relation_name}
+
+    @property
+    def relation_name(self) -> str:
+        raise NotImplementedError
+
     @property
     @abstractmethod
     def schema(self) -> Schema:
@@ -122,6 +143,7 @@ class NaturalsWithEquality(HomogeneousStructure):
     """
 
     name = "naturals with equality"
+    SPEC_KIND = "naturals_equality"
 
     def __init__(self, relation_name: str = "sim") -> None:
         self._relation_name = relation_name
@@ -167,6 +189,7 @@ class RationalsWithOrder(HomogeneousStructure):
     """
 
     name = "rationals with order"
+    SPEC_KIND = "rationals_order"
 
     def __init__(self, relation_name: str = "lt") -> None:
         self._relation_name = relation_name
@@ -211,6 +234,21 @@ class NaturalsWithOrder(RationalsWithOrder):
     """
 
     name = "naturals with order (via its substructure closure)"
+    SPEC_KIND = "naturals_order"
+
+
+def homogeneous_from_spec(spec: dict) -> "HomogeneousStructure":
+    """Rebuild a shipped homogeneous value domain from its spec."""
+    kinds = {
+        NaturalsWithEquality.SPEC_KIND: NaturalsWithEquality,
+        RationalsWithOrder.SPEC_KIND: RationalsWithOrder,
+        NaturalsWithOrder.SPEC_KIND: NaturalsWithOrder,
+    }
+    try:
+        cls = kinds[spec["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown homogeneous structure kind {spec.get('kind')!r}") from None
+    return cls(relation_name=spec["relation_name"])
 
 
 NATURALS_WITH_EQUALITY = NaturalsWithEquality()

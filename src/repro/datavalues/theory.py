@@ -25,7 +25,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, List, Sequence, Tuple
 
-from repro.datavalues.homogeneous import HomogeneousStructure
+from repro.datavalues.homogeneous import HomogeneousStructure, homogeneous_from_spec
 from repro.errors import TheoryError
 from repro.fraisse.base import (
     DatabaseTheory,
@@ -96,6 +96,29 @@ class DataValuedTheory(DatabaseTheory):
     def blowup(self, n: int) -> int:
         # Proposition 1: the product has the same blowup function as the base.
         return self._base.blowup(n)
+
+    # -- serialization --------------------------------------------------------------
+
+    SPEC_KIND = "data_valued"
+
+    def to_spec(self) -> Dict[str, object]:
+        return {
+            "kind": self.SPEC_KIND,
+            "base": self._base.to_spec(),
+            "values": self._values.to_spec(),
+            "injective": self._injective,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "DataValuedTheory":
+        # Imported here to avoid a cycle: the specs module imports every theory.
+        from repro.service.specs import theory_from_spec
+
+        return cls(
+            base=theory_from_spec(spec["base"]),
+            values=homogeneous_from_spec(spec["values"]),
+            injective=bool(spec.get("injective", False)),
+        )
 
     # -- seeds ----------------------------------------------------------------------
 

@@ -157,6 +157,31 @@ class Schema:
             return self._functions[name].arity
         raise SchemaError(f"unknown symbol {name!r}")
 
+    # -- serialization -----------------------------------------------------
+
+    def to_spec(self) -> Dict[str, Dict[str, int]]:
+        """A JSON-safe, canonically ordered description of the schema.
+
+        Round-trips through :meth:`from_spec`; used by the batch verification
+        service to fingerprint and ship jobs between processes.
+        """
+        return {
+            "relations": {
+                name: self._relations[name].arity for name in self._relation_names
+            },
+            "functions": {
+                name: self._functions[name].arity for name in self._function_names
+            },
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Mapping[str, int]]) -> "Schema":
+        """Rebuild a schema from :meth:`to_spec` output."""
+        return cls(
+            relations=spec.get("relations", {}),
+            functions=spec.get("functions", {}),
+        )
+
     # -- algebra -----------------------------------------------------------
 
     def extend(

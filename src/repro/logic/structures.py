@@ -212,6 +212,65 @@ class Structure:
             f"functions={sorted(self._functions)})"
         )
 
+    # -- serialization -------------------------------------------------------
+
+    def to_spec(self) -> Dict[str, Any]:
+        """A JSON-safe, canonically ordered description of the structure.
+
+        Only structures whose elements are ints or strings can be serialized
+        (which covers every structure the workload generator and the HOM
+        templates produce).  The rendering is canonical -- domain and tuples
+        in :func:`sorted_key_list` order -- so equal structures always render
+        to the same spec, which is what makes job fingerprints stable across
+        processes.  Round-trips through :meth:`from_spec`.
+        """
+        for element in self._domain:
+            if not isinstance(element, (int, str)):
+                raise StructureError(
+                    f"element {element!r} is not JSON-serializable; "
+                    "specs support int and str elements only"
+                )
+        relations = {
+            name: [list(t) for t in sorted_key_list(self._relations[name])]
+            for name in self._schema.relation_names
+        }
+        def args_key(item):
+            args, _ = item
+            return tuple((isinstance(e, str), e) for e in args)
+
+        functions = {
+            name: [
+                [list(args), value]
+                for args, value in sorted(self._functions[name].items(), key=args_key)
+            ]
+            for name in self._schema.function_names
+        }
+        return {
+            "schema": self._schema.to_spec(),
+            "domain": sorted_key_list(self._domain),
+            "relations": relations,
+            "functions": functions,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "Structure":
+        """Rebuild a structure from :meth:`to_spec` output."""
+        schema = Schema.from_spec(spec["schema"])
+        relations = {
+            name: [tuple(t) for t in tuples]
+            for name, tuples in spec.get("relations", {}).items()
+        }
+        functions = {
+            name: {tuple(args): value for args, value in table}
+            for name, table in spec.get("functions", {}).items()
+        }
+        return cls(
+            schema,
+            spec["domain"],
+            relations=relations,
+            functions=functions,
+        )
+
     # -- construction helpers ------------------------------------------------
 
     def with_element(self, element: Element) -> "Structure":

@@ -11,6 +11,8 @@ database at all driving an accepting run?* -- the setting of Example 1.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Mapping
+
 from repro.logic.schema import Schema
 from repro.logic.structures import Structure
 from repro.relational.theory import RelationalTheory
@@ -18,6 +20,8 @@ from repro.relational.theory import RelationalTheory
 
 class AllDatabasesTheory(RelationalTheory):
     """All finite databases over a purely relational schema."""
+
+    SPEC_KIND = "all_databases"
 
     def __init__(self, schema: Schema) -> None:
         super().__init__(schema)
@@ -28,3 +32,10 @@ class AllDatabasesTheory(RelationalTheory):
 
     def describe(self) -> str:
         return f"all finite databases over {self.schema!r}"
+
+    def to_spec(self) -> Dict[str, Any]:
+        return {"kind": self.SPEC_KIND, "schema": self.schema.to_spec()}
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "AllDatabasesTheory":
+        return cls(Schema.from_spec(spec["schema"]))

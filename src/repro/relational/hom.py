@@ -177,3 +177,14 @@ class HomTheory(RelationalTheory):
             f"HOM(H) for a template with {len(self._template.domain)} elements "
             f"over {self.schema!r}"
         )
+
+    # -- serialization -------------------------------------------------------------
+
+    SPEC_KIND = "hom"
+
+    def to_spec(self) -> Dict[str, object]:
+        return {"kind": self.SPEC_KIND, "template": self._template.to_spec()}
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "HomTheory":
+        return cls(Structure.from_spec(spec["template"]))

@@ -1,0 +1,43 @@
+"""Batch verification service: fingerprinted jobs, result store, batch runner.
+
+The decision procedure of Theorem 5 is pure and deterministic given
+``(system, theory, strategy)``, so verdicts are perfectly cacheable and
+trivially parallel.  This package turns that observation into a service
+layer:
+
+* :class:`~repro.service.jobs.VerificationJob` -- one emptiness query with a
+  deterministic SHA-256 fingerprint over its canonical JSON spec;
+* :class:`~repro.service.store.ResultStore` -- a SQLite-backed verdict cache
+  keyed by fingerprint, with a JSON export;
+* :class:`~repro.service.runner.BatchRunner` -- fans jobs out over
+  ``multiprocessing`` workers with per-job timeout/error capture and
+  serial-equivalence guarantees.
+
+Random workloads to drive it live in :mod:`repro.workloads`; the CLI front
+door is ``repro batch`` / ``repro store``.
+"""
+
+from repro.service.jobs import (
+    DEFAULT_JOB_MAX_CONFIGURATIONS,
+    JobResult,
+    VerificationJob,
+    execute_job,
+)
+from repro.service.runner import BatchReport, BatchRunner, FingerprintMismatch, run_batch
+from repro.service.specs import THEORY_KINDS, theory_from_spec, theory_to_spec
+from repro.service.store import ResultStore
+
+__all__ = [
+    "VerificationJob",
+    "JobResult",
+    "execute_job",
+    "DEFAULT_JOB_MAX_CONFIGURATIONS",
+    "ResultStore",
+    "BatchRunner",
+    "BatchReport",
+    "FingerprintMismatch",
+    "run_batch",
+    "THEORY_KINDS",
+    "theory_from_spec",
+    "theory_to_spec",
+]

@@ -1,0 +1,199 @@
+"""Verification jobs and their deterministic fingerprints.
+
+A :class:`VerificationJob` bundles everything the decision procedure of
+Theorem 5 consumes -- a system, a database theory, a search strategy and the
+engine's resource limit.  The procedure is pure and deterministic in these
+inputs, so a job is identified by a *fingerprint*: a SHA-256 digest of the
+canonical JSON rendering of the job spec.  The spec rendering reuses the
+canonical serializations of the engine core (sorted domains and tuples for
+structures, sorted symbol tables for schemas, the parser-stable textual
+syntax for guards), so equal jobs fingerprint equally in every process --
+which is what lets the :class:`~repro.service.store.ResultStore` act as a
+cross-process verdict cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.fraisse.base import DatabaseTheory
+from repro.fraisse.engine import EmptinessSolver
+from repro.service.specs import theory_from_spec, theory_to_spec
+from repro.systems.dds import DatabaseDrivenSystem
+
+#: Default engine configuration cap for service jobs: far below the library
+#: default because batches run hundreds of heterogeneous jobs and a single
+#: pathological instance must not stall the whole batch.
+DEFAULT_JOB_MAX_CONFIGURATIONS = 20_000
+
+
+@dataclass(frozen=True)
+class VerificationJob:
+    """One emptiness query: ``(system, theory, strategy, limits)``."""
+
+    system: DatabaseDrivenSystem
+    theory: DatabaseTheory
+    strategy: str = "bfs"
+    max_configurations: int = DEFAULT_JOB_MAX_CONFIGURATIONS
+    label: str = ""
+
+    def to_spec(self) -> Dict[str, Any]:
+        """The JSON-safe wire format of the job (see :meth:`from_spec`)."""
+        return {
+            "system": self.system.to_spec(),
+            "theory": theory_to_spec(self.theory),
+            "strategy": self.strategy,
+            "max_configurations": self.max_configurations,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "VerificationJob":
+        return cls(
+            system=DatabaseDrivenSystem.from_spec(spec["system"]),
+            theory=theory_from_spec(spec["theory"]),
+            strategy=spec.get("strategy", "bfs"),
+            max_configurations=spec.get(
+                "max_configurations", DEFAULT_JOB_MAX_CONFIGURATIONS
+            ),
+            label=spec.get("label", ""),
+        )
+
+    def canonical_json(self) -> str:
+        """The canonical JSON rendering the fingerprint is computed over.
+
+        The label is presentation-only and excluded, so relabelling a job
+        does not invalidate its cached verdict.  Memoised: the runner needs
+        it several times per job (store lookup, wire payload, store write)
+        and the spec serialization walks the whole system.
+        """
+        cached = self.__dict__.get("_canonical_json")
+        if cached is None:
+            spec = self.to_spec()
+            spec.pop("label", None)
+            cached = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+            object.__setattr__(self, "_canonical_json", cached)
+        return cached
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over :meth:`canonical_json`; stable across processes."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = hashlib.sha256(
+                self.canonical_json().encode("utf-8")
+            ).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+
+@dataclass
+class JobResult:
+    """Outcome of executing (or cache-serving) one job.
+
+    ``nonempty`` is None when the job errored or timed out; ``error`` then
+    carries the reason.  ``cached`` marks results served from the store
+    without running the engine.
+    """
+
+    fingerprint: str
+    label: str = ""
+    nonempty: Optional[bool] = None
+    exhausted: bool = False
+    statistics: Dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    error: Optional[str] = None
+    cached: bool = False
+    witness_size: Optional[int] = None
+    run_length: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "label": self.label,
+            "nonempty": self.nonempty,
+            "exhausted": self.exhausted,
+            "statistics": self.statistics,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "error": self.error,
+            "cached": self.cached,
+            "witness_size": self.witness_size,
+            "run_length": self.run_length,
+        }
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its wall-clock budget."""
+
+
+def execute_job(
+    job: VerificationJob, timeout_seconds: Optional[float] = None
+) -> JobResult:
+    """Run one job to completion, capturing errors and (on Unix) timeouts.
+
+    The timeout uses ``SIGALRM`` and therefore only fires when executing on
+    the main thread of a (worker) process; elsewhere it is silently skipped
+    and the engine's ``max_configurations`` cap remains the only bound.
+    """
+    fingerprint = job.fingerprint
+    start = time.perf_counter()
+    use_alarm = bool(timeout_seconds) and hasattr(signal, "SIGALRM")
+    previous_handler = None
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise JobTimeout(f"job exceeded {timeout_seconds}s")
+
+        try:
+            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, float(timeout_seconds))
+        except ValueError:  # not on the main thread
+            use_alarm = False
+    try:
+        solver = EmptinessSolver(
+            job.theory,
+            max_configurations=job.max_configurations,
+            strategy=job.strategy,
+        )
+        result = solver.check(job.system)
+        return JobResult(
+            fingerprint=fingerprint,
+            label=job.label,
+            nonempty=result.nonempty,
+            exhausted=result.exhausted,
+            statistics=result.statistics.as_dict(),
+            elapsed_seconds=time.perf_counter() - start,
+            witness_size=(
+                result.witness_database.size
+                if result.witness_database is not None
+                else None
+            ),
+            run_length=result.run.length if result.run is not None else None,
+        )
+    except JobTimeout as exc:
+        return JobResult(
+            fingerprint=fingerprint,
+            label=job.label,
+            elapsed_seconds=time.perf_counter() - start,
+            error=f"timeout: {exc}",
+        )
+    except Exception as exc:  # noqa: BLE001 - batch jobs must not kill the runner
+        return JobResult(
+            fingerprint=fingerprint,
+            label=job.label,
+            elapsed_seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            if previous_handler is not None:
+                signal.signal(signal.SIGALRM, previous_handler)

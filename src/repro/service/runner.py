@@ -1,0 +1,190 @@
+"""The batch runner: fan verification jobs out over worker processes.
+
+The decision procedure is deterministic in the job spec, so parallelism is
+embarrassing: each job ships to a worker as its JSON spec, the worker
+rebuilds it (``VerificationJob.from_spec``), runs the engine, and returns a
+:class:`~repro.service.jobs.JobResult`.  The runner guarantees
+
+* **serial equivalence** -- verdicts are identical to a one-worker run (each
+  job is independent and the engine is deterministic; a test and the
+  benchmark pipeline cross-check this),
+* **fingerprint stability** -- every worker recomputes the fingerprint from
+  the shipped spec and the parent verifies it matches, catching any
+  non-canonical serialization before it can poison the store,
+* **graceful failure** -- a worker error or timeout yields an errored
+  :class:`JobResult` for that job only; the rest of the batch proceeds.
+
+Results are written to the :class:`~repro.service.store.ResultStore` by the
+parent only (SQLite single-writer), and jobs whose fingerprint is already
+stored are served from it without spawning any work -- the warm-cache path
+the service exists for.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.jobs import JobResult, VerificationJob, execute_job
+from repro.service.store import ResultStore
+
+
+def _execute_payload(payload: Tuple[Dict[str, Any], Optional[float]]) -> JobResult:
+    """Worker entry point (top-level so it pickles under any start method)."""
+    spec, timeout_seconds = payload
+    job = VerificationJob.from_spec(spec)
+    return execute_job(job, timeout_seconds=timeout_seconds)
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one batch run; ``results`` is aligned with the input jobs."""
+
+    results: List[JobResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    workers: int = 1
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def verdicts(self) -> List[Optional[bool]]:
+        return [result.nonempty for result in self.results]
+
+    @property
+    def errors(self) -> List[JobResult]:
+        return [result for result in self.results if not result.ok]
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """Verdict histogram; "empty" means *definitively* empty.
+
+        A negative answer with ``exhausted=False`` only says the engine hit
+        its configuration cap before finding a run -- that is
+        "inconclusive", never "empty" (mirroring the "not definitive" note
+        ``repro check`` prints for the same situation).
+        """
+        counts = {"nonempty": 0, "empty": 0, "inconclusive": 0, "error": 0}
+        for result in self.results:
+            if not result.ok:
+                counts["error"] += 1
+            elif result.nonempty:
+                counts["nonempty"] += 1
+            elif result.exhausted:
+                counts["empty"] += 1
+            else:
+                counts["inconclusive"] += 1
+        return counts
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "workers": self.workers,
+            "jobs": len(self.results),
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "verdict_counts": self.verdict_counts(),
+            "results": [result.as_dict() for result in self.results],
+        }
+
+
+class FingerprintMismatch(RuntimeError):
+    """A worker computed a different fingerprint from the shipped spec."""
+
+
+class BatchRunner:
+    """Run batches of verification jobs, optionally in parallel.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`ResultStore`; when given, jobs already decided are
+        served from it and fresh verdicts are written back.
+    workers:
+        Number of worker processes.  ``1`` (the default) runs everything in
+        the calling process -- the reference behaviour parallel runs must
+        reproduce verdict-for-verdict.
+    timeout_seconds:
+        Per-job wall-clock budget enforced inside workers (Unix only); jobs
+        over budget come back as errored results, never as verdicts.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        timeout_seconds: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._store = store
+        self._workers = workers
+        self._timeout_seconds = timeout_seconds
+
+    @property
+    def store(self) -> Optional[ResultStore]:
+        return self._store
+
+    def run(self, jobs: Sequence[VerificationJob]) -> BatchReport:
+        """Execute a batch; the report's results align with ``jobs``."""
+        start = time.perf_counter()
+        report = BatchReport(workers=self._workers)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+
+        pending: List[Tuple[int, VerificationJob]] = []
+        for index, job in enumerate(jobs):
+            cached = (
+                self._store.get(job.fingerprint) if self._store is not None else None
+            )
+            if cached is not None:
+                cached.label = cached.label or job.label
+                results[index] = cached
+                report.cache_hits += 1
+            else:
+                pending.append((index, job))
+
+        if pending:
+            fresh = self._execute(pending)
+            for (index, job), result in zip(pending, fresh):
+                if result.fingerprint != job.fingerprint:
+                    raise FingerprintMismatch(
+                        f"job {job.label or index}: parent fingerprint "
+                        f"{job.fingerprint[:12]} != worker fingerprint "
+                        f"{result.fingerprint[:12]}; spec serialization is "
+                        "not canonical"
+                    )
+                results[index] = result
+                report.executed += 1
+                if self._store is not None and result.ok:
+                    self._store.put(job, result)
+
+        report.results = [result for result in results if result is not None]
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
+
+    # -- execution ---------------------------------------------------------------
+
+    def _execute(
+        self, pending: Sequence[Tuple[int, VerificationJob]]
+    ) -> List[JobResult]:
+        payloads = [
+            (job.to_spec(), self._timeout_seconds) for _, job in pending
+        ]
+        if self._workers == 1 or len(pending) == 1:
+            return [_execute_payload(payload) for payload in payloads]
+        context = multiprocessing.get_context()
+        processes = min(self._workers, len(pending))
+        with context.Pool(processes=processes) as pool:
+            return list(pool.map(_execute_payload, payloads, chunksize=1))
+
+
+def run_batch(
+    jobs: Sequence[VerificationJob],
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    timeout_seconds: Optional[float] = None,
+) -> BatchReport:
+    """One-shot convenience wrapper around :class:`BatchRunner`."""
+    return BatchRunner(
+        store=store, workers=workers, timeout_seconds=timeout_seconds
+    ).run(jobs)

@@ -1,0 +1,55 @@
+"""Theory spec dispatch: rebuild any shipped theory from its JSON spec.
+
+Every theory class carries a ``SPEC_KIND`` tag and implements
+``to_spec``/``from_spec`` (see :meth:`repro.fraisse.base.DatabaseTheory.to_spec`).
+This module is the one place that knows all the kinds, so worker processes of
+the batch runner can reconstruct a theory from the wire format without the
+caller naming a class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Type
+
+from repro.datavalues.theory import DataValuedTheory
+from repro.errors import TheoryError
+from repro.fraisse.base import DatabaseTheory
+from repro.relational.all_databases import AllDatabasesTheory
+from repro.relational.hom import HomTheory
+from repro.trees.theory import TreeRunTheory
+from repro.words.theory import WordRunTheory
+
+#: Registry of spec kinds; extend when adding a serializable theory.
+THEORY_KINDS: Dict[str, Type[DatabaseTheory]] = {
+    cls.SPEC_KIND: cls
+    for cls in (
+        AllDatabasesTheory,
+        HomTheory,
+        WordRunTheory,
+        TreeRunTheory,
+        DataValuedTheory,
+    )
+}
+
+
+def theory_to_spec(theory: DatabaseTheory) -> Dict[str, Any]:
+    """Serialize a theory, checking the kind tag is registered."""
+    spec = theory.to_spec()
+    kind = spec.get("kind")
+    if kind not in THEORY_KINDS:
+        raise TheoryError(
+            f"theory {type(theory).__name__} produced unregistered spec kind {kind!r}"
+        )
+    return spec
+
+
+def theory_from_spec(spec: Mapping[str, Any]) -> DatabaseTheory:
+    """Rebuild a theory from its spec, dispatching on the ``"kind"`` tag."""
+    kind = spec.get("kind")
+    try:
+        cls = THEORY_KINDS[kind]
+    except KeyError:
+        raise TheoryError(
+            f"unknown theory spec kind {kind!r}; known: {sorted(THEORY_KINDS)}"
+        ) from None
+    return cls.from_spec(dict(spec))

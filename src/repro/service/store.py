@@ -1,0 +1,173 @@
+"""The persistent, fingerprint-keyed result store.
+
+Verdicts of the decision procedure are pure functions of the job fingerprint
+(see :mod:`repro.service.jobs`), so the store is a plain key-value table:
+``fingerprint -> (verdict, engine statistics, witness summary, job spec)``.
+SQLite keeps it dependency-free and safe for the batch runner's access
+pattern (the parent process is the only writer; workers never touch the
+store).  ``export_json`` renders the whole table for offline analysis and
+the benchmark pipeline.
+
+Errored and timed-out jobs are deliberately **not** stored: a missing entry
+means "never decided", so transient failures are retried on the next batch
+instead of being cached forever.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.service.jobs import JobResult, VerificationJob
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT PRIMARY KEY,
+    created_at REAL NOT NULL,
+    label TEXT NOT NULL DEFAULT '',
+    nonempty INTEGER NOT NULL,
+    exhausted INTEGER NOT NULL,
+    elapsed_seconds REAL NOT NULL,
+    witness_size INTEGER,
+    run_length INTEGER,
+    statistics TEXT NOT NULL,
+    job_spec TEXT NOT NULL
+)
+"""
+
+
+class ResultStore:
+    """A fingerprint-keyed verdict store backed by SQLite.
+
+    Parameters
+    ----------
+    path:
+        Database file; ``":memory:"`` (the default) keeps the store
+        process-local, which is what the tests and one-shot batches use.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self._path = str(path)
+        self._connection = sqlite3.connect(self._path)
+        self._connection.execute(_SCHEMA)
+        self._connection.commit()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    # -- core operations ---------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[JobResult]:
+        """The stored result for a fingerprint, marked ``cached=True``."""
+        row = self._connection.execute(
+            "SELECT fingerprint, label, nonempty, exhausted, elapsed_seconds, "
+            "witness_size, run_length, statistics FROM results WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        return JobResult(
+            fingerprint=row[0],
+            label=row[1],
+            nonempty=bool(row[2]),
+            exhausted=bool(row[3]),
+            elapsed_seconds=row[4],
+            witness_size=row[5],
+            run_length=row[6],
+            statistics=json.loads(row[7]),
+            cached=True,
+        )
+
+    def put(self, job: VerificationJob, result: JobResult) -> None:
+        """Store a completed result (errored results are rejected)."""
+        if not result.ok or result.nonempty is None:
+            raise ValueError("only completed results belong in the store")
+        self._connection.execute(
+            "INSERT OR REPLACE INTO results "
+            "(fingerprint, created_at, label, nonempty, exhausted, elapsed_seconds, "
+            "witness_size, run_length, statistics, job_spec) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                result.fingerprint,
+                time.time(),
+                result.label,
+                int(result.nonempty),
+                int(result.exhausted),
+                result.elapsed_seconds,
+                result.witness_size,
+                result.run_length,
+                json.dumps(result.statistics, sort_keys=True),
+                job.canonical_json(),
+            ),
+        )
+        self._connection.commit()
+
+    def __contains__(self, fingerprint: object) -> bool:
+        if not isinstance(fingerprint, str):
+            return False
+        row = self._connection.execute(
+            "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute("SELECT COUNT(*) FROM results").fetchone()
+        return count
+
+    def fingerprints(self) -> Iterator[str]:
+        for (fingerprint,) in self._connection.execute(
+            "SELECT fingerprint FROM results ORDER BY fingerprint"
+        ):
+            yield fingerprint
+
+    def clear(self) -> int:
+        """Delete every stored result; returns the number removed."""
+        removed = len(self)
+        self._connection.execute("DELETE FROM results")
+        self._connection.commit()
+        return removed
+
+    # -- export -------------------------------------------------------------------
+
+    def export(self) -> Dict[str, Any]:
+        """A JSON-ready dump of the whole store (verdicts + specs)."""
+        entries = []
+        for row in self._connection.execute(
+            "SELECT fingerprint, created_at, label, nonempty, exhausted, "
+            "elapsed_seconds, witness_size, run_length, statistics, job_spec "
+            "FROM results ORDER BY fingerprint"
+        ):
+            entries.append(
+                {
+                    "fingerprint": row[0],
+                    "created_at": row[1],
+                    "label": row[2],
+                    "nonempty": bool(row[3]),
+                    "exhausted": bool(row[4]),
+                    "elapsed_seconds": row[5],
+                    "witness_size": row[6],
+                    "run_length": row[7],
+                    "statistics": json.loads(row[8]),
+                    "job_spec": json.loads(row[9]),
+                }
+            )
+        return {"schema_version": 1, "count": len(entries), "results": entries}
+
+    def export_json(self, path: Union[str, Path]) -> None:
+        """Write :meth:`export` to a file."""
+        Path(path).write_text(json.dumps(self.export(), indent=2) + "\n")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -348,6 +348,44 @@ class DatabaseDrivenSystem:
             return False
         return True
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_spec(self) -> Dict[str, object]:
+        """A JSON-safe description of the system.
+
+        Guards are rendered through their textual syntax (``str`` of the
+        formula, re-read by :func:`repro.logic.parser.parse_formula`), so the
+        spec is stable under a serialize/parse round-trip and can be shipped
+        to worker processes and fingerprinted by the batch verification
+        service.  Round-trips through :meth:`from_spec`.
+        """
+        return {
+            "schema": self._schema.to_spec(),
+            "states": list(self._states),
+            "registers": list(self._registers),
+            "initial": sorted(self._initial),
+            "accepting": sorted(self._accepting),
+            "transitions": [
+                [t.source, str(t.guard), t.target] for t in self._transitions
+            ],
+            "allow_existential_guards": self._allow_existential,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, object]) -> "DatabaseDrivenSystem":
+        """Rebuild a system from :meth:`to_spec` output."""
+        return cls.build(
+            schema=Schema.from_spec(spec["schema"]),
+            registers=list(spec["registers"]),
+            states=list(spec["states"]),
+            initial=list(spec["initial"]),
+            accepting=list(spec["accepting"]),
+            transitions=[tuple(t) for t in spec["transitions"]],
+            allow_existential_guards=bool(
+                spec.get("allow_existential_guards", False)
+            ),
+        )
+
     # -- misc -----------------------------------------------------------------
 
     def renamed_states(self, prefix: str) -> "DatabaseDrivenSystem":

@@ -79,6 +79,29 @@ class TreeAutomaton:
             rightmost_states=frozenset(rightmost_states),
         )
 
+    def to_spec(self) -> Dict[str, list]:
+        """A JSON-safe, canonically ordered description of the automaton."""
+        return {
+            "letter": [list(pair) for pair in self.letter],
+            "firstchild": [list(pair) for pair in sorted(self.firstchild)],
+            "nextsibling": [list(pair) for pair in sorted(self.nextsibling)],
+            "leaf_states": sorted(self.leaf_states),
+            "root_states": sorted(self.root_states),
+            "rightmost_states": sorted(self.rightmost_states),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, list]) -> "TreeAutomaton":
+        """Rebuild a tree automaton from :meth:`to_spec` output."""
+        return cls.make(
+            letter=dict(tuple(pair) for pair in spec["letter"]),
+            firstchild=[tuple(pair) for pair in spec["firstchild"]],
+            nextsibling=[tuple(pair) for pair in spec["nextsibling"]],
+            leaf_states=spec["leaf_states"],
+            root_states=spec["root_states"],
+            rightmost_states=spec["rightmost_states"],
+        )
+
     @property
     def letter_of(self) -> Dict[State, str]:
         return dict(self.letter)

@@ -258,6 +258,17 @@ class TreeRunTheory(DatabaseTheory):
     def automaton(self) -> TreeAutomaton:
         return self._automaton
 
+    # -- serialization -------------------------------------------------------------
+
+    SPEC_KIND = "tree_run"
+
+    def to_spec(self) -> Dict[str, object]:
+        return {"kind": self.SPEC_KIND, "automaton": self._automaton.to_spec()}
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "TreeRunTheory":
+        return cls(TreeAutomaton.from_spec(spec["automaton"]))
+
     @property
     def analysis(self) -> AutomatonAnalysis:
         return self._analysis

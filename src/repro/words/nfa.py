@@ -60,6 +60,27 @@ class NFA:
             raise AutomatonError("initial/accepting states must be states")
         return cls(states, alphabet, transitions, initial, accepting)
 
+    def to_spec(self) -> Dict[str, list]:
+        """A JSON-safe, canonically ordered description of the NFA."""
+        return {
+            "states": sorted(self.states),
+            "alphabet": sorted(self.alphabet),
+            "transitions": [list(t) for t in sorted(self.transitions)],
+            "initial": sorted(self.initial),
+            "accepting": sorted(self.accepting),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, list]) -> "NFA":
+        """Rebuild an NFA from :meth:`to_spec` output."""
+        return cls.make(
+            states=spec["states"],
+            alphabet=spec["alphabet"],
+            transitions=[tuple(t) for t in spec["transitions"]],
+            initial=spec["initial"],
+            accepting=spec["accepting"],
+        )
+
     def accepts(self, word: Sequence[Letter]) -> bool:
         """Membership of a word in the language (subset construction on the fly)."""
         current = set(self.initial)

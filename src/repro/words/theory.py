@@ -101,6 +101,24 @@ class WordRunTheory(DatabaseTheory):
         # Two pointer functions per component (Section 5.1): blowup <= 2|Q| n.
         return max(n, 2 * self._automaton.component_count() * n)
 
+    # -- serialization -------------------------------------------------------------
+
+    SPEC_KIND = "word_run"
+
+    def to_spec(self) -> Dict[str, object]:
+        return {
+            "kind": self.SPEC_KIND,
+            "nfa": self._nfa.to_spec(),
+            "max_fresh_per_step": self._max_fresh_per_step,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "WordRunTheory":
+        return cls(
+            NFA.from_spec(spec["nfa"]),
+            max_fresh_per_step=spec.get("max_fresh_per_step"),
+        )
+
     def membership(self, database: Structure) -> bool:
         """Is a database over WordSchema of the form Worddb(w) for some w in L?
 

@@ -1,0 +1,149 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXAMPLES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["demo"],
+            ["check", "triangle"],
+            ["info"],
+            ["batch", "--count", "3"],
+            ["store", "stats", "--db", "x.sqlite"],
+            ["bench", "--smoke"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.handler)
+
+
+class TestDemo:
+    def test_demo_prints_both_examples(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Example 1 (all databases): nonempty" in out
+        assert "Example 2 (HOM template): empty" in out
+        assert "witness database" in out
+
+
+class TestCheck:
+    def test_check_triangle(self, capsys):
+        assert main(["check", "triangle"]) == 0
+        out = capsys.readouterr().out
+        assert "triangle: nonempty" in out
+        assert "configurations_explored" in out
+
+    def test_check_json_statistics(self, capsys):
+        assert main(["check", "self-loop", "--json", "--strategy", "dfs"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out.split("\n", 1)[1])
+        assert payload["strategy"] == "dfs"
+        assert payload["configurations_explored"] >= 1
+
+    def test_check_unknown_example_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "not-an-example"])
+
+    def test_examples_registry_is_consistent(self):
+        for name, (system_builder, theory_builder) in EXAMPLES.items():
+            system = system_builder()
+            theory = theory_builder()
+            assert system.schema.is_subschema_of(theory.schema), name
+
+
+class TestInfo:
+    def test_info_text(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert "search strategies: bfs, dfs, priority" in out
+
+    def test_info_json(self, capsys):
+        assert main(["info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategies"] == ["bfs", "dfs", "priority"]
+        assert isinstance(payload["caches_enabled"], bool)
+        assert "cache_stats" in payload
+
+
+class TestBatch:
+    def test_batch_without_store(self, capsys):
+        assert main(["batch", "--count", "5", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 5 jobs" in out
+        assert "cache hits: 0, executed: 5" in out
+
+    def test_batch_json_report(self, capsys):
+        assert (
+            main(["batch", "--count", "4", "--seed", "9", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"] == 4
+        assert payload["seed"] == 9
+        assert len(payload["results"]) == 4
+
+    def test_batch_store_warm_rerun(self, tmp_path, capsys):
+        db = str(tmp_path / "store.sqlite")
+        argv = ["batch", "--count", "6", "--seed", "3", "--store", db]
+        assert main(argv) == 0
+        assert "cache hits: 0, executed: 6" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "cache hits: 6, executed: 0" in capsys.readouterr().out
+
+    def test_batch_unknown_family(self, capsys):
+        assert main(["batch", "--count", "2", "--families", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_batch_bad_worker_count_is_a_clean_error(self, capsys):
+        assert main(["batch", "--count", "2", "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+
+class TestStore:
+    def _populate(self, db):
+        assert main(["batch", "--count", "4", "--seed", "1", "--store", db]) == 0
+
+    def test_stats(self, tmp_path, capsys):
+        db = str(tmp_path / "s.sqlite")
+        self._populate(db)
+        capsys.readouterr()
+        assert main(["store", "stats", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "4 results" in out
+
+    def test_export_stdout_and_file(self, tmp_path, capsys):
+        db = str(tmp_path / "s.sqlite")
+        self._populate(db)
+        capsys.readouterr()
+        assert main(["store", "export", "--db", db]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 4
+        out_file = tmp_path / "dump.json"
+        assert main(["store", "export", "--db", db, "--output", str(out_file)]) == 0
+        assert json.loads(out_file.read_text())["count"] == 4
+
+    def test_clear(self, tmp_path, capsys):
+        db = str(tmp_path / "s.sqlite")
+        self._populate(db)
+        capsys.readouterr()
+        assert main(["store", "clear", "--db", db]) == 0
+        assert "removed 4 results" in capsys.readouterr().out
+        assert main(["store", "stats", "--db", db]) == 0
+        assert "0 results" in capsys.readouterr().out
+
+    def test_missing_db_is_a_clear_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.sqlite"
+        for action in ("stats", "export", "clear"):
+            assert main(["store", action, "--db", str(missing)]) == 2
+            assert "no result store" in capsys.readouterr().err
+            # In particular `clear` must not have created an empty database.
+            assert not missing.exists()
