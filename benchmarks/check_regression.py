@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Benchmark regression guard: fail CI when the bench_e2 speedup collapses.
+
+Compares a freshly produced ``BENCH_engine.json`` (typically the ``--smoke``
+variant from the CI benchmark job) against the committed record.  The guard
+is tolerance-based: the committed record is produced in ``full`` mode on a
+quiet machine while CI runs the smaller smoke workload on noisy shared
+runners, so the floor is a fraction of the committed speedup, never an exact
+match.  The check fails when
+
+    current_speedup < max(min_floor, committed_speedup * tolerance)
+
+for the gated workload (``bench_e2``, the HOM scaling instance the compiled
+transition plans target).
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_engine.json \
+        --current bench-artifacts/BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Fraction of the committed speedup the fresh run must retain.
+DEFAULT_TOLERANCE = 0.25
+
+#: Absolute floor: regardless of the committed record, the fast path must
+#: beat the legacy path by at least this factor on bench_e2.
+DEFAULT_MIN_FLOOR = 1.5
+
+
+def check(
+    baseline_path: Path,
+    current_path: Path,
+    workload: str = "bench_e2",
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_floor: float = DEFAULT_MIN_FLOOR,
+) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    current = json.loads(current_path.read_text())
+    try:
+        committed = baseline["engine"][workload]["speedup"]
+    except KeyError:
+        print(f"baseline record has no speedup for {workload!r}", file=sys.stderr)
+        return 2
+    try:
+        fresh = current["engine"][workload]["speedup"]
+    except KeyError:
+        print(f"current record has no speedup for {workload!r}", file=sys.stderr)
+        return 2
+    if committed is None or fresh is None:
+        print("speedup missing from one of the records", file=sys.stderr)
+        return 2
+    floor = max(min_floor, committed * tolerance)
+    print(
+        f"{workload}: committed {committed:.2f}x "
+        f"({baseline.get('mode', '?')} mode), fresh {fresh:.2f}x "
+        f"({current.get('mode', '?')} mode), floor {floor:.2f}x"
+    )
+    if fresh < floor:
+        print(
+            f"REGRESSION: {workload} fast-path speedup {fresh:.2f}x dropped "
+            f"below the floor {floor:.2f}x "
+            f"(committed {committed:.2f}x, tolerance {tolerance})",
+            file=sys.stderr,
+        )
+        return 1
+    print("benchmark regression guard passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_engine.json")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="freshly produced BENCH_engine.json")
+    parser.add_argument("--workload", default="bench_e2",
+                        help="gated engine workload (default: bench_e2)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="fraction of the committed speedup to require")
+    parser.add_argument("--min-floor", type=float, default=DEFAULT_MIN_FLOOR,
+                        help="absolute minimum acceptable speedup")
+    args = parser.parse_args(argv)
+    return check(
+        args.baseline, args.current, args.workload, args.tolerance, args.min_floor
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,15 +7,22 @@ Three phases, all optional:
   and stores pytest-benchmark's machine-readable output as
   ``BENCH_suite.json`` (``--smoke`` keeps only the quick files so CI can
   afford it).
-* **engine** -- measures the fast-path engine core against the legacy
-  (cache-free) path on the two workloads the refactor targeted: the HOM
-  scaling instance of ``bench_e2`` and the tree exploration of ``bench_e5``.
-  Both paths run on the same build; the legacy path disables every
-  canonical-form cache via :mod:`repro.perf`, which restores the
-  pre-refactor recompute-everything behaviour.  Results -- including the
-  speedup and a cross-check that all three search strategies agree on the
-  e1-e3 example systems -- are written to ``BENCH_engine.json``, the perf
-  trajectory baseline for future PRs.
+* **engine** -- measures the fast-path engine core (compiled transition
+  plans + incremental candidate pruning) against the legacy (cache-free)
+  path on the two workloads the refactor targeted: the HOM scaling instance
+  of ``bench_e2`` and the tree exploration of ``bench_e5``.  Both paths run
+  on the same build; the legacy path disables every canonical-form cache
+  and all plan usage via :mod:`repro.perf`, which restores the pre-refactor
+  recompute-everything behaviour.  Results -- including the speedup, the
+  per-plan statistics (pre-materialization rejections, compiled-guard hits)
+  and a cross-check that all three search strategies agree on the e1-e3
+  example systems -- are written to ``BENCH_engine.json``, the perf
+  trajectory baseline for future PRs.  The adversarial ``stress`` phase
+  (deep HOM guard templates, wide tree branching; see
+  :func:`repro.workloads.stress_workloads`) rides along in the same record.
+  ``--profile WORKLOAD`` instead runs one engine/stress workload under
+  ``cProfile`` and prints the top cumulative functions -- the hot-spot
+  locator for future perf PRs.
 * **service** -- measures the batch verification service
   (:mod:`repro.service`) on a seeded random workload batch
   (:mod:`repro.workloads`): serial vs parallel execution and cold vs
@@ -102,8 +109,10 @@ def engine_workloads(smoke: bool):
     }
 
 
-def _time_check(theory_factory, system, legacy: bool) -> float:
-    solver = EmptinessSolver(theory_factory())
+def _time_check(
+    theory_factory, system, legacy: bool, max_configurations: int = 200_000
+) -> float:
+    solver = EmptinessSolver(theory_factory(), max_configurations=max_configurations)
     if legacy:
         with caches_disabled():
             start = time.perf_counter()
@@ -147,6 +156,99 @@ def run_engine_comparison(smoke: bool, rounds: int) -> dict:
             f"speedup {legacy / fast:.2f}x"
         )
     return results
+
+
+def run_stress_comparison(smoke: bool, rounds: int) -> dict:
+    """Fast vs legacy timings on the adversarial workload families.
+
+    The ROADMAP's hostile inputs (deep HOM guard templates, wide tree
+    branching) measure the compiled-plan pruning where guards are large or
+    enumeration is wide; verdicts are cross-checked between the fast and
+    legacy paths rather than against fixed expectations.
+    """
+    from repro.workloads import stress_workloads
+
+    results = {}
+    for name, workload in stress_workloads().items():
+        system = workload["system"]()
+        cap = workload[
+            "smoke_max_configurations" if smoke else "max_configurations"
+        ]
+        fast_times = []
+        legacy_times = []
+        for _ in range(rounds):
+            fast_times.append(
+                _time_check(workload["theory"], system, legacy=False,
+                            max_configurations=cap)
+            )
+            legacy_times.append(
+                _time_check(workload["theory"], system, legacy=True,
+                            max_configurations=cap)
+            )
+        fast_result = EmptinessSolver(
+            workload["theory"](), max_configurations=cap
+        ).check(system)
+        with caches_disabled():
+            legacy_result = EmptinessSolver(
+                workload["theory"](), max_configurations=cap
+            ).check(system)
+        assert fast_result.nonempty == legacy_result.nonempty, (
+            f"{name}: fast/legacy verdicts disagree on the stress workload"
+        )
+        fast = min(fast_times)
+        legacy = min(legacy_times)
+        results[name] = {
+            "workload": workload["description"],
+            "nonempty": fast_result.nonempty,
+            "exhausted": fast_result.exhausted,
+            "max_configurations": cap,
+            "rounds": rounds,
+            "fast_seconds": round(fast, 4),
+            "legacy_seconds": round(legacy, 4),
+            "speedup": round(legacy / fast, 3) if fast > 0 else None,
+            "statistics": fast_result.statistics.as_dict(),
+        }
+        print(
+            f"  {name}: fast {fast:.3f}s  legacy {legacy:.3f}s  "
+            f"speedup {legacy / fast:.2f}x"
+        )
+    return results
+
+
+def run_profile(workload_name: str, smoke: bool, top: int) -> int:
+    """Run one engine/stress workload under cProfile, print top-N cumulative."""
+    import cProfile
+    import pstats
+
+    named = dict(engine_workloads(smoke))
+    from repro.workloads import stress_workloads
+
+    named.update(stress_workloads())
+    if workload_name not in named:
+        print(
+            f"unknown profile workload {workload_name!r}; available: "
+            f"{', '.join(sorted(named))}",
+            file=sys.stderr,
+        )
+        return 2
+    workload = named[workload_name]
+    system = workload["system"]()
+    cap = workload.get(
+        "smoke_max_configurations" if smoke else "max_configurations", 200_000
+    )
+    solver = EmptinessSolver(workload["theory"](), max_configurations=cap)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = solver.check(system)
+    profiler.disable()
+    print(
+        f"{workload_name}: {'nonempty' if result.nonempty else 'empty'} "
+        f"(explored {result.statistics.configurations_explored}, "
+        f"{result.statistics.elapsed_seconds:.3f}s)"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+    return 0
 
 
 def run_strategy_agreement() -> dict:
@@ -316,10 +418,26 @@ def main(argv=None) -> int:
         "--skip-service", action="store_true", help="skip the batch service phase"
     )
     parser.add_argument(
+        "--skip-stress", action="store_true", help="skip the adversarial stress phase"
+    )
+    parser.add_argument(
         "--rounds",
         type=int,
         default=None,
         help="timing rounds per engine workload (best-of; default 3, smoke 2)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="WORKLOAD",
+        default=None,
+        help="run one engine/stress workload under cProfile and exit "
+        "(e.g. bench_e2, stress_hom_deep)",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=20,
+        help="number of cumulative-time entries to print with --profile",
     )
     parser.add_argument(
         "--output-dir",
@@ -329,6 +447,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.profile:
+        return run_profile(args.profile, args.smoke, args.profile_top)
 
     exit_code = 0
     if not args.skip_suite:
@@ -342,14 +463,19 @@ def main(argv=None) -> int:
         print("running engine fast-path comparison ...")
         reset_cache_stats()
         engine = run_engine_comparison(args.smoke, rounds)
+        stress = {}
+        if not args.skip_stress:
+            print("running adversarial stress phase ...")
+            stress = run_stress_comparison(args.smoke, rounds)
         print("checking strategy agreement ...")
         agreement = run_strategy_agreement()
         record = {
-            "schema_version": 1,
+            "schema_version": 2,
             "mode": "smoke" if args.smoke else "full",
             "python": platform.python_version(),
             "platform": platform.platform(),
             "engine": engine,
+            "stress": stress,
             "strategy_agreement": agreement,
             "cache_stats": cache_stats_snapshot(),
         }

@@ -140,6 +140,11 @@ def _command_bench(args: argparse.Namespace) -> int:
         forwarded.append("--skip-engine")
     if args.skip_service:
         forwarded.append("--skip-service")
+    if args.skip_stress:
+        forwarded.append("--skip-stress")
+    if args.profile:
+        forwarded.extend(["--profile", args.profile])
+        forwarded.extend(["--profile-top", str(args.profile_top)])
     return module.main(forwarded)
 
 
@@ -357,6 +362,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--skip-service", action="store_true", help="skip the batch service phase"
+    )
+    bench.add_argument(
+        "--skip-stress", action="store_true", help="skip the adversarial stress phase"
+    )
+    bench.add_argument(
+        "--profile",
+        metavar="WORKLOAD",
+        default=None,
+        help="run one engine benchmark under cProfile and print the hottest "
+        "functions (e.g. bench_e2, bench_e5, stress_hom_deep, stress_tree_wide)",
+    )
+    bench.add_argument(
+        "--profile-top",
+        type=int,
+        default=20,
+        help="entries to print with --profile (default: 20)",
     )
     bench.set_defaults(handler=_command_bench)
 

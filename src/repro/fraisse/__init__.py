@@ -1,12 +1,23 @@
 """Fraïssé classes, amalgamation, and the generic emptiness engine (Section 4)."""
 
 from repro.fraisse.base import (
+    CandidateDelta,
     DatabaseTheory,
     TheoryConfiguration,
     combined_guard_valuation,
     generic_abstraction_key,
     guard_holds,
     set_partitions,
+)
+from repro.fraisse.plans import (
+    CompiledGuard,
+    DeltaContext,
+    PlanSet,
+    PlanStatistics,
+    TransitionPlan,
+    compile_guard,
+    compile_plans,
+    prime_plans,
 )
 from repro.fraisse.amalgamation import (
     AmalgamationInstance,
@@ -41,6 +52,15 @@ __all__ = [
     "STRATEGY_NAMES",
     "DatabaseTheory",
     "TheoryConfiguration",
+    "CandidateDelta",
+    "CompiledGuard",
+    "DeltaContext",
+    "PlanSet",
+    "PlanStatistics",
+    "TransitionPlan",
+    "compile_guard",
+    "compile_plans",
+    "prime_plans",
     "generic_abstraction_key",
     "combined_guard_valuation",
     "guard_holds",

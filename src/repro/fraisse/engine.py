@@ -31,6 +31,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SolverError
 from repro.fraisse.base import DatabaseTheory, TheoryConfiguration, guard_holds
+from repro.fraisse.plans import PlanSet, compile_plans
 from repro.fraisse.search import StrategySpec, abstraction_key_score, make_strategy
 from repro.logic.structures import Structure
 from repro.perf import BoundedCache, caches_enabled
@@ -45,6 +46,7 @@ class SearchStatistics:
     configurations_enqueued: int = 0
     candidates_generated: int = 0
     guard_evaluations: int = 0
+    guard_rejections: int = 0
     duplicate_keys_pruned: int = 0
     max_frontier_size: int = 0
     elapsed_seconds: float = 0.0
@@ -52,6 +54,16 @@ class SearchStatistics:
     key_cache_hits: int = 0
     key_cache_misses: int = 0
     strategy: str = "bfs"
+    # Compiled-plan counters (zero on the legacy cache-free path, which
+    # never consults plans).  ``plan_rejected_pre_materialization`` counts
+    # candidates dropped before their successor database was built;
+    # ``plan_compiled_guard_hits`` counts candidates whose compiled guard
+    # made the authoritative full-database evaluation unnecessary.
+    plan_rejected_pre_materialization: int = 0
+    plan_compiled_guard_hits: int = 0
+    plan_fallback_evaluations: int = 0
+    plan_enumeration_pruned: int = 0
+    plan_details: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -59,6 +71,7 @@ class SearchStatistics:
             "configurations_enqueued": self.configurations_enqueued,
             "candidates_generated": self.candidates_generated,
             "guard_evaluations": self.guard_evaluations,
+            "guard_rejections": self.guard_rejections,
             "duplicate_keys_pruned": self.duplicate_keys_pruned,
             "max_frontier_size": self.max_frontier_size,
             "elapsed_seconds": self.elapsed_seconds,
@@ -66,6 +79,11 @@ class SearchStatistics:
             "key_cache_hits": self.key_cache_hits,
             "key_cache_misses": self.key_cache_misses,
             "strategy": self.strategy,
+            "plan_rejected_pre_materialization": self.plan_rejected_pre_materialization,
+            "plan_compiled_guard_hits": self.plan_compiled_guard_hits,
+            "plan_fallback_evaluations": self.plan_fallback_evaluations,
+            "plan_enumeration_pruned": self.plan_enumeration_pruned,
+            "plans": dict(self.plan_details),
         }
 
 
@@ -189,6 +207,12 @@ class EmptinessSolver:
         stats = SearchStatistics(strategy=frontier.name)
         start_time = time.perf_counter()
         visited: Dict[Tuple[str, Hashable], int] = {}
+        # Compiled transition plans drive the fast path; with caches disabled
+        # the engine never consults plans and runs the legacy
+        # materialize-then-evaluate loop below.
+        plan_set: Optional[PlanSet] = (
+            compile_plans(system, self._theory) if caches_enabled() else None
+        )
 
         goal: Optional[_SearchNode] = None
         for state in sorted(system.initial_states):
@@ -207,6 +231,7 @@ class EmptinessSolver:
                 frontier.push(
                     node, abstraction_key_score(key) if needs_scores else 0
                 )
+                stats.max_frontier_size = max(stats.max_frontier_size, len(frontier))
             if goal is not None:
                 break
 
@@ -216,52 +241,26 @@ class EmptinessSolver:
             stats.configurations_explored += 1
             if stats.configurations_explored > self._max_configurations:
                 stats.elapsed_seconds = time.perf_counter() - start_time
+                self._snapshot_plan_statistics(plan_set, stats)
                 return EmptinessResult(
                     nonempty=False, exhausted=False, statistics=stats
                 )
             for transition in system.transitions_from(node.state):
-                for candidate in self._theory.successor_configurations(
-                    system, node.config, transition
-                ):
-                    stats.candidates_generated += 1
-                    database = self._theory.database(candidate)
-                    stats.guard_evaluations += 1
-                    if not guard_holds(
-                        database,
-                        system.registers,
-                        transition.guard,
-                        node.config.valuation,
-                        candidate.valuation,
-                    ):
-                        continue
-                    key = (transition.target, self._abstraction_key(candidate, stats))
-                    if key in visited:
-                        stats.duplicate_keys_pruned += 1
-                        continue
-                    visited[key] = len(visited)
-                    stats.configurations_enqueued += 1
-                    stats.largest_witness_size = max(
-                        stats.largest_witness_size, database.size
+                if plan_set is not None:
+                    goal = self._drive_plan(
+                        system, node, transition, plan_set, frontier,
+                        needs_scores, visited, stats,
                     )
-                    successor = _SearchNode(
-                        transition.target,
-                        candidate,
-                        parent=node,
-                        transition=transition,
-                        depth=node.depth + 1,
-                    )
-                    if system.is_accepting(transition.target):
-                        goal = successor
-                        frontier.clear()
-                        break
-                    frontier.push(
-                        successor,
-                        abstraction_key_score(key) if needs_scores else 0,
+                else:
+                    goal = self._drive_legacy(
+                        system, node, transition, frontier,
+                        needs_scores, visited, stats,
                     )
                 if goal is not None:
                     break
 
         stats.elapsed_seconds = time.perf_counter() - start_time
+        self._snapshot_plan_statistics(plan_set, stats)
         if goal is None:
             return EmptinessResult(nonempty=False, exhausted=True, statistics=stats)
 
@@ -275,6 +274,158 @@ class EmptinessSolver:
             exhausted=True,
             statistics=stats,
         )
+
+    # -- inner candidate loops ---------------------------------------------------
+
+    def _drive_plan(
+        self,
+        system: DatabaseDrivenSystem,
+        node: _SearchNode,
+        transition: Transition,
+        plan_set: PlanSet,
+        frontier,
+        needs_scores: bool,
+        visited: Dict[Tuple[str, Hashable], int],
+        stats: SearchStatistics,
+    ) -> Optional[_SearchNode]:
+        """Fast path: drive one transition's compiled plan over deltas.
+
+        Guards are checked against each candidate's delta before the
+        successor database exists; only surviving candidates are
+        materialized, and only undecided (UNKNOWN) guards fall back to the
+        authoritative evaluation on the full database.
+        """
+        theory = self._theory
+        plan = plan_set.plan_for(transition)
+        plan_stats = plan.stats
+        for delta in theory.enumerate_deltas(system, node.config, transition, plan):
+            stats.candidates_generated += 1
+            plan_stats.deltas_enumerated += 1
+            status = delta.guard_status
+            if status is False:
+                plan_stats.rejected_pre_materialization += 1
+                continue
+            candidate = theory.apply_delta(node.config, delta)
+            database: Optional[Structure] = None
+            if status is True:
+                plan_stats.compiled_guard_hits += 1
+            else:
+                plan_stats.fallback_evaluations += 1
+                database = theory.database(candidate)
+                stats.guard_evaluations += 1
+                if not guard_holds(
+                    database,
+                    system.registers,
+                    transition.guard,
+                    node.config.valuation,
+                    candidate.valuation,
+                ):
+                    stats.guard_rejections += 1
+                    continue
+            goal = self._admit_candidate(
+                system, node, transition, candidate, database,
+                frontier, needs_scores, visited, stats,
+            )
+            if goal is not None:
+                return goal
+        return None
+
+    def _drive_legacy(
+        self,
+        system: DatabaseDrivenSystem,
+        node: _SearchNode,
+        transition: Transition,
+        frontier,
+        needs_scores: bool,
+        visited: Dict[Tuple[str, Hashable], int],
+        stats: SearchStatistics,
+    ) -> Optional[_SearchNode]:
+        """Legacy path (caches disabled): materialize and evaluate raw guards."""
+        for candidate in self._theory.successor_configurations(
+            system, node.config, transition
+        ):
+            stats.candidates_generated += 1
+            database = self._theory.database(candidate)
+            stats.guard_evaluations += 1
+            if not guard_holds(
+                database,
+                system.registers,
+                transition.guard,
+                node.config.valuation,
+                candidate.valuation,
+            ):
+                stats.guard_rejections += 1
+                continue
+            goal = self._admit_candidate(
+                system, node, transition, candidate, database,
+                frontier, needs_scores, visited, stats,
+            )
+            if goal is not None:
+                return goal
+        return None
+
+    def _admit_candidate(
+        self,
+        system: DatabaseDrivenSystem,
+        node: _SearchNode,
+        transition: Transition,
+        candidate: TheoryConfiguration,
+        database: Optional[Structure],
+        frontier,
+        needs_scores: bool,
+        visited: Dict[Tuple[str, Hashable], int],
+        stats: SearchStatistics,
+    ) -> Optional[_SearchNode]:
+        """Shared post-guard tail: dedup, enqueue, accepting check, push.
+
+        Returns the goal node when ``transition`` reaches an accepting
+        state, None otherwise.  ``database`` is the already-materialized
+        successor database if the caller built one for guard evaluation;
+        when the compiled plan made that unnecessary the witness size comes
+        from the theory's cheap accessor instead.
+        """
+        key = (transition.target, self._abstraction_key(candidate, stats))
+        if key in visited:
+            stats.duplicate_keys_pruned += 1
+            return None
+        visited[key] = len(visited)
+        stats.configurations_enqueued += 1
+        stats.largest_witness_size = max(
+            stats.largest_witness_size,
+            database.size if database is not None
+            else self._theory.witness_size(candidate),
+        )
+        successor = _SearchNode(
+            transition.target,
+            candidate,
+            parent=node,
+            transition=transition,
+            depth=node.depth + 1,
+        )
+        if system.is_accepting(transition.target):
+            frontier.clear()
+            return successor
+        frontier.push(
+            successor, abstraction_key_score(key) if needs_scores else 0
+        )
+        stats.max_frontier_size = max(stats.max_frontier_size, len(frontier))
+        return None
+
+    @staticmethod
+    def _snapshot_plan_statistics(
+        plan_set: Optional[PlanSet], stats: SearchStatistics
+    ) -> None:
+        if plan_set is None:
+            return
+        for plan in plan_set:
+            plan_stats = plan.stats
+            stats.plan_rejected_pre_materialization += (
+                plan_stats.rejected_pre_materialization
+            )
+            stats.plan_compiled_guard_hits += plan_stats.compiled_guard_hits
+            stats.plan_fallback_evaluations += plan_stats.fallback_evaluations
+            stats.plan_enumeration_pruned += plan_stats.enumeration_pruned
+        stats.plan_details = plan_set.statistics()
 
     # -- witness reconstruction -------------------------------------------------
 

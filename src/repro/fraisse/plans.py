@@ -1,0 +1,448 @@
+"""Compiled transition plans: per-``(system, theory)`` guard compilation.
+
+The engine's hot loop used to evaluate every transition guard from scratch
+for every candidate a theory enumerated: build the successor database, build
+a combined register valuation, walk the formula tree.  Profiles of the HOM
+scaling workload showed >95% of that work being discarded -- most candidates
+are register shuffles or witness extensions the guard rejects immediately.
+
+A :class:`TransitionPlan` moves all per-guard work to a single compilation
+step per ``(theory, transition)`` pair:
+
+* the guard's boolean skeleton is compiled once into closures by the shared
+  three-valued connective compiler (:mod:`repro.logic.threevalued`); atoms
+  become closures over a :class:`DeltaContext` -- a register valuation pair
+  plus a three-valued *fact oracle* supplied by the theory;
+* conjuncts and disjuncts are *selectivity-ordered* (constants, then
+  equalities, then relation atoms by arity) so the cheapest, most decisive
+  atoms run first -- applied only when every atom compiles, in which case
+  the evaluation is two-valued and order-independent, so the reordering is
+  observationally equivalent to the source order;
+* the guard's fully-register-instantiated relation atoms are extracted once
+  as *templates* (symbol plus ``(old|new, register)`` argument slots), so
+  theories resolve the guard-relevant tuples of a step by dictionary lookups
+  instead of re-walking the formula per candidate.
+
+Plans drive the *incremental candidate* protocol of
+:class:`~repro.fraisse.base.DatabaseTheory` (``enumerate_deltas`` /
+``apply_delta``): guards are checked against the step's delta -- the new
+tuples and the valuation change -- *before* the successor database is
+materialized and canonicalized.  A candidate whose compiled guard evaluates
+to ``False`` is rejected pre-materialization; ``True`` skips the engine's
+authoritative evaluation entirely; :data:`~repro.logic.threevalued.UNKNOWN`
+(guards mentioning symbols the delta view cannot decide, e.g. data-value
+relations) falls back to the legacy materialize-and-evaluate path, so the
+conservative semantics of the pre-filters is preserved exactly.
+
+Compiled guards are cached process-wide (``engine_transition_plans`` in
+:mod:`repro.perf`) keyed by the theory's stable plan key and the guard
+formula, which is what lets :class:`~repro.service.runner.BatchRunner`
+workers prime plans once per theory and reuse them across a same-theory
+batch.  With :func:`repro.perf.caches_disabled` the engine never consults
+plans at all and runs the legacy recompute-everything path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.logic.formulas import (
+    And,
+    Equality,
+    FalseFormula,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    TrueFormula,
+)
+from repro.logic.schema import Schema
+from repro.logic.terms import FuncTerm, Term, Var
+from repro.logic.threevalued import UNKNOWN, compile_three_valued, unknown_node
+from repro.perf import BoundedCache, caches_enabled
+from repro.systems.dds import NEW_SUFFIX, OLD_SUFFIX, Transition
+
+#: Argument slot of a template atom: ("old" | "new", register name).
+TemplateSlot = Tuple[str, str]
+
+#: A guard relation atom with every argument a register variable.
+AtomTemplate = Tuple[str, Tuple[TemplateSlot, ...]]
+
+
+class DeltaContext:
+    """The evaluation context compiled guard closures run against.
+
+    ``value_old`` / ``value_new`` map registers to elements (the valuation
+    before and after the step).  ``fact(symbol, elements)`` is the theory's
+    three-valued oracle for "does this tuple hold in the successor
+    database?"; ``term(symbol, elements)`` resolves theory function symbols
+    (e.g. the tree theory's ``cca``).  One mutable instance is reused across
+    an enumeration: theories update the fields in place per candidate.
+    """
+
+    __slots__ = ("value_old", "value_new", "fact", "term")
+
+    def __init__(
+        self,
+        value_old: Optional[Dict[str, Any]] = None,
+        value_new: Optional[Dict[str, Any]] = None,
+        fact: Optional[Callable[[str, Tuple[Any, ...]], Any]] = None,
+        term: Optional[Callable[[str, Tuple[Any, ...]], Any]] = None,
+    ) -> None:
+        self.value_old = value_old
+        self.value_new = value_new
+        self.fact = fact
+        self.term = term
+
+
+# -- term and atom compilation ---------------------------------------------------
+
+
+def _compile_term(term: Term, function_symbols: FrozenSet[str]):
+    """Compile a term to a context closure, or None if it cannot resolve."""
+    if isinstance(term, Var):
+        name = term.name
+        if name.endswith(OLD_SUFFIX):
+            register = name[: -len(OLD_SUFFIX)]
+            return lambda context: context.value_old.get(register, UNKNOWN)
+        if name.endswith(NEW_SUFFIX):
+            register = name[: -len(NEW_SUFFIX)]
+            return lambda context: context.value_new.get(register, UNKNOWN)
+        return None
+    if isinstance(term, FuncTerm) and term.symbol in function_symbols:
+        compiled_args = [_compile_term(a, function_symbols) for a in term.args]
+        if any(c is None for c in compiled_args):
+            return None
+        symbol = term.symbol
+
+        def eval_func(context):
+            values = []
+            for compiled in compiled_args:
+                value = compiled(context)
+                if value is UNKNOWN:
+                    return UNKNOWN
+                values.append(value)
+            return context.term(symbol, tuple(values))
+
+        return eval_func
+    return None
+
+
+class _AtomCompiler:
+    """Compiles atoms to context closures, tracking whether all of them did."""
+
+    __slots__ = ("schema", "function_symbols", "decisive")
+
+    def __init__(self, schema: Schema, function_symbols: FrozenSet[str]) -> None:
+        self.schema = schema
+        self.function_symbols = function_symbols
+        self.decisive = True
+
+    def __call__(self, formula: Formula):
+        if isinstance(formula, Equality):
+            left = _compile_term(formula.left, self.function_symbols)
+            right = _compile_term(formula.right, self.function_symbols)
+            if left is None or right is None:
+                self.decisive = False
+                return unknown_node
+
+            def eval_eq(context):
+                a = left(context)
+                if a is UNKNOWN:
+                    return UNKNOWN
+                b = right(context)
+                if b is UNKNOWN:
+                    return UNKNOWN
+                return a == b
+
+            return eval_eq
+        if isinstance(formula, RelationAtom):
+            symbol = formula.symbol
+            if (
+                not self.schema.has_relation(symbol)
+                or len(formula.args) != self.schema.relation(symbol).arity
+            ):
+                self.decisive = False
+                return unknown_node
+            compiled_args = [
+                _compile_term(a, self.function_symbols) for a in formula.args
+            ]
+            if any(c is None for c in compiled_args):
+                self.decisive = False
+                return unknown_node
+
+            def eval_rel(context):
+                values = []
+                for compiled in compiled_args:
+                    value = compiled(context)
+                    if value is UNKNOWN:
+                        return UNKNOWN
+                    values.append(value)
+                return context.fact(symbol, tuple(values))
+
+            return eval_rel
+        self.decisive = False
+        return unknown_node
+
+
+# -- selectivity ordering --------------------------------------------------------
+
+
+def _selectivity_rank(formula: Formula) -> int:
+    """Static evaluation-cost/selectivity estimate (lower runs first)."""
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return 0
+    if isinstance(formula, Equality):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + _selectivity_rank(formula.operand)
+    if isinstance(formula, RelationAtom):
+        return 4 + len(formula.args)
+    if isinstance(formula, (And, Or)):
+        return max(
+            (_selectivity_rank(operand) for operand in formula.operands), default=0
+        )
+    return 100
+
+
+def _reorder_by_selectivity(formula: Formula) -> Formula:
+    """Stable-sort And/Or operands so cheap, decisive atoms evaluate first.
+
+    Only applied to fully compilable guards, where evaluation is two-valued
+    and therefore order-independent; three-valued guards keep the source
+    order so the UNKNOWN short-circuit behaviour matches the legacy
+    pre-filters exactly.
+    """
+    if isinstance(formula, And):
+        return And(
+            tuple(
+                sorted(
+                    (_reorder_by_selectivity(op) for op in formula.operands),
+                    key=_selectivity_rank,
+                )
+            )
+        )
+    if isinstance(formula, Or):
+        return Or(
+            tuple(
+                sorted(
+                    (_reorder_by_selectivity(op) for op in formula.operands),
+                    key=_selectivity_rank,
+                )
+            )
+        )
+    if isinstance(formula, Not):
+        return Not(_reorder_by_selectivity(formula.operand))
+    return formula
+
+
+# -- compiled guards -------------------------------------------------------------
+
+
+class CompiledGuard:
+    """A guard compiled once: evaluator closure + register-atom templates."""
+
+    __slots__ = ("formula", "evaluator", "decisive", "atom_templates")
+
+    def __init__(
+        self,
+        formula: Formula,
+        evaluator: Callable[[DeltaContext], Any],
+        decisive: bool,
+        atom_templates: Tuple[AtomTemplate, ...],
+    ) -> None:
+        self.formula = formula
+        self.evaluator = evaluator
+        self.decisive = decisive
+        self.atom_templates = atom_templates
+
+
+def _atom_templates(guard: Formula) -> Tuple[AtomTemplate, ...]:
+    """Relation atoms whose arguments are all register variables, as slots."""
+    templates: List[AtomTemplate] = []
+    for atom in guard.atoms():
+        if not isinstance(atom, RelationAtom):
+            continue
+        slots: List[TemplateSlot] = []
+        for term in atom.args:
+            if not isinstance(term, Var):
+                break
+            name = term.name
+            if name.endswith(OLD_SUFFIX):
+                slots.append(("old", name[: -len(OLD_SUFFIX)]))
+            elif name.endswith(NEW_SUFFIX):
+                slots.append(("new", name[: -len(NEW_SUFFIX)]))
+            else:
+                break
+        else:
+            templates.append((atom.symbol, tuple(slots)))
+    return tuple(templates)
+
+
+def compile_guard(
+    guard: Formula, schema: Schema, function_symbols: FrozenSet[str] = frozenset()
+) -> CompiledGuard:
+    """Compile ``guard`` against ``schema`` into a :class:`CompiledGuard`.
+
+    Decisiveness is determined by the atom compiler itself: the guard is
+    compiled once in source order, and only when every atom compiled (so
+    evaluation is two-valued and order-independent) is it recompiled
+    selectivity-ordered.  Guards with undecidable atoms keep source order,
+    preserving the legacy UNKNOWN short-circuit semantics.
+    """
+    compiler = _AtomCompiler(schema, function_symbols)
+    evaluator = compile_three_valued(guard, compiler)
+    if compiler.decisive:
+        evaluator = compile_three_valued(
+            _reorder_by_selectivity(guard), _AtomCompiler(schema, function_symbols)
+        )
+    return CompiledGuard(guard, evaluator, compiler.decisive, _atom_templates(guard))
+
+
+#: Process-wide compiled-guard cache: (theory plan key, guard) -> CompiledGuard.
+_compiled_guard_cache = BoundedCache("engine_transition_plans", cap=1 << 10)
+
+
+def compiled_guard_for(
+    cache_key: Optional[str],
+    guard: Formula,
+    schema: Optional[Schema],
+    function_symbols: FrozenSet[str] = frozenset(),
+) -> Optional[CompiledGuard]:
+    """Fetch (or compile) the plan guard for a theory; None when unsupported.
+
+    ``cache_key`` is the theory's stable plan key
+    (:meth:`~repro.fraisse.base.DatabaseTheory.plan_cache_key`); theories
+    without one still get a compiled guard, just not a process-wide cached
+    one.  Returns None when the theory does not expose a plan schema.
+    """
+    if schema is None:
+        return None
+    if cache_key is None or not caches_enabled():
+        return compile_guard(guard, schema, function_symbols)
+    return _compiled_guard_cache.get_or_compute(
+        (cache_key, guard), lambda: compile_guard(guard, schema, function_symbols)
+    )
+
+
+# -- plans -----------------------------------------------------------------------
+
+
+class PlanStatistics:
+    """Per-plan counters collected while the engine drives one search."""
+
+    __slots__ = (
+        "deltas_enumerated",
+        "rejected_pre_materialization",
+        "compiled_guard_hits",
+        "fallback_evaluations",
+        "enumeration_pruned",
+    )
+
+    def __init__(self) -> None:
+        self.deltas_enumerated = 0
+        #: Candidates the compiled guard rejected before the successor
+        #: database was materialized or canonicalized.
+        self.rejected_pre_materialization = 0
+        #: Candidates whose guard the compiled evaluator decided True, so the
+        #: engine skipped the authoritative full-database evaluation.
+        self.compiled_guard_hits = 0
+        #: Candidates the compiled evaluator could not decide (UNKNOWN);
+        #: the engine materialized the database and evaluated authoritatively.
+        self.fallback_evaluations = 0
+        #: Enumeration branches the theory pruned internally (register
+        #: assignments or tuple-subset choices whose guard can never hold);
+        #: the legacy pre-filters prune the same branches, so these never
+        #: surface as candidates on either path.
+        self.enumeration_pruned = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "deltas_enumerated": self.deltas_enumerated,
+            "rejected_pre_materialization": self.rejected_pre_materialization,
+            "compiled_guard_hits": self.compiled_guard_hits,
+            "fallback_evaluations": self.fallback_evaluations,
+            "enumeration_pruned": self.enumeration_pruned,
+        }
+
+
+class TransitionPlan:
+    """One transition's compiled guard plus its per-run counters."""
+
+    __slots__ = ("transition", "compiled", "stats")
+
+    def __init__(
+        self, transition: Transition, compiled: Optional[CompiledGuard]
+    ) -> None:
+        self.transition = transition
+        self.compiled = compiled
+        self.stats = PlanStatistics()
+
+    @property
+    def decisive(self) -> bool:
+        return self.compiled is not None and self.compiled.decisive
+
+    def describe(self) -> str:
+        mode = (
+            "uncompiled"
+            if self.compiled is None
+            else ("decisive" if self.compiled.decisive else "partial")
+        )
+        return f"{self.transition} [{mode}]"
+
+
+class PlanSet:
+    """All transition plans of one ``(system, theory)`` pair."""
+
+    __slots__ = ("_plans",)
+
+    def __init__(self, system, theory) -> None:
+        schema = theory.plan_guard_schema()
+        function_symbols = theory.plan_function_symbols()
+        cache_key = theory.plan_cache_key()
+        self._plans: Dict[Transition, TransitionPlan] = {}
+        for transition in system.transitions:
+            if transition in self._plans:
+                continue
+            compiled = compiled_guard_for(
+                cache_key, transition.guard, schema, function_symbols
+            )
+            self._plans[transition] = TransitionPlan(transition, compiled)
+
+    def plan_for(self, transition: Transition) -> TransitionPlan:
+        plan = self._plans.get(transition)
+        if plan is None:
+            # Systems are immutable, but guard against exotic callers.
+            plan = TransitionPlan(transition, None)
+            self._plans[transition] = plan
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __iter__(self) -> Iterator[TransitionPlan]:
+        return iter(self._plans.values())
+
+    def statistics(self) -> Dict[str, Dict[str, int]]:
+        """Per-plan counters keyed by the transition's display form."""
+        return {str(plan.transition): plan.stats.as_dict() for plan in self}
+
+
+def compile_plans(system, theory) -> PlanSet:
+    """Compile every transition of ``system`` against ``theory`` once."""
+    return PlanSet(system, theory)
+
+
+def prime_plans(system, theory) -> int:
+    """Warm the process-wide compiled-guard cache for a ``(system, theory)`` pair.
+
+    Used by batch-service workers before running a job: subsequent jobs over
+    the same theory (the common shape of generated batches) then reuse the
+    compiled guards instead of recompiling per job.  Returns the number of
+    plans whose guard compiled.  A no-op (returning 0) when caches are
+    disabled.
+    """
+    if not caches_enabled():
+        return 0
+    plan_set = compile_plans(system, theory)
+    return sum(1 for plan in plan_set if plan.compiled is not None)

@@ -28,18 +28,34 @@ number of registers only, exactly as Theorem 5 requires.
 
 Fast path
 ---------
-Guard pre-filtering used to build a fresh small :class:`Structure` per
-candidate delta and re-walk the guard formula on it.  Both valuations are
-fixed across one subset enumeration, so the guard is now *compiled* once per
-enumeration: every equality atom folds to a constant, every relation atom
-resolves to a concrete ``(symbol, tuple)`` fact, and the per-candidate check
-reduces to a handful of set-membership tests -- no structure, no dictionary
-copies, no term resolution.  Guards that cannot be compiled (symbols outside
-the witness schema, non-variable terms, quantifiers) skip the pre-filter
-conservatively; the engine's authoritative evaluation on the full database
-is unchanged either way.  With caches disabled (:mod:`repro.perf`) the
-legacy build-a-structure path runs instead, which is what the benchmark
-runner measures as the pre-refactor engine.
+The relational family implements the engine's *incremental candidate*
+protocol natively (:meth:`RelationalTheory.enumerate_deltas`): transition
+guards are compiled once per ``(theory, transition)`` pair into
+selectivity-ordered closures (:mod:`repro.fraisse.plans`) and evaluated
+against candidate *deltas* -- the register-valuation change plus the new
+tuples -- before any successor :class:`Structure` exists.  The evaluation
+happens at three stages of the factored enumeration:
+
+* **assignment stage** -- with the new register targets fixed but no tuples
+  chosen yet, tuples touching a fresh element are still *choosable* and
+  evaluate to UNKNOWN; if the guard is already ``False`` (a violated
+  equality, a missing tuple among existing elements), the entire
+  decoration-and-subset enumeration under this assignment is skipped --
+  exactly the branches whose every candidate the legacy pre-filter rejects;
+* **subset stage** -- with a decoration and the guard-relevant tuples
+  chosen, every compilable atom is decided by set lookups, and the
+  guard-irrelevant subset enumeration below runs only for surviving
+  choices;
+* **register-shuffle candidates** (no fresh elements) are emitted with
+  their guard pre-decided, so the engine rejects them without
+  materializing or canonicalizing anything.
+
+Guards that cannot be compiled (symbols outside the witness schema such as
+data-value relations, non-variable terms, quantifiers) evaluate to UNKNOWN
+and are kept conservatively; the engine's authoritative evaluation on the
+full database is unchanged either way.  With caches disabled
+(:mod:`repro.perf`) the legacy build-a-structure path runs instead, which
+is what the benchmark runner measures as the pre-refactor engine.
 """
 
 from __future__ import annotations
@@ -49,12 +65,14 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 
 from repro.errors import FormulaError
 from repro.fraisse.base import (
+    CandidateDelta,
     DatabaseTheory,
     TheoryConfiguration,
     combined_guard_valuation,
     set_partitions,
 )
-from repro.logic.formulas import Equality, Formula, RelationAtom
+from repro.fraisse.plans import AtomTemplate, DeltaContext
+from repro.logic.formulas import Formula, RelationAtom
 from repro.logic.schema import Schema
 from repro.logic.structures import (
     Element,
@@ -63,7 +81,7 @@ from repro.logic.structures import (
     sorted_key_list,
 )
 from repro.logic.terms import Term, Var
-from repro.logic.threevalued import UNKNOWN, compile_three_valued, unknown_node
+from repro.logic.threevalued import UNKNOWN
 from repro.perf import caches_enabled
 from repro.systems.dds import DatabaseDrivenSystem, Transition, new, old
 
@@ -88,6 +106,12 @@ class RelationalTheory(DatabaseTheory):
 
     def database(self, config: TheoryConfiguration) -> Structure:
         return config.witness
+
+    def witness_size(self, config: TheoryConfiguration) -> int:
+        return config.witness.size
+
+    def plan_guard_schema(self) -> Schema:
+        return self.witness_schema()
 
     def blowup(self, n: int) -> int:
         # No function symbols: an n-generated database has exactly n elements.
@@ -181,6 +205,14 @@ class RelationalTheory(DatabaseTheory):
         config: TheoryConfiguration,
         transition: Transition,
     ) -> Iterator[TheoryConfiguration]:
+        if caches_enabled():
+            # Fast path: the incremental enumeration below, materialized for
+            # callers that want configurations (the engine itself drives
+            # enumerate_deltas directly and materializes only survivors).
+            plan = self._transition_plan(transition)
+            for delta in self.enumerate_deltas(system, config, transition, plan):
+                yield self.apply_delta(config, delta)
+            return
         registers = list(system.registers)
         witness: Structure = config.witness
         valuation_old = config.valuation
@@ -208,6 +240,231 @@ class RelationalTheory(DatabaseTheory):
                 fresh_elements,
             )
 
+    # -- incremental candidate protocol -----------------------------------------
+
+    def enumerate_deltas(
+        self,
+        system: DatabaseDrivenSystem,
+        config: TheoryConfiguration,
+        transition: Transition,
+        plan=None,
+    ) -> Iterator[CandidateDelta]:
+        """Enumerate successor deltas with staged compiled-guard pruning.
+
+        Yields the same candidate stream (same order) as the legacy
+        enumeration's surviving candidates: register shuffles carry a
+        pre-decided guard status, witness extensions are pruned at the
+        assignment stage (before decorations and tuple subsets are even
+        enumerated) whenever no choice of new tuples can satisfy the guard,
+        and at the subset stage exactly where the legacy structure-based
+        pre-filter pruned.
+        """
+        if plan is None or plan.compiled is None:
+            yield from super().enumerate_deltas(system, config, transition, plan)
+            return
+        registers = list(system.registers)
+        witness: Structure = config.witness
+        valuation_old = config.valuation
+        old_values = sorted_key_list(set(valuation_old.values()))
+        next_id = self._next_element_id(witness)
+        schema = self.witness_schema()
+        compiled = plan.compiled
+        evaluator = compiled.evaluator
+        stats = plan.stats
+        free_names = set(self.free_relation_names())
+        relation_of = {name: witness.relation(name) for name in schema.relation_names}
+
+        # One closure set per call; the mutable cells below are updated in
+        # place per assignment / per candidate.
+        fresh_membership: Set[Element] = set()
+        added_facts: Set[Tuple[str, Tuple[Element, ...]]] = set()
+
+        def fact_fixed(symbol: str, elements: Tuple[Element, ...]):
+            rel = relation_of.get(symbol)
+            if rel is None:
+                return UNKNOWN
+            return elements in rel
+
+        def fact_optimistic(symbol: str, elements: Tuple[Element, ...]):
+            rel = relation_of.get(symbol)
+            if rel is None:
+                return UNKNOWN
+            for element in elements:
+                if element in fresh_membership:
+                    return UNKNOWN  # choosable: some subset may add it
+            return elements in rel
+
+        def fact_candidate(symbol: str, elements: Tuple[Element, ...]):
+            rel = relation_of.get(symbol)
+            if rel is None:
+                return UNKNOWN
+            if elements in rel:
+                return True
+            return (symbol, elements) in added_facts
+
+        context = DeltaContext(valuation_old, None, fact_fixed)
+
+        for assignment, fresh_count in _register_targets(registers, old_values):
+            fresh_elements = [next_id + i for i in range(fresh_count)]
+            valuation_new: Dict[str, Element] = {}
+            for register, target in assignment.items():
+                if isinstance(target, _FreshSlot):
+                    valuation_new[register] = fresh_elements[target.index]
+                else:
+                    valuation_new[register] = target
+            context.value_new = valuation_new
+            if not fresh_elements:
+                context.fact = fact_fixed
+                status = evaluator(context)
+                yield CandidateDelta(
+                    tuple(sorted(valuation_new.items())), (), (), status, None
+                )
+                continue
+            fresh_membership.clear()
+            fresh_membership.update(fresh_elements)
+            context.fact = fact_optimistic
+            if evaluator(context) is False:
+                # Decided atoms are choice-independent, so a False here means
+                # no decoration/subset choice can satisfy the guard -- the
+                # legacy pre-filter rejects every candidate of this branch.
+                stats.enumeration_pruned += 1
+                continue
+            yield from self._extension_deltas(
+                compiled,
+                context,
+                stats,
+                schema,
+                free_names,
+                relation_of,
+                added_facts,
+                fact_candidate,
+                old_values,
+                valuation_old,
+                valuation_new,
+                fresh_elements,
+            )
+
+    def _extension_deltas(
+        self,
+        compiled,
+        context: DeltaContext,
+        stats,
+        schema: Schema,
+        free_names: Set[str],
+        relation_of: Dict[str, Iterable[Tuple[Element, ...]]],
+        added_facts: Set[Tuple[str, Tuple[Element, ...]]],
+        fact_candidate,
+        old_values: List[Element],
+        valuation_old: Dict[str, Element],
+        valuation_new: Dict[str, Element],
+        fresh_elements: List[Element],
+    ) -> Iterator[CandidateDelta]:
+        """Deltas extending the witness by ``fresh_elements`` (factored form).
+
+        Mirrors the legacy :meth:`_extended_witnesses` enumeration exactly
+        (decorations x guard-relevant subsets x guard-irrelevant subsets, in
+        the same order) but evaluates the compiled guard on the delta facts
+        instead of building a small structure, and defers building the
+        extended witness to :meth:`apply_delta`.
+        """
+        evaluator = compiled.evaluator
+        new_values = sorted_key_list(set(valuation_new.values()))
+        new_value_set = set(new_values)
+        old_only_set = {e for e in old_values if e not in new_value_set}
+        fresh_set = set(fresh_elements)
+        future_tuples = self._all_tuples(new_values, fresh_elements)
+        guard_tuples = _instantiate_templates(
+            compiled.atom_templates, valuation_old, valuation_new, free_names
+        )
+        # Tuples connecting a fresh element with an old-only element: only the
+        # ones the current guard mentions can matter (as in the legacy path).
+        mixed_tuples = [
+            (relation, t)
+            for relation, t in guard_tuples
+            if any(e in fresh_set for e in t)
+            and any(e in old_only_set for e in t)
+            and not all(e in new_value_set for e in t)
+        ]
+        guard_atom_set = set(guard_tuples)
+        relevant_future = [ft for ft in future_tuples if ft in guard_atom_set]
+        irrelevant_future = [ft for ft in future_tuples if ft not in guard_atom_set]
+        valuation_items = tuple(sorted(valuation_new.items()))
+        fresh_tuple = tuple(fresh_elements)
+        context.fact = fact_candidate
+
+        for decorations in itertools.product(
+            self.element_decorations(), repeat=len(fresh_elements)
+        ):
+            decoration_pairs: List[Tuple[str, Tuple[Element, ...]]] = []
+            for element, decoration in zip(fresh_elements, decorations):
+                for relation, args in decoration:
+                    decoration_pairs.append(
+                        (
+                            relation,
+                            tuple(element if a is FRESH_SELF else a for a in args),
+                        )
+                    )
+            # Unary facts for the admissibility filter: witness relations by
+            # reference, decorated relations merged copy-on-write.
+            unary_facts = dict(relation_of)
+            if decoration_pairs:
+                overlay: Dict[str, Set[Tuple[Element, ...]]] = {}
+                for relation, t in decoration_pairs:
+                    overlay.setdefault(relation, set()).add(t)
+                for relation, facts in overlay.items():
+                    unary_facts[relation] = set(relation_of[relation]) | facts
+            allowed = self.tuple_filter(unary_facts)
+            for chosen_relevant in self._tuple_subsets(
+                relevant_future + mixed_tuples, allowed
+            ):
+                added_facts.clear()
+                added_facts.update(decoration_pairs)
+                added_facts.update(chosen_relevant)
+                status = evaluator(context)
+                if status is False:
+                    stats.enumeration_pruned += 1
+                    continue
+                base_new = tuple(decoration_pairs) + chosen_relevant
+                for chosen_irrelevant in self._tuple_subsets(
+                    irrelevant_future, allowed
+                ):
+                    yield CandidateDelta(
+                        valuation_items,
+                        fresh_tuple,
+                        base_new + chosen_irrelevant,
+                        status,
+                        None,
+                    )
+
+    def apply_delta(
+        self, config: TheoryConfiguration, delta: CandidateDelta
+    ) -> TheoryConfiguration:
+        payload = delta.payload
+        if payload is not None:
+            return payload
+        witness: Structure = config.witness
+        if not delta.fresh_elements:
+            return TheoryConfiguration(witness, delta.valuation_items, ())
+        schema = self.witness_schema()
+        relations: Dict[str, Iterable[Tuple[Element, ...]]] = {
+            name: witness.relation(name) for name in schema.relation_names
+        }
+        if delta.new_tuples:
+            overlay: Dict[str, Set[Tuple[Element, ...]]] = {}
+            for relation, t in delta.new_tuples:
+                overlay.setdefault(relation, set()).add(t)
+            for relation, facts in overlay.items():
+                relations[relation] = set(relations[relation]) | facts
+        extended = Structure(
+            schema,
+            set(witness.domain) | set(delta.fresh_elements),
+            relations=relations,
+            validate=False,
+        )
+        return TheoryConfiguration(
+            extended, delta.valuation_items, delta.fresh_elements
+        )
+
     # -- internal helpers -------------------------------------------------------
 
     def _extended_witnesses(
@@ -219,6 +476,13 @@ class RelationalTheory(DatabaseTheory):
         valuation_new: Dict[str, Element],
         fresh_elements: List[Element],
     ) -> Iterator[TheoryConfiguration]:
+        """The legacy (cache-free) extension enumeration: build per-candidate
+        small structures for the pre-filter and full structures per yield.
+
+        The fast path is :meth:`_extension_deltas`; this body is kept as the
+        pre-refactor behaviour the benchmark runner measures under
+        :func:`repro.perf.caches_disabled`.
+        """
         schema = self.witness_schema()
         new_values = sorted_key_list(set(valuation_new.values()))
         old_values = sorted_key_list(set(valuation_old.values()))
@@ -269,10 +533,6 @@ class RelationalTheory(DatabaseTheory):
         irrelevant_future = [ft for ft in future_tuples if ft not in guard_atom_set]
 
         combined = combined_guard_valuation(tuple(registers), valuation_old, valuation_new)
-        use_fast = caches_enabled()
-        prefilter = (
-            _compile_guard_prefilter(guard, combined, schema) if use_fast else None
-        )
 
         for decorations in decoration_choices:
             decoration_facts: Dict[str, Set[Tuple[Element, ...]]] = {
@@ -291,20 +551,7 @@ class RelationalTheory(DatabaseTheory):
             for chosen_relevant in self._tuple_subsets(
                 relevant_future + mixed_tuples, allowed
             ):
-                if use_fast:
-                    if prefilter is not None:
-                        chosen_set = frozenset(chosen_relevant)
-
-                        def fact_present(relation: str, t: Tuple[Element, ...]) -> bool:
-                            return (
-                                t in base_small[relation]
-                                or t in decoration_facts[relation]
-                                or (relation, t) in chosen_set
-                            )
-
-                        if not prefilter(fact_present):
-                            continue
-                elif not self._guard_holds_small_structure(
+                if not self._guard_holds_small_structure(
                     schema,
                     small_domain,
                     base_small,
@@ -484,56 +731,32 @@ def _resolve_variable_term(term: Term, combined: Dict[str, Element]) -> Optional
     return None
 
 
-def _compile_guard_prefilter(
-    guard: Formula, combined: Dict[str, Element], schema: Schema
-):
-    """Compile a guard into a fast predicate over candidate delta facts.
+def _instantiate_templates(
+    atom_templates: Tuple[AtomTemplate, ...],
+    valuation_old: Dict[str, Element],
+    valuation_new: Dict[str, Element],
+    free_names: Set[str],
+) -> List[Tuple[str, Tuple[Element, ...]]]:
+    """Resolve a plan's guard-atom templates into concrete tuples.
 
-    With both register valuations fixed, every equality atom is a constant
-    and every relation atom denotes one concrete ``(symbol, tuple)`` fact;
-    the returned closure takes a ``fact_present(symbol, tuple)`` test and
-    decides the guard without touching structures or terms again.
-
-    Atoms that cannot be compiled (symbols outside the witness schema such
-    as data-value relations, non-variable terms, quantifiers) evaluate to
-    :data:`repro.logic.threevalued.UNKNOWN`, which propagates through the
-    connectives with exactly the short-circuit semantics the structure-based
-    pre-filter had via :class:`~repro.errors.FormulaError`: a conjunct that
-    is already false prunes the candidate without consulting the unknown
-    atom, while any evaluation that would have touched the unknown atom
-    conservatively keeps the candidate for the engine's authoritative check.
-    The returned predicate yields True for "keep" (guard holds or unknown)
-    and False for "prune".
+    The compiled-plan replacement of the legacy per-assignment formula walk
+    (:meth:`RelationalTheory._guard_instantiated_tuples`): the plan extracted
+    the register slots once at compilation, so per assignment this is a few
+    dictionary lookups per guard atom.
     """
-
-    def resolve(term: Term):
-        if isinstance(term, Var):
-            return combined.get(term.name, UNKNOWN)
-        return UNKNOWN
-
-    def compile_atom(formula: Formula):
-        if isinstance(formula, Equality):
-            left = resolve(formula.left)
-            right = resolve(formula.right)
-            if left is UNKNOWN or right is UNKNOWN:
-                return unknown_node
-            outcome = left == right
-            return lambda fact_present: outcome
-        if isinstance(formula, RelationAtom):
-            symbol = formula.symbol
-            if not schema.has_relation(symbol):
-                return unknown_node
-            if len(formula.args) != schema.relation(symbol).arity:
-                return unknown_node
-            arguments = tuple(resolve(argument) for argument in formula.args)
-            if any(argument is UNKNOWN for argument in arguments):
-                return unknown_node
-            return lambda fact_present: fact_present(symbol, arguments)
-        return unknown_node
-
-    compiled = compile_three_valued(guard, compile_atom)
-
-    def keep_candidate(fact_present) -> bool:
-        return compiled(fact_present) is not False
-
-    return keep_candidate
+    tuples: List[Tuple[str, Tuple[Element, ...]]] = []
+    for symbol, slots in atom_templates:
+        if symbol not in free_names:
+            continue
+        resolved: List[Element] = []
+        complete = True
+        for which, register in slots:
+            source = valuation_old if which == "old" else valuation_new
+            value = source.get(register)
+            if value is None:
+                complete = False
+                break
+            resolved.append(value)
+        if complete:
+            tuples.append((symbol, tuple(resolved)))
+    return tuples

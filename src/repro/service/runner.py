@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.fraisse.plans import prime_plans
 from repro.service.jobs import JobResult, VerificationJob, execute_job
 from repro.service.store import ResultStore
 
@@ -35,6 +36,11 @@ def _execute_payload(payload: Tuple[Dict[str, Any], Optional[float]]) -> JobResu
     """Worker entry point (top-level so it pickles under any start method)."""
     spec, timeout_seconds = payload
     job = VerificationJob.from_spec(spec)
+    # Warm the process-wide compiled-plan cache before the timed run: guards
+    # are keyed by the theory's stable plan key, so same-theory jobs later in
+    # the batch (the common shape of generated batches) reuse the compiled
+    # evaluators instead of recompiling per job.
+    prime_plans(job.system, job.theory)
     return execute_job(job, timeout_seconds=timeout_seconds)
 
 

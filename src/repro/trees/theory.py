@@ -35,13 +35,16 @@ from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.errors import TheoryError
 from repro.fraisse.base import (
+    CandidateDelta,
     DatabaseTheory,
     TheoryConfiguration,
     generic_abstraction_key,
     set_partitions,
 )
+from repro.fraisse.plans import DeltaContext
 from repro.logic.schema import Schema
 from repro.logic.structures import Element, Structure
+from repro.logic.threevalued import UNKNOWN
 from repro.perf import BoundedCache, caches_enabled
 from repro.systems.dds import DatabaseDrivenSystem, Transition
 from repro.trees.automata import AutomatonAnalysis, TreeAutomaton
@@ -246,7 +249,6 @@ class TreeRunTheory(DatabaseTheory):
         self._placement_cache = BoundedCache("trees_placements", cap=1 << 12)
         self._completable_cache = BoundedCache("trees_completable")
         self._key_cache = BoundedCache("trees_abstraction_key")
-        self._compiled_guards = BoundedCache("trees_compiled_guards", cap=1 << 10)
 
     # -- accessors -----------------------------------------------------------------------
 
@@ -379,6 +381,11 @@ class TreeRunTheory(DatabaseTheory):
         config: TheoryConfiguration,
         transition: Transition,
     ) -> Iterator[TheoryConfiguration]:
+        if caches_enabled():
+            plan = self._transition_plan(transition)
+            for delta in self.enumerate_deltas(system, config, transition, plan):
+                yield self.apply_delta(config, delta)
+            return
         registers = list(system.registers)
         skeleton: Skeleton = config.witness
         existing = list(skeleton.node_ids)
@@ -414,6 +421,120 @@ class TreeRunTheory(DatabaseTheory):
                     continue
                 yield TheoryConfiguration.make(extended, valuation_new, tuple(new_ids))
 
+    # -- incremental candidate protocol --------------------------------------------
+
+    def plan_guard_schema(self) -> Schema:
+        return self._schema
+
+    def plan_function_symbols(self):
+        return frozenset((CCA,))
+
+    def witness_size(self, config: TheoryConfiguration) -> int:
+        return len(config.witness.states)
+
+    def enumerate_deltas(
+        self,
+        system: DatabaseDrivenSystem,
+        config: TheoryConfiguration,
+        transition: Transition,
+        plan=None,
+    ) -> Iterator[CandidateDelta]:
+        """Enumerate successor deltas with the guard decided on the skeleton.
+
+        Skeleton relations (ancestry, document order, labels, ``cca``) are
+        decided exactly on the extended skeleton, so for pure tree guards the
+        engine never renders the skeleton into a database at all: candidates
+        whose guard fails are dropped here (exactly where the legacy
+        pre-filter dropped them), and surviving candidates carry
+        ``guard_status=True`` so the engine skips the authoritative
+        evaluation.  Atoms outside TreeSchema (data-value relations) keep the
+        conservative UNKNOWN fallback.
+        """
+        if plan is None or plan.compiled is None:
+            yield from super().enumerate_deltas(system, config, transition, plan)
+            return
+        registers = list(system.registers)
+        skeleton: Skeleton = config.witness
+        existing = list(skeleton.node_ids)
+        valuation_old = config.valuation
+        max_fresh = len(registers)
+        evaluator = plan.compiled.evaluator
+        stats = plan.stats
+        letter_of = self._automaton.letter_of
+
+        current: List[Skeleton] = [skeleton]
+
+        def fact(symbol: str, elements):
+            view = current[0]
+            if symbol == ANCESTOR:
+                return view.is_ancestor(elements[0], elements[1])
+            if symbol == DOCUMENT_ORDER:
+                return view.document_before(elements[0], elements[1])
+            if symbol.startswith("label_"):
+                return letter_of[view.state_of[elements[0]]] == symbol[len("label_"):]
+            return UNKNOWN
+
+        def term(symbol: str, elements):
+            if symbol == CCA:
+                return current[0].cca(elements[0], elements[1])
+            return UNKNOWN
+
+        context = DeltaContext(valuation_old, None, fact, term)
+
+        for targets in itertools.product(
+            existing + [("fresh", slot) for slot in range(max_fresh)],
+            repeat=len(registers),
+        ):
+            fresh_slots = sorted(
+                {target[1] for target in targets if isinstance(target, tuple)}
+            )
+            if fresh_slots != list(range(len(fresh_slots))):
+                continue
+            if not fresh_slots:
+                valuation_new = dict(zip(registers, targets))
+                current[0] = skeleton
+                context.value_new = valuation_new
+                status = evaluator(context)
+                if status is False:
+                    stats.enumeration_pruned += 1
+                    continue
+                yield CandidateDelta(
+                    tuple(sorted(valuation_new.items())),
+                    (),
+                    (),
+                    status,
+                    skeleton,
+                )
+                continue
+            for extended, new_ids in self._place_nodes(skeleton, len(fresh_slots)):
+                valuation_new = {}
+                for register, target in zip(registers, targets):
+                    if isinstance(target, tuple):
+                        valuation_new[register] = new_ids[target[1]]
+                    else:
+                        valuation_new[register] = target
+                current[0] = extended
+                context.value_new = valuation_new
+                status = evaluator(context)
+                if status is False:
+                    stats.enumeration_pruned += 1
+                    continue
+                yield CandidateDelta(
+                    tuple(sorted(valuation_new.items())),
+                    tuple(new_ids),
+                    (),
+                    status,
+                    extended,
+                )
+
+    def apply_delta(
+        self, config: TheoryConfiguration, delta: CandidateDelta
+    ) -> TheoryConfiguration:
+        payload = delta.payload
+        if isinstance(payload, TheoryConfiguration):
+            return payload
+        return TheoryConfiguration(payload, delta.valuation_items, delta.fresh_elements)
+
     def _guard_prefilter(
         self,
         skeleton: Skeleton,
@@ -422,29 +543,17 @@ class TreeRunTheory(DatabaseTheory):
         valuation_old: Dict[str, Element],
         valuation_new: Dict[str, Element],
     ) -> bool:
-        """Cheaply evaluate the guard on a lightweight skeleton view.
+        """The legacy guard pre-filter: walk the formula over a skeleton view.
 
         Guards mentioning symbols outside TreeSchema (e.g. data-value
         relations) cannot be decided here; such candidates are kept and the
-        engine performs the authoritative evaluation.  On the fast path the
-        guard is compiled once (per formula) into closures over the skeleton
-        relations, skipping the per-candidate formula walk.
+        engine performs the authoritative evaluation.  The fast path decides
+        guards through the compiled plan evaluator in
+        :meth:`enumerate_deltas` instead.
         """
         from repro.errors import FormulaError
         from repro.systems.dds import new, old
 
-        if caches_enabled():
-            # Keyed by id with the guard kept alive in the entry: hashing the
-            # formula itself per candidate was measurably hot, and the strong
-            # reference makes id reuse impossible while the entry lives.
-            entry = self._compiled_guards.get(id(transition.guard))
-            if entry is None or entry[0] is not transition.guard:
-                entry = (
-                    transition.guard,
-                    _compile_skeleton_prefilter(transition.guard, self),
-                )
-                self._compiled_guards.put(id(transition.guard), entry)
-            return entry[1]((skeleton, valuation_old, valuation_new)) is not False
         combined: Dict[str, Element] = {}
         for register in system.registers:
             combined[old(register)] = valuation_old[register]
@@ -826,118 +935,6 @@ class _SkeletonView:
         if name == CCA:
             return self._skeleton.cca(args[0], args[1])
         raise KeyError(name)
-
-
-def _compile_skeleton_prefilter(guard, theory: "TreeRunTheory"):
-    """Compile a guard into closures over skeleton relations.
-
-    Returns a function over a context ``(skeleton, valuation_old,
-    valuation_new)`` yielding ``True | False | UNKNOWN``, built on the
-    shared three-valued connective compiler
-    (:mod:`repro.logic.threevalued`): atoms over symbols the skeleton
-    cannot decide (data-value relations, unknown functions) yield
-    ``UNKNOWN``, which propagates to the top where the caller
-    conservatively keeps the candidate.  Register slots (``x_old`` /
-    ``x_new``) resolve directly into the corresponding valuation at compile
-    time, so no combined valuation dictionary is built per candidate.
-    """
-    from repro.logic.formulas import Equality, RelationAtom
-    from repro.logic.terms import FuncTerm, Var
-    from repro.logic.threevalued import (
-        UNKNOWN,
-        compile_three_valued,
-        unknown_node,
-    )
-    from repro.systems.dds import NEW_SUFFIX, OLD_SUFFIX
-
-    letter_of = theory.automaton.letter_of
-
-    def compile_term(term):
-        if isinstance(term, Var):
-            name = term.name
-            if name.endswith(OLD_SUFFIX):
-                register = name[: -len(OLD_SUFFIX)]
-                return lambda context: context[1].get(register, UNKNOWN)
-            if name.endswith(NEW_SUFFIX):
-                register = name[: -len(NEW_SUFFIX)]
-                return lambda context: context[2].get(register, UNKNOWN)
-            return lambda context: UNKNOWN
-        if isinstance(term, FuncTerm) and term.symbol == CCA and len(term.args) == 2:
-            left = compile_term(term.args[0])
-            right = compile_term(term.args[1])
-
-            def eval_cca(context):
-                a = left(context)
-                b = right(context)
-                if a is UNKNOWN or b is UNKNOWN:
-                    return UNKNOWN
-                return context[0].cca(a, b)
-
-            return eval_cca
-        return lambda context: UNKNOWN
-
-    def compile_atom(formula):
-        if isinstance(formula, Equality):
-            left = compile_term(formula.left)
-            right = compile_term(formula.right)
-
-            def eval_eq(context):
-                a = left(context)
-                b = right(context)
-                if a is UNKNOWN or b is UNKNOWN:
-                    return UNKNOWN
-                return a == b
-
-            return eval_eq
-        if isinstance(formula, RelationAtom):
-            symbol = formula.symbol
-            if not theory.schema.has_relation(symbol):
-                # Outside TreeSchema (e.g. data-value relations): undecidable
-                # here, exactly like the FormulaError path of the view.
-                return unknown_node
-            arguments = [compile_term(argument) for argument in formula.args]
-
-            def resolve_arguments(context):
-                values = []
-                for argument in arguments:
-                    value = argument(context)
-                    if value is UNKNOWN:
-                        return None
-                    values.append(value)
-                return values
-
-            if symbol == ANCESTOR and len(arguments) == 2:
-
-                def eval_anc(context):
-                    values = resolve_arguments(context)
-                    if values is None:
-                        return UNKNOWN
-                    return context[0].is_ancestor(values[0], values[1])
-
-                return eval_anc
-            if symbol == DOCUMENT_ORDER and len(arguments) == 2:
-
-                def eval_doc(context):
-                    values = resolve_arguments(context)
-                    if values is None:
-                        return UNKNOWN
-                    return context[0].document_before(values[0], values[1])
-
-                return eval_doc
-            if symbol.startswith("label_") and len(arguments) == 1:
-                label = symbol[len("label_"):]
-
-                def eval_label(context):
-                    values = resolve_arguments(context)
-                    if values is None:
-                        return UNKNOWN
-                    return letter_of[context[0].state_of[values[0]]] == label
-
-                return eval_label
-            return unknown_node
-        return unknown_node
-
-    return compile_three_valued(guard, compile_atom)
 
 
 def _match_subsequence(sequence: Sequence[str], anchors: Sequence[str]) -> List[int]:

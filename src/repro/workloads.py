@@ -47,6 +47,13 @@ from repro.words import NFA, WordRunTheory, word_schema
 #: Families the generator can mix, in round-robin order.
 FAMILIES: Tuple[str, ...] = ("relational", "hom", "word", "tree", "data")
 
+#: Adversarial families targeting known engine hot spots (ROADMAP): deep
+#: HOM guard templates stress the per-transition guard pipeline, wide tree
+#: branching stresses the skeleton placement enumeration.  Not part of the
+#: default mix -- select them explicitly (``repro batch --families ...``) or
+#: run the benchmark stress phase.
+STRESS_FAMILIES: Tuple[str, ...] = ("hom_deep", "tree_wide")
+
 #: Engine caps per family; tree exploration is the priciest per configuration.
 _FAMILY_CAPS: Dict[str, int] = {
     "relational": 20_000,
@@ -54,6 +61,8 @@ _FAMILY_CAPS: Dict[str, int] = {
     "word": 10_000,
     "tree": 2_000,
     "data": 10_000,
+    "hom_deep": 20_000,
+    "tree_wide": 25,
 }
 
 
@@ -135,9 +144,10 @@ def _random_system(
 # -- theories ------------------------------------------------------------------
 
 
-def _random_hom_template(rng: random.Random) -> Structure:
+def _random_hom_template(rng: random.Random, size: Optional[int] = None) -> Structure:
     """A random directed graph template on 2-3 vertices (loops allowed)."""
-    size = rng.randint(2, 3)
+    if size is None:
+        size = rng.randint(2, 3)
     domain = list(range(size))
     edges = {
         (i, j)
@@ -229,13 +239,120 @@ def _data_job(rng: random.Random) -> Tuple[DatabaseDrivenSystem, DatabaseTheory]
     return system, theory
 
 
+# -- adversarial families --------------------------------------------------------
+#
+# These target the engine hot spots called out on the ROADMAP.  ``hom_deep``
+# pits the compiled transition plans against guards with many relation atoms
+# over a three-element HOM lift: every register assignment instantiates a
+# large set of guard-relevant tuples, so the factored subset enumeration and
+# the selectivity-ordered evaluation both run at full tilt.  ``tree_wide``
+# drives two registers over a wide-alphabet universal tree language, making
+# the skeleton placement enumeration (every branch slot of every node) the
+# dominating cost.
+
+
+def _deep_guard(rng: random.Random, registers: Sequence[str], atoms: int) -> str:
+    """A deep conjunction of edge atoms over all old/new register variables."""
+    variables = _guard_variables(registers)
+    parts: List[str] = []
+    for index in range(atoms):
+        a = rng.choice(variables)
+        b = rng.choice(variables)
+        if index % 4 == 3:
+            parts.append(f"!({a} = {b})" if a != b else f"E({a}, {b})")
+        else:
+            parts.append(f"E({a}, {b})")
+    return " & ".join(parts)
+
+
+def _hom_deep_job(rng: random.Random) -> Tuple[DatabaseDrivenSystem, DatabaseTheory]:
+    registers = ["r0", "r1"]
+    states = [f"s{i}" for i in range(6)]
+    transitions: List[Tuple[str, str, str]] = [
+        (states[i], _deep_guard(rng, registers, rng.randint(6, 10)), states[i + 1])
+        for i in range(len(states) - 1)
+    ]
+    # Back edges with more deep guards keep the abstract space cyclic.
+    transitions.append((states[3], _deep_guard(rng, registers, 8), states[1]))
+    transitions.append((states[4], _deep_guard(rng, registers, 8), states[2]))
+    system = DatabaseDrivenSystem.build(
+        schema=GRAPH_SCHEMA,
+        registers=registers,
+        states=states,
+        initial=states[0],
+        accepting=states[-1],
+        transitions=transitions,
+    )
+    return system, HomTheory(_random_hom_template(rng, size=3))
+
+
+def _tree_wide_job(rng: random.Random) -> Tuple[DatabaseDrivenSystem, DatabaseTheory]:
+    labels = ["a", "b"]
+    schema = tree_schema(labels)
+    registers = ["r0", "r1"]
+    states = ["t0", "t1", "t2"]
+    guards = [
+        "doc(r0_new, r1_new) & !(r0_new = r1_new)",
+        f"label_{rng.choice(labels)}(r0_new) & doc(r0_old, r0_new) & doc(r1_old, r1_new)",
+    ]
+    system = DatabaseDrivenSystem.build(
+        schema=schema,
+        registers=registers,
+        states=states,
+        initial=states[0],
+        accepting=states[-1],
+        transitions=[
+            (states[0], guards[0], states[1]),
+            (states[1], guards[1], states[2]),
+        ],
+    )
+    return system, TreeRunTheory(universal_automaton(labels))
+
+
 _BUILDERS = {
     "relational": _relational_job,
     "hom": _hom_job,
     "word": _word_job,
     "tree": _tree_job,
     "data": _data_job,
+    "hom_deep": _hom_deep_job,
+    "tree_wide": _tree_wide_job,
 }
+
+
+def stress_workloads(seed: int = 2026) -> Dict[str, Dict[str, object]]:
+    """Fixed representative instances of the adversarial families.
+
+    Used by the benchmark runner's ``stress`` phase: one deterministic
+    instance per family, with builders so fast/legacy comparisons construct
+    fresh theories per timing round.
+    """
+    rng_hom = random.Random(seed)
+    rng_tree = random.Random(seed + 1)
+    hom_system, hom_theory = _hom_deep_job(rng_hom)
+    tree_system, tree_theory = _tree_wide_job(rng_tree)
+    hom_theory_spec = hom_theory.to_spec()
+    tree_theory_spec = tree_theory.to_spec()
+    from repro.service.specs import theory_from_spec
+
+    return {
+        "stress_hom_deep": {
+            "description": "deep HOM guard templates (adversarial, 2 registers, "
+            "6-10 edge atoms per guard, 3-element template)",
+            "system": lambda: hom_system,
+            "theory": lambda: theory_from_spec(hom_theory_spec),
+            "max_configurations": _FAMILY_CAPS["hom_deep"],
+            "smoke_max_configurations": _FAMILY_CAPS["hom_deep"],
+        },
+        "stress_tree_wide": {
+            "description": "wide tree branching (adversarial, 2 registers over "
+            "a 2-label universal tree language, capped exploration)",
+            "system": lambda: tree_system,
+            "theory": lambda: theory_from_spec(tree_theory_spec),
+            "max_configurations": _FAMILY_CAPS["tree_wide"],
+            "smoke_max_configurations": 8,
+        },
+    }
 
 
 # -- heavy profile --------------------------------------------------------------

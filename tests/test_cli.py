@@ -147,3 +147,15 @@ class TestStore:
             assert "no result store" in capsys.readouterr().err
             # In particular `clear` must not have created an empty database.
             assert not missing.exists()
+
+
+class TestBenchProfile:
+    def test_profile_prints_hot_functions(self, capsys):
+        assert main(["bench", "--smoke", "--profile", "stress_hom_deep"]) == 0
+        out = capsys.readouterr().out
+        assert "stress_hom_deep" in out
+        assert "cumulative" in out  # pstats header
+
+    def test_profile_unknown_workload_rejected(self, capsys):
+        assert main(["bench", "--profile", "not-a-workload"]) == 2
+        assert "not-a-workload" in capsys.readouterr().err

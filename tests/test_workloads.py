@@ -77,3 +77,58 @@ class TestExecution:
         for result in report.results:
             if result.ok and not result.nonempty and not result.exhausted:
                 assert counts["empty"] < 10
+
+
+class TestStressFamilies:
+    def test_stress_families_generate_deterministically(self):
+        from repro.workloads import STRESS_FAMILIES
+
+        first = generate_jobs(4, seed=5, families=STRESS_FAMILIES)
+        second = generate_jobs(4, seed=5, families=STRESS_FAMILIES)
+        assert [j.fingerprint for j in first] == [j.fingerprint for j in second]
+        labels = [job.label.rsplit("-", 1)[0] for job in first]
+        assert labels == ["hom_deep", "tree_wide", "hom_deep", "tree_wide"]
+
+    def test_stress_jobs_survive_wire_format(self):
+        from repro.workloads import STRESS_FAMILIES
+
+        for job in generate_jobs(2, seed=5, families=STRESS_FAMILIES):
+            rebuilt = VerificationJob.from_spec(
+                json.loads(json.dumps(job.to_spec()))
+            )
+            assert rebuilt.fingerprint == job.fingerprint
+
+    def test_stress_families_not_in_default_mix(self):
+        from repro.workloads import STRESS_FAMILIES
+
+        assert not set(STRESS_FAMILIES) & set(FAMILIES)
+        jobs = generate_jobs(len(FAMILIES), seed=0)
+        assert all(
+            not job.label.startswith(("hom_deep", "tree_wide")) for job in jobs
+        )
+
+    def test_stress_workloads_expose_fixed_instances(self):
+        from repro.workloads import stress_workloads
+
+        named = stress_workloads()
+        assert set(named) == {"stress_hom_deep", "stress_tree_wide"}
+        for workload in named.values():
+            system = workload["system"]()
+            theory = workload["theory"]()
+            assert system.schema.is_subschema_of(theory.schema)
+            assert workload["max_configurations"] > 0
+
+    def test_hom_deep_runs_end_to_end(self):
+        """One small adversarial HOM job decides identically on both paths."""
+        from repro.fraisse.engine import EmptinessSolver
+        from repro.perf import caches_disabled
+
+        job = generate_jobs(1, seed=5, families=["hom_deep"])[0]
+        fast = EmptinessSolver(
+            job.theory, max_configurations=job.max_configurations
+        ).check(job.system)
+        with caches_disabled():
+            legacy = EmptinessSolver(
+                job.theory, max_configurations=job.max_configurations
+            ).check(job.system)
+        assert fast.nonempty == legacy.nonempty
