@@ -35,6 +35,44 @@ DEFAULT_TOLERANCE = 0.25
 DEFAULT_MIN_FLOOR = 1.5
 
 
+class GuardDataError(Exception):
+    """A benchmark record cannot answer the guarded question."""
+
+
+def _speedup_of(record: dict, record_name: str, workload: str) -> float:
+    """The recorded speedup for ``workload``, or a hard, explicit failure.
+
+    A missing or renamed workload key must never pass silently: a guard
+    that cannot find its bench is a guard that checks nothing, so this is
+    a configuration failure (exit 2), distinct from a measured regression.
+    """
+    engine = record.get("engine")
+    if not isinstance(engine, dict) or not engine:
+        raise GuardDataError(
+            f"{record_name} record has no 'engine' section; was the engine "
+            "phase skipped when it was produced?"
+        )
+    if workload not in engine:
+        raise GuardDataError(
+            f"{record_name} record has no entry for workload {workload!r}; "
+            f"available: {', '.join(sorted(engine))}. If the bench was "
+            "renamed, update --workload and the committed baseline together."
+        )
+    entry = engine[workload]
+    if not isinstance(entry, dict):
+        raise GuardDataError(
+            f"{record_name} record entry for {workload!r} is not an object "
+            f"(got {entry!r})"
+        )
+    speedup = entry.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        raise GuardDataError(
+            f"{record_name} record has no usable speedup for {workload!r} "
+            f"(got {speedup!r})"
+        )
+    return speedup
+
+
 def check(
     baseline_path: Path,
     current_path: Path,
@@ -42,20 +80,21 @@ def check(
     tolerance: float = DEFAULT_TOLERANCE,
     min_floor: float = DEFAULT_MIN_FLOOR,
 ) -> int:
-    baseline = json.loads(baseline_path.read_text())
-    current = json.loads(current_path.read_text())
     try:
-        committed = baseline["engine"][workload]["speedup"]
-    except KeyError:
-        print(f"baseline record has no speedup for {workload!r}", file=sys.stderr)
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"GUARD FAILURE: cannot read baseline {baseline_path}: {error}", file=sys.stderr)
         return 2
     try:
-        fresh = current["engine"][workload]["speedup"]
-    except KeyError:
-        print(f"current record has no speedup for {workload!r}", file=sys.stderr)
+        current = json.loads(current_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"GUARD FAILURE: cannot read current record {current_path}: {error}", file=sys.stderr)
         return 2
-    if committed is None or fresh is None:
-        print("speedup missing from one of the records", file=sys.stderr)
+    try:
+        committed = _speedup_of(baseline, "baseline", workload)
+        fresh = _speedup_of(current, "current", workload)
+    except GuardDataError as error:
+        print(f"GUARD FAILURE: {error}", file=sys.stderr)
         return 2
     floor = max(min_floor, committed * tolerance)
     print(

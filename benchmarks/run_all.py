@@ -339,13 +339,66 @@ def _service_comparison(jobs, workers: int) -> dict:
     }
 
 
+#: Worker counts of the scaling curve (the ROADMAP's multi-core record;
+#: CI runs it on a 4-core runner, where 4 workers should approach 4x on
+#: heavy jobs).
+SCALING_WORKER_COUNTS = (1, 2, 4)
+
+
+def run_worker_scaling(smoke: bool) -> dict:
+    """Cold-run wall-clock of one heavy batch across worker counts.
+
+    Uses the heavy profile (0.1-1s per job): pool fan-out only wins when
+    per-job engine time dwarfs process overhead, so light jobs would just
+    measure the pool.  No store -- each run is a pure cold execution of the
+    same jobs, making the curve a direct serial-vs-parallel comparison.
+    """
+    from repro.service import BatchRunner
+    from repro.workloads import generate_jobs
+
+    jobs = generate_jobs(4 if smoke else 16, seed=2013, profile="heavy")
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cpus = os.cpu_count()
+    curve = []
+    serial_seconds = None
+    baseline_verdicts = None
+    for workers in SCALING_WORKER_COUNTS:
+        report = BatchRunner(workers=workers, timeout_seconds=300).run(jobs)
+        if baseline_verdicts is None:
+            baseline_verdicts = report.verdicts
+            serial_seconds = report.elapsed_seconds
+        assert report.verdicts == baseline_verdicts, (
+            f"scaling run with {workers} workers changed the verdicts"
+        )
+        point = {
+            "workers": workers,
+            "seconds": round(report.elapsed_seconds, 4),
+            "speedup_vs_serial": round(serial_seconds / report.elapsed_seconds, 2)
+            if report.elapsed_seconds
+            else None,
+            "errors": len(report.errors),
+        }
+        curve.append(point)
+        speedup_text = (
+            f"{point['speedup_vs_serial']:.2f}x vs serial"
+            if point["speedup_vs_serial"] is not None
+            else "speedup n/a (sub-resolution run)"
+        )
+        print(f"  scaling: {workers} worker(s)  {point['seconds']:.3f}s  {speedup_text}")
+    return {"job_count": len(jobs), "cpus_available": cpus, "curve": curve}
+
+
 def run_service_benchmark(smoke: bool) -> dict:
-    """The batch-service record: a light store-focused batch + a heavy one.
+    """The batch-service record: store-focused, fan-out, and scaling phases.
 
     The light batch (many tiny heterogeneous jobs) measures the fingerprint
     store -- its warm rerun is the acceptance-gated >=10x path.  The heavy
     batch (0.1-1s relational jobs) is where parallel fan-out beats serial
-    execution; it is skipped in smoke mode to keep CI cheap.
+    execution; it is skipped in smoke mode to keep CI cheap.  The worker
+    scaling curve (1/2/4 workers over one heavy batch) runs in both modes --
+    smaller in smoke -- so the CI artifact carries a multi-core record.
     """
     from repro.workloads import generate_jobs
 
@@ -368,6 +421,7 @@ def run_service_benchmark(smoke: bool) -> dict:
             f"warm {heavy['warm_seconds']:.4f}s"
         )
         record["heavy"] = heavy
+    record["scaling"] = run_worker_scaling(smoke)
     return record
 
 

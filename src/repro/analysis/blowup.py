@@ -49,8 +49,9 @@ def measure_word_blowup(
         closure = database.closure(generators)
         sizes.append(len(set(generators)))
         observed.append(len(closure))
-        theoretical.append(2 * automaton.component_count() * len(set(generators))
-                           + len(set(generators)))
+        theoretical.append(
+            2 * automaton.component_count() * len(set(generators)) + len(set(generators))
+        )
     return BlowupMeasurement(sizes, observed, theoretical)
 
 

@@ -62,9 +62,7 @@ class BruteForceSolver:
     def __init__(
         self,
         membership: Optional[Callable[[Structure], bool]] = None,
-        database_source: Optional[
-            Callable[[Schema, int], Iterable[Structure]]
-        ] = None,
+        database_source: Optional[Callable[[Schema, int], Iterable[Structure]]] = None,
     ) -> None:
         self._membership = membership
         self._database_source = database_source or (
@@ -137,6 +135,4 @@ def brute_force_emptiness(
     max_steps: Optional[int] = None,
 ) -> BruteForceResult:
     """One-shot convenience wrapper around :class:`BruteForceSolver`."""
-    return BruteForceSolver(membership=membership).check(
-        system, max_size, max_steps=max_steps
-    )
+    return BruteForceSolver(membership=membership).check(system, max_size, max_steps=max_steps)

@@ -20,9 +20,7 @@ from repro.logic.schema import Schema
 from repro.logic.structures import Element, Structure
 
 
-def all_tuple_sets(
-    elements: Sequence[Element], arity: int
-) -> Iterator[frozenset]:
+def all_tuple_sets(elements: Sequence[Element], arity: int) -> Iterator[frozenset]:
     """All subsets of the full tuple space ``elements^arity``."""
     tuples = list(itertools.product(elements, repeat=arity))
     for size in range(len(tuples) + 1):
@@ -41,8 +39,7 @@ def all_databases_of_size(schema: Schema, size: int) -> Iterator[Structure]:
     elements = list(range(size))
     relation_names = list(schema.relation_names)
     spaces = [
-        list(all_tuple_sets(elements, schema.relation(name).arity))
-        for name in relation_names
+        list(all_tuple_sets(elements, schema.relation(name).arity)) for name in relation_names
     ]
     for combination in itertools.product(*spaces):
         relations = dict(zip(relation_names, combination))
@@ -77,9 +74,7 @@ def random_database(
     for name in schema.relation_names:
         arity = schema.relation(name).arity
         chosen = {
-            t
-            for t in itertools.product(elements, repeat=arity)
-            if rng.random() < tuple_probability
+            t for t in itertools.product(elements, repeat=arity) if rng.random() < tuple_probability
         }
         relations[name] = chosen
     return Structure(schema, elements, relations=relations, validate=False)
@@ -94,9 +89,7 @@ def random_databases(
 ) -> List[Structure]:
     """A reproducible batch of random databases."""
     rng = random.Random(seed)
-    return [
-        random_database(schema, size, tuple_probability, rng) for _ in range(count)
-    ]
+    return [random_database(schema, size, tuple_probability, rng) for _ in range(count)]
 
 
 def random_colored_graph(
@@ -111,9 +104,7 @@ def random_colored_graph(
     rng = rng or random.Random()
     elements = list(range(size))
     edges = {
-        (a, b)
-        for a, b in itertools.product(elements, repeat=2)
-        if rng.random() < edge_probability
+        (a, b) for a, b in itertools.product(elements, repeat=2) if rng.random() < edge_probability
     }
     red = {(e,) for e in elements if rng.random() < red_probability}
     return Structure(

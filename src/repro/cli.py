@@ -8,6 +8,8 @@ A thin operational front door to the library:
   systems over a chosen theory and search strategy, printing statistics;
 * ``repro batch`` -- generate seeded random workloads and run them through
   the batch verification service (parallel workers, persistent store);
+* ``repro serve`` -- run the async HTTP front door: job specs in, verdicts
+  out, with store-first serving and in-flight fingerprint dedup;
 * ``repro store`` -- inspect, export or clear a result store;
 * ``repro bench`` -- shortcut to the unified benchmark runner (equivalent to
   ``python benchmarks/run_all.py`` when running from a checkout);
@@ -33,6 +35,7 @@ from repro import (
     clique_template,
     odd_red_cycle_free_template,
 )
+from repro.errors import StoreError
 from repro.fraisse.search import STRATEGY_NAMES
 from repro.library import (
     odd_red_cycle_system,
@@ -196,9 +199,7 @@ def _command_batch(args: argparse.Namespace) -> int:
     store = ResultStore(args.store) if args.store else None
     try:
         try:
-            runner = BatchRunner(
-                store=store, workers=args.workers, timeout_seconds=args.timeout
-            )
+            runner = BatchRunner(store=store, workers=args.workers, timeout_seconds=args.timeout)
         except ValueError as error:
             print(str(error), file=sys.stderr)
             return 2
@@ -211,10 +212,7 @@ def _command_batch(args: argparse.Namespace) -> int:
             print(json.dumps(payload, indent=2))
         else:
             counts = report.verdict_counts()
-            print(
-                f"batch: {len(jobs)} jobs, {args.workers} worker(s), "
-                f"seed {args.seed}"
-            )
+            print(f"batch: {len(jobs)} jobs, {args.workers} worker(s), " f"seed {args.seed}")
             print(
                 f"  verdicts: {counts['nonempty']} nonempty, "
                 f"{counts['empty']} empty, {counts['error']} errors"
@@ -224,9 +222,7 @@ def _command_batch(args: argparse.Namespace) -> int:
                     else ""
                 )
             )
-            print(
-                f"  cache hits: {report.cache_hits}, executed: {report.executed}"
-            )
+            print(f"  cache hits: {report.cache_hits}, executed: {report.executed}")
             print(f"  elapsed: {report.elapsed_seconds:.3f}s")
             if args.store:
                 print(f"  store: {args.store} ({len(store)} results)")
@@ -238,20 +234,53 @@ def _command_batch(args: argparse.Namespace) -> int:
             store.close()
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_server
+    from repro.service.store import ResultStore
+
+    if args.workers < 1:
+        print("workers must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        if args.store:
+            store = ResultStore(args.store, ttl_seconds=args.ttl, max_entries=args.max_entries)
+        else:
+            # No path given: verdicts are still cached and deduplicated for the
+            # lifetime of the server, just not across restarts.
+            store = ResultStore.in_memory(ttl_seconds=args.ttl, max_entries=args.max_entries)
+    except (ValueError, StoreError) as error:  # bad --ttl/--max-entries/store file
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        return run_server(
+            store=store,
+            workers=args.workers,
+            timeout_seconds=args.timeout,
+            host=args.host,
+            port=args.port,
+            port_file=args.port_file,
+        )
+    finally:
+        store.close()
+
+
 def _command_store(args: argparse.Namespace) -> int:
     if not Path(args.db).is_file():
         # Opening a missing path would create an empty database -- for every
         # action that is a typo, not an intent.
         print(f"no result store at {args.db}", file=sys.stderr)
         return 2
-    with ResultStore(args.db) as store:
+    try:
+        store_handle = ResultStore(args.db)
+    except StoreError as error:  # e.g. written by a newer schema version
+        print(str(error), file=sys.stderr)
+        return 2
+    with store_handle as store:
         if args.action == "stats":
             export = store.export()
             nonempty = sum(1 for e in export["results"] if e["nonempty"])
             definitive_empty = sum(
-                1
-                for e in export["results"]
-                if not e["nonempty"] and e["exhausted"]
+                1 for e in export["results"] if not e["nonempty"] and e["exhausted"]
             )
             inconclusive = export["count"] - nonempty - definitive_empty
             print(f"store {args.db}: {export['count']} results")
@@ -311,12 +340,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--count", type=int, default=50, help="number of jobs to generate (default: 50)"
     )
-    batch.add_argument(
-        "--seed", type=int, default=0, help="workload generator seed (default: 0)"
-    )
-    batch.add_argument(
-        "--workers", type=int, default=1, help="worker processes (default: 1)"
-    )
+    batch.add_argument("--seed", type=int, default=0, help="workload generator seed (default: 0)")
+    batch.add_argument("--workers", type=int, default=1, help="worker processes (default: 1)")
     batch.add_argument(
         "--families",
         default=None,
@@ -342,27 +367,60 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", action="store_true", help="full report as JSON")
     batch.set_defaults(handler=_command_batch)
 
+    serve = subparsers.add_parser("serve", help="run the async HTTP verification service")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port; 0 lets the OS pick a free one (default: 8080)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file once listening",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="engine worker processes (default: 1)"
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        help="path of the SQLite result store (default: in-memory cache)",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="verdict time-to-live in seconds (default: no expiry)",
+    )
+    serve.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="store entry cap; oldest verdicts are evicted beyond it",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds (Unix, workers > 1 only)",
+    )
+    serve.set_defaults(handler=_command_serve)
+
     store = subparsers.add_parser("store", help="inspect or manage a result store")
-    store.add_argument(
-        "action", choices=["stats", "export", "clear"], help="what to do"
-    )
+    store.add_argument("action", choices=["stats", "export", "clear"], help="what to do")
     store.add_argument("--db", required=True, help="path of the SQLite result store")
-    store.add_argument(
-        "--output", default=None, help="file for `export` (default: stdout)"
-    )
+    store.add_argument("--output", default=None, help="file for `export` (default: stdout)")
     store.set_defaults(handler=_command_store)
 
     bench = subparsers.add_parser("bench", help="run the unified benchmark runner")
     bench.add_argument("--smoke", action="store_true", help="CI-sized benchmark run")
-    bench.add_argument(
-        "--skip-suite", action="store_true", help="skip the pytest-benchmark phase"
-    )
+    bench.add_argument("--skip-suite", action="store_true", help="skip the pytest-benchmark phase")
     bench.add_argument(
         "--skip-engine", action="store_true", help="skip the engine comparison phase"
     )
-    bench.add_argument(
-        "--skip-service", action="store_true", help="skip the batch service phase"
-    )
+    bench.add_argument("--skip-service", action="store_true", help="skip the batch service phase")
     bench.add_argument(
         "--skip-stress", action="store_true", help="skip the adversarial stress phase"
     )

@@ -49,9 +49,7 @@ class HomogeneousStructure(ABC):
         relation name, so the spec is just those two fields.
         """
         if not self.SPEC_KIND:
-            raise NotImplementedError(
-                f"{type(self).__name__} does not support spec serialization"
-            )
+            raise NotImplementedError(f"{type(self).__name__} does not support spec serialization")
         return {"kind": self.SPEC_KIND, "relation_name": self.relation_name}
 
     @property
@@ -68,9 +66,7 @@ class HomogeneousStructure(ABC):
         """Truth of a relation on concrete value tokens."""
 
     @abstractmethod
-    def fresh_value_choices(
-        self, existing: Sequence[object], injective: bool
-    ) -> Iterator[object]:
+    def fresh_value_choices(self, existing: Sequence[object], injective: bool) -> Iterator[object]:
         """Candidate values for a new element, up to isomorphism over ``existing``.
 
         With ``injective=True`` (the ⊙ product) only values distinct from all
@@ -163,9 +159,7 @@ class NaturalsWithEquality(HomogeneousStructure):
         left, right = values
         return left == right
 
-    def fresh_value_choices(
-        self, existing: Sequence[object], injective: bool
-    ) -> Iterator[object]:
+    def fresh_value_choices(self, existing: Sequence[object], injective: bool) -> Iterator[object]:
         if not injective:
             seen = []
             for value in existing:
@@ -209,9 +203,7 @@ class RationalsWithOrder(HomogeneousStructure):
         left, right = values
         return Fraction(left) < Fraction(right)
 
-    def fresh_value_choices(
-        self, existing: Sequence[object], injective: bool
-    ) -> Iterator[object]:
+    def fresh_value_choices(self, existing: Sequence[object], injective: bool) -> Iterator[object]:
         distinct = sorted({Fraction(v) for v in existing})
         if not injective:
             for value in distinct:

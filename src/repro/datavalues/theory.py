@@ -122,9 +122,7 @@ class DataValuedTheory(DatabaseTheory):
 
     # -- seeds ----------------------------------------------------------------------
 
-    def initial_configurations(
-        self, system: DatabaseDrivenSystem
-    ) -> Iterator[TheoryConfiguration]:
+    def initial_configurations(self, system: DatabaseDrivenSystem) -> Iterator[TheoryConfiguration]:
         base_system = self._base_system(system)
         for base_config in self._base.initial_configurations(base_system):
             elements = self._ordered_elements(base_config, base_config.fresh_elements)
@@ -152,9 +150,7 @@ class DataValuedTheory(DatabaseTheory):
 
     def database(self, config: TheoryConfiguration) -> Structure:
         witness: _DataWitness = config.witness
-        return self._database_cache.get_or_compute(
-            witness, lambda: self._render_database(witness)
-        )
+        return self._database_cache.get_or_compute(witness, lambda: self._render_database(witness))
 
     def _render_database(self, witness: _DataWitness) -> Structure:
         base_database = self._base.database(witness.base_config)
@@ -173,9 +169,7 @@ class DataValuedTheory(DatabaseTheory):
             base_database.schema.union(self._values.schema), relations=relations
         )
 
-    def finalize(
-        self, config: TheoryConfiguration
-    ) -> Tuple[Structure, Dict[Element, Element]]:
+    def finalize(self, config: TheoryConfiguration) -> Tuple[Structure, Dict[Element, Element]]:
         witness: _DataWitness = config.witness
         base_database, mapping = self._base.finalize(witness.base_config)
         values = witness.values
@@ -196,9 +190,7 @@ class DataValuedTheory(DatabaseTheory):
         for name in self._values.schema.relation_names:
             arity = self._values.schema.relation(name).arity
             facts = set()
-            for t in itertools.product(
-                sorted_key_list(base_database.domain), repeat=arity
-            ):
+            for t in itertools.product(sorted_key_list(base_database.domain), repeat=arity):
                 if self._values.holds(name, *[final_values[e] for e in t]):
                     facts.add(t)
             relations[name] = facts
@@ -279,9 +271,7 @@ class DataValuedTheory(DatabaseTheory):
         self, base_config: TheoryConfiguration, values: Dict[Element, object]
     ) -> TheoryConfiguration:
         witness = _DataWitness(base_config, tuple(sorted(values.items(), key=repr)))
-        return TheoryConfiguration(
-            witness, base_config.valuation_items, base_config.fresh_elements
-        )
+        return TheoryConfiguration(witness, base_config.valuation_items, base_config.fresh_elements)
 
 
 def with_data_values(

@@ -46,3 +46,7 @@ class SolverError(ReproError):
 
 class AutomatonError(ReproError):
     """A word or tree automaton definition is inconsistent."""
+
+
+class StoreError(ReproError):
+    """A result-store backend is misconfigured or its schema is unusable."""

@@ -176,8 +176,7 @@ def union_of_consistent(left: Structure, right: Structure) -> Structure:
         if left_common != right_common:
             raise TheoryError(f"structures are inconsistent on relation {name!r}")
     relations = {
-        name: set(left.relation(name)) | set(right.relation(name))
-        for name in schema.relation_names
+        name: set(left.relation(name)) | set(right.relation(name)) for name in schema.relation_names
     }
     return Structure(schema, left.domain | right.domain, relations=relations)
 
@@ -220,9 +219,7 @@ def enumerate_quotient_solutions(
                 continue
             quotient = _quotient(amalgam, mapping)
             embed_left = dict(free.left_embedding)
-            embed_right = {
-                k: mapping.get(v, v) for k, v in free.right_embedding.items()
-            }
+            embed_right = {k: mapping.get(v, v) for k, v in free.right_embedding.items()}
             candidate = AmalgamationSolution(
                 quotient,
                 tuple(sorted(embed_left.items(), key=repr)),
@@ -267,9 +264,7 @@ def find_amalgamation_solution(
             missing = []
             for name in schema.relation_names:
                 arity = schema.relation(name).arity
-                for t in itertools.product(
-                    sorted_key_list(base.amalgam.domain), repeat=arity
-                ):
+                for t in itertools.product(sorted_key_list(base.amalgam.domain), repeat=arity):
                     if t not in base.amalgam.relation(name):
                         missing.append((name, t))
             for count in range(1, extra_tuple_budget + 1):

@@ -166,9 +166,7 @@ class EmptinessSolver:
 
     # -- abstraction-key memo --------------------------------------------------
 
-    def _abstraction_key(
-        self, config: TheoryConfiguration, stats: SearchStatistics
-    ) -> Hashable:
+    def _abstraction_key(self, config: TheoryConfiguration, stats: SearchStatistics) -> Hashable:
         """The theory's canonical key for ``config``, memoised per configuration.
 
         Configurations are immutable value objects, so the canonical form of
@@ -228,9 +226,7 @@ class EmptinessSolver:
                 if system.is_accepting(state):
                     goal = node
                     break
-                frontier.push(
-                    node, abstraction_key_score(key) if needs_scores else 0
-                )
+                frontier.push(node, abstraction_key_score(key) if needs_scores else 0)
                 stats.max_frontier_size = max(stats.max_frontier_size, len(frontier))
             if goal is not None:
                 break
@@ -242,19 +238,28 @@ class EmptinessSolver:
             if stats.configurations_explored > self._max_configurations:
                 stats.elapsed_seconds = time.perf_counter() - start_time
                 self._snapshot_plan_statistics(plan_set, stats)
-                return EmptinessResult(
-                    nonempty=False, exhausted=False, statistics=stats
-                )
+                return EmptinessResult(nonempty=False, exhausted=False, statistics=stats)
             for transition in system.transitions_from(node.state):
                 if plan_set is not None:
                     goal = self._drive_plan(
-                        system, node, transition, plan_set, frontier,
-                        needs_scores, visited, stats,
+                        system,
+                        node,
+                        transition,
+                        plan_set,
+                        frontier,
+                        needs_scores,
+                        visited,
+                        stats,
                     )
                 else:
                     goal = self._drive_legacy(
-                        system, node, transition, frontier,
-                        needs_scores, visited, stats,
+                        system,
+                        node,
+                        transition,
+                        frontier,
+                        needs_scores,
+                        visited,
+                        stats,
                     )
                 if goal is not None:
                     break
@@ -323,8 +328,15 @@ class EmptinessSolver:
                     stats.guard_rejections += 1
                     continue
             goal = self._admit_candidate(
-                system, node, transition, candidate, database,
-                frontier, needs_scores, visited, stats,
+                system,
+                node,
+                transition,
+                candidate,
+                database,
+                frontier,
+                needs_scores,
+                visited,
+                stats,
             )
             if goal is not None:
                 return goal
@@ -341,9 +353,7 @@ class EmptinessSolver:
         stats: SearchStatistics,
     ) -> Optional[_SearchNode]:
         """Legacy path (caches disabled): materialize and evaluate raw guards."""
-        for candidate in self._theory.successor_configurations(
-            system, node.config, transition
-        ):
+        for candidate in self._theory.successor_configurations(system, node.config, transition):
             stats.candidates_generated += 1
             database = self._theory.database(candidate)
             stats.guard_evaluations += 1
@@ -357,8 +367,15 @@ class EmptinessSolver:
                 stats.guard_rejections += 1
                 continue
             goal = self._admit_candidate(
-                system, node, transition, candidate, database,
-                frontier, needs_scores, visited, stats,
+                system,
+                node,
+                transition,
+                candidate,
+                database,
+                frontier,
+                needs_scores,
+                visited,
+                stats,
             )
             if goal is not None:
                 return goal
@@ -392,8 +409,7 @@ class EmptinessSolver:
         stats.configurations_enqueued += 1
         stats.largest_witness_size = max(
             stats.largest_witness_size,
-            database.size if database is not None
-            else self._theory.witness_size(candidate),
+            database.size if database is not None else self._theory.witness_size(candidate),
         )
         successor = _SearchNode(
             transition.target,
@@ -405,23 +421,17 @@ class EmptinessSolver:
         if system.is_accepting(transition.target):
             frontier.clear()
             return successor
-        frontier.push(
-            successor, abstraction_key_score(key) if needs_scores else 0
-        )
+        frontier.push(successor, abstraction_key_score(key) if needs_scores else 0)
         stats.max_frontier_size = max(stats.max_frontier_size, len(frontier))
         return None
 
     @staticmethod
-    def _snapshot_plan_statistics(
-        plan_set: Optional[PlanSet], stats: SearchStatistics
-    ) -> None:
+    def _snapshot_plan_statistics(plan_set: Optional[PlanSet], stats: SearchStatistics) -> None:
         if plan_set is None:
             return
         for plan in plan_set:
             plan_stats = plan.stats
-            stats.plan_rejected_pre_materialization += (
-                plan_stats.rejected_pre_materialization
-            )
+            stats.plan_rejected_pre_materialization += plan_stats.rejected_pre_materialization
             stats.plan_compiled_guard_hits += plan_stats.compiled_guard_hits
             stats.plan_fallback_evaluations += plan_stats.fallback_evaluations
             stats.plan_enumeration_pruned += plan_stats.enumeration_pruned
@@ -456,9 +466,7 @@ class EmptinessSolver:
             for n in chain
         ]
         transitions_taken = [n.transition for n in chain[1:] if n.transition is not None]
-        return Run(
-            database=final_database, steps=steps, transitions_taken=transitions_taken
-        )
+        return Run(database=final_database, steps=steps, transitions_taken=transitions_taken)
 
 
 def decide_emptiness(

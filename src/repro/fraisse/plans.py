@@ -164,9 +164,7 @@ class _AtomCompiler:
             ):
                 self.decisive = False
                 return unknown_node
-            compiled_args = [
-                _compile_term(a, self.function_symbols) for a in formula.args
-            ]
+            compiled_args = [_compile_term(a, self.function_symbols) for a in formula.args]
             if any(c is None for c in compiled_args):
                 self.decisive = False
                 return unknown_node
@@ -199,9 +197,7 @@ def _selectivity_rank(formula: Formula) -> int:
     if isinstance(formula, RelationAtom):
         return 4 + len(formula.args)
     if isinstance(formula, (And, Or)):
-        return max(
-            (_selectivity_rank(operand) for operand in formula.operands), default=0
-        )
+        return max((_selectivity_rank(operand) for operand in formula.operands), default=0)
     return 100
 
 
@@ -371,9 +367,7 @@ class TransitionPlan:
 
     __slots__ = ("transition", "compiled", "stats")
 
-    def __init__(
-        self, transition: Transition, compiled: Optional[CompiledGuard]
-    ) -> None:
+    def __init__(self, transition: Transition, compiled: Optional[CompiledGuard]) -> None:
         self.transition = transition
         self.compiled = compiled
         self.stats = PlanStatistics()
@@ -386,7 +380,7 @@ class TransitionPlan:
         mode = (
             "uncompiled"
             if self.compiled is None
-            else ("decisive" if self.compiled.decisive else "partial")
+            else "decisive" if self.compiled.decisive else "partial"
         )
         return f"{self.transition} [{mode}]"
 
@@ -404,9 +398,7 @@ class PlanSet:
         for transition in system.transitions:
             if transition in self._plans:
                 continue
-            compiled = compiled_guard_for(
-                cache_key, transition.guard, schema, function_symbols
-            )
+            compiled = compiled_guard_for(cache_key, transition.guard, schema, function_symbols)
             self._plans[transition] = TransitionPlan(transition, compiled)
 
     def plan_for(self, transition: Transition) -> TransitionPlan:

@@ -52,9 +52,7 @@ def red_path_system(length: int, schema: Schema = COLORED_GRAPH_SCHEMA) -> Datab
     states = ["start"] + [f"step_{i}" for i in range(length + 1)]
     transitions = [("start", "x_old = x_new & red(x_new)", "step_0")]
     for i in range(length):
-        transitions.append(
-            (f"step_{i}", "E(x_old, x_new) & red(x_new)", f"step_{i + 1}")
-        )
+        transitions.append((f"step_{i}", "E(x_old, x_new) & red(x_new)", f"step_{i + 1}"))
     return DatabaseDrivenSystem.build(
         schema=schema,
         registers=["x"],
@@ -79,10 +77,7 @@ def self_loop_required_system(schema: Schema = GRAPH_SCHEMA) -> DatabaseDrivenSy
         states=["a", "b", "c"],
         initial="a",
         accepting="c",
-        transitions=[
-            ("a", "x_old = x_new", "b"),
-            ("b", "x_old = x_new & E(x_old, x_new)", "c"),
-        ],
+        transitions=[("a", "x_old = x_new", "b"), ("b", "x_old = x_new & E(x_old, x_new)", "c")],
     )
 
 
@@ -128,8 +123,9 @@ def clique_system(size: int, schema: Schema = GRAPH_SCHEMA) -> DatabaseDrivenSys
         for j in range(i):
             edge_checks.append(f"E(v{j}_new, v{i}_new)")
             edge_checks.append(f"E(v{i}_new, v{j}_new)")
-        guard = " & ".join([keep_all.replace(f"v{i}_old = v{i}_new", f"v{i}_new = v{i}_new")]
-                           + edge_checks)
+        guard = " & ".join(
+            [keep_all.replace(f"v{i}_old = v{i}_new", f"v{i}_new = v{i}_new")] + edge_checks
+        )
         transitions.append((f"have_{i}", guard, f"have_{i + 1}"))
     transitions.append((f"have_{size}", keep_all, "done"))
     return DatabaseDrivenSystem.build(

@@ -159,9 +159,7 @@ class Equality(Formula):
     right: Term
 
     def evaluate(self, structure: Structure, valuation: Mapping[str, Element]) -> bool:
-        return self.left.evaluate(structure, valuation) == self.right.evaluate(
-            structure, valuation
-        )
+        return self.left.evaluate(structure, valuation) == self.right.evaluate(structure, valuation)
 
     def free_variables(self) -> FrozenSet[str]:
         return self.left.variables() | self.right.variables()
@@ -295,9 +293,7 @@ class Exists(Formula):
         names = list(self.variables_bound)
         domain = sorted_key_list(structure.domain)
         if self.distinct:
-            candidates: Iterator[Tuple[Element, ...]] = itertools.permutations(
-                domain, len(names)
-            )
+            candidates: Iterator[Tuple[Element, ...]] = itertools.permutations(domain, len(names))
         else:
             candidates = itertools.product(domain, repeat=len(names))
         for values in candidates:
@@ -312,9 +308,7 @@ class Exists(Formula):
 
     def substitute(self, substitution: Mapping[str, Term]) -> Formula:
         filtered = {
-            name: term
-            for name, term in substitution.items()
-            if name not in self.variables_bound
+            name: term for name, term in substitution.items() if name not in self.variables_bound
         }
         clashing = set()
         for term in filtered.values():

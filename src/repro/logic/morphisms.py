@@ -45,9 +45,7 @@ def is_homomorphism(
     return True
 
 
-def is_embedding(
-    mapping: Mapping[Element, Element], source: Structure, target: Structure
-) -> bool:
+def is_embedding(mapping: Mapping[Element, Element], source: Structure, target: Structure) -> bool:
     """Check that ``mapping`` is an embedding (injective, reflects relations)."""
     if not is_homomorphism(mapping, source, target):
         return False
@@ -176,9 +174,7 @@ def find_embeddings(
     target_profiles = _relation_profiles(target)
     for mapping in find_homomorphisms(source, target, partial=partial, injective=True):
         # Quick necessary condition before the full (quadratic) reflection check.
-        if any(
-            source_profiles[e] > target_profiles[mapping[e]] for e in source.domain
-        ):
+        if any(source_profiles[e] > target_profiles[mapping[e]] for e in source.domain):
             continue
         if is_embedding(mapping, source, target):
             yield mapping

@@ -106,9 +106,7 @@ class _Parser:
     def parse(self) -> Formula:
         formula = self._or_expr()
         if not self._at_end():
-            raise ParseError(
-                f"unexpected trailing token {self._peek()!r} in {self._text!r}"
-            )
+            raise ParseError(f"unexpected trailing token {self._peek()!r} in {self._text!r}")
         return formula
 
     def _or_expr(self) -> Formula:

@@ -83,9 +83,7 @@ class Schema:
             rels[name] = RelationSymbol(name, arity)
         for name, arity in dict(functions).items():
             if name in rels:
-                raise SchemaError(
-                    f"symbol {name!r} declared both as a relation and a function"
-                )
+                raise SchemaError(f"symbol {name!r} declared both as a relation and a function")
             funcs[name] = FunctionSymbol(name, arity)
         self._relations: Dict[str, RelationSymbol] = rels
         self._functions: Dict[str, FunctionSymbol] = funcs
@@ -166,12 +164,8 @@ class Schema:
         service to fingerprint and ship jobs between processes.
         """
         return {
-            "relations": {
-                name: self._relations[name].arity for name in self._relation_names
-            },
-            "functions": {
-                name: self._functions[name].arity for name in self._function_names
-            },
+            "relations": {name: self._relations[name].arity for name in self._relation_names},
+            "functions": {name: self._functions[name].arity for name in self._function_names},
         }
 
     @classmethod
@@ -241,10 +235,7 @@ class Schema:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Schema):
             return NotImplemented
-        return (
-            self._relations == other._relations
-            and self._functions == other._functions
-        )
+        return self._relations == other._relations and self._functions == other._functions
 
     def __hash__(self) -> int:
         return self._hash

@@ -102,9 +102,7 @@ class Structure:
             arity = self._schema.relation(name).arity
             for t in tuples:
                 if len(t) != arity:
-                    raise StructureError(
-                        f"tuple {t!r} has wrong arity for relation {name!r}"
-                    )
+                    raise StructureError(f"tuple {t!r} has wrong arity for relation {name!r}")
                 for e in t:
                     if e not in self._domain:
                         raise StructureError(
@@ -197,8 +195,7 @@ class Structure:
                 (name, frozenset(tuples)) for name, tuples in sorted(self._relations.items())
             )
             fun_part = tuple(
-                (name, frozenset(table.items()))
-                for name, table in sorted(self._functions.items())
+                (name, frozenset(table.items())) for name, table in sorted(self._functions.items())
             )
             self._hash = hash((self._schema, self._domain, rel_part, fun_part))
         return self._hash
@@ -257,8 +254,7 @@ class Structure:
         """Rebuild a structure from :meth:`to_spec` output."""
         schema = Schema.from_spec(spec["schema"])
         relations = {
-            name: [tuple(t) for t in tuples]
-            for name, tuples in spec.get("relations", {}).items()
+            name: [tuple(t) for t in tuples] for name, tuples in spec.get("relations", {}).items()
         }
         functions = {
             name: {tuple(args): value for args, value in table}
@@ -333,9 +329,7 @@ class Structure:
             validate=False,
         )
 
-    def with_relation(
-        self, relation: str, tuples: Iterable[Sequence[Element]]
-    ) -> "Structure":
+    def with_relation(self, relation: str, tuples: Iterable[Sequence[Element]]) -> "Structure":
         """Replace the whole interpretation of one relation symbol."""
         rels = {n: set(t) for n, t in self._relations.items()}
         rels[relation] = {tuple(t) for t in tuples}
@@ -500,7 +494,10 @@ class Structure:
             for name, table in self._functions.items()
         }
         return Structure(
-            self._schema, new_domain, relations=relations, functions=functions,
+            self._schema,
+            new_domain,
+            relations=relations,
+            functions=functions,
             validate=False,
         )
 

@@ -47,9 +47,7 @@ class Var(Term):
         except KeyError:
             raise FormulaError(f"variable {self.name!r} is not assigned a value") from None
         if value not in structure.domain:
-            raise FormulaError(
-                f"variable {self.name!r} is valued outside the structure's domain"
-            )
+            raise FormulaError(f"variable {self.name!r} is valued outside the structure's domain")
         return value
 
     def variables(self) -> FrozenSet[str]:

@@ -28,11 +28,7 @@ def clique_template(n: int, with_loops: bool = False) -> Structure:
     if n < 1:
         raise TheoryError("a clique template needs at least one node")
     nodes = list(range(n))
-    edges = {
-        (a, b)
-        for a, b in itertools.product(nodes, repeat=2)
-        if a != b or with_loops
-    }
+    edges = {(a, b) for a, b in itertools.product(nodes, repeat=2) if a != b or with_loops}
     return Structure(GRAPH_SCHEMA, nodes, relations={"E": edges})
 
 
@@ -53,9 +49,12 @@ def odd_red_cycle_free_template() -> Structure:
     nodes = [white, red_a, red_b]
     edges = {
         (white, white),
-        (white, red_a), (red_a, white),
-        (white, red_b), (red_b, white),
-        (red_a, red_b), (red_b, red_a),
+        (white, red_a),
+        (red_a, white),
+        (white, red_b),
+        (red_b, white),
+        (red_a, red_b),
+        (red_b, red_a),
     }
     return Structure(
         COLORED_GRAPH_SCHEMA,

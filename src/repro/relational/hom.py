@@ -83,8 +83,7 @@ class HomTheory(RelationalTheory):
 
     def element_decorations(self) -> Sequence[Decoration]:
         return tuple(
-            ((self._color_names[element], (FRESH_SELF,)),)
-            for element in self._template_elements
+            ((self._color_names[element], (FRESH_SELF,)),) for element in self._template_elements
         )
 
     def tuple_allowed(
@@ -157,16 +156,12 @@ class HomTheory(RelationalTheory):
         homomorphism = find_homomorphism(database, self._template)
         if homomorphism is None:
             return None
-        relations = {
-            name: set(database.relation(name)) for name in self.schema.relation_names
-        }
+        relations = {name: set(database.relation(name)) for name in self.schema.relation_names}
         for name in self._color_names.values():
             relations[name] = set()
         for element, image in homomorphism.items():
             relations[self._color_names[image]].add((element,))
-        return Structure(
-            self._witness_schema, database.domain, relations=relations, validate=False
-        )
+        return Structure(self._witness_schema, database.domain, relations=relations, validate=False)
 
     def project(self, witness: Structure) -> Structure:
         """Forget the colour predicates (the sigma-projection of Lemma 6)."""

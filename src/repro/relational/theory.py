@@ -132,8 +132,10 @@ class RelationalTheory(DatabaseTheory):
         return ((),)
 
     def tuple_allowed(
-        self, witness_relations: Dict[str, Set[Tuple[Element, ...]]],
-        relation: str, elements: Tuple[Element, ...],
+        self,
+        witness_relations: Dict[str, Set[Tuple[Element, ...]]],
+        relation: str,
+        elements: Tuple[Element, ...],
     ) -> bool:
         """Whether a candidate tuple may be added (given current unary facts)."""
         return True
@@ -149,9 +151,7 @@ class RelationalTheory(DatabaseTheory):
         candidate tuple.  The default simply closes over
         :meth:`tuple_allowed`.
         """
-        return lambda relation, elements: self.tuple_allowed(
-            witness_relations, relation, elements
-        )
+        return lambda relation, elements: self.tuple_allowed(witness_relations, relation, elements)
 
     def membership(self, database: Structure) -> bool:
         """Membership of an arbitrary finite database in the (projected) class."""
@@ -159,9 +159,7 @@ class RelationalTheory(DatabaseTheory):
 
     # -- seeds -------------------------------------------------------------------
 
-    def initial_configurations(
-        self, system: DatabaseDrivenSystem
-    ) -> Iterator[TheoryConfiguration]:
+    def initial_configurations(self, system: DatabaseDrivenSystem) -> Iterator[TheoryConfiguration]:
         registers = list(system.registers)
         schema = self.witness_schema()
         for partition in set_partitions(registers):
@@ -170,9 +168,7 @@ class RelationalTheory(DatabaseTheory):
             for element, block in zip(elements, partition):
                 for register in block:
                     valuation[register] = element
-            decoration_choices = itertools.product(
-                self.element_decorations(), repeat=len(elements)
-            )
+            decoration_choices = itertools.product(self.element_decorations(), repeat=len(elements))
             for decorations in decoration_choices:
                 decoration_facts: Dict[str, Set[Tuple[Element, ...]]] = {
                     name: set() for name in schema.relation_names
@@ -185,9 +181,7 @@ class RelationalTheory(DatabaseTheory):
                 candidate_tuples = self._all_tuples(elements, elements)
                 allowed = self.tuple_filter(decoration_facts)
                 for chosen in self._tuple_subsets(candidate_tuples, allowed):
-                    relations = {
-                        name: set(facts) for name, facts in decoration_facts.items()
-                    }
+                    relations = {name: set(facts) for name, facts in decoration_facts.items()}
                     for relation, t in chosen:
                         relations[relation].add(t)
                     witness = intern_structure(
@@ -316,9 +310,7 @@ class RelationalTheory(DatabaseTheory):
             if not fresh_elements:
                 context.fact = fact_fixed
                 status = evaluator(context)
-                yield CandidateDelta(
-                    tuple(sorted(valuation_new.items())), (), (), status, None
-                )
+                yield CandidateDelta(tuple(sorted(valuation_new.items())), (), (), status, None)
                 continue
             fresh_membership.clear()
             fresh_membership.update(fresh_elements)
@@ -399,10 +391,7 @@ class RelationalTheory(DatabaseTheory):
             for element, decoration in zip(fresh_elements, decorations):
                 for relation, args in decoration:
                     decoration_pairs.append(
-                        (
-                            relation,
-                            tuple(element if a is FRESH_SELF else a for a in args),
-                        )
+                        (relation, tuple(element if a is FRESH_SELF else a for a in args)),
                     )
             # Unary facts for the admissibility filter: witness relations by
             # reference, decorated relations merged copy-on-write.
@@ -414,9 +403,7 @@ class RelationalTheory(DatabaseTheory):
                 for relation, facts in overlay.items():
                     unary_facts[relation] = set(relation_of[relation]) | facts
             allowed = self.tuple_filter(unary_facts)
-            for chosen_relevant in self._tuple_subsets(
-                relevant_future + mixed_tuples, allowed
-            ):
+            for chosen_relevant in self._tuple_subsets(relevant_future + mixed_tuples, allowed):
                 added_facts.clear()
                 added_facts.update(decoration_pairs)
                 added_facts.update(chosen_relevant)
@@ -425,9 +412,7 @@ class RelationalTheory(DatabaseTheory):
                     stats.enumeration_pruned += 1
                     continue
                 base_new = tuple(decoration_pairs) + chosen_relevant
-                for chosen_irrelevant in self._tuple_subsets(
-                    irrelevant_future, allowed
-                ):
+                for chosen_irrelevant in self._tuple_subsets(irrelevant_future, allowed):
                     yield CandidateDelta(
                         valuation_items,
                         fresh_tuple,
@@ -461,9 +446,7 @@ class RelationalTheory(DatabaseTheory):
             relations=relations,
             validate=False,
         )
-        return TheoryConfiguration(
-            extended, delta.valuation_items, delta.fresh_elements
-        )
+        return TheoryConfiguration(extended, delta.valuation_items, delta.fresh_elements)
 
     # -- internal helpers -------------------------------------------------------
 
@@ -494,8 +477,7 @@ class RelationalTheory(DatabaseTheory):
         # Tuples entirely among the new register values that involve a fresh
         # element: enumerated exhaustively (they may matter to later guards).
         future_tuples = [
-            (relation, t)
-            for relation, t in self._all_tuples(new_values, fresh_elements)
+            (relation, t) for relation, t in self._all_tuples(new_values, fresh_elements)
         ]
         # Tuples connecting a fresh element with an old-only element: only the
         # ones the current guard mentions can matter.
@@ -525,9 +507,7 @@ class RelationalTheory(DatabaseTheory):
             }
             for name in schema.relation_names
         }
-        base_relations = {
-            name: set(witness.relation(name)) for name in schema.relation_names
-        }
+        base_relations = {name: set(witness.relation(name)) for name in schema.relation_names}
         guard_atom_set = set(guard_tuples)
         relevant_future = [ft for ft in future_tuples if ft in guard_atom_set]
         irrelevant_future = [ft for ft in future_tuples if ft not in guard_atom_set]
@@ -548,9 +528,7 @@ class RelationalTheory(DatabaseTheory):
                 for name in schema.relation_names
             }
             allowed = self.tuple_filter(unary_facts)
-            for chosen_relevant in self._tuple_subsets(
-                relevant_future + mixed_tuples, allowed
-            ):
+            for chosen_relevant in self._tuple_subsets(relevant_future + mixed_tuples, allowed):
                 if not self._guard_holds_small_structure(
                     schema,
                     small_domain,
@@ -566,13 +544,8 @@ class RelationalTheory(DatabaseTheory):
                 }
                 for relation, t in chosen_relevant:
                     relevant_added[relation].add(t)
-                for chosen_irrelevant in self._tuple_subsets(
-                    irrelevant_future, allowed
-                ):
-                    added = {
-                        name: set(relevant_added[name])
-                        for name in schema.relation_names
-                    }
+                for chosen_irrelevant in self._tuple_subsets(irrelevant_future, allowed):
+                    added = {name: set(relevant_added[name]) for name in schema.relation_names}
                     for relation, t in chosen_irrelevant:
                         added[relation].add(t)
                     extended = Structure(
@@ -584,9 +557,7 @@ class RelationalTheory(DatabaseTheory):
                         },
                         validate=False,
                     )
-                    yield TheoryConfiguration.make(
-                        extended, valuation_new, tuple(fresh_elements)
-                    )
+                    yield TheoryConfiguration.make(extended, valuation_new, tuple(fresh_elements))
 
     def _guard_holds_small_structure(
         self,
@@ -606,8 +577,7 @@ class RelationalTheory(DatabaseTheory):
         authoritative evaluation on the full (expanded) database.
         """
         relations = {
-            name: base_small[name] | decoration_facts[name]
-            for name in schema.relation_names
+            name: base_small[name] | decoration_facts[name] for name in schema.relation_names
         }
         for relation, t in chosen_relevant:
             relations[relation].add(t)
@@ -622,9 +592,7 @@ class RelationalTheory(DatabaseTheory):
         candidates: List[Tuple[str, Tuple[Element, ...]]],
         allowed_fn: Callable[[str, Tuple[Element, ...]], bool],
     ) -> Iterator[Tuple[Tuple[str, Tuple[Element, ...]], ...]]:
-        allowed = [
-            (relation, t) for relation, t in candidates if allowed_fn(relation, t)
-        ]
+        allowed = [(relation, t) for relation, t in candidates if allowed_fn(relation, t)]
         for size in range(len(allowed) + 1):
             yield from itertools.combinations(allowed, size)
 

@@ -14,9 +14,14 @@ layer:
   serial-equivalence guarantees.
 
 Random workloads to drive it live in :mod:`repro.workloads`; the CLI front
-door is ``repro batch`` / ``repro store``.
+doors are ``repro batch`` / ``repro store`` for one-shot runs and ``repro
+serve`` -- the async HTTP service of :mod:`repro.service.server`, with
+store-first serving and in-flight fingerprint dedup -- for always-on
+deployments.  Persistence is pluggable through the
+:class:`~repro.service.backends.StoreBackend` keyspace protocol.
 """
 
+from repro.service.backends import MemoryBackend, SQLiteBackend, StoreBackend
 from repro.service.jobs import (
     DEFAULT_JOB_MAX_CONFIGURATIONS,
     JobResult,
@@ -24,10 +29,17 @@ from repro.service.jobs import (
     execute_job,
 )
 from repro.service.runner import BatchReport, BatchRunner, FingerprintMismatch, run_batch
+from repro.service.server import ServerThread, VerificationService, run_server
 from repro.service.specs import THEORY_KINDS, theory_from_spec, theory_to_spec
 from repro.service.store import ResultStore
 
 __all__ = [
+    "StoreBackend",
+    "SQLiteBackend",
+    "MemoryBackend",
+    "VerificationService",
+    "ServerThread",
+    "run_server",
     "VerificationJob",
     "JobResult",
     "execute_job",

@@ -1,0 +1,328 @@
+"""Pluggable keyspace backends for the fingerprinted result store.
+
+:class:`~repro.service.store.ResultStore` used to talk to SQLite directly;
+this module puts a :class:`StoreBackend` protocol between the store and its
+persistence so many deployments can share one verdict cache:
+
+* :class:`SQLiteBackend` -- the durable single-host default (what PR 2's
+  monolithic store was);
+* :class:`MemoryBackend` -- process-local, zero-setup; what tests and the
+  HTTP server's default configuration use.
+
+The protocol is deliberately *keyspace-shaped*: string keys mapped to flat
+dictionaries of JSON-able primitives, plus ``oldest_keys``/``expired_keys``
+scans for eviction.  A future Redis or HTTP backend maps onto it directly
+(``GET``/``SET``/``DEL`` of a serialized row, a sorted set on ``created_at``
+for the scans) without the store layer changing.
+
+TTL and eviction *policy* live in :class:`ResultStore`; backends only supply
+the mechanisms (timestamp scans and deletes).  Schema versioning is a
+backend concern: :class:`SQLiteBackend` records its schema version in
+SQLite's ``user_version`` pragma and upgrades older ``results`` tables in
+place through ordered migration hooks (see :data:`SQLITE_MIGRATIONS`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Protocol, Union
+
+from repro.errors import StoreError
+
+#: Column order of a result row; every backend stores exactly these fields.
+ROW_FIELDS = (
+    "fingerprint",
+    "created_at",
+    "label",
+    "nonempty",
+    "exhausted",
+    "elapsed_seconds",
+    "witness_size",
+    "run_length",
+    "statistics",
+    "job_spec",
+)
+
+
+class StoreBackend(Protocol):
+    """Keyspace contract the result store programs against.
+
+    Rows are flat mappings of JSON-able primitives (``statistics`` and
+    ``job_spec`` arrive pre-serialized as JSON strings), so a backend never
+    needs to understand the verdict domain -- it moves opaque rows keyed by
+    fingerprint, which is what makes a remote keyspace implementation
+    straightforward.
+    """
+
+    #: Human-readable backend tag, surfaced by ``ResultStore.export``.
+    name: str
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored row for ``key``, or None."""
+        ...
+
+    def put(self, key: str, row: Mapping[str, Any]) -> None:
+        """Insert or replace the row for ``key``."""
+        ...
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; True when a row was actually deleted."""
+        ...
+
+    def keys(self) -> List[str]:
+        """All keys, sorted."""
+        ...
+
+    def count(self) -> int:
+        """Number of stored rows."""
+        ...
+
+    def clear(self) -> int:
+        """Delete everything; returns the number of rows removed."""
+        ...
+
+    def oldest_keys(self, limit: int) -> List[str]:
+        """Up to ``limit`` keys, oldest ``created_at`` first (for eviction)."""
+        ...
+
+    def expired_keys(self, cutoff: float) -> List[str]:
+        """Keys whose ``created_at`` is strictly below ``cutoff`` (for TTL)."""
+        ...
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Every row, ordered by key (for export)."""
+        ...
+
+    def close(self) -> None:
+        """Release any underlying resources."""
+        ...
+
+
+class MemoryBackend:
+    """An in-process dictionary keyspace; thread-safe, nothing persisted."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._rows: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.RLock()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._rows.get(key)
+            return dict(row) if row is not None else None
+
+    def put(self, key: str, row: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._rows[key] = dict(row)
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._rows.pop(key, None) is not None
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._rows)
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    def clear(self) -> int:
+        with self._lock:
+            removed = len(self._rows)
+            self._rows.clear()
+            return removed
+
+    def oldest_keys(self, limit: int) -> List[str]:
+        with self._lock:
+            # Eviction asks for a handful of keys out of a large keyspace:
+            # a bounded heap beats sorting everything on every store write.
+            return heapq.nsmallest(
+                limit, self._rows, key=lambda k: (self._rows[k]["created_at"], k)
+            )
+
+    def expired_keys(self, cutoff: float) -> List[str]:
+        with self._lock:
+            return sorted(k for k, row in self._rows.items() if row["created_at"] < cutoff)
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        with self._lock:
+            snapshot = [dict(self._rows[key]) for key in sorted(self._rows)]
+        yield from snapshot
+
+    def close(self) -> None:
+        pass
+
+
+#: Current on-disk schema version of :class:`SQLiteBackend`.
+SQLITE_SCHEMA_VERSION = 2
+
+_SQLITE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT PRIMARY KEY,
+    created_at REAL NOT NULL,
+    label TEXT NOT NULL DEFAULT '',
+    nonempty INTEGER NOT NULL,
+    exhausted INTEGER NOT NULL,
+    elapsed_seconds REAL NOT NULL,
+    witness_size INTEGER,
+    run_length INTEGER,
+    statistics TEXT NOT NULL,
+    job_spec TEXT NOT NULL
+)
+"""
+
+
+def _migrate_v2(connection: sqlite3.Connection) -> None:
+    """v1 -> v2: index ``created_at`` so TTL/eviction scans stay O(log n)."""
+    connection.execute("CREATE INDEX IF NOT EXISTS idx_results_created_at ON results (created_at)")
+
+
+#: Ordered migration hooks: target version -> migration applying the step
+#: from the previous version.  Extend (never edit) when the schema evolves.
+SQLITE_MIGRATIONS = {2: _migrate_v2}
+
+
+class SQLiteBackend:
+    """The durable single-host keyspace: one SQLite file (or ``:memory:``).
+
+    The schema version is tracked in ``PRAGMA user_version``.  Databases
+    written before versioning existed (PR 2's stores carry ``user_version
+    0`` with a ``results`` table) are treated as version 1 and migrated
+    forward in place; a database from a *newer* code line raises
+    :class:`~repro.errors.StoreError` rather than guessing.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self._path = str(path)
+        # The HTTP server calls into the store from the event-loop thread
+        # while tests drive it from the main thread; a single lock around a
+        # single connection keeps SQLite happy without WAL ceremony.
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(self._path, check_same_thread=False)
+        self._migrate()
+
+    @property
+    def name(self) -> str:
+        return f"sqlite:{self._path}"
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def schema_version(self) -> int:
+        with self._lock:
+            (version,) = self._connection.execute("PRAGMA user_version").fetchone()
+            return version
+
+    def _migrate(self) -> None:
+        with self._lock:
+            (version,) = self._connection.execute("PRAGMA user_version").fetchone()
+            if version == 0:
+                has_results = self._connection.execute(
+                    "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = 'results'"
+                ).fetchone()
+                if has_results is None:
+                    # Fresh database: create the current schema outright.
+                    self._connection.execute(_SQLITE_SCHEMA)
+                    for target in sorted(SQLITE_MIGRATIONS):
+                        SQLITE_MIGRATIONS[target](self._connection)
+                    version = SQLITE_SCHEMA_VERSION
+                else:
+                    version = 1  # pre-versioning store from PR 2
+            if version > SQLITE_SCHEMA_VERSION:
+                raise StoreError(
+                    f"store at {self._path} has schema version {version}, newer than "
+                    f"this build's {SQLITE_SCHEMA_VERSION}; refusing to touch it"
+                )
+            for target in sorted(SQLITE_MIGRATIONS):
+                if target > version:
+                    SQLITE_MIGRATIONS[target](self._connection)
+            self._connection.execute(f"PRAGMA user_version = {SQLITE_SCHEMA_VERSION}")
+            self._connection.commit()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT {', '.join(ROW_FIELDS)} FROM results WHERE fingerprint = ?",
+                (key,),
+            ).fetchone()
+        return dict(zip(ROW_FIELDS, row)) if row is not None else None
+
+    def put(self, key: str, row: Mapping[str, Any]) -> None:
+        values = tuple(row[field] for field in ROW_FIELDS)
+        with self._lock:
+            self._connection.execute(
+                f"INSERT OR REPLACE INTO results ({', '.join(ROW_FIELDS)}) "
+                f"VALUES ({', '.join('?' * len(ROW_FIELDS))})",
+                values,
+            )
+            self._connection.commit()
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            cursor = self._connection.execute(
+                "DELETE FROM results WHERE fingerprint = ?",
+                (key,),
+            )
+            self._connection.commit()
+            return cursor.rowcount > 0
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return [
+                fingerprint
+                for (fingerprint,) in self._connection.execute(
+                    "SELECT fingerprint FROM results ORDER BY fingerprint"
+                )
+            ]
+
+    def count(self) -> int:
+        with self._lock:
+            (count,) = self._connection.execute("SELECT COUNT(*) FROM results").fetchone()
+            return count
+
+    def clear(self) -> int:
+        with self._lock:
+            removed = self.count()
+            self._connection.execute("DELETE FROM results")
+            self._connection.commit()
+            return removed
+
+    def oldest_keys(self, limit: int) -> List[str]:
+        with self._lock:
+            return [
+                fingerprint
+                for (fingerprint,) in self._connection.execute(
+                    "SELECT fingerprint FROM results ORDER BY created_at, fingerprint LIMIT ?",
+                    (limit,),
+                )
+            ]
+
+    def expired_keys(self, cutoff: float) -> List[str]:
+        with self._lock:
+            return [
+                fingerprint
+                for (fingerprint,) in self._connection.execute(
+                    "SELECT fingerprint FROM results WHERE created_at < ? "
+                    "ORDER BY fingerprint",
+                    (cutoff,),
+                )
+            ]
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        with self._lock:
+            fetched = self._connection.execute(
+                f"SELECT {', '.join(ROW_FIELDS)} FROM results ORDER BY fingerprint"
+            ).fetchall()
+        for row in fetched:
+            yield dict(zip(ROW_FIELDS, row))
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()

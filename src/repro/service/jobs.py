@@ -58,9 +58,7 @@ class VerificationJob:
             system=DatabaseDrivenSystem.from_spec(spec["system"]),
             theory=theory_from_spec(spec["theory"]),
             strategy=spec.get("strategy", "bfs"),
-            max_configurations=spec.get(
-                "max_configurations", DEFAULT_JOB_MAX_CONFIGURATIONS
-            ),
+            max_configurations=spec.get("max_configurations", DEFAULT_JOB_MAX_CONFIGURATIONS),
             label=spec.get("label", ""),
         )
 
@@ -85,9 +83,7 @@ class VerificationJob:
         """SHA-256 over :meth:`canonical_json`; stable across processes."""
         cached = self.__dict__.get("_fingerprint")
         if cached is None:
-            cached = hashlib.sha256(
-                self.canonical_json().encode("utf-8")
-            ).hexdigest()
+            cached = hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
             object.__setattr__(self, "_fingerprint", cached)
         return cached
 
@@ -135,9 +131,7 @@ class JobTimeout(Exception):
     """Raised inside a worker when a job exceeds its wall-clock budget."""
 
 
-def execute_job(
-    job: VerificationJob, timeout_seconds: Optional[float] = None
-) -> JobResult:
+def execute_job(job: VerificationJob, timeout_seconds: Optional[float] = None) -> JobResult:
     """Run one job to completion, capturing errors and (on Unix) timeouts.
 
     The timeout uses ``SIGALRM`` and therefore only fires when executing on

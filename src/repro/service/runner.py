@@ -25,7 +25,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.fraisse.plans import prime_plans
 from repro.service.jobs import JobResult, VerificationJob, execute_job
@@ -42,6 +42,14 @@ def _execute_payload(payload: Tuple[Dict[str, Any], Optional[float]]) -> JobResu
     # evaluators instead of recompiling per job.
     prime_plans(job.system, job.theory)
     return execute_job(job, timeout_seconds=timeout_seconds)
+
+
+def _execute_indexed_payload(
+    payload: Tuple[int, Dict[str, Any], Optional[float]],
+) -> Tuple[int, JobResult]:
+    """Index-carrying worker entry point for unordered completion streams."""
+    index, spec, timeout_seconds = payload
+    return index, _execute_payload((spec, timeout_seconds))
 
 
 @dataclass
@@ -139,9 +147,7 @@ class BatchRunner:
 
         pending: List[Tuple[int, VerificationJob]] = []
         for index, job in enumerate(jobs):
-            cached = (
-                self._store.get(job.fingerprint) if self._store is not None else None
-            )
+            cached = self._store.get(job.fingerprint) if self._store is not None else None
             if cached is not None:
                 cached.label = cached.label or job.label
                 results[index] = cached
@@ -150,15 +156,9 @@ class BatchRunner:
                 pending.append((index, job))
 
         if pending:
-            fresh = self._execute(pending)
-            for (index, job), result in zip(pending, fresh):
-                if result.fingerprint != job.fingerprint:
-                    raise FingerprintMismatch(
-                        f"job {job.label or index}: parent fingerprint "
-                        f"{job.fingerprint[:12]} != worker fingerprint "
-                        f"{result.fingerprint[:12]}; spec serialization is "
-                        "not canonical"
-                    )
+            pending_jobs = [job for _, job in pending]
+            for local_index, result in self.execute_indexed(pending_jobs):
+                index, job = pending[local_index]
                 results[index] = result
                 report.executed += 1
                 if self._store is not None and result.ok:
@@ -170,18 +170,43 @@ class BatchRunner:
 
     # -- execution ---------------------------------------------------------------
 
-    def _execute(
-        self, pending: Sequence[Tuple[int, VerificationJob]]
-    ) -> List[JobResult]:
-        payloads = [
-            (job.to_spec(), self._timeout_seconds) for _, job in pending
-        ]
-        if self._workers == 1 or len(pending) == 1:
-            return [_execute_payload(payload) for payload in payloads]
+    def execute_indexed(self, jobs: Sequence[VerificationJob]) -> Iterator[Tuple[int, JobResult]]:
+        """Execute ``jobs`` (no store involvement), yielding as each completes.
+
+        Yields ``(index, result)`` pairs in completion order -- input order
+        for one worker, nondeterministic for a parallel pool -- so callers
+        like the HTTP server can stream per-job progress while the rest of
+        the batch is still running.  Every result's fingerprint is verified
+        against its job before it is yielded (see :class:`FingerprintMismatch`).
+
+        A single job only stays in the calling thread when no timeout is
+        set: the SIGALRM budget needs a worker process's main thread, and
+        callers like the HTTP server invoke this off the main thread where
+        the alarm would be silently skipped.
+        """
+        if self._workers == 1 or len(jobs) == 1 and self._timeout_seconds is None:
+            for index, job in enumerate(jobs):
+                payload = (job.to_spec(), self._timeout_seconds)
+                yield index, self._verified(job, index, _execute_payload(payload))
+            return
+        payloads = [(index, job.to_spec(), self._timeout_seconds) for index, job in enumerate(jobs)]
         context = multiprocessing.get_context()
-        processes = min(self._workers, len(pending))
+        processes = min(self._workers, len(jobs))
         with context.Pool(processes=processes) as pool:
-            return list(pool.map(_execute_payload, payloads, chunksize=1))
+            for index, result in pool.imap_unordered(
+                _execute_indexed_payload, payloads, chunksize=1
+            ):
+                yield index, self._verified(jobs[index], index, result)
+
+    def _verified(self, job: VerificationJob, index: int, result: JobResult) -> JobResult:
+        if result.fingerprint != job.fingerprint:
+            raise FingerprintMismatch(
+                f"job {job.label or index}: parent fingerprint "
+                f"{job.fingerprint[:12]} != worker fingerprint "
+                f"{result.fingerprint[:12]}; spec serialization is "
+                "not canonical"
+            )
+        return result
 
 
 def run_batch(
@@ -191,6 +216,4 @@ def run_batch(
     timeout_seconds: Optional[float] = None,
 ) -> BatchReport:
     """One-shot convenience wrapper around :class:`BatchRunner`."""
-    return BatchRunner(
-        store=store, workers=workers, timeout_seconds=timeout_seconds
-    ).run(jobs)
+    return BatchRunner(store=store, workers=workers, timeout_seconds=timeout_seconds).run(jobs)

@@ -1,0 +1,791 @@
+"""The async HTTP front door: ``repro serve``.
+
+An ``asyncio`` HTTP/1.1 service (stdlib only, matching the repository's
+zero-dependency rule) that turns the batch verification service into an
+always-on endpoint.  Three properties make it safe to put in front of heavy
+duplicate-rich traffic:
+
+* **Store-first.**  Every job is looked up in the
+  :class:`~repro.service.store.ResultStore` before any work is scheduled;
+  cached verdicts are served without touching a worker.
+* **In-flight fingerprint dedup.**  Identical jobs submitted concurrently
+  share one engine execution: the first submission registers an
+  ``asyncio.Future`` per fingerprint, later submissions await that future
+  instead of executing.  Combined with the store this guarantees each
+  fingerprint runs the engine at most once per server lifetime (TTL expiry
+  aside), no matter how many clients ask.
+* **Non-blocking execution.**  Fresh jobs run through the existing
+  :class:`~repro.service.runner.BatchRunner` worker pool, bridged off the
+  event loop with ``run_in_executor``; per-job completions are marshalled
+  back with ``call_soon_threadsafe``, so batch progress streams while the
+  pool is still working.
+
+Wire format -- the canonical JSON job specs of :mod:`repro.service.jobs`:
+
+* ``POST /jobs`` with a single spec object decides one job and returns its
+  result; with ``{"jobs": [spec, ...]}`` it runs a batch (``"wait": false``
+  returns ``202`` immediately with a batch id).  A spec may carry an
+  optional client-computed ``"fingerprint"``, which the server verifies
+  against its own canonical fingerprint (``409`` on mismatch).
+* ``GET /jobs/{fingerprint}`` serves a stored verdict (``404`` if absent).
+* ``GET /batch/{id}`` reports batch status; ``GET /batch/{id}/events``
+  streams batch progress as NDJSON, replaying past events then following
+  live until the batch completes.
+* ``GET /healthz`` and ``GET /stats`` are for probes and dashboards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from http import HTTPStatus
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.service.jobs import JobResult, VerificationJob
+from repro.service.runner import BatchReport, BatchRunner
+from repro.service.store import ResultStore
+
+#: Reject request bodies beyond this size (a light DoS guard; generated
+#: batch specs run a few KB per job).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Completed batch records kept for /batch/{id} lookups before eviction.
+MAX_BATCH_RECORDS = 128
+
+#: Budget for reading one request's header block and body; connections
+#: that dribble or stall (slowloris) are dropped when it elapses.
+READ_TIMEOUT_SECONDS = 30.0
+
+
+class ApiError(Exception):
+    """An HTTP-mappable request failure (status, machine code, message)."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters surfaced by ``GET /stats``."""
+
+    jobs_received: int = 0
+    executed: int = 0
+    store_hits: int = 0
+    inflight_joins: int = 0
+    batch_dedup: int = 0
+    batches: int = 0
+    rejected: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class BatchRecord:
+    """Progress state of one submitted batch: events, waiters, final report."""
+
+    def __init__(self, batch_id: str, size: int) -> None:
+        self.batch_id = batch_id
+        self.size = size
+        self.created_at = time.time()
+        self.completed = False
+        self.report: Optional[Dict[str, Any]] = None
+        self.events: List[Dict[str, Any]] = []
+        self._waiters: List[asyncio.Future] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append({"ts": round(time.time(), 3), "batch_id": self.batch_id, **event})
+        self._wake()
+
+    def finish(self, report: Dict[str, Any]) -> None:
+        self.report = report
+        self.completed = True
+        self.emit(
+            {
+                "event": "batch_done",
+                **{
+                    key: report[key]
+                    for key in (
+                        "jobs",
+                        "executed",
+                        "store_hits",
+                        "inflight_joins",
+                        "batch_dedup",
+                        "elapsed_seconds",
+                        "verdict_counts",
+                    )
+                },
+            }
+        )
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def wait_change(self) -> None:
+        """Block until the next event (or completion) lands."""
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        await waiter
+
+    async def wait_completed(self) -> None:
+        while not self.completed:
+            await self.wait_change()
+
+
+class VerificationService:
+    """The service core: dedup, store, executor bridge, HTTP handling.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`ResultStore` serving cached verdicts; written to
+        only from the event-loop thread (the single-writer discipline the
+        store's SQLite backend expects).
+    workers:
+        Worker processes of the backing :class:`BatchRunner` pool.
+    timeout_seconds:
+        Per-job wall-clock budget, enforced inside pool workers (Unix only,
+        and only when ``workers > 1`` -- single-worker execution runs on an
+        executor thread where ``SIGALRM`` cannot fire).
+    execute_delay:
+        Artificial pre-execution delay in seconds.  A test/benchmark aid:
+        it widens the in-flight window so concurrent duplicate submissions
+        demonstrably share one execution.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        timeout_seconds: Optional[float] = None,
+        execute_delay: float = 0.0,
+    ) -> None:
+        self._store = store
+        self._workers = workers
+        self._runner = BatchRunner(workers=workers, timeout_seconds=timeout_seconds)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, workers), thread_name_prefix="repro-serve"
+        )
+        self._execute_delay = execute_delay
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._batches: "OrderedDict[str, BatchRecord]" = OrderedDict()
+        self._batch_tasks: set = set()
+        self.stats = ServiceStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- job parsing -------------------------------------------------------------
+
+    def parse_job(self, payload: Any, index: Optional[int] = None) -> VerificationJob:
+        """Build a job from one wire spec, verifying any client fingerprint."""
+        where = f"jobs[{index}]" if index is not None else "job"
+        if not isinstance(payload, Mapping):
+            raise ApiError(400, "invalid-spec", f"{where}: spec must be a JSON object")
+        spec = dict(payload)
+        claimed = spec.pop("fingerprint", None)
+        try:
+            job = VerificationJob.from_spec(spec)
+            fingerprint = job.fingerprint
+        except ReproError as exc:
+            raise ApiError(400, "invalid-spec", f"{where}: {exc}") from exc
+        except Exception as exc:  # malformed shapes: missing keys, wrong types
+            raise ApiError(400, "invalid-spec", f"{where}: {type(exc).__name__}: {exc}") from exc
+        if claimed is not None and claimed != fingerprint:
+            raise ApiError(
+                409,
+                "fingerprint-mismatch",
+                f"{where}: client fingerprint {str(claimed)[:12]} does not match "
+                f"the server's canonical fingerprint {fingerprint[:12]}; the "
+                "client's spec serialization is not canonical",
+            )
+        return job
+
+    # -- resolution core ---------------------------------------------------------
+
+    async def resolve_jobs(
+        self, jobs: List[VerificationJob], record: Optional[BatchRecord] = None
+    ) -> Tuple[List[Tuple[JobResult, str]], Dict[str, int]]:
+        """Decide every job via store / in-flight join / fresh execution.
+
+        Returns results aligned with ``jobs`` as ``(result, served_from)``
+        pairs, ``served_from`` being ``"store"``, ``"inflight"``,
+        ``"batch-dedup"`` or ``"engine"``, plus the request-level counters.
+        """
+        loop = asyncio.get_running_loop()
+        counters = {
+            "executed": 0,
+            "store_hits": 0,
+            "inflight_joins": 0,
+            "batch_dedup": 0,
+        }
+        slots: List[Optional[Tuple[JobResult, str]]] = [None] * len(jobs)
+        joins: List[Tuple[int, asyncio.Future, str]] = []
+        fresh: List[Tuple[int, VerificationJob, asyncio.Future]] = []
+        fresh_fingerprints: Dict[str, int] = {}
+        self.stats.jobs_received += len(jobs)
+
+        def job_done(index: int, result: JobResult, served_from: str) -> None:
+            slots[index] = (result, served_from)
+            if record is not None:
+                record.emit(
+                    {
+                        "event": "job_done",
+                        "index": index,
+                        "fingerprint": result.fingerprint,
+                        "label": result.label,
+                        "served_from": served_from,
+                        "ok": result.ok,
+                        "nonempty": result.nonempty,
+                    }
+                )
+
+        for index, job in enumerate(jobs):
+            fingerprint = job.fingerprint
+            cached = self._store.get(fingerprint) if self._store is not None else None
+            if cached is not None:
+                cached.label = cached.label or job.label
+                counters["store_hits"] += 1
+                self.stats.store_hits += 1
+                job_done(index, cached, "store")
+                continue
+            existing = self._inflight.get(fingerprint)
+            if existing is not None:
+                if fingerprint in fresh_fingerprints:
+                    counters["batch_dedup"] += 1
+                    self.stats.batch_dedup += 1
+                    joins.append((index, existing, "batch-dedup"))
+                else:
+                    counters["inflight_joins"] += 1
+                    self.stats.inflight_joins += 1
+                    joins.append((index, existing, "inflight"))
+                continue
+            future = loop.create_future()
+            self._inflight[fingerprint] = future
+            fresh_fingerprints[fingerprint] = index
+            fresh.append((index, job, future))
+
+        if fresh:
+            fresh_jobs = [job for _, job, _ in fresh]
+
+            def settle(local_index: int, result: JobResult) -> None:
+                # Runs on the event-loop thread: the only store writer.  The
+                # future MUST resolve whatever happens here -- an unresolved
+                # in-flight future hangs this request and every later
+                # submission of the same fingerprint.
+                index, job, future = fresh[local_index]
+                try:
+                    if self._store is not None and result.ok:
+                        self._store.put(job, result)
+                except Exception as exc:  # noqa: BLE001 - cache write must not lose a verdict
+                    # The verdict is still valid; it just was not cached.
+                    print(
+                        f"repro serve: store write failed for "
+                        f"{job.fingerprint[:12]}: {type(exc).__name__}: {exc}",
+                        flush=True,
+                    )
+                counters["executed"] += 1
+                self.stats.executed += 1
+                self._inflight.pop(job.fingerprint, None)
+                if not future.done():
+                    future.set_result(result)
+                job_done(index, result, "engine")
+
+            def settle_failure(exc: BaseException) -> None:
+                for local_index, (index, job, future) in enumerate(fresh):
+                    if future.done():
+                        continue
+                    result = JobResult(
+                        fingerprint=job.fingerprint,
+                        label=job.label,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    self._inflight.pop(job.fingerprint, None)
+                    future.set_result(result)
+                    job_done(index, result, "engine")
+
+            def run_group() -> None:
+                # Runs on an executor thread; the loop never blocks on the
+                # engine.  Each completion is marshalled back to the loop.
+                if self._execute_delay:
+                    time.sleep(self._execute_delay)
+                try:
+                    for local_index, result in self._runner.execute_indexed(fresh_jobs):
+                        loop.call_soon_threadsafe(settle, local_index, result)
+                except BaseException as exc:  # noqa: BLE001 - becomes errored results
+                    loop.call_soon_threadsafe(settle_failure, exc)
+
+            await loop.run_in_executor(self._executor, run_group)
+            # The group thread has finished enqueueing settle callbacks;
+            # awaiting the futures drains whatever is still queued.
+            for _, _, future in fresh:
+                await future
+
+        for index, future, served_from in joins:
+            result: JobResult = await future
+            if jobs[index].label and jobs[index].label != result.label:
+                result = dataclasses.replace(result, label=jobs[index].label)
+            job_done(index, result, served_from)
+
+        assert all(slot is not None for slot in slots)
+        return [slot for slot in slots if slot is not None], counters
+
+    async def run_batch(self, record: BatchRecord, jobs: List[VerificationJob]) -> Dict[str, Any]:
+        """Resolve a batch, emitting progress events and the final report.
+
+        Never leaves the record incomplete: a failure finishes it with an
+        error report so status lookups and event streams always terminate.
+        """
+        try:
+            return await self._run_batch_inner(record, jobs)
+        except BaseException as exc:
+            if not record.completed:
+                record.finish(
+                    {
+                        "batch_id": record.batch_id,
+                        "jobs": record.size,
+                        "workers": self._workers,
+                        "executed": 0,
+                        "store_hits": 0,
+                        "inflight_joins": 0,
+                        "batch_dedup": 0,
+                        "elapsed_seconds": 0.0,
+                        "verdict_counts": {},
+                        "results": [],
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+            raise
+
+    async def _run_batch_inner(
+        self, record: BatchRecord, jobs: List[VerificationJob]
+    ) -> Dict[str, Any]:
+        start = time.perf_counter()
+        record.emit({"event": "batch_accepted", "jobs": len(jobs)})
+        resolved, counters = await self.resolve_jobs(jobs, record)
+        report = BatchReport(
+            results=[result for result, _ in resolved],
+            elapsed_seconds=time.perf_counter() - start,
+            workers=self._workers,
+            cache_hits=counters["store_hits"],
+            executed=counters["executed"],
+        )
+        payload = {
+            "batch_id": record.batch_id,
+            "jobs": len(jobs),
+            "workers": self._workers,
+            "executed": counters["executed"],
+            "store_hits": counters["store_hits"],
+            "inflight_joins": counters["inflight_joins"],
+            "batch_dedup": counters["batch_dedup"],
+            "elapsed_seconds": round(report.elapsed_seconds, 6),
+            "verdict_counts": report.verdict_counts(),
+            "results": [
+                {**result.as_dict(), "served_from": served_from}
+                for result, served_from in resolved
+            ],
+        }
+        record.finish(payload)
+        return payload
+
+    def new_batch(self, size: int) -> BatchRecord:
+        record = BatchRecord(uuid.uuid4().hex[:12], size)
+        self._batches[record.batch_id] = record
+        self.stats.batches += 1
+        while len(self._batches) > MAX_BATCH_RECORDS:
+            # Evict oldest *completed* records only: an in-flight batch's
+            # status/events URLs must stay valid until it finishes.
+            victim = next((bid for bid, rec in self._batches.items() if rec.completed), None)
+            if victim is None:
+                break
+            del self._batches[victim]
+        return record
+
+    # -- HTTP layer --------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8080) -> Tuple[str, int]:
+        """Bind and start serving; returns the (host, port) actually bound."""
+        self._server = await asyncio.start_server(self._handle_client, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() must be called first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(
+                self._read_request(reader, writer), timeout=READ_TIMEOUT_SECONDS
+            )
+            if request is not None:
+                await self._dispatch(request, writer)
+        except ApiError as error:
+            # 404/405 are routine probe answers (cache-miss lookups, evicted
+            # batches); "rejected" counts requests the server refused to parse.
+            if error.status not in (404, 405):
+                self.stats.rejected += 1
+            await self._send_json(
+                writer,
+                error.status,
+                {"error": error.code, "message": error.message},
+            )
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - a request must not kill the server
+            try:
+                await self._send_json(
+                    writer,
+                    500,
+                    {"error": "internal", "message": f"{type(exc).__name__}: {exc}"},
+                )
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ApiError(400, "bad-request", "malformed HTTP request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ApiError(400, "bad-request", f"bad Content-Length {raw_length!r}") from None
+        if length < 0:
+            raise ApiError(400, "bad-request", f"bad Content-Length {raw_length!r}")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, "payload-too-large", f"body exceeds {MAX_BODY_BYTES} bytes")
+        if headers.get("expect", "").lower() == "100-continue":
+            # curl sends this for bodies over ~1KB (every real batch spec)
+            # and waits up to a second for the interim response.
+            writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+            await writer.drain()
+        body = await reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        return method, path, query, headers, body
+
+    async def _dispatch(
+        self,
+        request: Tuple[str, str, str, Dict[str, str], bytes],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        method, path, _query, _headers, body = request
+        if path == "/healthz" and method == "GET":
+            from repro import __version__  # deferred: repro imports this package
+
+            await self._send_json(
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "workers": self._workers,
+                    "store": self._store.path if self._store is not None else None,
+                    "inflight": len(self._inflight),
+                },
+            )
+        elif path == "/stats" and method == "GET":
+            payload = {
+                **self.stats.as_dict(),
+                "inflight": len(self._inflight),
+                # Raw backend count: len(store) would run a TTL purge scan
+                # per poll, too heavy for a monitoring endpoint.
+                "store_size": self._store.backend.count() if self._store is not None else None,
+            }
+            await self._send_json(writer, 200, payload)
+        elif path == "/jobs" and method == "POST":
+            await self._handle_jobs(body, writer)
+        elif path.startswith("/jobs/") and method == "GET":
+            await self._handle_job_lookup(path[len("/jobs/") :], writer)
+        elif path.startswith("/batch/") and method == "GET":
+            rest = path[len("/batch/") :]
+            if rest.endswith("/events"):
+                await self._handle_batch_events(rest[: -len("/events")].rstrip("/"), writer)
+            else:
+                await self._handle_batch_status(rest, writer)
+        elif path in ("/jobs", "/stats", "/healthz") or path.startswith(("/jobs/", "/batch/")):
+            raise ApiError(405, "method-not-allowed", f"{method} not supported on {path}")
+        else:
+            raise ApiError(404, "not-found", f"unknown path {path}")
+
+    def _parse_body(self, body: bytes) -> Any:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, "invalid-json", f"request body is not valid JSON: {exc}") from exc
+
+    async def _handle_jobs(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        payload = self._parse_body(body)
+        if isinstance(payload, Mapping) and "jobs" in payload:
+            specs = payload["jobs"]
+            if not isinstance(specs, list) or not specs:
+                raise ApiError(400, "invalid-spec", '"jobs" must be a non-empty array')
+            wait = payload.get("wait", True)
+            if not isinstance(wait, bool):
+                raise ApiError(400, "invalid-spec", '"wait" must be a boolean')
+            jobs = [self.parse_job(spec, index) for index, spec in enumerate(specs)]
+            record = self.new_batch(len(jobs))
+            task = asyncio.get_running_loop().create_task(self.run_batch(record, jobs))
+            # Keep a strong reference (the loop only holds weak ones) and
+            # retrieve the exception of detached wait:false tasks.
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._reap_batch_task)
+            if wait:
+                await self._send_json(writer, 200, await task)
+            else:
+                await self._send_json(
+                    writer,
+                    202,
+                    {
+                        "batch_id": record.batch_id,
+                        "jobs": len(jobs),
+                        "status": "accepted",
+                        "status_url": f"/batch/{record.batch_id}",
+                        "events_url": f"/batch/{record.batch_id}/events",
+                    },
+                )
+        elif isinstance(payload, Mapping):
+            job = self.parse_job(payload)
+            resolved, _counters = await self.resolve_jobs([job])
+            result, served_from = resolved[0]
+            await self._send_json(
+                writer,
+                200,
+                {
+                    "served_from": served_from,
+                    "fingerprint": result.fingerprint,
+                    "result": result.as_dict(),
+                },
+            )
+        else:
+            raise ApiError(
+                400, "invalid-spec", 'body must be a job spec object or {"jobs": [...]}'
+            )
+
+    def _reap_batch_task(self, task: "asyncio.Task") -> None:
+        self._batch_tasks.discard(task)
+        if not task.cancelled() and task.exception() is not None:
+            # run_batch already finished the record with an error report;
+            # retrieving the exception here silences the GC-time warning.
+            exc = task.exception()
+            print(
+                f"repro serve: batch task failed: {type(exc).__name__}: {exc}",
+                flush=True,
+            )
+
+    async def _handle_job_lookup(self, fingerprint: str, writer: asyncio.StreamWriter) -> None:
+        cached = self._store.get(fingerprint) if self._store is not None else None
+        if cached is None:
+            raise ApiError(
+                404,
+                "not-found",
+                f"no stored verdict for fingerprint {fingerprint[:16]!r}"
+                + (" (currently in flight)" if fingerprint in self._inflight else ""),
+            )
+        await self._send_json(
+            writer,
+            200,
+            {"served_from": "store", "fingerprint": fingerprint, "result": cached.as_dict()},
+        )
+
+    def _get_record(self, batch_id: str) -> BatchRecord:
+        record = self._batches.get(batch_id)
+        if record is None:
+            raise ApiError(404, "not-found", f"unknown batch {batch_id!r}")
+        return record
+
+    async def _handle_batch_status(self, batch_id: str, writer: asyncio.StreamWriter) -> None:
+        record = self._get_record(batch_id)
+        payload: Dict[str, Any] = {
+            "batch_id": record.batch_id,
+            "jobs": record.size,
+            "completed": record.completed,
+            "events": len(record.events),
+        }
+        if record.report is not None:
+            payload["report"] = record.report
+        await self._send_json(writer, 200, payload)
+
+    async def _handle_batch_events(self, batch_id: str, writer: asyncio.StreamWriter) -> None:
+        """Stream a batch's progress as NDJSON: replay, then follow live."""
+        record = self._get_record(batch_id)
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        index = 0
+        while True:
+            while index < len(record.events):
+                line = json.dumps(record.events[index], sort_keys=True) + "\n"
+                writer.write(line.encode("utf-8"))
+                index += 1
+            await writer.drain()
+            # Re-check the cursor after drain(): events (including the
+            # final batch_done) may have landed while a slow client was
+            # being drained, and they must be flushed before closing.
+            if index < len(record.events):
+                continue
+            if record.completed:
+                break
+            await record.wait_change()
+
+    async def _send_json(self, writer: asyncio.StreamWriter, status: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {HTTPStatus(status).phrase}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+# -- entry points ----------------------------------------------------------------
+
+
+def run_server(
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    timeout_seconds: Optional[float] = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    port_file: Optional[Union[str, Path]] = None,
+    execute_delay: float = 0.0,
+) -> int:
+    """Run the service until interrupted (the ``repro serve`` entry point).
+
+    With ``port=0`` the OS picks a free port; the bound port is printed and,
+    when ``port_file`` is given, written there so scripts (the CI smoke job)
+    can discover it race-free.
+    """
+    service = VerificationService(
+        store=store,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        execute_delay=execute_delay,
+    )
+
+    async def _serve() -> None:
+        bound_host, bound_port = await service.start(host, port)
+        print(f"repro serve: listening on http://{bound_host}:{bound_port}", flush=True)
+        if port_file is not None:
+            Path(port_file).write_text(f"{bound_port}\n")
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", flush=True)
+    return 0
+
+
+class ServerThread:
+    """A server on a dedicated event-loop thread, for tests and embedding.
+
+    ``start()`` blocks until the port is bound; ``stop()`` shuts the loop
+    down and joins the thread.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        service: Optional[VerificationService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_kwargs: Any,
+    ) -> None:
+        self.service = service if service is not None else VerificationService(**service_kwargs)
+        self._host = host
+        self._port = port
+        self.address: Optional[Tuple[str, int]] = None
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, name="repro-serve-loop", daemon=True)
+
+    @property
+    def base_url(self) -> str:
+        assert self.address is not None, "server not started"
+        return f"http://{self.address[0]}:{self.address[1]}"
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self.address = self._loop.run_until_complete(self.service.start(self._host, self._port))
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.service.stop())
+            self._loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.address is None:
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -3,10 +3,20 @@
 Verdicts of the decision procedure are pure functions of the job fingerprint
 (see :mod:`repro.service.jobs`), so the store is a plain key-value table:
 ``fingerprint -> (verdict, engine statistics, witness summary, job spec)``.
-SQLite keeps it dependency-free and safe for the batch runner's access
-pattern (the parent process is the only writer; workers never touch the
-store).  ``export_json`` renders the whole table for offline analysis and
-the benchmark pipeline.
+Persistence is delegated to a pluggable :class:`StoreBackend`
+(:mod:`repro.service.backends`): SQLite for durable single-host stores, an
+in-memory keyspace for tests and the HTTP server's default configuration,
+and a protocol shaped so a Redis/HTTP keyspace slots in without touching
+this layer.  ``export_json`` renders the whole table for offline analysis
+and the benchmark pipeline.
+
+The store owns retention *policy* on top of the backend mechanisms:
+
+* **TTL** -- with ``ttl_seconds`` set, entries older than the budget are
+  treated as absent (and lazily deleted) on read; ``purge_expired`` sweeps
+  eagerly.
+* **Eviction** -- with ``max_entries`` set, writes evict the oldest entries
+  beyond the cap, so a long-running server's cache stays bounded.
 
 Errored and timed-out jobs are deliberately **not** stored: a missing entry
 means "never decided", so transient failures are retried on the next batch
@@ -16,69 +26,95 @@ instead of being cached forever.
 from __future__ import annotations
 
 import json
-import sqlite3
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
+from repro.service.backends import MemoryBackend, SQLiteBackend, StoreBackend
 from repro.service.jobs import JobResult, VerificationJob
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS results (
-    fingerprint TEXT PRIMARY KEY,
-    created_at REAL NOT NULL,
-    label TEXT NOT NULL DEFAULT '',
-    nonempty INTEGER NOT NULL,
-    exhausted INTEGER NOT NULL,
-    elapsed_seconds REAL NOT NULL,
-    witness_size INTEGER,
-    run_length INTEGER,
-    statistics TEXT NOT NULL,
-    job_spec TEXT NOT NULL
-)
-"""
 
 
 class ResultStore:
-    """A fingerprint-keyed verdict store backed by SQLite.
+    """A fingerprint-keyed verdict store over a pluggable backend.
 
     Parameters
     ----------
     path:
-        Database file; ``":memory:"`` (the default) keeps the store
-        process-local, which is what the tests and one-shot batches use.
+        Database file for the default SQLite backend; ``":memory:"`` (the
+        default) keeps the store process-local, which is what the tests and
+        one-shot batches use.  Ignored when ``backend`` is given.
+    backend:
+        Explicit :class:`StoreBackend`; overrides ``path``.
+    ttl_seconds:
+        Optional time-to-live; entries older than this read as missing.
+    max_entries:
+        Optional cap; writes evict oldest entries beyond it.
     """
 
-    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
-        self._path = str(path)
-        self._connection = sqlite3.connect(self._path)
-        self._connection.execute(_SCHEMA)
-        self._connection.commit()
+    def __init__(
+        self,
+        path: Union[str, Path] = ":memory:",
+        *,
+        backend: Optional[StoreBackend] = None,
+        ttl_seconds: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive when set")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 when set")
+        self._backend: StoreBackend = backend if backend is not None else SQLiteBackend(path)
+        self._ttl_seconds = ttl_seconds
+        self._max_entries = max_entries
+
+    @classmethod
+    def in_memory(
+        cls,
+        ttl_seconds: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> "ResultStore":
+        """A store over the dictionary backend (no SQLite, no persistence)."""
+        return cls(backend=MemoryBackend(), ttl_seconds=ttl_seconds, max_entries=max_entries)
 
     @property
     def path(self) -> str:
-        return self._path
+        """Backend location tag (the SQLite path, or the backend name)."""
+        return getattr(self._backend, "path", self._backend.name)
+
+    @property
+    def backend(self) -> StoreBackend:
+        return self._backend
+
+    @property
+    def ttl_seconds(self) -> Optional[float]:
+        return self._ttl_seconds
 
     # -- core operations ---------------------------------------------------------
 
+    def _fresh_row(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The backend row if present and unexpired; lazily deletes stale rows."""
+        row = self._backend.get(fingerprint)
+        if row is None:
+            return None
+        if self._ttl_seconds is not None and row["created_at"] < time.time() - self._ttl_seconds:
+            self._backend.delete(fingerprint)
+            return None
+        return row
+
     def get(self, fingerprint: str) -> Optional[JobResult]:
         """The stored result for a fingerprint, marked ``cached=True``."""
-        row = self._connection.execute(
-            "SELECT fingerprint, label, nonempty, exhausted, elapsed_seconds, "
-            "witness_size, run_length, statistics FROM results WHERE fingerprint = ?",
-            (fingerprint,),
-        ).fetchone()
+        row = self._fresh_row(fingerprint)
         if row is None:
             return None
         return JobResult(
-            fingerprint=row[0],
-            label=row[1],
-            nonempty=bool(row[2]),
-            exhausted=bool(row[3]),
-            elapsed_seconds=row[4],
-            witness_size=row[5],
-            run_length=row[6],
-            statistics=json.loads(row[7]),
+            fingerprint=row["fingerprint"],
+            label=row["label"],
+            nonempty=bool(row["nonempty"]),
+            exhausted=bool(row["exhausted"]),
+            elapsed_seconds=row["elapsed_seconds"],
+            witness_size=row["witness_size"],
+            run_length=row["run_length"],
+            statistics=json.loads(row["statistics"]),
             cached=True,
         )
 
@@ -86,76 +122,84 @@ class ResultStore:
         """Store a completed result (errored results are rejected)."""
         if not result.ok or result.nonempty is None:
             raise ValueError("only completed results belong in the store")
-        self._connection.execute(
-            "INSERT OR REPLACE INTO results "
-            "(fingerprint, created_at, label, nonempty, exhausted, elapsed_seconds, "
-            "witness_size, run_length, statistics, job_spec) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                result.fingerprint,
-                time.time(),
-                result.label,
-                int(result.nonempty),
-                int(result.exhausted),
-                result.elapsed_seconds,
-                result.witness_size,
-                result.run_length,
-                json.dumps(result.statistics, sort_keys=True),
-                job.canonical_json(),
-            ),
+        self._backend.put(
+            result.fingerprint,
+            {
+                "fingerprint": result.fingerprint,
+                "created_at": time.time(),
+                "label": result.label,
+                "nonempty": int(result.nonempty),
+                "exhausted": int(result.exhausted),
+                "elapsed_seconds": result.elapsed_seconds,
+                "witness_size": result.witness_size,
+                "run_length": result.run_length,
+                "statistics": json.dumps(result.statistics, sort_keys=True),
+                "job_spec": job.canonical_json(),
+            },
         )
-        self._connection.commit()
+        if self._max_entries is not None:
+            excess = self._backend.count() - self._max_entries
+            if excess > 0:
+                for key in self._backend.oldest_keys(excess):
+                    self._backend.delete(key)
+
+    def purge_expired(self) -> int:
+        """Eagerly delete every expired entry; returns the number removed."""
+        if self._ttl_seconds is None:
+            return 0
+        removed = 0
+        for key in self._backend.expired_keys(time.time() - self._ttl_seconds):
+            if self._backend.delete(key):
+                removed += 1
+        return removed
 
     def __contains__(self, fingerprint: object) -> bool:
         if not isinstance(fingerprint, str):
             return False
-        row = self._connection.execute(
-            "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
-        ).fetchone()
-        return row is not None
+        return self._fresh_row(fingerprint) is not None
 
     def __len__(self) -> int:
-        (count,) = self._connection.execute("SELECT COUNT(*) FROM results").fetchone()
-        return count
+        # Purge first so counts agree with get()/__contains__ semantics:
+        # an expired entry must never be reported as present anywhere.
+        self.purge_expired()
+        return self._backend.count()
 
     def fingerprints(self) -> Iterator[str]:
-        for (fingerprint,) in self._connection.execute(
-            "SELECT fingerprint FROM results ORDER BY fingerprint"
-        ):
-            yield fingerprint
+        self.purge_expired()
+        yield from self._backend.keys()
 
     def clear(self) -> int:
         """Delete every stored result; returns the number removed."""
-        removed = len(self)
-        self._connection.execute("DELETE FROM results")
-        self._connection.commit()
-        return removed
+        return self._backend.clear()
 
     # -- export -------------------------------------------------------------------
 
     def export(self) -> Dict[str, Any]:
         """A JSON-ready dump of the whole store (verdicts + specs)."""
+        self.purge_expired()
         entries = []
-        for row in self._connection.execute(
-            "SELECT fingerprint, created_at, label, nonempty, exhausted, "
-            "elapsed_seconds, witness_size, run_length, statistics, job_spec "
-            "FROM results ORDER BY fingerprint"
-        ):
+        for row in self._backend.rows():
             entries.append(
                 {
-                    "fingerprint": row[0],
-                    "created_at": row[1],
-                    "label": row[2],
-                    "nonempty": bool(row[3]),
-                    "exhausted": bool(row[4]),
-                    "elapsed_seconds": row[5],
-                    "witness_size": row[6],
-                    "run_length": row[7],
-                    "statistics": json.loads(row[8]),
-                    "job_spec": json.loads(row[9]),
+                    "fingerprint": row["fingerprint"],
+                    "created_at": row["created_at"],
+                    "label": row["label"],
+                    "nonempty": bool(row["nonempty"]),
+                    "exhausted": bool(row["exhausted"]),
+                    "elapsed_seconds": row["elapsed_seconds"],
+                    "witness_size": row["witness_size"],
+                    "run_length": row["run_length"],
+                    "statistics": json.loads(row["statistics"]),
+                    "job_spec": json.loads(row["job_spec"]),
                 }
             )
-        return {"schema_version": 1, "count": len(entries), "results": entries}
+        return {
+            "schema_version": 1,
+            "backend": self._backend.name,
+            "ttl_seconds": self._ttl_seconds,
+            "count": len(entries),
+            "results": entries,
+        }
 
     def export_json(self, path: Union[str, Path]) -> None:
         """Write :meth:`export` to a file."""
@@ -164,7 +208,7 @@ class ResultStore:
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
-        self._connection.close()
+        self._backend.close()
 
     def __enter__(self) -> "ResultStore":
         return self

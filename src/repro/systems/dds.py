@@ -218,9 +218,7 @@ class DatabaseDrivenSystem:
             raise SystemError_(f"initial states {sorted(unknown_initial)} are not states")
         unknown_accepting = self._accepting - set(self._states)
         if unknown_accepting:
-            raise SystemError_(
-                f"accepting states {sorted(unknown_accepting)} are not states"
-            )
+            raise SystemError_(f"accepting states {sorted(unknown_accepting)} are not states")
         if not self._initial:
             raise SystemError_("a system needs at least one initial state")
         allowed_variables = self.guard_variables()
@@ -299,9 +297,7 @@ class DatabaseDrivenSystem:
             combined[new(register)] = valuation_new[register]
         return guard.evaluate(database, combined)
 
-    def is_transition(
-        self, before: Configuration, after: Configuration
-    ) -> Optional[Transition]:
+    def is_transition(self, before: Configuration, after: Configuration) -> Optional[Transition]:
         """Return a witnessing transition rule if ``before -> after`` is a step."""
         if before.database != after.database:
             return None
@@ -325,9 +321,7 @@ class DatabaseDrivenSystem:
             if state not in self._states:
                 raise RunError(f"unknown state {state!r} in run")
             if set(valuation) != set(self._registers):
-                raise RunError(
-                    f"valuation {valuation!r} does not assign exactly the registers"
-                )
+                raise RunError(f"valuation {valuation!r} does not assign exactly the registers")
             for value in valuation.values():
                 if value not in run.database.domain:
                     raise RunError(f"register value {value!r} outside the database domain")
@@ -335,9 +329,7 @@ class DatabaseDrivenSystem:
             before = Configuration.make(run.database, *_step(run.steps[index]))
             after = Configuration.make(run.database, *_step(run.steps[index + 1]))
             if self.is_transition(before, after) is None:
-                raise RunError(
-                    f"no transition rule justifies step {index}: {before} -> {after}"
-                )
+                raise RunError(f"no transition rule justifies step {index}: {before} -> {after}")
         if require_accepting and run.final_state not in self._accepting:
             raise RunError(f"run ends in non-accepting state {run.final_state!r}")
 
@@ -365,9 +357,7 @@ class DatabaseDrivenSystem:
             "registers": list(self._registers),
             "initial": sorted(self._initial),
             "accepting": sorted(self._accepting),
-            "transitions": [
-                [t.source, str(t.guard), t.target] for t in self._transitions
-            ],
+            "transitions": [[t.source, str(t.guard), t.target] for t in self._transitions],
             "allow_existential_guards": self._allow_existential,
         }
 
@@ -381,9 +371,7 @@ class DatabaseDrivenSystem:
             initial=list(spec["initial"]),
             accepting=list(spec["accepting"]),
             transitions=[tuple(t) for t in spec["transitions"]],
-            allow_existential_guards=bool(
-                spec.get("allow_existential_guards", False)
-            ),
+            allow_existential_guards=bool(spec.get("allow_existential_guards", False)),
         )
 
     # -- misc -----------------------------------------------------------------

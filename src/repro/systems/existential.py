@@ -80,17 +80,13 @@ def _prenex(formula: Formula, counter: itertools.count) -> Tuple[List[str], Form
         inner_bound, inner_body = _prenex(renamed_body, counter)
         block = list(fresh_names.values())
         if formula.distinct:
-            inequalities = [
-                neq(Var(a), Var(b)) for a, b in itertools.combinations(block, 2)
-            ]
+            inequalities = [neq(Var(a), Var(b)) for a, b in itertools.combinations(block, 2)]
             inner_body = conj(inner_body, *inequalities)
         return block + inner_bound, inner_body
     raise SystemError_(f"unsupported formula shape for compilation: {formula!r}")
 
 
-def compile_guard(
-    guard: Formula, counter: itertools.count
-) -> Tuple[List[str], Formula]:
+def compile_guard(guard: Formula, counter: itertools.count) -> Tuple[List[str], Formula]:
     """Compile one guard; returns the auxiliary variables used and the new guard."""
     bound, body = _prenex(guard, counter)
     if not bound:

@@ -97,9 +97,7 @@ def find_accepting_run(
         state, valuation_items = node
         valuation_old = dict(valuation_items)
         for transition in system.transitions_from(state):
-            for valuation_new in successor_valuations(
-                system, database, valuation_old, transition
-            ):
+            for valuation_new in successor_valuations(system, database, valuation_old, transition):
                 successor = (transition.target, tuple(sorted(valuation_new.items())))
                 if successor in parents:
                     continue
@@ -145,9 +143,7 @@ def has_accepting_run(
     return find_accepting_run(system, database, max_steps=max_steps) is not None
 
 
-def count_reachable_configurations(
-    system: DatabaseDrivenSystem, database: Structure
-) -> int:
+def count_reachable_configurations(system: DatabaseDrivenSystem, database: Structure) -> int:
     """Number of reachable configurations (used by the analysis module)."""
     if not database.domain:
         return 0
@@ -163,9 +159,7 @@ def count_reachable_configurations(
         state, valuation_items = queue.popleft()
         valuation_old = dict(valuation_items)
         for transition in system.transitions_from(state):
-            for valuation_new in successor_valuations(
-                system, database, valuation_old, transition
-            ):
+            for valuation_new in successor_valuations(system, database, valuation_old, transition):
                 successor = (transition.target, tuple(sorted(valuation_new.items())))
                 if successor not in visited:
                     visited.add(successor)

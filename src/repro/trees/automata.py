@@ -149,14 +149,9 @@ class TreeAutomaton:
                 result = candidates & self.leaf_states
             else:
                 child_sets = [
-                    states_of(child, path + (i,))
-                    for i, child in enumerate(subtree.children)
+                    states_of(child, path + (i,)) for i, child in enumerate(subtree.children)
                 ]
-                result = {
-                    q
-                    for q in candidates
-                    if self._children_sequence_possible(q, child_sets)
-                }
+                result = {q for q in candidates if self._children_sequence_possible(q, child_sets)}
             memo[path] = result
             return result
 
@@ -170,21 +165,21 @@ class TreeAutomaton:
             assignment[path] = state
             if not subtree.children:
                 return
-            child_sets = [
-                memo[path + (i,)] for i in range(len(subtree.children))
-            ]
+            child_sets = [memo[path + (i,)] for i in range(len(subtree.children))]
             chosen = self._choose_children_sequence(state, child_sets)
             if chosen is None:  # pragma: no cover - guaranteed by construction
                 raise AutomatonError("internal error: inconsistent run reconstruction")
             for index, child_state in enumerate(chosen):
-                assign(subtree.children[index], path + (index,), child_state)
+                assign(
+                    subtree.children[index],
+                    path + (index,),
+                    child_state,
+                )
 
         assign(tree, (), sorted(root_states)[0])
         return assignment
 
-    def _children_sequence_possible(
-        self, parent: State, child_sets: Sequence[Set[State]]
-    ) -> bool:
+    def _children_sequence_possible(self, parent: State, child_sets: Sequence[Set[State]]) -> bool:
         return self._choose_children_sequence(parent, child_sets) is not None
 
     def _choose_children_sequence(
@@ -280,9 +275,7 @@ class AutomatonAnalysis:
         if not states:
             return True
         starts = self.can_first.get(parent, set())
-        if states[0] not in {
-            t for s in starts for t in ({s} | self.sib_reach_plus.get(s, set()))
-        }:
+        if states[0] not in {t for s in starts for t in ({s} | self.sib_reach_plus.get(s, set()))}:
             return False
         position = states[0]
         for nxt in states[1:]:
@@ -421,9 +414,7 @@ def _analyse(automaton: TreeAutomaton) -> AutomatonAnalysis:
 
     # -- reachability (the state appears in some accepting run) ----------------------
     def children_candidates(parent: State, allowed: Set[State]) -> Set[State]:
-        starts = {
-            p for p, q in automaton.firstchild if q == parent and p in allowed
-        }
+        starts = {p for p, q in automaton.firstchild if q == parent and p in allowed}
         sib = {p: set() for p in allowed}
         for right, left in automaton.nextsibling:
             if right in allowed and left in allowed:
@@ -498,8 +489,15 @@ def _analyse(automaton: TreeAutomaton) -> AutomatonAnalysis:
     # -- branching classification -------------------------------------------------------------
     branching: Set[int] = set()
     for index, component in enumerate(descendant_components):
-        if _is_branching(component, trimmed, can_first, sib_next, sib_reach_plus,
-                         sib_reach_star, automaton.rightmost_states):
+        if _is_branching(
+            component,
+            trimmed,
+            can_first,
+            sib_next,
+            sib_reach_plus,
+            sib_reach_star,
+            automaton.rightmost_states,
+        ):
             branching.add(index)
 
     # -- left(Γ) / right(Γ) ----------------------------------------------------------------------
@@ -575,9 +573,7 @@ def _valid_sequence(
     automaton: TreeAutomaton, parent: State, allowed: Set[State]
 ) -> Optional[List[State]]:
     """A valid children sequence for ``parent`` using only ``allowed`` states."""
-    starts = sorted(
-        p for p, q in automaton.firstchild if q == parent and p in allowed
-    )
+    starts = sorted(p for p, q in automaton.firstchild if q == parent and p in allowed)
     sib: Dict[State, Set[State]] = {}
     for right, left in automaton.nextsibling:
         if right in allowed and left in allowed:
@@ -676,7 +672,7 @@ def _left_right_sets(
         for start in starts:
             reachable_children |= sib_reach_star.get(start, {start})
         for path_child in reachable_children:
-            if not (sib_reach_star.get(path_child, {path_child}) & rightmost):
+            if not sib_reach_star.get(path_child, {path_child}) & rightmost:
                 continue
             continues_path = any(desc_or_equal(g, path_child) for g in component)
             if not continues_path:
@@ -760,11 +756,7 @@ def caterpillar_automaton() -> TreeAutomaton:
     return TreeAutomaton.make(
         letter=letter,
         firstchild=[("inner", "inner"), ("last", "inner"), ("leaf_left", "last")],
-        nextsibling=[
-            ("leaf_right", "inner"),
-            ("leaf_right", "last"),
-            ("leaf_right", "leaf_left"),
-        ],
+        nextsibling=[("leaf_right", "inner"), ("leaf_right", "last"), ("leaf_right", "leaf_left")],
         leaf_states=["leaf_left", "leaf_right"],
         root_states=["inner", "last"],
         rightmost_states=["leaf_right"],

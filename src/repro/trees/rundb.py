@@ -46,9 +46,7 @@ _RUN_SCHEMA_CACHE = BoundedCache("trees_run_schema", cap=256)
 
 def run_schema(automaton: TreeAutomaton) -> Schema:
     """The extended schema of tree run databases (memoised per automaton)."""
-    return _RUN_SCHEMA_CACHE.get_or_compute(
-        automaton, lambda: _run_schema_uncached(automaton)
-    )
+    return _RUN_SCHEMA_CACHE.get_or_compute(automaton, lambda: _run_schema_uncached(automaton))
 
 
 def _run_schema_uncached(automaton: TreeAutomaton) -> Schema:
@@ -84,9 +82,7 @@ def rundb(automaton: TreeAutomaton, pre_run: AnnotatedTree) -> Structure:
 
     def component_maximal(path: Tuple[int, ...]) -> bool:
         own = component_of.get(state_of(path))
-        return all(
-            component_of.get(state_of(child)) != own for child in children_of(path)
-        )
+        return all(component_of.get(state_of(child)) != own for child in children_of(path))
 
     relations: Dict[str, set] = {}
     for state in sorted(automaton.states):
@@ -101,9 +97,7 @@ def rundb(automaton: TreeAutomaton, pre_run: AnnotatedTree) -> Structure:
         right_table: Dict[Tuple[int, ...], int] = {}
         for path in paths:
             identifier = index_of[path]
-            matching = [
-                child for child in children_of(path) if state_of(child) == state
-            ]
+            matching = [child for child in children_of(path) if state_of(child) == state]
             if component_maximal(path) and matching:
                 left_table[(identifier,)] = index_of[matching[0]]
                 right_table[(identifier,)] = index_of[matching[-1]]
@@ -138,9 +132,7 @@ def rundb(automaton: TreeAutomaton, pre_run: AnnotatedTree) -> Structure:
         current = path
         while True:
             same = [
-                child
-                for child in children_of(current)
-                if component_of.get(state_of(child)) == own
+                child for child in children_of(current) if component_of.get(state_of(child)) == own
             ]
             if not same:
                 break
@@ -162,9 +154,7 @@ def rundb(automaton: TreeAutomaton, pre_run: AnnotatedTree) -> Structure:
     )
 
 
-def satisfies_local_condition(
-    automaton: TreeAutomaton, pre_run: AnnotatedTree
-) -> bool:
+def satisfies_local_condition(automaton: TreeAutomaton, pre_run: AnnotatedTree) -> bool:
     """Lemma 23's condition (*): does the pre-run's database belong to C?
 
     The root must carry a root state and every node must satisfy the local
@@ -199,12 +189,13 @@ def satisfies_local_condition(
             for left, right in zip(child_states, child_states[1:]):
                 if right not in analysis.sib_reach_plus.get(left, set()):
                     return False
-            if not (analysis.sib_reach_star_of(child_states[-1]) & automaton.rightmost_states):
+            if not analysis.sib_reach_star_of(child_states[-1]) & automaton.rightmost_states:
                 return False
         elif own_component is not None and own_component not in analysis.branching_components:
             # Linear component: left(Γ)* Γ right(Γ)* split.
-            in_component = [i for i, s in enumerate(child_states)
-                            if component_of.get(s) == own_component]
+            in_component = [
+                i for i, s in enumerate(child_states) if component_of.get(s) == own_component
+            ]
             if len(in_component) != 1:
                 return False
             pivot = in_component[0]

@@ -171,7 +171,11 @@ class Skeleton:
 
     @classmethod
     def single(cls, state: str) -> "Skeleton":
-        return cls(states=((0, state),), parents=((0, None),), children=((0, ()),))
+        return cls(
+            states=((0, state),),
+            parents=((0, None),),
+            children=((0, ()),),
+        )
 
     def _replace(self, states, parents, children) -> "Skeleton":
         """Build the updated skeleton from the working dictionaries.
@@ -326,9 +330,7 @@ class TreeRunTheory(DatabaseTheory):
         for child in children:
             if not analysis.proper_descendant(state_of[child], parent_state):
                 return False
-        if children and not self._horizontal_ok(
-            parent_state, [state_of[c] for c in children]
-        ):
+        if children and not self._horizontal_ok(parent_state, [state_of[c] for c in children]):
             return False
         return True
 
@@ -353,9 +355,7 @@ class TreeRunTheory(DatabaseTheory):
 
     # -- seeds -------------------------------------------------------------------------------------
 
-    def initial_configurations(
-        self, system: DatabaseDrivenSystem
-    ) -> Iterator[TheoryConfiguration]:
+    def initial_configurations(self, system: DatabaseDrivenSystem) -> Iterator[TheoryConfiguration]:
         registers = list(system.registers)
         if not self._analysis.trimmed_states:
             return
@@ -395,9 +395,7 @@ class TreeRunTheory(DatabaseTheory):
             existing + [("fresh", slot) for slot in range(max_fresh)],
             repeat=len(registers),
         ):
-            fresh_slots = sorted(
-                {target[1] for target in targets if isinstance(target, tuple)}
-            )
+            fresh_slots = sorted({target[1] for target in targets if isinstance(target, tuple)})
             if fresh_slots != list(range(len(fresh_slots))):
                 continue
             if not fresh_slots:
@@ -485,9 +483,7 @@ class TreeRunTheory(DatabaseTheory):
             existing + [("fresh", slot) for slot in range(max_fresh)],
             repeat=len(registers),
         ):
-            fresh_slots = sorted(
-                {target[1] for target in targets if isinstance(target, tuple)}
-            )
+            fresh_slots = sorted({target[1] for target in targets if isinstance(target, tuple)})
             if fresh_slots != list(range(len(fresh_slots))):
                 continue
             if not fresh_slots:
@@ -564,9 +560,7 @@ class TreeRunTheory(DatabaseTheory):
         except FormulaError:
             return True
 
-    def _place_nodes(
-        self, skeleton: Skeleton, count: int
-    ) -> Iterator[Tuple[Skeleton, List[int]]]:
+    def _place_nodes(self, skeleton: Skeleton, count: int) -> Iterator[Tuple[Skeleton, List[int]]]:
         """Place ``count`` fresh nodes one after another, every intermediate
         skeleton remaining cca-closed and completable.
 
@@ -617,9 +611,7 @@ class TreeRunTheory(DatabaseTheory):
 
         def admissible(candidate: Skeleton, affected: Tuple[int, ...]) -> bool:
             if local_check:
-                return all(
-                    self._node_completable(candidate, node) for node in affected
-                )
+                return all(self._node_completable(candidate, node) for node in affected)
             return self.skeleton_completable(candidate)
 
         def emit(
@@ -638,7 +630,9 @@ class TreeRunTheory(DatabaseTheory):
         for state in states:
             if proper(state_of[root], state):
                 yield from emit(
-                    skeleton.with_root_above(new_id, state), new_id, (new_id,)
+                    skeleton.with_root_above(new_id, state),
+                    new_id,
+                    (new_id,),
                 )
         # M2: a node inside an existing skeleton edge.
         for node in skeleton.node_ids:
@@ -688,9 +682,7 @@ class TreeRunTheory(DatabaseTheory):
                     if not proper(state, helper_state):
                         continue
                     for slot in (0, 1):
-                        candidate = with_helper.with_branch(
-                            branch_id, state, helper_id, slot
-                        )
+                        candidate = with_helper.with_branch(branch_id, state, helper_id, slot)
                         if candidate in seen:
                             continue
                         if admissible(candidate, (branch_id, helper_id)):
@@ -741,9 +733,7 @@ class TreeRunTheory(DatabaseTheory):
             parents[node] = ancestor
         ordered = sorted(
             nodes,
-            key=lambda n: [
-                0 if skeleton.document_before(m, n) else 1 for m in sorted(nodes)
-            ],
+            key=lambda n: [0 if skeleton.document_before(m, n) else 1 for m in sorted(nodes)],
         )
         for node in ordered:
             if parents[node] is not None:
@@ -782,18 +772,14 @@ class TreeRunTheory(DatabaseTheory):
                 relations[ANCESTOR].add((a, b))
             if a != b and skeleton.document_before(a, b):
                 relations[DOCUMENT_ORDER].add((a, b))
-        cca_table = {
-            (a, b): skeleton.cca(a, b) for a in nodes for b in nodes
-        }
+        cca_table = {(a, b): skeleton.cca(a, b) for a in nodes for b in nodes}
         return Structure(
             schema, nodes, relations=relations, functions={CCA: cca_table}, validate=False
         )
 
     # -- witness expansion -------------------------------------------------------------
 
-    def finalize(
-        self, config: TheoryConfiguration
-    ) -> Tuple[Structure, Dict[Element, Element]]:
+    def finalize(self, config: TheoryConfiguration) -> Tuple[Structure, Dict[Element, Element]]:
         skeleton: Skeleton = config.witness
         tree, placement = self.expand_skeleton(skeleton)
         if not self._automaton.accepts(tree):  # pragma: no cover - soundness net
@@ -864,9 +850,7 @@ class TreeRunTheory(DatabaseTheory):
         tree, prefix = self._wrap_with_chain(chain, subtree)
         return tree, {node: prefix + path for node, path in placement.items()}
 
-    def _wrap_with_chain(
-        self, chain: Sequence[str], bottom: Tree
-    ) -> Tuple[Tree, Tuple[int, ...]]:
+    def _wrap_with_chain(self, chain: Sequence[str], bottom: Tree) -> Tuple[Tree, Tuple[int, ...]]:
         """Wrap ``bottom`` under the state chain ``[top, ..., bottom_state]``.
 
         ``chain[-1]`` is the state of ``bottom``'s root; every step above it is

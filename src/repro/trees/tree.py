@@ -72,7 +72,10 @@ class Tree:
         def walk(tree: "Tree", path: Tuple[int, ...]) -> Iterator[Tuple[str, Tuple[int, ...]]]:
             yield tree.label, path
             for index, child in enumerate(tree.children):
-                yield from walk(child, path + (index,))
+                yield from walk(
+                    child,
+                    path + (index,),
+                )
 
         return walk(self, ())
 
@@ -98,9 +101,7 @@ class Tree:
         return len(path_a) <= len(path_b) and tuple(path_b[: len(path_a)]) == tuple(path_a)
 
     @staticmethod
-    def closest_common_ancestor(
-        path_a: Sequence[int], path_b: Sequence[int]
-    ) -> Tuple[int, ...]:
+    def closest_common_ancestor(path_a: Sequence[int], path_b: Sequence[int]) -> Tuple[int, ...]:
         """The longest common prefix of two paths."""
         common: List[int] = []
         for a, b in zip(path_a, path_b):

@@ -71,9 +71,7 @@ def treedb(tree: Tree, labels: Iterable[str] = ()) -> Structure:
     for i, j in itertools.product(ids, repeat=2):
         cca_table[(i, j)] = path_index[Tree.closest_common_ancestor(paths[i], paths[j])]
 
-    return Structure(
-        schema, ids, relations=relations, functions={CCA: cca_table}, validate=False
-    )
+    return Structure(schema, ids, relations=relations, functions={CCA: cca_table}, validate=False)
 
 
 def node_index_by_path(tree: Tree) -> Dict[Tuple[int, ...], int]:

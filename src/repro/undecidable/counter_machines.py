@@ -48,9 +48,7 @@ class CounterMachine:
     initial_label: str
 
     @classmethod
-    def make(
-        cls, instructions: Dict[str, Instruction], initial_label: str
-    ) -> "CounterMachine":
+    def make(cls, instructions: Dict[str, Instruction], initial_label: str) -> "CounterMachine":
         if initial_label not in instructions:
             raise ValueError("unknown initial label")
         for label, instruction in instructions.items():

@@ -235,7 +235,11 @@ def pattern_chain_database(length: int) -> Structure:
     nodes: List[object] = ["root"]
     values: Dict[object, int] = {"root": -1}
     anc = {("root", "root")}
-    labels = {"label_r": {("root",)}, "label_a": set(), "label_b": set()}
+    labels = {
+        "label_r": {("root",)},
+        "label_a": set(),
+        "label_b": set(),
+    }
     for i in range(length):
         a, b = f"a{i}", f"b{i}"
         nodes.extend([a, b])
@@ -244,12 +248,7 @@ def pattern_chain_database(length: int) -> Structure:
         anc |= {("root", a), ("root", b), (a, b), (a, a), (b, b)}
         values[a] = i
         values[b] = i + 1
-    sim = {
-        (x, y)
-        for x in nodes
-        for y in nodes
-        if values[x] == values[y]
-    }
+    sim = {(x, y) for x in nodes for y in nodes if values[x] == values[y]}
     return Structure(
         schema,
         nodes,
@@ -298,10 +297,12 @@ def theorem17_system(machine: CounterMachine) -> DatabaseDrivenSystem:
         elif instruction.kind is OpKind.DEC:
             transitions.append((label, step_guard(counter, False), instruction.target))
         elif instruction.kind is OpKind.JZ:
-            transitions.append((label, f"sim({counter}_old, z_old) & " + keep_except(),
-                                instruction.target))
-            transitions.append((label, f"!(sim({counter}_old, z_old)) & " + keep_except(),
-                                instruction.fallthrough))
+            transitions.append(
+                (label, f"sim({counter}_old, z_old) & " + keep_except(), instruction.target)
+            )
+            transitions.append(
+                (label, f"!(sim({counter}_old, z_old)) & " + keep_except(), instruction.fallthrough)
+            )
 
     states = ["boot"] + machine.labels
     accepting = [

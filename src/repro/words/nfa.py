@@ -85,9 +85,7 @@ class NFA:
         """Membership of a word in the language (subset construction on the fly)."""
         current = set(self.initial)
         for letter in word:
-            current = {
-                q for p, a, q in self.transitions if p in current and a == letter
-            }
+            current = {q for p, a, q in self.transitions if p in current and a == letter}
             if not current:
                 return False
         return bool(current & self.accepting)
@@ -142,9 +140,7 @@ class PositionAutomaton:
             for p, a, q in nfa.transitions:
                 if p == nfa_state:
                     step[s].add(f"{q}|{a}")
-        initial_followers = {
-            f"{q}|{a}" for p, a, q in nfa.transitions if p in nfa.initial
-        }
+        initial_followers = {f"{q}|{a}" for p, a, q in nfa.transitions if p in nfa.initial}
         accepting = {s for s in states if s.rsplit("|", 1)[0] in nfa.accepting}
         automaton = cls(
             states=states,
@@ -184,9 +180,7 @@ class PositionAutomaton:
 
     def _analyse(self) -> None:
         self.reach_plus = {s: _reachable_from(s, self.step) for s in self.states}
-        self.components, self.component_of = _strongly_connected_components(
-            self.states, self.step
-        )
+        self.components, self.component_of = _strongly_connected_components(self.states, self.step)
 
     def reaches_plus(self, source: State, target: State) -> bool:
         """``source ->+ target`` (one or more steps)."""
@@ -198,9 +192,7 @@ class PositionAutomaton:
 
     def chain_condition(self, states: Sequence[State]) -> bool:
         """Lemma 12: consecutive position states must satisfy ``->+``."""
-        return all(
-            self.reaches_plus(left, right) for left, right in zip(states, states[1:])
-        )
+        return all(self.reaches_plus(left, right) for left, right in zip(states, states[1:]))
 
     def component_count(self) -> int:
         return len(self.components)
@@ -212,14 +204,10 @@ class PositionAutomaton:
         if not word:
             return None
         layers: List[Set[State]] = []
-        current = {
-            s for s in self.initial_followers if self.letter[s] == word[0]
-        }
+        current = {s for s in self.initial_followers if self.letter[s] == word[0]}
         layers.append(set(current))
         for a in word[1:]:
-            current = {
-                t for s in current for t in self.step[s] if self.letter[t] == a
-            }
+            current = {t for s in current for t in self.step[s] if self.letter[t] == a}
             layers.append(set(current))
             if not current:
                 return None
@@ -228,9 +216,7 @@ class PositionAutomaton:
             return None
         run = [final[0]]
         for index in range(len(word) - 2, -1, -1):
-            previous = next(
-                s for s in layers[index] if run[0] in self.step[s]
-            )
+            previous = next(s for s in layers[index] if run[0] in self.step[s])
             run.insert(0, previous)
         return run
 

@@ -99,9 +99,7 @@ def rundb(
         left_table: Dict[Tuple[object, ...], object] = {}
         right_table: Dict[Tuple[object, ...], object] = {}
         members = [
-            i
-            for i, state in enumerate(states)
-            if automaton.component_of.get(state) == component
+            i for i, state in enumerate(states) if automaton.component_of.get(state) == component
         ]
         for i, position in enumerate(ids):
             before_members = [m for m in members if m < i]
@@ -120,9 +118,7 @@ def in_class_c(automaton: PositionAutomaton, positions: Sequence[Tuple[object, s
     return automaton.chain_condition(states)
 
 
-def pre_run_of_word(
-    automaton: PositionAutomaton, word: Sequence[str]
-) -> List[Tuple[int, str]]:
+def pre_run_of_word(automaton: PositionAutomaton, word: Sequence[str]) -> List[Tuple[int, str]]:
     """An accepting pre-run of a word (positions numbered 0..n-1), if any."""
     run = automaton.accepts_with_run(word)
     if run is None:

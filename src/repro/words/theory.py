@@ -132,36 +132,21 @@ class WordRunTheory(DatabaseTheory):
 
     # -- seeds ---------------------------------------------------------------------
 
-    def initial_configurations(
-        self, system: DatabaseDrivenSystem
-    ) -> Iterator[TheoryConfiguration]:
+    def initial_configurations(self, system: DatabaseDrivenSystem) -> Iterator[TheoryConfiguration]:
         registers = list(system.registers)
         for partition in set_partitions(registers):
             blocks = list(partition)
             for ordering in itertools.permutations(range(len(blocks))):
-                for states in itertools.product(
-                    self._automaton.states, repeat=len(blocks)
-                ):
-                    positions = tuple(
-                        (index, states[index]) for index in range(len(blocks))
-                    )
+                for states in itertools.product(self._automaton.states, repeat=len(blocks)):
+                    positions = tuple((index, states[index]) for index in range(len(blocks)))
                     # ordering[i] is the rank of block i in word order.
                     ordered_positions = tuple(
-                        sorted(
-                            positions,
-                            key=lambda item: ordering[item[0]],
-                        )
+                        sorted(positions, key=lambda item: ordering[item[0]]),
                     )
                     # Re-number ids so that word order is increasing ids.
-                    renumber = {
-                        old_id: rank
-                        for rank, (old_id, _) in enumerate(ordered_positions)
-                    }
+                    renumber = {old_id: rank for rank, (old_id, _) in enumerate(ordered_positions)}
                     fragment = _WordFragment(
-                        tuple(
-                            (renumber[old_id], state)
-                            for old_id, state in ordered_positions
-                        )
+                        tuple((renumber[old_id], state) for old_id, state in ordered_positions)
                     )
                     if not self._automaton.chain_condition(fragment.states):
                         continue
@@ -169,9 +154,7 @@ class WordRunTheory(DatabaseTheory):
                     for block_index, block in enumerate(blocks):
                         for register in block:
                             valuation[register] = renumber[block_index]
-                    yield TheoryConfiguration.make(
-                        fragment, valuation, fresh_elements=fragment.ids
-                    )
+                    yield TheoryConfiguration.make(fragment, valuation, fresh_elements=fragment.ids)
 
     # -- successors -------------------------------------------------------------------
 
@@ -193,15 +176,11 @@ class WordRunTheory(DatabaseTheory):
             list(existing_ids) + [("fresh", slot) for slot in range(max_fresh)],
             repeat=len(registers),
         ):
-            fresh_slots = sorted(
-                {target[1] for target in targets if isinstance(target, tuple)}
-            )
+            fresh_slots = sorted({target[1] for target in targets if isinstance(target, tuple)})
             # Canonical form: fresh slots must be used densely from 0.
             if fresh_slots != list(range(len(fresh_slots))):
                 continue
-            yield from self._place_fresh(
-                fragment, registers, valuation_old, targets, fresh_slots
-            )
+            yield from self._place_fresh(fragment, registers, valuation_old, targets, fresh_slots)
 
     def _place_fresh(
         self,
@@ -220,9 +199,7 @@ class WordRunTheory(DatabaseTheory):
 
         gap_count = n + 1
         for gaps in itertools.product(range(gap_count), repeat=len(fresh_slots)):
-            for states in itertools.product(
-                self._automaton.states, repeat=len(fresh_slots)
-            ):
+            for states in itertools.product(self._automaton.states, repeat=len(fresh_slots)):
                 new_positions = self._insert(fragment, fresh_slots, gaps, states, next_id)
                 if new_positions is None:
                     continue
@@ -283,9 +260,7 @@ class WordRunTheory(DatabaseTheory):
             lambda: generic_abstraction_key(run_view, config.valuation),
         )
 
-    def finalize(
-        self, config: TheoryConfiguration
-    ) -> Tuple[Structure, Dict[Element, Element]]:
+    def finalize(self, config: TheoryConfiguration) -> Tuple[Structure, Dict[Element, Element]]:
         """Expand the fragment into a full accepted word (the actual witness)."""
         fragment: _WordFragment = config.witness
         states = list(fragment.states)
@@ -340,9 +315,7 @@ def _fragment_to_word_structure(
 
 def _word_to_structure(word: Sequence[str], schema: Schema) -> Structure:
     positions = list(range(len(word)))
-    relations: Dict[str, set] = {
-        BEFORE: {(i, j) for i in positions for j in positions if i < j}
-    }
+    relations: Dict[str, set] = {BEFORE: {(i, j) for i in positions for j in positions if i < j}}
     for name in schema.relation_names:
         if name.startswith("label_"):
             relations.setdefault(name, set())
@@ -351,9 +324,7 @@ def _word_to_structure(word: Sequence[str], schema: Schema) -> Structure:
     return Structure(schema, positions, relations=relations, validate=False)
 
 
-def _database_to_word(
-    database: Structure, alphabet: Sequence[str]
-) -> Optional[List[str]]:
+def _database_to_word(database: Structure, alphabet: Sequence[str]) -> Optional[List[str]]:
     """Decode a WordSchema database back into a word (None if it is not one)."""
     elements = list(database.domain)
     before = database.relation(BEFORE)
@@ -372,9 +343,7 @@ def _database_to_word(
     word: List[str] = []
     for element in ordered:
         letters = [
-            letter
-            for letter in alphabet
-            if database.holds(label_predicate(letter), element)
+            letter for letter in alphabet if database.holds(label_predicate(letter), element)
         ]
         if len(letters) != 1:
             return None

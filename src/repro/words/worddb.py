@@ -46,15 +46,11 @@ def worddb(word: Sequence[str], alphabet: Iterable[str] = ()) -> Structure:
         BEFORE: {(i, j) for i, j in itertools.product(positions, repeat=2) if i < j}
     }
     for letter in letters:
-        relations[label_predicate(letter)] = {
-            (i,) for i, a in enumerate(word) if a == letter
-        }
+        relations[label_predicate(letter)] = {(i,) for i, a in enumerate(word) if a == letter}
     return Structure(schema, positions, relations=relations, validate=False)
 
 
-def worddb_language(
-    words: Iterable[Sequence[str]], alphabet: Iterable[str]
-) -> Iterator[Structure]:
+def worddb_language(words: Iterable[Sequence[str]], alphabet: Iterable[str]) -> Iterator[Structure]:
     """``Worddb(L)`` restricted to an explicit finite sample of ``L``."""
     letters = sorted(set(alphabet))
     for word in words:

@@ -18,6 +18,7 @@ one, and the engine's abstract space grows steeply with register count.
 from __future__ import annotations
 
 import itertools
+import json
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -91,9 +92,7 @@ def _random_guard(
         roll = rng.random()
         if binary_relations and roll < 0.45:
             relation = rng.choice(list(binary_relations))
-            atoms.append(
-                f"{relation}({rng.choice(variables)}, {rng.choice(variables)})"
-            )
+            atoms.append(f"{relation}({rng.choice(variables)}, {rng.choice(variables)})")
         elif unary_relations and roll < 0.65:
             relation = rng.choice(list(unary_relations))
             atoms.append(f"{relation}({rng.choice(variables)})")
@@ -207,9 +206,7 @@ def _hom_job(rng: random.Random) -> Tuple[DatabaseDrivenSystem, DatabaseTheory]:
 def _word_job(rng: random.Random) -> Tuple[DatabaseDrivenSystem, DatabaseTheory]:
     theory = WordRunTheory(_random_nfa(rng))
     schema = word_schema(["a", "b"])
-    system = _random_system(
-        rng, schema, ["before"], ["label_a", "label_b"], max_registers=1
-    )
+    system = _random_system(rng, schema, ["before"], ["label_a", "label_b"], max_registers=1)
     return system, theory
 
 
@@ -223,7 +220,10 @@ def _tree_job(rng: random.Random) -> Tuple[DatabaseDrivenSystem, DatabaseTheory]
     # Guards stay on the relational part of TreeSchema (anc/doc/labels); the
     # cca function symbol needs no mention to exercise the theory.
     system = _random_system(
-        rng, tree_schema(labels), ["anc", "doc"], ["label_a", "label_b"],
+        rng,
+        tree_schema(labels),
+        ["anc", "doc"],
+        ["label_a", "label_b"],
         max_registers=1,
     )
     return system, TreeRunTheory(automaton)
@@ -233,9 +233,7 @@ def _data_job(rng: random.Random) -> Tuple[DatabaseDrivenSystem, DatabaseTheory]
     values = NaturalsWithEquality()
     theory = DataValuedTheory(AllDatabasesTheory(GRAPH_SCHEMA), values)
     schema = GRAPH_SCHEMA.extend(relations={values.relation_name: 2})
-    system = _random_system(
-        rng, schema, ["E", values.relation_name], [], max_registers=1
-    )
+    system = _random_system(rng, schema, ["E", values.relation_name], [], max_registers=1)
     return system, theory
 
 
@@ -301,10 +299,7 @@ def _tree_wide_job(rng: random.Random) -> Tuple[DatabaseDrivenSystem, DatabaseTh
         states=states,
         initial=states[0],
         accepting=states[-1],
-        transitions=[
-            (states[0], guards[0], states[1]),
-            (states[1], guards[1], states[2]),
-        ],
+        transitions=[(states[0], guards[0], states[1]), (states[1], guards[1], states[2])],
     )
     return system, TreeRunTheory(universal_automaton(labels))
 
@@ -414,6 +409,61 @@ _HEAVY_BUILDERS = (
 )
 
 
+# -- HTTP client helper ----------------------------------------------------------
+
+
+def jobs_to_wire(
+    jobs: Sequence[VerificationJob],
+    wait: bool = True,
+    include_fingerprints: bool = True,
+) -> Dict[str, object]:
+    """The ``POST /jobs`` batch payload for ``jobs`` (see ``repro serve``).
+
+    With ``include_fingerprints`` each spec carries the client-computed
+    fingerprint, which the server re-derives and verifies -- the end-to-end
+    guard that both sides serialize canonically.
+    """
+    specs = []
+    for job in jobs:
+        spec = dict(job.to_spec())
+        if include_fingerprints:
+            spec["fingerprint"] = job.fingerprint
+        specs.append(spec)
+    return {"jobs": specs, "wait": wait}
+
+
+def post_jobs(
+    base_url: str,
+    jobs: Sequence[VerificationJob],
+    wait: bool = True,
+    include_fingerprints: bool = True,
+    timeout: float = 600.0,
+) -> Dict[str, object]:
+    """POST a batch of jobs to a running ``repro serve`` endpoint.
+
+    Returns the decoded JSON response (the full batch report when ``wait``,
+    the ``202`` acceptance envelope otherwise).  Raises ``RuntimeError``
+    with the server's error payload on a non-2xx response.  Uses only
+    ``urllib`` so client scripts need nothing beyond this library.
+    """
+    import urllib.error
+    import urllib.request
+
+    payload = json.dumps(jobs_to_wire(jobs, wait, include_fingerprints)).encode("utf-8")
+    request = urllib.request.Request(
+        base_url.rstrip("/") + "/jobs",
+        data=payload,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode("utf-8", "replace")
+        raise RuntimeError(f"POST {request.full_url} failed with {error.code}: {detail}") from error
+
+
 # -- public API ----------------------------------------------------------------
 
 
@@ -454,11 +504,7 @@ def generate_jobs(
         else:
             family = families[index % len(families)]
             system, theory = _BUILDERS[family](rng)
-            cap = (
-                max_configurations
-                if max_configurations is not None
-                else _FAMILY_CAPS[family]
-            )
+            cap = max_configurations if max_configurations is not None else _FAMILY_CAPS[family]
         jobs.append(
             VerificationJob(
                 system=system,

@@ -1,0 +1,116 @@
+"""Tests for the CI benchmark regression guard (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _MODULE_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _record(path, speedup=10.0, workload="bench_e2", engine=...):
+    if engine is ...:
+        engine = {workload: {"speedup": speedup}}
+    payload = {"mode": "full", "engine": engine}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture()
+def records(tmp_path):
+    baseline = _record(tmp_path / "baseline.json", speedup=10.0)
+    current = _record(tmp_path / "current.json", speedup=9.0)
+    return baseline, current
+
+
+class TestVerdicts:
+    def test_passes_within_tolerance(self, records):
+        baseline, current = records
+        assert check_regression.check(baseline, current) == 0
+
+    def test_fails_on_regression(self, tmp_path):
+        baseline = _record(tmp_path / "b.json", speedup=40.0)
+        current = _record(tmp_path / "c.json", speedup=1.2)
+        assert check_regression.check(baseline, current) == 1
+
+    def test_absolute_floor_applies(self, tmp_path):
+        # Committed speedup so small that tolerance alone would pass ~0x.
+        baseline = _record(tmp_path / "b.json", speedup=2.0)
+        current = _record(tmp_path / "c.json", speedup=1.1)
+        assert check_regression.check(baseline, current) == 1
+
+
+class TestMissingKeysAreHardFailures:
+    def test_baseline_missing_workload_key(self, tmp_path, capsys):
+        baseline = _record(tmp_path / "b.json", workload="bench_e99")
+        current = _record(tmp_path / "c.json")
+        assert check_regression.check(baseline, current) == 2
+        err = capsys.readouterr().err
+        assert "GUARD FAILURE" in err
+        assert "bench_e2" in err and "bench_e99" in err  # names what exists
+
+    def test_current_missing_workload_key(self, tmp_path, capsys):
+        baseline = _record(tmp_path / "b.json")
+        current = _record(tmp_path / "c.json", workload="bench_renamed")
+        assert check_regression.check(baseline, current) == 2
+        assert "GUARD FAILURE" in capsys.readouterr().err
+
+    def test_missing_engine_section(self, tmp_path, capsys):
+        baseline = _record(tmp_path / "b.json", engine=None)
+        current = _record(tmp_path / "c.json")
+        assert check_regression.check(baseline, current) == 2
+        assert "engine" in capsys.readouterr().err
+
+    def test_non_dict_workload_entry(self, tmp_path, capsys):
+        baseline = _record(tmp_path / "b.json", engine={"bench_e2": None})
+        current = _record(tmp_path / "c.json")
+        assert check_regression.check(baseline, current) == 2
+        assert "GUARD FAILURE" in capsys.readouterr().err
+
+    def test_null_speedup(self, tmp_path, capsys):
+        baseline = _record(tmp_path / "b.json", engine={"bench_e2": {"speedup": None}})
+        current = _record(tmp_path / "c.json")
+        assert check_regression.check(baseline, current) == 2
+        assert "usable speedup" in capsys.readouterr().err
+
+    def test_unreadable_baseline_file(self, tmp_path, capsys):
+        current = _record(tmp_path / "c.json")
+        assert check_regression.check(tmp_path / "missing.json", current) == 2
+        assert "GUARD FAILURE" in capsys.readouterr().err
+
+    def test_invalid_json(self, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        baseline.write_text("{not json")
+        current = _record(tmp_path / "c.json")
+        assert check_regression.check(baseline, current) == 2
+        assert "GUARD FAILURE" in capsys.readouterr().err
+
+
+class TestCommandLine:
+    def test_main_round_trip(self, records):
+        baseline, current = records
+        assert (
+            check_regression.main(
+                ["--baseline", str(baseline), "--current", str(current)]
+            )
+            == 0
+        )
+
+    def test_main_custom_workload_missing_everywhere(self, records, capsys):
+        baseline, current = records
+        code = check_regression.main(
+            [
+                "--baseline",
+                str(baseline),
+                "--current",
+                str(current),
+                "--workload",
+                "bench_renamed",
+            ]
+        )
+        assert code == 2
+        assert "bench_renamed" in capsys.readouterr().err

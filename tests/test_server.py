@@ -1,0 +1,270 @@
+"""Tests for the async HTTP front door (`repro serve`).
+
+The server runs on a dedicated event-loop thread (`ServerThread`) and is
+driven over real sockets with urllib, so these tests cover the wire format
+end to end: store-first serving, in-flight fingerprint dedup, NDJSON batch
+progress, and every documented error path.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ResultStore, ServerThread, VerificationService
+from repro.workloads import generate_jobs, jobs_to_wire, post_jobs
+
+
+def _request(base_url, path, data=None, method=None):
+    """(status, decoded JSON body) for one request; never raises HTTPError."""
+    request = urllib.request.Request(
+        base_url + path,
+        data=data,
+        headers={"Content-Type": "application/json"} if data is not None else {},
+        method=method or ("POST" if data is not None else "GET"),
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def server():
+    with ServerThread(service=VerificationService(store=ResultStore.in_memory())) as handle:
+        yield handle
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = _request(server.base_url, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["store"] == "memory"
+
+    def test_single_job_engine_then_store(self, server):
+        job = generate_jobs(1, seed=3)[0]
+        spec = json.dumps(job.to_spec()).encode()
+        status, first = _request(server.base_url, "/jobs", spec)
+        assert status == 200
+        assert first["served_from"] == "engine"
+        assert first["fingerprint"] == job.fingerprint
+        assert first["result"]["nonempty"] in (True, False)
+
+        status, second = _request(server.base_url, "/jobs", spec)
+        assert status == 200
+        assert second["served_from"] == "store"
+        assert second["result"]["nonempty"] == first["result"]["nonempty"]
+        assert second["result"]["cached"] is True
+
+    def test_job_lookup_by_fingerprint(self, server):
+        job = generate_jobs(1, seed=4)[0]
+        _request(server.base_url, "/jobs", json.dumps(job.to_spec()).encode())
+        status, payload = _request(server.base_url, f"/jobs/{job.fingerprint}")
+        assert status == 200
+        assert payload["served_from"] == "store"
+        status, _ = _request(server.base_url, "/jobs/" + "0" * 64)
+        assert status == 404
+
+    def test_batch_cold_then_warm(self, server):
+        jobs = generate_jobs(5, seed=11)
+        cold = post_jobs(server.base_url, jobs)
+        assert cold["jobs"] == 5
+        assert cold["executed"] == 5 and cold["store_hits"] == 0
+        assert all(result["served_from"] == "engine" for result in cold["results"])
+
+        warm = post_jobs(server.base_url, jobs)
+        assert warm["executed"] == 0 and warm["store_hits"] == 5
+        assert all(result["served_from"] == "store" for result in warm["results"])
+        assert [r["nonempty"] for r in cold["results"]] == [
+            r["nonempty"] for r in warm["results"]
+        ]
+
+    def test_batch_status_and_stats(self, server):
+        jobs = generate_jobs(3, seed=12)
+        report = post_jobs(server.base_url, jobs)
+        status, payload = _request(server.base_url, f"/batch/{report['batch_id']}")
+        assert status == 200
+        assert payload["completed"] is True
+        assert payload["report"]["executed"] == 3
+
+        status, stats = _request(server.base_url, "/stats")
+        assert status == 200
+        assert stats["executed"] == 3
+        assert stats["store_size"] == 3
+
+    def test_client_fingerprints_verified_end_to_end(self, server):
+        jobs = generate_jobs(2, seed=13)
+        report = post_jobs(server.base_url, jobs, include_fingerprints=True)
+        assert report["executed"] == 2
+        wire = jobs_to_wire(jobs)
+        assert all("fingerprint" in spec for spec in wire["jobs"])
+
+
+class TestInFlightDedup:
+    def test_concurrent_duplicate_batches_share_one_execution(self):
+        service = VerificationService(
+            store=ResultStore.in_memory(), workers=1, execute_delay=0.4
+        )
+        with ServerThread(service=service) as server:
+            jobs = generate_jobs(4, seed=7)
+            responses = {}
+
+            def post(tag, delay):
+                time.sleep(delay)
+                responses[tag] = post_jobs(server.base_url, jobs)
+
+            threads = [
+                threading.Thread(target=post, args=("first", 0.0)),
+                threading.Thread(target=post, args=("second", 0.15)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            first, second = responses["first"], responses["second"]
+            # The invariant the front door exists for: each unique
+            # fingerprint runs the engine at most once, server-wide.
+            assert first["executed"] + second["executed"] == 4
+            assert second["inflight_joins"] == 4 and second["executed"] == 0
+            assert [r["nonempty"] for r in first["results"]] == [
+                r["nonempty"] for r in second["results"]
+            ]
+            assert service.stats.executed == 4
+            assert service.stats.inflight_joins == 4
+
+    def test_duplicates_within_one_batch_execute_once(self, server):
+        job = generate_jobs(1, seed=21)[0]
+        report = post_jobs(server.base_url, [job, job, job])
+        assert report["executed"] == 1
+        assert report["batch_dedup"] == 2
+        served = sorted(result["served_from"] for result in report["results"])
+        assert served == ["batch-dedup", "batch-dedup", "engine"]
+        verdicts = {result["nonempty"] for result in report["results"]}
+        assert len(verdicts) == 1
+
+
+class TestBatchEvents:
+    def test_events_replay_after_completion(self, server):
+        jobs = generate_jobs(3, seed=15)
+        report = post_jobs(server.base_url, jobs)
+        with urllib.request.urlopen(
+            f"{server.base_url}/batch/{report['batch_id']}/events", timeout=30
+        ) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            events = [json.loads(line) for line in response.read().decode().splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "batch_accepted"
+        assert kinds[-1] == "batch_done"
+        assert kinds.count("job_done") == 3
+        done = events[-1]
+        assert done["executed"] == 3 and done["jobs"] == 3
+
+    def test_events_stream_live_for_async_batch(self):
+        service = VerificationService(
+            store=ResultStore.in_memory(), workers=1, execute_delay=0.3
+        )
+        with ServerThread(service=service) as server:
+            jobs = generate_jobs(2, seed=16)
+            status, accepted = _request(
+                server.base_url,
+                "/jobs",
+                json.dumps({**jobs_to_wire(jobs), "wait": False}).encode(),
+            )
+            assert status == 202 and accepted["status"] == "accepted"
+            # The stream follows the in-progress batch until batch_done.
+            with urllib.request.urlopen(
+                server.base_url + accepted["events_url"], timeout=30
+            ) as response:
+                events = [
+                    json.loads(line) for line in response.read().decode().splitlines()
+                ]
+            assert events[-1]["event"] == "batch_done"
+            assert events[-1]["executed"] == 2
+
+            status, payload = _request(server.base_url, accepted["status_url"])
+            assert status == 200 and payload["completed"] is True
+
+
+class TestErrorPaths:
+    def test_malformed_json_body(self, server):
+        status, payload = _request(server.base_url, "/jobs", b"{not json")
+        assert status == 400
+        assert payload["error"] == "invalid-json"
+
+    def test_malformed_spec_shape(self, server):
+        status, payload = _request(
+            server.base_url, "/jobs", json.dumps({"system": {"bogus": 1}}).encode()
+        )
+        assert status == 400
+        assert payload["error"] == "invalid-spec"
+
+    def test_unknown_theory_kind(self, server):
+        spec = generate_jobs(1, seed=0)[0].to_spec()
+        spec["theory"] = {"kind": "no_such_theory"}
+        status, payload = _request(server.base_url, "/jobs", json.dumps(spec).encode())
+        assert status == 400
+        assert payload["error"] == "invalid-spec"
+        assert "no_such_theory" in payload["message"]
+
+    def test_client_server_fingerprint_mismatch(self, server):
+        spec = generate_jobs(1, seed=0)[0].to_spec()
+        spec["fingerprint"] = "deadbeef" * 8
+        status, payload = _request(server.base_url, "/jobs", json.dumps(spec).encode())
+        assert status == 409
+        assert payload["error"] == "fingerprint-mismatch"
+        # Nothing was executed or stored for the rejected submission.
+        status, stats = _request(server.base_url, "/stats")
+        assert stats["executed"] == 0 and stats["store_size"] == 0
+
+    def test_mismatch_inside_batch_rejects_whole_request(self, server):
+        jobs = generate_jobs(2, seed=5)
+        wire = jobs_to_wire(jobs)
+        wire["jobs"][1]["fingerprint"] = "0" * 64
+        status, payload = _request(server.base_url, "/jobs", json.dumps(wire).encode())
+        assert status == 409
+        assert "jobs[1]" in payload["message"]
+
+    def test_empty_batch_rejected(self, server):
+        status, payload = _request(
+            server.base_url, "/jobs", json.dumps({"jobs": []}).encode()
+        )
+        assert status == 400
+
+    def test_unknown_paths_and_methods(self, server):
+        assert _request(server.base_url, "/nope")[0] == 404
+        assert _request(server.base_url, "/batch/zzz")[0] == 404
+        assert _request(server.base_url, "/healthz", data=b"", method="POST")[0] == 405
+
+    def test_store_ttl_expiry_re_executes(self):
+        service = VerificationService(store=ResultStore.in_memory(ttl_seconds=0.3))
+        with ServerThread(service=service) as server:
+            job = generate_jobs(1, seed=31)[0]
+            spec = json.dumps(job.to_spec()).encode()
+            _, first = _request(server.base_url, "/jobs", spec)
+            assert first["served_from"] == "engine"
+            _, warm = _request(server.base_url, "/jobs", spec)
+            assert warm["served_from"] == "store"
+            time.sleep(0.35)
+            _, expired = _request(server.base_url, "/jobs", spec)
+            assert expired["served_from"] == "engine"
+            assert expired["result"]["nonempty"] == first["result"]["nonempty"]
+            assert service.stats.executed == 2
+
+
+class TestParallelWorkers:
+    def test_batch_with_worker_pool_matches_store_round(self, tmp_path):
+        service = VerificationService(store=ResultStore(tmp_path / "served.sqlite"), workers=2)
+        with ServerThread(service=service) as server:
+            jobs = generate_jobs(4, seed=17)
+            cold = post_jobs(server.base_url, jobs)
+            warm = post_jobs(server.base_url, jobs)
+            assert cold["executed"] == 4 and warm["store_hits"] == 4
+            assert [r["nonempty"] for r in cold["results"]] == [
+                r["nonempty"] for r in warm["results"]
+            ]

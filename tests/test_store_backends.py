@@ -1,0 +1,257 @@
+"""Tests for the pluggable store backends: parity, TTL, eviction, migrations."""
+
+import json
+import sqlite3
+import time
+
+import pytest
+
+from repro.errors import StoreError
+from repro.library import triangle_system
+from repro.relational import GRAPH_SCHEMA, AllDatabasesTheory, HomTheory, clique_template
+from repro.service import (
+    MemoryBackend,
+    ResultStore,
+    SQLiteBackend,
+    VerificationJob,
+    execute_job,
+)
+from repro.service.backends import SQLITE_SCHEMA_VERSION
+
+
+def _decided_job(label="", max_configurations=20_000):
+    job = VerificationJob(
+        triangle_system(),
+        AllDatabasesTheory(GRAPH_SCHEMA),
+        label=label,
+        max_configurations=max_configurations,
+    )
+    return job, execute_job(job)
+
+
+def _distinct_jobs(count):
+    """Jobs with distinct fingerprints (varying the configuration cap)."""
+    pairs = []
+    for index in range(count):
+        pairs.append(_decided_job(label=f"job-{index}", max_configurations=10_000 + index))
+    return pairs
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend = MemoryBackend()
+    else:
+        backend = SQLiteBackend(tmp_path / "store.sqlite")
+    with ResultStore(backend=backend) as result_store:
+        yield result_store
+
+
+class TestBackendParity:
+    """Both shipped backends must behave identically through ResultStore."""
+
+    def test_round_trip(self, store):
+        job, result = _decided_job(label="round-trip")
+        assert store.get(job.fingerprint) is None
+        store.put(job, result)
+        cached = store.get(job.fingerprint)
+        assert cached is not None and cached.cached
+        assert cached.nonempty == result.nonempty
+        assert cached.exhausted == result.exhausted
+        assert cached.statistics == result.statistics
+        assert job.fingerprint in store
+        assert len(store) == 1
+        assert list(store.fingerprints()) == [job.fingerprint]
+
+    def test_clear_and_export(self, store):
+        job, result = _decided_job()
+        store.put(job, result)
+        export = store.export()
+        assert export["count"] == 1
+        assert export["backend"].split(":")[0] in ("memory", "sqlite")
+        assert export["results"][0]["fingerprint"] == job.fingerprint
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_overwrite_same_fingerprint(self, store):
+        job, result = _decided_job()
+        store.put(job, result)
+        store.put(job, result)
+        assert len(store) == 1
+
+
+class TestRetention:
+    def test_ttl_expiry_reads_as_missing(self):
+        job, result = _decided_job()
+        with ResultStore.in_memory(ttl_seconds=0.15) as store:
+            store.put(job, result)
+            assert store.get(job.fingerprint) is not None
+            time.sleep(0.2)
+            assert store.get(job.fingerprint) is None
+            assert job.fingerprint not in store
+            # Lazily deleted on the expired read.
+            assert len(store) == 0
+
+    def test_purge_expired_sweeps_eagerly(self, tmp_path):
+        pairs = _distinct_jobs(3)
+        with ResultStore(tmp_path / "ttl.sqlite", ttl_seconds=0.15) as store:
+            for job, result in pairs:
+                store.put(job, result)
+            assert store.purge_expired() == 0
+            time.sleep(0.2)
+            assert store.purge_expired() == 3
+            assert len(store) == 0
+
+    def test_len_fingerprints_export_exclude_expired(self):
+        # Counts and exports must agree with get()'s expiry semantics even
+        # when nothing has read the expired entry yet.
+        job, result = _decided_job()
+        with ResultStore.in_memory(ttl_seconds=0.15) as store:
+            store.put(job, result)
+            time.sleep(0.2)
+            assert len(store) == 0
+            assert list(store.fingerprints()) == []
+            assert store.export()["count"] == 0
+
+    def test_purge_without_ttl_is_noop(self):
+        job, result = _decided_job()
+        with ResultStore.in_memory() as store:
+            store.put(job, result)
+            assert store.purge_expired() == 0
+            assert len(store) == 1
+
+    def test_max_entries_evicts_oldest(self):
+        pairs = _distinct_jobs(3)
+        with ResultStore.in_memory(max_entries=2) as store:
+            for job, result in pairs:
+                store.put(job, result)
+                time.sleep(0.01)  # distinct created_at stamps
+            assert len(store) == 2
+            assert pairs[0][0].fingerprint not in store
+            assert pairs[1][0].fingerprint in store
+            assert pairs[2][0].fingerprint in store
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ResultStore.in_memory(ttl_seconds=0.0)
+        with pytest.raises(ValueError):
+            ResultStore.in_memory(max_entries=0)
+
+
+_LEGACY_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT PRIMARY KEY,
+    created_at REAL NOT NULL,
+    label TEXT NOT NULL DEFAULT '',
+    nonempty INTEGER NOT NULL,
+    exhausted INTEGER NOT NULL,
+    elapsed_seconds REAL NOT NULL,
+    witness_size INTEGER,
+    run_length INTEGER,
+    statistics TEXT NOT NULL,
+    job_spec TEXT NOT NULL
+)
+"""
+
+
+class TestSQLiteMigrations:
+    def test_fresh_database_gets_current_version(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "fresh.sqlite")
+        assert backend.schema_version == SQLITE_SCHEMA_VERSION
+        backend.close()
+
+    def test_legacy_store_migrates_in_place(self, tmp_path):
+        # A PR-2 era store: results table, no user_version, one verdict.
+        path = tmp_path / "legacy.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute(_LEGACY_SCHEMA)
+        connection.execute(
+            "INSERT INTO results VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            ("f" * 64, time.time(), "legacy", 1, 1, 0.5, 3, 2, "{}", "{}"),
+        )
+        connection.commit()
+        connection.close()
+
+        backend = SQLiteBackend(path)
+        try:
+            assert backend.schema_version == SQLITE_SCHEMA_VERSION
+            row = backend.get("f" * 64)
+            assert row is not None and row["label"] == "legacy"
+            # The v2 migration added the created_at index.
+            names = {
+                name
+                for (name,) in sqlite3.connect(path).execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index'"
+                )
+            }
+            assert "idx_results_created_at" in names
+        finally:
+            backend.close()
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute(_LEGACY_SCHEMA)
+        connection.execute(f"PRAGMA user_version = {SQLITE_SCHEMA_VERSION + 7}")
+        connection.commit()
+        connection.close()
+        with pytest.raises(StoreError):
+            SQLiteBackend(path)
+
+    def test_reopen_keeps_version_and_data(self, tmp_path):
+        path = tmp_path / "reopen.sqlite"
+        job, result = _decided_job(label="persisted")
+        with ResultStore(path) as store:
+            store.put(job, result)
+        backend = SQLiteBackend(path)
+        try:
+            assert backend.schema_version == SQLITE_SCHEMA_VERSION
+            assert backend.count() == 1
+        finally:
+            backend.close()
+
+
+class TestKeyspaceScans:
+    """The eviction/TTL scan primitives every backend must honour."""
+
+    @pytest.mark.parametrize("kind", ["memory", "sqlite"])
+    def test_oldest_and_expired_keys(self, kind, tmp_path):
+        backend = MemoryBackend() if kind == "memory" else SQLiteBackend(tmp_path / "scan.sqlite")
+        try:
+            base = 1000.0
+            for index, key in enumerate(["kc", "ka", "kb"]):
+                backend.put(
+                    key,
+                    {
+                        "fingerprint": key,
+                        "created_at": base + index,
+                        "label": "",
+                        "nonempty": 1,
+                        "exhausted": 1,
+                        "elapsed_seconds": 0.0,
+                        "witness_size": None,
+                        "run_length": None,
+                        "statistics": "{}",
+                        "job_spec": "{}",
+                    },
+                )
+            assert backend.oldest_keys(2) == ["kc", "ka"]
+            assert backend.expired_keys(base + 1.5) == sorted(["kc", "ka"])
+            assert backend.keys() == ["ka", "kb", "kc"]
+            assert backend.delete("ka") and not backend.delete("ka")
+            rows = list(backend.rows())
+            assert [row["fingerprint"] for row in rows] == ["kb", "kc"]
+            assert all(json.loads(row["statistics"]) == {} for row in rows)
+        finally:
+            backend.close()
+
+
+class TestStoreServiceIntegration:
+    def test_hom_job_round_trips_through_sqlite(self, tmp_path):
+        job = VerificationJob(triangle_system(), HomTheory(clique_template(2)), label="hom")
+        result = execute_job(job)
+        with ResultStore(tmp_path / "hom.sqlite") as store:
+            store.put(job, result)
+        with ResultStore(tmp_path / "hom.sqlite") as store:
+            cached = store.get(job.fingerprint)
+            assert cached is not None and cached.nonempty == result.nonempty
