@@ -1,23 +1,37 @@
 #!/usr/bin/env python
-"""Benchmark regression guard: fail CI when the bench_e2 speedup collapses.
+"""Benchmark regression guard: fail CI when a gated benchmark collapses.
 
-Compares a freshly produced ``BENCH_engine.json`` (typically the ``--smoke``
-variant from the CI benchmark job) against the committed record.  The guard
-is tolerance-based: the committed record is produced in ``full`` mode on a
-quiet machine while CI runs the smaller smoke workload on noisy shared
-runners, so the floor is a fraction of the committed speedup, never an exact
-match.  The check fails when
+Two guarded records, selected with ``--kind``:
 
-    current_speedup < max(min_floor, committed_speedup * tolerance)
+* ``engine`` (the default) compares a freshly produced ``BENCH_engine.json``
+  (typically the ``--smoke`` variant from the CI benchmark job) against the
+  committed record.  The check fails when
 
-for the gated workload (``bench_e2``, the HOM scaling instance the compiled
-transition plans target).
+      current_speedup < max(min_floor, committed_speedup * tolerance)
+
+  for the gated workload (``bench_e2``, the HOM scaling instance the
+  compiled transition plans target).
+
+* ``service`` gates the HTTP front door's load test in
+  ``BENCH_service.json``: keep-alive throughput must not lose to the
+  close-per-request baseline measured in the same fresh run
+  (``--min-ratio``), and must retain a fraction of the committed record's
+  keep-alive throughput (``--tolerance`` with an absolute rps floor).
+
+Both guards are tolerance-based: the committed records are produced in
+``full`` mode on a quiet machine while CI runs the smaller smoke workload
+on noisy shared runners, so floors are fractions of the committed numbers,
+never exact matches.
 
 Usage::
 
     python benchmarks/check_regression.py \
         --baseline BENCH_engine.json \
         --current bench-artifacts/BENCH_engine.json
+
+    python benchmarks/check_regression.py --kind service \
+        --baseline BENCH_service.json \
+        --current bench-artifacts/BENCH_service.json
 """
 
 from __future__ import annotations
@@ -33,6 +47,20 @@ DEFAULT_TOLERANCE = 0.25
 #: Absolute floor: regardless of the committed record, the fast path must
 #: beat the legacy path by at least this factor on bench_e2.
 DEFAULT_MIN_FLOOR = 1.5
+
+#: Keep-alive vs close-per-request: persistent connections must at least
+#: break even (a little slack for scheduling noise on shared runners).
+DEFAULT_MIN_KEEPALIVE_RATIO = 0.9
+
+#: Absolute keep-alive throughput floor in requests/second.  Deliberately
+#: tiny: CI smoke runs a fraction of the committed full-mode load on shared
+#: hardware, so this only catches a server that stopped serving.
+DEFAULT_MIN_RPS_FLOOR = 10.0
+
+#: Fraction of the committed keep-alive throughput the fresh run must
+#: retain.  Looser than the engine tolerance: throughput is wall-clock on
+#: shared runners and the smoke load differs from the committed full run.
+DEFAULT_SERVICE_TOLERANCE = 0.1
 
 
 class GuardDataError(Exception):
@@ -114,21 +142,117 @@ def check(
     return 0
 
 
+def _load_test_of(record: dict, record_name: str) -> dict:
+    """The load-test section of a service record, or an explicit failure."""
+    service = record.get("service")
+    if not isinstance(service, dict) or not service:
+        raise GuardDataError(
+            f"{record_name} record has no 'service' section; was the service "
+            "phase skipped when it was produced?"
+        )
+    load_test = service.get("load_test")
+    if not isinstance(load_test, dict):
+        raise GuardDataError(
+            f"{record_name} record has no 'load_test' entry; it predates the "
+            "front-door load test -- regenerate it with benchmarks/run_all.py"
+        )
+    return load_test
+
+
+def _throughput_of(load_test: dict, record_name: str, mode: str) -> float:
+    entry = load_test.get(mode)
+    throughput = entry.get("throughput_rps") if isinstance(entry, dict) else None
+    if not isinstance(throughput, (int, float)) or throughput <= 0:
+        raise GuardDataError(
+            f"{record_name} load test has no usable throughput for {mode!r} "
+            f"(got {throughput!r})"
+        )
+    return throughput
+
+
+def check_service(
+    baseline_path: Path,
+    current_path: Path,
+    tolerance: float = DEFAULT_SERVICE_TOLERANCE,
+    min_rps_floor: float = DEFAULT_MIN_RPS_FLOOR,
+    min_ratio: float = DEFAULT_MIN_KEEPALIVE_RATIO,
+) -> int:
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"GUARD FAILURE: cannot read baseline {baseline_path}: {error}", file=sys.stderr)
+        return 2
+    try:
+        current = json.loads(current_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"GUARD FAILURE: cannot read current record {current_path}: {error}", file=sys.stderr)
+        return 2
+    try:
+        committed = _throughput_of(_load_test_of(baseline, "baseline"), "baseline", "keepalive")
+        fresh_load = _load_test_of(current, "current")
+        fresh_keepalive = _throughput_of(fresh_load, "current", "keepalive")
+        fresh_close = _throughput_of(fresh_load, "current", "close_per_request")
+    except GuardDataError as error:
+        print(f"GUARD FAILURE: {error}", file=sys.stderr)
+        return 2
+    ratio = fresh_keepalive / fresh_close
+    floor = max(min_rps_floor, committed * tolerance)
+    print(
+        f"front-door load test: committed keepalive {committed:.0f} rps "
+        f"({baseline.get('mode', '?')} mode), fresh keepalive "
+        f"{fresh_keepalive:.0f} rps / close {fresh_close:.0f} rps "
+        f"({current.get('mode', '?')} mode), ratio {ratio:.2f}x, "
+        f"floor {floor:.0f} rps"
+    )
+    failed = False
+    if ratio < min_ratio:
+        print(
+            f"REGRESSION: keep-alive throughput is {ratio:.2f}x the "
+            f"close-per-request baseline (required >= {min_ratio})",
+            file=sys.stderr,
+        )
+        failed = True
+    if fresh_keepalive < floor:
+        print(
+            f"REGRESSION: keep-alive throughput {fresh_keepalive:.0f} rps "
+            f"dropped below the floor {floor:.0f} rps "
+            f"(committed {committed:.0f} rps, tolerance {tolerance})",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print("service regression guard passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--kind", choices=["engine", "service"], default="engine",
+                        help="which record to gate (default: engine)")
     parser.add_argument("--baseline", type=Path, required=True,
-                        help="committed BENCH_engine.json")
+                        help="committed BENCH_engine.json / BENCH_service.json")
     parser.add_argument("--current", type=Path, required=True,
-                        help="freshly produced BENCH_engine.json")
+                        help="freshly produced record of the same kind")
     parser.add_argument("--workload", default="bench_e2",
                         help="gated engine workload (default: bench_e2)")
-    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
-                        help="fraction of the committed speedup to require")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="fraction of the committed number to require")
     parser.add_argument("--min-floor", type=float, default=DEFAULT_MIN_FLOOR,
-                        help="absolute minimum acceptable speedup")
+                        help="absolute minimum acceptable engine speedup")
+    parser.add_argument("--min-rps-floor", type=float, default=DEFAULT_MIN_RPS_FLOOR,
+                        help="absolute minimum keep-alive throughput (service)")
+    parser.add_argument("--min-ratio", type=float, default=DEFAULT_MIN_KEEPALIVE_RATIO,
+                        help="minimum keepalive/close throughput ratio (service)")
     args = parser.parse_args(argv)
+    if args.kind == "service":
+        tolerance = args.tolerance if args.tolerance is not None else DEFAULT_SERVICE_TOLERANCE
+        return check_service(
+            args.baseline, args.current, tolerance, args.min_rps_floor, args.min_ratio
+        )
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
     return check(
-        args.baseline, args.current, args.workload, args.tolerance, args.min_floor
+        args.baseline, args.current, args.workload, tolerance, args.min_floor
     )
 
 

@@ -27,8 +27,10 @@ Three phases, all optional:
   (:mod:`repro.service`) on a seeded random workload batch
   (:mod:`repro.workloads`): serial vs parallel execution and cold vs
   warm-cache reruns against the fingerprinted result store, cross-checking
-  that every mode returns identical verdicts.  Results go to
-  ``BENCH_service.json``.
+  that every mode returns identical verdicts, plus a concurrent load test
+  of the HTTP front door (keep-alive vs close-per-request clients over a
+  mixed cold/warm traffic shape, with tail-latency percentiles).  Results
+  go to ``BENCH_service.json``.
 
 Usage::
 
@@ -390,6 +392,134 @@ def run_worker_scaling(smoke: bool) -> dict:
     return {"job_count": len(jobs), "cpus_available": cpus, "curve": curve}
 
 
+def _load_percentile(ordered, q):
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    import math
+
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def _load_test_mode(keep_alive: bool, clients: int, requests_per_client: int) -> dict:
+    """One load-test measurement: N concurrent clients against a fresh server.
+
+    Each client issues ``requests_per_client`` single-job submissions over
+    one :class:`ServiceClient`: mostly warm jobs rotating through a
+    pre-populated pool (the store path) plus one job unique to that client
+    (the cold engine path), so the traffic mixes both regimes mid-flight.
+    Each mode gets its own server and in-memory store -- otherwise the
+    first mode's cold jobs would arrive warm in the second and skew the
+    keep-alive vs close-per-request comparison.
+    """
+    import threading
+
+    from repro.service import ResultStore, ServerThread, ServiceClient, VerificationService
+    from repro.workloads import generate_jobs
+
+    warm_jobs = generate_jobs(8, seed=2015)
+    cold_jobs = generate_jobs(clients, seed=2016)
+    service = VerificationService(store=ResultStore.in_memory(), max_pending=None)
+    with ServerThread(service=service) as server:
+        with ServiceClient(server.base_url) as warmer:
+            warmer.submit_batch(warm_jobs)
+        latencies = []
+        errors = []
+        lock = threading.Lock()
+        start_barrier = threading.Barrier(clients + 1)
+
+        def run_client(client_index: int) -> None:
+            mine = []
+            try:
+                with ServiceClient(server.base_url, keep_alive=keep_alive, timeout=120) as client:
+                    start_barrier.wait()
+                    for request_index in range(requests_per_client):
+                        if request_index == 1:
+                            job = cold_jobs[client_index]
+                        else:
+                            job = warm_jobs[(client_index + request_index) % len(warm_jobs)]
+                        began = time.perf_counter()
+                        client.submit_job(job)
+                        mine.append(time.perf_counter() - began)
+            except Exception as error:  # noqa: BLE001 - recorded, fails the phase
+                with lock:
+                    errors.append(f"client {client_index}: {type(error).__name__}: {error}")
+            with lock:
+                latencies.extend(mine)
+
+        threads = [
+            threading.Thread(target=run_client, args=(index,), daemon=True)
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait()
+        began = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - began
+        stats = service.stats
+        executed, connections = stats.executed, stats.connections_total
+
+    assert not errors, f"load test had client errors: {errors[:3]}"
+    total = clients * requests_per_client
+    assert len(latencies) == total
+    # Every cold job ran the engine exactly once (plus the warm-pool fill);
+    # everything else was served from the store or an in-flight join.
+    assert executed == len(warm_jobs) + clients, (
+        f"expected {len(warm_jobs) + clients} engine runs, saw {executed}"
+    )
+    ordered = sorted(latencies)
+    return {
+        "keep_alive": keep_alive,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "total_requests": total,
+        "cold_requests": clients,
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_rps": round(total / elapsed, 2) if elapsed else None,
+        "connections_total": connections,
+        "p50_ms": round(1000 * _load_percentile(ordered, 0.5), 3),
+        "p95_ms": round(1000 * _load_percentile(ordered, 0.95), 3),
+        "p99_ms": round(1000 * _load_percentile(ordered, 0.99), 3),
+    }
+
+
+def run_load_test(smoke: bool) -> dict:
+    """Hammer the HTTP front door with concurrent mixed cold/warm clients.
+
+    Measures the whole serving stack -- connection handling, routing,
+    store-first serving, in-flight dedup -- under the traffic shape the
+    server is built for, once with keep-alive clients and once
+    close-per-request.  Keep-alive must not lose to close-per-request:
+    persistent connections skip the TCP handshake per request, so the ratio
+    is the tentpole's acceptance number (guarded by check_regression.py).
+    """
+    clients = 24 if smoke else 200
+    requests_per_client = 6 if smoke else 8
+    keepalive = _load_test_mode(True, clients, requests_per_client)
+    close = _load_test_mode(False, clients, requests_per_client)
+    ratio = (
+        round(keepalive["throughput_rps"] / close["throughput_rps"], 3)
+        if keepalive["throughput_rps"] and close["throughput_rps"]
+        else None
+    )
+    for name, mode in (("keepalive", keepalive), ("close-per-request", close)):
+        print(
+            f"  load({name}): {mode['clients']} clients x {mode['requests_per_client']}  "
+            f"{mode['throughput_rps']:.0f} rps  p50 {mode['p50_ms']:.1f}ms  "
+            f"p95 {mode['p95_ms']:.1f}ms  p99 {mode['p99_ms']:.1f}ms  "
+            f"({mode['connections_total']} conns)"
+        )
+    print(f"  load: keepalive/close throughput ratio {ratio:.2f}x")
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "keepalive": keepalive,
+        "close_per_request": close,
+        "keepalive_vs_close_throughput": ratio,
+    }
+
+
 def run_service_benchmark(smoke: bool) -> dict:
     """The batch-service record: store-focused, fan-out, and scaling phases.
 
@@ -422,6 +552,7 @@ def run_service_benchmark(smoke: bool) -> dict:
         )
         record["heavy"] = heavy
     record["scaling"] = run_worker_scaling(smoke)
+    record["load_test"] = run_load_test(smoke)
     return record
 
 

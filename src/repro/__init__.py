@@ -62,7 +62,7 @@ from repro.service import (
 )
 from repro.workloads import generate_jobs
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Schema",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
@@ -45,6 +46,7 @@ from repro.library import (
 from repro.perf import cache_stats_snapshot, caches_enabled, set_caches_enabled
 from repro.relational.csp import COLORED_GRAPH_SCHEMA, GRAPH_SCHEMA
 from repro.service import BatchRunner, ResultStore
+from repro.service.server import DEFAULT_MAX_CONNECTIONS, DEFAULT_MAX_PENDING
 from repro.workloads import FAMILIES, generate_jobs
 
 #: Named example workloads: name -> (system builder, theory builder).
@@ -241,6 +243,13 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("workers must be >= 1", file=sys.stderr)
         return 2
+    if args.max_connections < 1:
+        print("max-connections must be >= 1", file=sys.stderr)
+        return 2
+    # --auth-token wins; the environment variable keeps the secret out of
+    # `ps` output and shell history for production deployments.
+    auth_token = args.auth_token or os.environ.get("REPRO_AUTH_TOKEN") or None
+    max_pending = None if args.max_pending < 0 else args.max_pending
     try:
         if args.store:
             store = ResultStore(args.store, ttl_seconds=args.ttl, max_entries=args.max_entries)
@@ -259,6 +268,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             port_file=args.port_file,
+            auth_token=auth_token,
+            max_pending=max_pending,
+            max_connections=args.max_connections,
         )
     finally:
         store.close()
@@ -405,6 +417,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-job wall-clock budget in seconds (Unix, workers > 1 only)",
+    )
+    serve.add_argument(
+        "--auth-token",
+        default=None,
+        help="require this shared-secret token on every request except "
+        "/v1/healthz (default: $REPRO_AUTH_TOKEN, else no auth)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=DEFAULT_MAX_PENDING,
+        help="work-bearing requests in flight before load-shedding with 429; "
+        f"0 sheds everything, -1 disables shedding (default: {DEFAULT_MAX_PENDING})",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=DEFAULT_MAX_CONNECTIONS,
+        help="open connection cap; over-cap connects are answered 503 "
+        f"(default: {DEFAULT_MAX_CONNECTIONS})",
     )
     serve.set_defaults(handler=_command_serve)
 

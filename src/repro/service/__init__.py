@@ -22,6 +22,7 @@ deployments.  Persistence is pluggable through the
 """
 
 from repro.service.backends import MemoryBackend, SQLiteBackend, StoreBackend
+from repro.service.client import ServiceClient, ServiceError, jobs_to_wire, post_jobs
 from repro.service.jobs import (
     DEFAULT_JOB_MAX_CONFIGURATIONS,
     JobResult,
@@ -29,7 +30,14 @@ from repro.service.jobs import (
     execute_job,
 )
 from repro.service.runner import BatchReport, BatchRunner, FingerprintMismatch, run_batch
-from repro.service.server import ServerThread, VerificationService, run_server
+from repro.service.server import (
+    API_VERSION,
+    ERROR_CODES,
+    ApiError,
+    ServerThread,
+    VerificationService,
+    run_server,
+)
 from repro.service.specs import THEORY_KINDS, theory_from_spec, theory_to_spec
 from repro.service.store import ResultStore
 
@@ -40,6 +48,13 @@ __all__ = [
     "VerificationService",
     "ServerThread",
     "run_server",
+    "API_VERSION",
+    "ERROR_CODES",
+    "ApiError",
+    "ServiceClient",
+    "ServiceError",
+    "jobs_to_wire",
+    "post_jobs",
     "VerificationJob",
     "JobResult",
     "execute_job",

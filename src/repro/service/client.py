@@ -1,0 +1,264 @@
+"""An HTTP client for the ``repro serve`` front door.
+
+:class:`ServiceClient` is the supported way to drive the service from
+Python: it speaks the versioned ``/v1`` API, reuses one keep-alive
+connection across calls (``http.client`` under the hood, nothing beyond the
+stdlib), attaches the shared-secret auth token when one is configured, and
+retries load-shed responses honouring the server's ``Retry-After``.
+
+The module-level :func:`jobs_to_wire` / :func:`post_jobs` helpers are the
+functional face of the same client; ``repro.workloads`` re-exports them for
+backwards compatibility with pre-``/v1`` scripts.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.service.jobs import VerificationJob
+
+#: Default per-request socket timeout.  Batch verification is slow work.
+DEFAULT_TIMEOUT = 600.0
+
+#: Default retry budget for retryable statuses (429 overload, 503 cap).
+DEFAULT_RETRIES = 3
+
+#: Fallback wait when a retryable response carries no Retry-After header.
+DEFAULT_BACKOFF_SECONDS = 0.25
+
+#: Statuses worth retrying: the server sheds (429) or refuses the
+#: connection (503) under load, and both advertise Retry-After.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service.
+
+    Carries the HTTP ``status``, the machine ``code`` from the server's
+    error envelope (``{"error": {"code", "message", "detail"}}``), and the
+    decoded ``payload`` so callers can branch without string-matching.
+    """
+
+    def __init__(self, method: str, url: str, status: int, payload: Any) -> None:
+        self.status = status
+        self.payload = payload
+        envelope = payload.get("error") if isinstance(payload, dict) else None
+        if isinstance(envelope, dict):
+            self.code = envelope.get("code", "unknown")
+            message = envelope.get("message", "")
+        else:  # not the envelope (a proxy, or a pre-envelope server)
+            self.code = "unknown"
+            message = str(payload)
+        super().__init__(f"{method} {url} failed with {status} [{self.code}]: {message}")
+
+
+def jobs_to_wire(
+    jobs: Sequence[VerificationJob],
+    wait: bool = True,
+    include_fingerprints: bool = True,
+) -> Dict[str, object]:
+    """The ``POST /v1/jobs`` batch payload for ``jobs`` (see ``repro serve``).
+
+    With ``include_fingerprints`` each spec carries the client-computed
+    fingerprint, which the server re-derives and verifies -- the end-to-end
+    guard that both sides serialize canonically.
+    """
+    specs = []
+    for job in jobs:
+        spec = dict(job.to_spec())
+        if include_fingerprints:
+            spec["fingerprint"] = job.fingerprint
+        specs.append(spec)
+    return {"jobs": specs, "wait": wait}
+
+
+class ServiceClient:
+    """A keep-alive client for one ``repro serve`` endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        The server root, e.g. ``http://127.0.0.1:8080``.  Paths are joined
+        under its ``/v1`` prefix automatically.
+    auth_token:
+        Shared secret sent as ``Authorization: Bearer <token>`` when the
+        server runs with ``--auth-token``.
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        How many times a load-shed response (429/503) is retried before
+        :class:`ServiceError` is raised.  Retrying a ``POST /v1/jobs`` is
+        safe: verdicts are deterministic and the server dedups by
+        fingerprint, so a repeated submission never runs work twice.
+    keep_alive:
+        When False, a fresh connection is opened per request (the
+        close-per-request baseline the load-test benchmark compares
+        against).  Default True: one persistent connection is reused.
+
+    Usable as a context manager; :meth:`close` drops the connection.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        auth_token: Optional[str] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        keep_alive: bool = True,
+        api_version: str = "v1",
+    ) -> None:
+        parsed = urllib.parse.urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parsed.scheme!r} (http only)")
+        if not parsed.hostname:
+            raise ValueError(f"no host in base_url {base_url!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._auth_token = auth_token
+        self._timeout = timeout
+        self._retries = retries
+        self._keep_alive = keep_alive
+        self._prefix = f"/{api_version}" if api_version else ""
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- connection management ---------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request core ------------------------------------------------------------
+
+    def _headers(self, has_body: bool) -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        if has_body:
+            headers["Content-Type"] = "application/json"
+        if self._auth_token is not None:
+            headers["Authorization"] = f"Bearer {self._auth_token}"
+        if not self._keep_alive:
+            headers["Connection"] = "close"
+        return headers
+
+    def _once(self, method: str, path: str, body: Optional[bytes]) -> Tuple[int, Any, Any]:
+        """One request/response over the (possibly reused) connection."""
+        connection = self._connect()
+        try:
+            connection.request(method, path, body=body, headers=self._headers(body is not None))
+            response = connection.getresponse()
+            raw = response.read()
+        except (http.client.RemoteDisconnected, BrokenPipeError, ConnectionResetError):
+            # A stale keep-alive connection (server idle-timeout won the
+            # race, or it restarted).  Drop it and retry once on a fresh
+            # connection -- safe for this API: POST /v1/jobs is effectively
+            # idempotent (deterministic verdicts, fingerprint dedup).
+            self.close()
+            connection = self._connect()
+            connection.request(method, path, body=body, headers=self._headers(body is not None))
+            response = connection.getresponse()
+            raw = response.read()
+        if not self._keep_alive or response.will_close:
+            self.close()
+        content_type = response.getheader("Content-Type", "")
+        if "json" in content_type and raw:
+            payload: Any = json.loads(raw.decode("utf-8"))
+        else:
+            payload = raw.decode("utf-8", "replace")
+        return response.status, payload, response
+
+    def request(self, method: str, path: str, payload: Any = None) -> Any:
+        """Issue one API call (path relative to ``/v1``), with shed retries.
+
+        Returns the decoded JSON body on 2xx; raises :class:`ServiceError`
+        otherwise.  429/503 responses are retried up to ``retries`` times,
+        sleeping for the server's ``Retry-After`` between attempts.
+        """
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        url = self._prefix + path
+        attempt = 0
+        while True:
+            status, decoded, response = self._once(method, url, body)
+            if status < 400:
+                return decoded
+            if status in RETRYABLE_STATUSES and attempt < self._retries:
+                attempt += 1
+                retry_after = response.getheader("Retry-After")
+                try:
+                    delay = float(retry_after) if retry_after else DEFAULT_BACKOFF_SECONDS
+                except ValueError:
+                    delay = DEFAULT_BACKOFF_SECONDS
+                time.sleep(min(delay, self._timeout))
+                continue
+            raise ServiceError(method, f"http://{self._host}:{self._port}{url}", status, decoded)
+
+    # -- the API surface ---------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /v1/metrics``."""
+        return self.request("GET", "/metrics")
+
+    def submit_job(self, job: VerificationJob, include_fingerprint: bool = True) -> Dict[str, Any]:
+        """Decide one job; returns the single-job response envelope."""
+        spec = dict(job.to_spec())
+        if include_fingerprint:
+            spec["fingerprint"] = job.fingerprint
+        return self.request("POST", "/jobs", spec)
+
+    def submit_batch(
+        self,
+        jobs: Sequence[VerificationJob],
+        wait: bool = True,
+        include_fingerprints: bool = True,
+    ) -> Dict[str, Any]:
+        """Submit a batch; the full report when ``wait``, else the 202 envelope."""
+        return self.request("POST", "/jobs", jobs_to_wire(jobs, wait, include_fingerprints))
+
+    def lookup(self, fingerprint: str) -> Dict[str, Any]:
+        """The stored verdict for ``fingerprint`` (404 -> ServiceError)."""
+        return self.request("GET", f"/jobs/{fingerprint}")
+
+    def batch_status(self, batch_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/batch/{batch_id}")
+
+
+def post_jobs(
+    base_url: str,
+    jobs: Sequence[VerificationJob],
+    wait: bool = True,
+    include_fingerprints: bool = True,
+    timeout: float = DEFAULT_TIMEOUT,
+    auth_token: Optional[str] = None,
+) -> Dict[str, object]:
+    """POST a batch of jobs to a running ``repro serve`` endpoint.
+
+    A one-shot convenience over :class:`ServiceClient` (connect, submit,
+    close).  Returns the decoded JSON response (the full batch report when
+    ``wait``, the ``202`` acceptance envelope otherwise); raises
+    :class:`ServiceError` -- a ``RuntimeError`` subclass, so pre-``/v1``
+    callers that caught that still work -- on a non-2xx response.
+    """
+    with ServiceClient(base_url, auth_token=auth_token, timeout=timeout) as client:
+        return client.submit_batch(jobs, wait=wait, include_fingerprints=include_fingerprints)

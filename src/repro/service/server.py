@@ -1,9 +1,8 @@
-"""The async HTTP front door: ``repro serve``.
+"""The production HTTP front door: ``repro serve``.
 
 An ``asyncio`` HTTP/1.1 service (stdlib only, matching the repository's
 zero-dependency rule) that turns the batch verification service into an
-always-on endpoint.  Three properties make it safe to put in front of heavy
-duplicate-rich traffic:
+always-on endpoint hardened for sustained mixed cold/warm traffic:
 
 * **Store-first.**  Every job is looked up in the
   :class:`~repro.service.store.ResultStore` before any work is scheduled;
@@ -19,35 +18,65 @@ duplicate-rich traffic:
   event loop with ``run_in_executor``; per-job completions are marshalled
   back with ``call_soon_threadsafe``, so batch progress streams while the
   pool is still working.
+* **Keep-alive connections.**  HTTP/1.1 persistent connections with request
+  pipelining, an idle timeout between requests, a read budget per request
+  (slowloris guard), and a connection cap (over-cap connects are answered
+  ``503`` and closed).
+* **Load-shedding.**  Work-bearing requests (``POST /v1/jobs``) pass a
+  bounded admission gate; over-limit requests are shed with ``429`` +
+  ``Retry-After`` instead of queueing without bound.  Queue depth and shed
+  counts are tracked and exported.
+* **Auth.**  Optional shared-secret token auth (``Authorization: Bearer``
+  or ``X-Auth-Token``, compared constant-time via :func:`hmac.compare_digest`)
+  with distinct ``401`` (missing) / ``403`` (wrong) paths; ``/v1/healthz``
+  stays open for probes.
+* **Observability.**  ``GET /v1/stats`` reports queue depth, connection
+  counts and per-endpoint latency percentiles (p50/p95/p99 over a sliding
+  window); ``GET /v1/metrics`` exports the same data in Prometheus text
+  exposition format.
 
-Wire format -- the canonical JSON job specs of :mod:`repro.service.jobs`:
+Wire format -- the canonical JSON job specs of :mod:`repro.service.jobs`,
+mounted under the versioned ``/v1`` prefix:
 
-* ``POST /jobs`` with a single spec object decides one job and returns its
-  result; with ``{"jobs": [spec, ...]}`` it runs a batch (``"wait": false``
-  returns ``202`` immediately with a batch id).  A spec may carry an
-  optional client-computed ``"fingerprint"``, which the server verifies
-  against its own canonical fingerprint (``409`` on mismatch).
-* ``GET /jobs/{fingerprint}`` serves a stored verdict (``404`` if absent).
-* ``GET /batch/{id}`` reports batch status; ``GET /batch/{id}/events``
+* ``POST /v1/jobs`` with a single spec object decides one job and returns
+  its result; with ``{"jobs": [spec, ...]}`` it runs a batch
+  (``"wait": false`` returns ``202`` immediately with a batch id).  A spec
+  may carry an optional client-computed ``"fingerprint"``, which the server
+  verifies against its own canonical fingerprint (``409`` on mismatch).
+* ``GET /v1/jobs/{fingerprint}`` serves a stored verdict (``404`` if absent).
+* ``GET /v1/batch/{id}`` reports batch status; ``GET /v1/batch/{id}/events``
   streams batch progress as NDJSON, replaying past events then following
   live until the batch completes.
-* ``GET /healthz`` and ``GET /stats`` are for probes and dashboards.
+* ``GET /v1/healthz``, ``GET /v1/stats`` and ``GET /v1/metrics`` are for
+  probes and dashboards.
+
+The pre-``/v1`` unversioned paths survive as deprecated aliases: they serve
+identical responses plus a ``Deprecation: true`` header and a ``Link`` to
+the ``/v1`` successor.  Unknown version prefixes (``/v2/...``) return
+``404`` with a hint.  Every error response uses one envelope::
+
+    {"error": {"code": "<machine code>", "message": "<human>", "detail": ...}}
+
+with the machine codes documented in :data:`ERROR_CODES`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import dataclasses
+import hmac
 import json
+import math
+import re
 import threading
 import time
 import uuid
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from http import HTTPStatus
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ReproError
 from repro.service.jobs import JobResult, VerificationJob
@@ -58,27 +87,88 @@ from repro.service.store import ResultStore
 #: batch specs run a few KB per job).
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
-#: Completed batch records kept for /batch/{id} lookups before eviction.
+#: Completed batch records kept for /v1/batch/{id} lookups before eviction.
 MAX_BATCH_RECORDS = 128
 
-#: Budget for reading one request's header block and body; connections
-#: that dribble or stall (slowloris) are dropped when it elapses.
+#: Budget for reading one request's header block and body once the request
+#: line has arrived; connections that dribble or stall (slowloris) are
+#: dropped when it elapses.
 READ_TIMEOUT_SECONDS = 30.0
+
+#: Keep-alive idle budget: how long a persistent connection may sit between
+#: requests before the server closes it.
+IDLE_TIMEOUT_SECONDS = 60.0
+
+#: Requests served per connection before the server closes it (bounds the
+#: lifetime of any single persistent connection).
+MAX_REQUESTS_PER_CONNECTION = 1000
+
+#: Default admission-gate size: work-bearing requests in flight beyond this
+#: are shed with 429 + Retry-After.
+DEFAULT_MAX_PENDING = 64
+
+#: Default open-connection cap; over-cap connects get 503 and are closed.
+DEFAULT_MAX_CONNECTIONS = 512
+
+#: Sliding-window size (samples per endpoint) for latency percentiles.
+LATENCY_WINDOW = 2048
+
+#: The one API version this server speaks.
+API_VERSION = "v1"
+
+#: Machine error codes of the unified error envelope
+#: ``{"error": {"code", "message", "detail"}}``, and when each is returned.
+ERROR_CODES: Dict[str, str] = {
+    "bad-request": "400: the HTTP request itself is malformed (request line, Content-Length)",
+    "invalid-json": "400: the request body is not valid JSON",
+    "invalid-spec": "400: the JSON body is not a valid job spec / batch envelope",
+    "auth-required": "401: the server requires a token and the request carried none",
+    "auth-invalid": "403: the request carried a token that does not match",
+    "not-found": "404: unknown path, unknown fingerprint, or evicted batch id",
+    "unknown-version": "404: the path names an API version this server does not speak",
+    "method-not-allowed": "405: the path exists but not for this HTTP method",
+    "fingerprint-mismatch": "409: a client-supplied fingerprint disagrees with the canonical one",
+    "payload-too-large": "413: the request body exceeds MAX_BODY_BYTES",
+    "overloaded": "429: the admission gate is full; retry after Retry-After seconds",
+    "too-many-connections": "503: the connection cap is reached; retry after Retry-After seconds",
+    "internal": "500: unexpected server-side failure",
+}
 
 
 class ApiError(Exception):
-    """An HTTP-mappable request failure (status, machine code, message)."""
+    """An HTTP-mappable request failure (status, machine code, message).
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    ``detail`` lands in the error envelope's ``detail`` field; ``headers``
+    are extra response headers (``Retry-After``, ``WWW-Authenticate``);
+    ``close`` forces the connection shut after the error is sent.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        detail: Optional[Any] = None,
+        headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.detail = detail
+        self.headers = headers or {}
+        self.close = close
+
+
+def error_envelope(code: str, message: str, detail: Optional[Any] = None) -> Dict[str, Any]:
+    """The unified error body every non-2xx response carries."""
+    return {"error": {"code": code, "message": message, "detail": detail}}
 
 
 @dataclass
 class ServiceStats:
-    """Monotonic counters surfaced by ``GET /stats``."""
+    """Monotonic counters surfaced by ``GET /v1/stats`` and ``/v1/metrics``."""
 
     jobs_received: int = 0
     executed: int = 0
@@ -87,9 +177,106 @@ class ServiceStats:
     batch_dedup: int = 0
     batches: int = 0
     rejected: int = 0
+    shed: int = 0
+    auth_rejected: int = 0
+    connections_total: int = 0
+    connections_refused: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+class LatencyTracker:
+    """Per-endpoint latency percentiles over a sliding sample window.
+
+    Only ever touched from the event-loop thread, so plain containers are
+    safe.  Percentiles are nearest-rank over the last ``window`` samples;
+    count/sum are lifetime totals (what Prometheus summaries expect).
+    """
+
+    QUANTILES = (0.5, 0.95, 0.99)
+
+    def __init__(self, window: int = LATENCY_WINDOW) -> None:
+        self._window = window
+        self._samples: Dict[str, Deque[float]] = {}
+        self._counts: Dict[str, int] = {}
+        self._sums: Dict[str, float] = {}
+
+    def observe(self, endpoint: str, seconds: float) -> None:
+        bucket = self._samples.get(endpoint)
+        if bucket is None:
+            bucket = self._samples[endpoint] = deque(maxlen=self._window)
+            self._counts[endpoint] = 0
+            self._sums[endpoint] = 0.0
+        bucket.append(seconds)
+        self._counts[endpoint] += 1
+        self._sums[endpoint] += seconds
+
+    def quantiles(self, endpoint: str) -> Dict[float, float]:
+        ordered = sorted(self._samples.get(endpoint, ()))
+        if not ordered:
+            return {}
+        return {q: _percentile(ordered, q) for q in self.QUANTILES}
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready per-endpoint summary (milliseconds, for /v1/stats)."""
+        report: Dict[str, Dict[str, float]] = {}
+        for endpoint, count in self._counts.items():
+            quantiles = self.quantiles(endpoint)
+            report[endpoint] = {
+                "count": count,
+                "mean_ms": round(1000.0 * self._sums[endpoint] / count, 3),
+                "p50_ms": round(1000.0 * quantiles[0.5], 3),
+                "p95_ms": round(1000.0 * quantiles[0.95], 3),
+                "p99_ms": round(1000.0 * quantiles[0.99], 3),
+            }
+        return report
+
+    def prometheus_lines(self) -> List[str]:
+        """Summary-typed exposition lines (seconds, for /v1/metrics)."""
+        lines = [
+            "# HELP repro_request_latency_seconds Request latency by endpoint.",
+            "# TYPE repro_request_latency_seconds summary",
+        ]
+        for endpoint in sorted(self._counts):
+            for q, value in self.quantiles(endpoint).items():
+                lines.append(
+                    f'repro_request_latency_seconds{{endpoint="{endpoint}",'
+                    f'quantile="{q}"}} {value:.6f}'
+                )
+            lines.append(
+                f'repro_request_latency_seconds_sum{{endpoint="{endpoint}"}} '
+                f"{self._sums[endpoint]:.6f}"
+            )
+            lines.append(
+                f'repro_request_latency_seconds_count{{endpoint="{endpoint}"}} '
+                f"{self._counts[endpoint]}"
+            )
+        return lines
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request off a (possibly persistent) connection."""
+
+    method: str
+    path: str
+    query: str
+    headers: Dict[str, str]
+    body: bytes
+    version: str
+
+    def wants_keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return "keep-alive" in connection
+        return "close" not in connection
 
 
 class BatchRecord:
@@ -156,11 +343,29 @@ class VerificationService:
         only from the event-loop thread (the single-writer discipline the
         store's SQLite backend expects).
     workers:
-        Worker processes of the backing :class:`BatchRunner` pool.
+        Worker processes of the backing :class:`BatchRunner` pool (spawned,
+        not forked: the server forks off executor threads, where a forked
+        child can inherit locks mid-flight).
     timeout_seconds:
         Per-job wall-clock budget, enforced inside pool workers (Unix only,
         and only when ``workers > 1`` -- single-worker execution runs on an
         executor thread where ``SIGALRM`` cannot fire).
+    auth_token:
+        Optional shared secret.  When set, every endpoint except
+        ``/v1/healthz`` requires ``Authorization: Bearer <token>`` or
+        ``X-Auth-Token: <token>``; comparison is constant-time.
+    max_pending:
+        Admission-gate size for work-bearing requests (``POST /v1/jobs``).
+        Requests beyond it are shed with ``429`` + ``Retry-After``.
+        ``None`` disables shedding; ``0`` sheds everything (a drain mode
+        the CI smoke job uses for a deterministic 429 assertion).
+    max_connections:
+        Open-connection cap; over-cap connects get ``503`` and are closed.
+    idle_timeout / read_timeout:
+        Keep-alive idle budget between requests / read budget within one
+        request (see the module constants for the defaults).
+    retry_after:
+        Integer seconds advertised in ``Retry-After`` on 429/503 responses.
     execute_delay:
         Artificial pre-execution delay in seconds.  A test/benchmark aid:
         it widens the in-flight window so concurrent duplicate submissions
@@ -172,19 +377,39 @@ class VerificationService:
         store: Optional[ResultStore] = None,
         workers: int = 1,
         timeout_seconds: Optional[float] = None,
+        auth_token: Optional[str] = None,
+        max_pending: Optional[int] = DEFAULT_MAX_PENDING,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        idle_timeout: float = IDLE_TIMEOUT_SECONDS,
+        read_timeout: float = READ_TIMEOUT_SECONDS,
+        retry_after: int = 1,
         execute_delay: float = 0.0,
     ) -> None:
+        if max_pending is not None and max_pending < 0:
+            raise ValueError("max_pending must be >= 0 (or None to disable shedding)")
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
         self._store = store
         self._workers = workers
         self._runner = BatchRunner(workers=workers, timeout_seconds=timeout_seconds)
         self._executor = ThreadPoolExecutor(
             max_workers=max(4, workers), thread_name_prefix="repro-serve"
         )
+        self._auth_token = auth_token
+        self._max_pending = max_pending
+        self._max_connections = max_connections
+        self._idle_timeout = idle_timeout
+        self._read_timeout = read_timeout
+        self._retry_after = retry_after
         self._execute_delay = execute_delay
+        self._pending = 0
+        self._open_connections = 0
         self._inflight: Dict[str, asyncio.Future] = {}
         self._batches: "OrderedDict[str, BatchRecord]" = OrderedDict()
         self._batch_tasks: set = set()
+        self._conn_tasks: set = set()
         self.stats = ServiceStats()
+        self.latency = LatencyTracker()
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- job parsing -------------------------------------------------------------
@@ -413,6 +638,25 @@ class VerificationService:
             del self._batches[victim]
         return record
 
+    # -- admission gate ----------------------------------------------------------
+
+    def _admit(self) -> None:
+        """Pass the admission gate or shed the request with 429."""
+        if self._max_pending is not None and self._pending >= self._max_pending:
+            self.stats.shed += 1
+            raise ApiError(
+                429,
+                "overloaded",
+                f"admission queue is full ({self._pending} of "
+                f"{self._max_pending} work-bearing requests in flight)",
+                detail={"queue_depth": self._pending, "queue_limit": self._max_pending},
+                headers={"Retry-After": str(self._retry_after)},
+            )
+        self._pending += 1
+
+    def _release(self) -> None:
+        self._pending -= 1
+
     # -- HTTP layer --------------------------------------------------------------
 
     async def start(self, host: str = "127.0.0.1", port: int = 8080) -> Tuple[str, int]:
@@ -430,27 +674,44 @@ class VerificationService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Open keep-alive connections are parked in _read_request waiting
+        # for a next request that will never come; cancel them so shutdown
+        # does not leak pending tasks.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self.stats.connections_total += 1
+        if self._open_connections >= self._max_connections:
+            self.stats.connections_refused += 1
+            try:
+                await self._send_json(
+                    writer,
+                    503,
+                    error_envelope(
+                        "too-many-connections",
+                        f"connection cap of {self._max_connections} reached",
+                    ),
+                    headers={"Retry-After": str(self._retry_after)},
+                    keep_alive=False,
+                )
+            except ConnectionError:
+                pass
+            finally:
+                await self._close_writer(writer)
+            return
+        self._open_connections += 1
         try:
-            request = await asyncio.wait_for(
-                self._read_request(reader, writer), timeout=READ_TIMEOUT_SECONDS
-            )
-            if request is not None:
-                await self._dispatch(request, writer)
-        except ApiError as error:
-            # 404/405 are routine probe answers (cache-miss lookups, evicted
-            # batches); "rejected" counts requests the server refused to parse.
-            if error.status not in (404, 405):
-                self.stats.rejected += 1
-            await self._send_json(
-                writer,
-                error.status,
-                {"error": error.code, "message": error.message},
-            )
+            await self._serve_connection(reader, writer)
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
             pass
         except Exception as exc:  # noqa: BLE001 - a request must not kill the server
@@ -458,27 +719,74 @@ class VerificationService:
                 await self._send_json(
                     writer,
                     500,
-                    {"error": "internal", "message": f"{type(exc).__name__}: {exc}"},
+                    error_envelope("internal", f"{type(exc).__name__}: {exc}"),
+                    keep_alive=False,
                 )
             except ConnectionError:
                 pass
         finally:
+            self._open_connections -= 1
+            await self._close_writer(writer)
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """The keep-alive loop: serve pipelined requests until close/idle."""
+        served = 0
+        while served < MAX_REQUESTS_PER_CONNECTION:
             try:
-                writer.close()
-                await writer.wait_closed()
-            except ConnectionError:
-                pass
+                request = await self._read_request(reader, writer)
+            except asyncio.TimeoutError:
+                # Idle keep-alive connection or a stalled (slowloris) read;
+                # either way the connection is done.
+                return
+            except ApiError as error:
+                # The request never parsed (bad request line, bad
+                # Content-Length, oversized body): answer and close, since
+                # the unread stream cannot be resynchronized.
+                self.stats.rejected += 1
+                await self._send_json(
+                    writer,
+                    error.status,
+                    error_envelope(error.code, error.message, error.detail),
+                    headers=error.headers,
+                    keep_alive=False,
+                )
+                return
+            if request is None:
+                return
+            served += 1
+            if not await self._handle_one(request, writer):
+                return
 
     async def _read_request(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
-        request_line = await reader.readline()
+    ) -> Optional[Request]:
+        # The wait for the *next* request line is bounded by the idle
+        # budget; once a request has started, completing its header block
+        # and body is bounded by the (shorter) read budget.
+        request_line = await asyncio.wait_for(reader.readline(), timeout=self._idle_timeout)
         if not request_line:
             return None
+        return await asyncio.wait_for(
+            self._read_request_rest(request_line, reader, writer), timeout=self._read_timeout
+        )
+
+    async def _read_request_rest(
+        self, request_line: bytes, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Request:
         parts = request_line.decode("latin-1").strip().split()
         if len(parts) != 3:
-            raise ApiError(400, "bad-request", "malformed HTTP request line")
-        method, target, _version = parts
+            raise ApiError(400, "bad-request", "malformed HTTP request line", close=True)
+        method, target, version = parts
         headers: Dict[str, str] = {}
         while True:
             line = await reader.readline()
@@ -490,11 +798,16 @@ class VerificationService:
         try:
             length = int(raw_length)
         except ValueError:
-            raise ApiError(400, "bad-request", f"bad Content-Length {raw_length!r}") from None
+            raise ApiError(
+                400, "bad-request", f"bad Content-Length {raw_length!r}", close=True
+            ) from None
         if length < 0:
-            raise ApiError(400, "bad-request", f"bad Content-Length {raw_length!r}")
+            raise ApiError(400, "bad-request", f"bad Content-Length {raw_length!r}", close=True)
         if length > MAX_BODY_BYTES:
-            raise ApiError(413, "payload-too-large", f"body exceeds {MAX_BODY_BYTES} bytes")
+            # The unread body would desynchronize the connection, so close.
+            raise ApiError(
+                413, "payload-too-large", f"body exceeds {MAX_BODY_BYTES} bytes", close=True
+            )
         if headers.get("expect", "").lower() == "100-continue":
             # curl sends this for bodies over ~1KB (every real batch spec)
             # and waits up to a second for the interim response.
@@ -502,51 +815,265 @@ class VerificationService:
             await writer.drain()
         body = await reader.readexactly(length) if length else b""
         path, _, query = target.partition("?")
-        return method, path, query, headers, body
+        return Request(
+            method=method, path=path, query=query, headers=headers, body=body, version=version
+        )
 
-    async def _dispatch(
-        self,
-        request: Tuple[str, str, str, Dict[str, str], bytes],
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        method, path, _query, _headers, body = request
-        if path == "/healthz" and method == "GET":
-            from repro import __version__  # deferred: repro imports this package
-
+    async def _handle_one(self, request: Request, writer: asyncio.StreamWriter) -> bool:
+        """Dispatch one request; returns whether to keep the connection."""
+        keep_alive = request.wants_keep_alive()
+        started = time.perf_counter()
+        label = "unrouted"
+        try:
+            version_rest = self._strip_version(request.path)
+            deprecated = version_rest is None
+            rest = request.path if deprecated else version_rest
+            extra = self._deprecation_headers(request.path) if deprecated else {}
+            label, handler = self._route(request, rest)
+            self._check_auth(request, rest)
+            stream_open = await handler(request, writer, extra, keep_alive)
+            if stream_open is False:
+                keep_alive = False
+        except ApiError as error:
+            # 404/405 are routine probe answers (cache-miss lookups, evicted
+            # batches); "rejected" counts requests the server refused to parse.
+            if error.status not in (404, 405):
+                self.stats.rejected += 1
+            if error.close:
+                keep_alive = False
+            headers = dict(error.headers)
+            if label == "unrouted":
+                label = "error"
             await self._send_json(
                 writer,
-                200,
-                {
-                    "status": "ok",
-                    "version": __version__,
-                    "workers": self._workers,
-                    "store": self._store.path if self._store is not None else None,
-                    "inflight": len(self._inflight),
-                },
+                error.status,
+                error_envelope(error.code, error.message, error.detail),
+                headers=headers,
+                keep_alive=keep_alive,
             )
-        elif path == "/stats" and method == "GET":
-            payload = {
-                **self.stats.as_dict(),
-                "inflight": len(self._inflight),
-                # Raw backend count: len(store) would run a TTL purge scan
-                # per poll, too heavy for a monitoring endpoint.
-                "store_size": self._store.backend.count() if self._store is not None else None,
-            }
-            await self._send_json(writer, 200, payload)
-        elif path == "/jobs" and method == "POST":
-            await self._handle_jobs(body, writer)
-        elif path.startswith("/jobs/") and method == "GET":
-            await self._handle_job_lookup(path[len("/jobs/") :], writer)
-        elif path.startswith("/batch/") and method == "GET":
-            rest = path[len("/batch/") :]
-            if rest.endswith("/events"):
-                await self._handle_batch_events(rest[: -len("/events")].rstrip("/"), writer)
-            else:
-                await self._handle_batch_status(rest, writer)
-        elif path in ("/jobs", "/stats", "/healthz") or path.startswith(("/jobs/", "/batch/")):
-            raise ApiError(405, "method-not-allowed", f"{method} not supported on {path}")
+        finally:
+            self.latency.observe(label, time.perf_counter() - started)
+        return keep_alive
+
+    @staticmethod
+    def _strip_version(path: str) -> Optional[str]:
+        """The path below ``/v1``, or None for a legacy (unversioned) path.
+
+        Unknown version prefixes fail here with a 404 + hint rather than
+        falling through to the legacy aliases.
+        """
+        if path == f"/{API_VERSION}" or path.startswith(f"/{API_VERSION}/"):
+            return path[len(API_VERSION) + 1 :] or "/"
+        match = re.match(r"^/(v\d+)(?:/|$)", path)
+        if match is not None:
+            raise ApiError(
+                404,
+                "unknown-version",
+                f"unknown API version {match.group(1)!r}",
+                detail=f"this server speaks /{API_VERSION} only; "
+                f"try /{API_VERSION}{path[len(match.group(1)) + 1 :]}",
+            )
+        return None
+
+    @staticmethod
+    def _deprecation_headers(path: str) -> Dict[str, str]:
+        return {
+            "Deprecation": "true",
+            "Link": f'</{API_VERSION}{path}>; rel="successor-version"',
+        }
+
+    def _route(self, request: Request, rest: str):
+        """Resolve ``(label, handler)`` for a version-stripped path."""
+        method = request.method
+        if rest == "/healthz":
+            if method == "GET":
+                return "healthz", self._handle_healthz
+        elif rest == "/stats":
+            if method == "GET":
+                return "stats", self._handle_stats
+        elif rest == "/metrics":
+            if method == "GET":
+                return "metrics", self._handle_metrics
+        elif rest == "/jobs":
+            if method == "POST":
+                return "jobs_submit", self._handle_jobs
+        elif rest.startswith("/jobs/"):
+            if method == "GET":
+                return "job_lookup", self._handle_job_lookup
+        elif rest.startswith("/batch/"):
+            if method == "GET":
+                if rest.endswith("/events"):
+                    return "batch_events", self._handle_batch_events
+                return "batch_status", self._handle_batch_status
         else:
-            raise ApiError(404, "not-found", f"unknown path {path}")
+            raise ApiError(
+                404,
+                "not-found",
+                f"unknown path {request.path}",
+                detail=f"endpoints live under /{API_VERSION}: jobs, jobs/{{fingerprint}}, "
+                "batch/{id}, batch/{id}/events, healthz, stats, metrics",
+            )
+        raise ApiError(405, "method-not-allowed", f"{method} not supported on {request.path}")
+
+    def _check_auth(self, request: Request, rest: str) -> None:
+        """Enforce the shared-secret token, when one is configured.
+
+        ``/v1/healthz`` (and its legacy alias) stays open so liveness
+        probes need no secret.  Missing credentials are 401; present but
+        wrong credentials are 403.  Comparison is constant-time.
+        """
+        if self._auth_token is None or rest == "/healthz":
+            return
+        supplied: Optional[str] = None
+        authorization = request.headers.get("authorization")
+        if authorization is not None:
+            scheme, _, value = authorization.partition(" ")
+            if scheme.lower() == "bearer" and value.strip():
+                supplied = value.strip()
+        if supplied is None:
+            supplied = request.headers.get("x-auth-token")
+        if supplied is None:
+            self.stats.auth_rejected += 1
+            raise ApiError(
+                401,
+                "auth-required",
+                "this server requires an auth token",
+                detail="send 'Authorization: Bearer <token>' or 'X-Auth-Token: <token>'",
+                headers={"WWW-Authenticate": 'Bearer realm="repro"'},
+            )
+        if not hmac.compare_digest(supplied.encode("utf-8"), self._auth_token.encode("utf-8")):
+            self.stats.auth_rejected += 1
+            raise ApiError(403, "auth-invalid", "the supplied auth token does not match")
+
+    # -- endpoint handlers -------------------------------------------------------
+
+    async def _handle_healthz(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> None:
+        from repro import __version__  # deferred: repro imports this package
+
+        await self._send_json(
+            writer,
+            200,
+            {
+                "status": "ok",
+                "version": __version__,
+                "api_version": API_VERSION,
+                "workers": self._workers,
+                "store": self._store.path if self._store is not None else None,
+                "inflight": len(self._inflight),
+                "auth": self._auth_token is not None,
+            },
+            headers=extra,
+            keep_alive=keep,
+        )
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        return {
+            **self.stats.as_dict(),
+            "inflight": len(self._inflight),
+            # Raw backend count: len(store) would run a TTL purge scan
+            # per poll, too heavy for a monitoring endpoint.
+            "store_size": self._store.backend.count() if self._store is not None else None,
+            "queue": {
+                "depth": self._pending,
+                "limit": self._max_pending,
+                "shed_total": self.stats.shed,
+            },
+            "connections": {
+                "open": self._open_connections,
+                "limit": self._max_connections,
+                "total": self.stats.connections_total,
+                "refused": self.stats.connections_refused,
+            },
+            "latency": self.latency.summary(),
+        }
+
+    async def _handle_stats(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> None:
+        await self._send_json(writer, 200, self._stats_payload(), headers=extra, keep_alive=keep)
+
+    async def _handle_metrics(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> None:
+        body = self._render_metrics().encode("utf-8")
+        await self._send_raw(
+            writer,
+            200,
+            body,
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+            headers=extra,
+            keep_alive=keep,
+        )
+
+    def _render_metrics(self) -> str:
+        """The Prometheus text exposition of the service state."""
+        counters = {
+            "repro_jobs_received_total": (
+                self.stats.jobs_received,
+                "Jobs received across all requests.",
+            ),
+            "repro_jobs_executed_total": (self.stats.executed, "Jobs run on the engine."),
+            "repro_store_hits_total": (self.stats.store_hits, "Jobs served from the store."),
+            "repro_inflight_joins_total": (
+                self.stats.inflight_joins,
+                "Jobs joined onto an in-flight execution.",
+            ),
+            "repro_batch_dedup_total": (
+                self.stats.batch_dedup,
+                "Duplicate jobs deduplicated within one batch.",
+            ),
+            "repro_batches_total": (self.stats.batches, "Batches accepted."),
+            "repro_requests_rejected_total": (
+                self.stats.rejected,
+                "Requests refused (parse, auth, shed, size).",
+            ),
+            "repro_requests_shed_total": (
+                self.stats.shed,
+                "Work-bearing requests shed by the admission gate.",
+            ),
+            "repro_auth_rejected_total": (
+                self.stats.auth_rejected,
+                "Requests with missing or invalid auth tokens.",
+            ),
+            "repro_connections_opened_total": (
+                self.stats.connections_total,
+                "Connections accepted since start.",
+            ),
+            "repro_connections_refused_total": (
+                self.stats.connections_refused,
+                "Connections refused by the connection cap.",
+            ),
+        }
+        gauges = {
+            "repro_inflight_fingerprints": (
+                len(self._inflight),
+                "Unique fingerprints currently executing.",
+            ),
+            "repro_queue_depth": (self._pending, "Work-bearing requests in flight."),
+            "repro_queue_limit": (
+                self._max_pending if self._max_pending is not None else -1,
+                "Admission gate size (-1 = unbounded).",
+            ),
+            "repro_connections_open": (self._open_connections, "Open connections."),
+            "repro_connections_limit": (self._max_connections, "Connection cap."),
+            "repro_store_size": (
+                self._store.backend.count() if self._store is not None else 0,
+                "Entries in the verdict store.",
+            ),
+        }
+        lines: List[str] = []
+        for name, (value, help_text) in counters.items():
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {value}")
+        for name, (value, help_text) in gauges.items():
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {value}")
+        lines.extend(self.latency.prometheus_lines())
+        return "\n".join(lines) + "\n"
 
     def _parse_body(self, body: bytes) -> Any:
         try:
@@ -554,53 +1081,69 @@ class VerificationService:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ApiError(400, "invalid-json", f"request body is not valid JSON: {exc}") from exc
 
-    async def _handle_jobs(self, body: bytes, writer: asyncio.StreamWriter) -> None:
-        payload = self._parse_body(body)
-        if isinstance(payload, Mapping) and "jobs" in payload:
-            specs = payload["jobs"]
-            if not isinstance(specs, list) or not specs:
-                raise ApiError(400, "invalid-spec", '"jobs" must be a non-empty array')
-            wait = payload.get("wait", True)
-            if not isinstance(wait, bool):
-                raise ApiError(400, "invalid-spec", '"wait" must be a boolean')
-            jobs = [self.parse_job(spec, index) for index, spec in enumerate(specs)]
-            record = self.new_batch(len(jobs))
-            task = asyncio.get_running_loop().create_task(self.run_batch(record, jobs))
-            # Keep a strong reference (the loop only holds weak ones) and
-            # retrieve the exception of detached wait:false tasks.
-            self._batch_tasks.add(task)
-            task.add_done_callback(self._reap_batch_task)
-            if wait:
-                await self._send_json(writer, 200, await task)
-            else:
+    async def _handle_jobs(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> None:
+        self._admit()
+        release = True
+        try:
+            payload = self._parse_body(request.body)
+            if isinstance(payload, Mapping) and "jobs" in payload:
+                specs = payload["jobs"]
+                if not isinstance(specs, list) or not specs:
+                    raise ApiError(400, "invalid-spec", '"jobs" must be a non-empty array')
+                wait = payload.get("wait", True)
+                if not isinstance(wait, bool):
+                    raise ApiError(400, "invalid-spec", '"wait" must be a boolean')
+                jobs = [self.parse_job(spec, index) for index, spec in enumerate(specs)]
+                record = self.new_batch(len(jobs))
+                task = asyncio.get_running_loop().create_task(self.run_batch(record, jobs))
+                # Keep a strong reference (the loop only holds weak ones) and
+                # retrieve the exception of detached wait:false tasks.
+                self._batch_tasks.add(task)
+                task.add_done_callback(self._reap_batch_task)
+                if wait:
+                    await self._send_json(writer, 200, await task, headers=extra, keep_alive=keep)
+                else:
+                    # The detached batch keeps its admission slot until it
+                    # completes, so queue depth reflects background work too.
+                    release = False
+                    task.add_done_callback(lambda _task: self._release())
+                    await self._send_json(
+                        writer,
+                        202,
+                        {
+                            "batch_id": record.batch_id,
+                            "jobs": len(jobs),
+                            "status": "accepted",
+                            "status_url": f"/{API_VERSION}/batch/{record.batch_id}",
+                            "events_url": f"/{API_VERSION}/batch/{record.batch_id}/events",
+                        },
+                        headers=extra,
+                        keep_alive=keep,
+                    )
+            elif isinstance(payload, Mapping):
+                job = self.parse_job(payload)
+                resolved, _counters = await self.resolve_jobs([job])
+                result, served_from = resolved[0]
                 await self._send_json(
                     writer,
-                    202,
+                    200,
                     {
-                        "batch_id": record.batch_id,
-                        "jobs": len(jobs),
-                        "status": "accepted",
-                        "status_url": f"/batch/{record.batch_id}",
-                        "events_url": f"/batch/{record.batch_id}/events",
+                        "served_from": served_from,
+                        "fingerprint": result.fingerprint,
+                        "result": result.as_dict(),
                     },
+                    headers=extra,
+                    keep_alive=keep,
                 )
-        elif isinstance(payload, Mapping):
-            job = self.parse_job(payload)
-            resolved, _counters = await self.resolve_jobs([job])
-            result, served_from = resolved[0]
-            await self._send_json(
-                writer,
-                200,
-                {
-                    "served_from": served_from,
-                    "fingerprint": result.fingerprint,
-                    "result": result.as_dict(),
-                },
-            )
-        else:
-            raise ApiError(
-                400, "invalid-spec", 'body must be a job spec object or {"jobs": [...]}'
-            )
+            else:
+                raise ApiError(
+                    400, "invalid-spec", 'body must be a job spec object or {"jobs": [...]}'
+                )
+        finally:
+            if release:
+                self._release()
 
     def _reap_batch_task(self, task: "asyncio.Task") -> None:
         self._batch_tasks.discard(task)
@@ -613,7 +1156,11 @@ class VerificationService:
                 flush=True,
             )
 
-    async def _handle_job_lookup(self, fingerprint: str, writer: asyncio.StreamWriter) -> None:
+    async def _handle_job_lookup(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> None:
+        rest = self._strip_version(request.path) or request.path
+        fingerprint = rest[len("/jobs/") :]
         cached = self._store.get(fingerprint) if self._store is not None else None
         if cached is None:
             raise ApiError(
@@ -626,6 +1173,8 @@ class VerificationService:
             writer,
             200,
             {"served_from": "store", "fingerprint": fingerprint, "result": cached.as_dict()},
+            headers=extra,
+            keep_alive=keep,
         )
 
     def _get_record(self, batch_id: str) -> BatchRecord:
@@ -634,8 +1183,17 @@ class VerificationService:
             raise ApiError(404, "not-found", f"unknown batch {batch_id!r}")
         return record
 
-    async def _handle_batch_status(self, batch_id: str, writer: asyncio.StreamWriter) -> None:
-        record = self._get_record(batch_id)
+    def _batch_id_of(self, request: Request, suffix: str = "") -> str:
+        rest = self._strip_version(request.path) or request.path
+        batch_id = rest[len("/batch/") :]
+        if suffix and batch_id.endswith(suffix):
+            batch_id = batch_id[: -len(suffix)].rstrip("/")
+        return batch_id
+
+    async def _handle_batch_status(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> None:
+        record = self._get_record(self._batch_id_of(request))
         payload: Dict[str, Any] = {
             "batch_id": record.batch_id,
             "jobs": record.size,
@@ -644,18 +1202,26 @@ class VerificationService:
         }
         if record.report is not None:
             payload["report"] = record.report
-        await self._send_json(writer, 200, payload)
+        await self._send_json(writer, 200, payload, headers=extra, keep_alive=keep)
 
-    async def _handle_batch_events(self, batch_id: str, writer: asyncio.StreamWriter) -> None:
-        """Stream a batch's progress as NDJSON: replay, then follow live."""
-        record = self._get_record(batch_id)
-        writer.write(
-            b"HTTP/1.1 200 OK\r\n"
-            b"Content-Type: application/x-ndjson\r\n"
-            b"Cache-Control: no-store\r\n"
-            b"Connection: close\r\n"
-            b"\r\n"
+    async def _handle_batch_events(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> bool:
+        """Stream a batch's progress as NDJSON: replay, then follow live.
+
+        The stream has no Content-Length, so it always terminates the
+        connection (returns False to the keep-alive loop).
+        """
+        record = self._get_record(self._batch_id_of(request, suffix="/events"))
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n"
         )
+        for name, value in extra.items():
+            head += f"{name}: {value}\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n")
         index = 0
         while True:
             while index < len(record.events):
@@ -671,18 +1237,47 @@ class VerificationService:
             if record.completed:
                 break
             await record.wait_change()
+        return False
 
-    async def _send_json(self, writer: asyncio.StreamWriter, status: int, payload: Any) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    # -- response writers --------------------------------------------------------
+
+    async def _send_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+        keep_alive: bool = True,
+    ) -> None:
         head = (
             f"HTTP/1.1 {status} {HTTPStatus(status).phrase}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n"
-            f"\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         )
-        writer.write(head.encode("latin-1") + body)
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n" + body)
         await writer.drain()
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        headers: Optional[Dict[str, str]] = None,
+        keep_alive: bool = True,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        await self._send_raw(
+            writer,
+            status,
+            body,
+            content_type="application/json",
+            headers=headers,
+            keep_alive=keep_alive,
+        )
 
 
 # -- entry points ----------------------------------------------------------------
@@ -695,6 +1290,9 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     port_file: Optional[Union[str, Path]] = None,
+    auth_token: Optional[str] = None,
+    max_pending: Optional[int] = DEFAULT_MAX_PENDING,
+    max_connections: int = DEFAULT_MAX_CONNECTIONS,
     execute_delay: float = 0.0,
 ) -> int:
     """Run the service until interrupted (the ``repro serve`` entry point).
@@ -707,12 +1305,20 @@ def run_server(
         store=store,
         workers=workers,
         timeout_seconds=timeout_seconds,
+        auth_token=auth_token,
+        max_pending=max_pending,
+        max_connections=max_connections,
         execute_delay=execute_delay,
     )
 
     async def _serve() -> None:
         bound_host, bound_port = await service.start(host, port)
-        print(f"repro serve: listening on http://{bound_host}:{bound_port}", flush=True)
+        print(
+            f"repro serve: listening on http://{bound_host}:{bound_port} "
+            f"(api /{API_VERSION}, auth {'on' if auth_token else 'off'}, "
+            f"max_pending {max_pending}, max_connections {max_connections})",
+            flush=True,
+        )
         if port_file is not None:
             Path(port_file).write_text(f"{bound_port}\n")
         try:

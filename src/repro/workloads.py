@@ -18,7 +18,6 @@ one, and the engine's abstract space grows steeply with register count.
 from __future__ import annotations
 
 import itertools
-import json
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -409,59 +408,9 @@ _HEAVY_BUILDERS = (
 )
 
 
-# -- HTTP client helper ----------------------------------------------------------
+# -- HTTP client helpers (moved to repro.service.client; re-exported here) -------
 
-
-def jobs_to_wire(
-    jobs: Sequence[VerificationJob],
-    wait: bool = True,
-    include_fingerprints: bool = True,
-) -> Dict[str, object]:
-    """The ``POST /jobs`` batch payload for ``jobs`` (see ``repro serve``).
-
-    With ``include_fingerprints`` each spec carries the client-computed
-    fingerprint, which the server re-derives and verifies -- the end-to-end
-    guard that both sides serialize canonically.
-    """
-    specs = []
-    for job in jobs:
-        spec = dict(job.to_spec())
-        if include_fingerprints:
-            spec["fingerprint"] = job.fingerprint
-        specs.append(spec)
-    return {"jobs": specs, "wait": wait}
-
-
-def post_jobs(
-    base_url: str,
-    jobs: Sequence[VerificationJob],
-    wait: bool = True,
-    include_fingerprints: bool = True,
-    timeout: float = 600.0,
-) -> Dict[str, object]:
-    """POST a batch of jobs to a running ``repro serve`` endpoint.
-
-    Returns the decoded JSON response (the full batch report when ``wait``,
-    the ``202`` acceptance envelope otherwise).  Raises ``RuntimeError``
-    with the server's error payload on a non-2xx response.  Uses only
-    ``urllib`` so client scripts need nothing beyond this library.
-    """
-    import urllib.error
-    import urllib.request
-
-    payload = json.dumps(jobs_to_wire(jobs, wait, include_fingerprints)).encode("utf-8")
-    request = urllib.request.Request(
-        base_url.rstrip("/") + "/jobs",
-        data=payload,
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            return json.loads(response.read().decode("utf-8"))
-    except urllib.error.HTTPError as error:
-        detail = error.read().decode("utf-8", "replace")
-        raise RuntimeError(f"POST {request.full_url} failed with {error.code}: {detail}") from error
+from repro.service.client import jobs_to_wire, post_jobs  # noqa: E402,F401
 
 
 # -- public API ----------------------------------------------------------------

@@ -90,6 +90,60 @@ class TestMissingKeysAreHardFailures:
         assert "GUARD FAILURE" in capsys.readouterr().err
 
 
+def _service_record(path, keepalive=500.0, close=450.0, load_test=...):
+    if load_test is ...:
+        load_test = {
+            "keepalive": {"throughput_rps": keepalive},
+            "close_per_request": {"throughput_rps": close},
+        }
+    payload = {"mode": "full", "service": {"load_test": load_test}}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestServiceGuard:
+    def test_passes_when_keepalive_holds(self, tmp_path):
+        baseline = _service_record(tmp_path / "b.json")
+        current = _service_record(tmp_path / "c.json", keepalive=480.0, close=430.0)
+        assert check_regression.check_service(baseline, current) == 0
+
+    def test_fails_when_keepalive_loses_to_close(self, tmp_path, capsys):
+        baseline = _service_record(tmp_path / "b.json")
+        current = _service_record(tmp_path / "c.json", keepalive=200.0, close=400.0)
+        assert check_regression.check_service(baseline, current) == 1
+        assert "close-per-request baseline" in capsys.readouterr().err
+
+    def test_fails_when_throughput_collapses(self, tmp_path, capsys):
+        baseline = _service_record(tmp_path / "b.json", keepalive=1000.0)
+        current = _service_record(tmp_path / "c.json", keepalive=5.0, close=5.0)
+        assert check_regression.check_service(baseline, current) == 1
+        assert "floor" in capsys.readouterr().err
+
+    def test_missing_load_test_is_hard_failure(self, tmp_path, capsys):
+        baseline = _service_record(tmp_path / "b.json", load_test=None)
+        current = _service_record(tmp_path / "c.json")
+        assert check_regression.check_service(baseline, current) == 2
+        err = capsys.readouterr().err
+        assert "GUARD FAILURE" in err and "load_test" in err
+
+    def test_missing_mode_throughput_is_hard_failure(self, tmp_path, capsys):
+        baseline = _service_record(tmp_path / "b.json")
+        current = _service_record(
+            tmp_path / "c.json",
+            load_test={"keepalive": {"throughput_rps": 100.0}},
+        )
+        assert check_regression.check_service(baseline, current) == 2
+        assert "close_per_request" in capsys.readouterr().err
+
+    def test_main_kind_service(self, tmp_path):
+        baseline = _service_record(tmp_path / "b.json")
+        current = _service_record(tmp_path / "c.json")
+        code = check_regression.main(
+            ["--kind", "service", "--baseline", str(baseline), "--current", str(current)]
+        )
+        assert code == 0
+
+
 class TestCommandLine:
     def test_main_round_trip(self, records):
         baseline, current = records

@@ -1,12 +1,16 @@
 """Tests for the async HTTP front door (`repro serve`).
 
 The server runs on a dedicated event-loop thread (`ServerThread`) and is
-driven over real sockets with urllib, so these tests cover the wire format
-end to end: store-first serving, in-flight fingerprint dedup, NDJSON batch
-progress, and every documented error path.
+driven over real sockets -- urllib for one-shots, raw sockets for the
+connection-layer tests, `ServiceClient` for keep-alive reuse -- so these
+tests cover the wire format end to end: the versioned `/v1` surface with
+its legacy aliases, store-first serving, in-flight fingerprint dedup,
+NDJSON batch progress, keep-alive/pipelining, auth, load-shedding, the
+Prometheus exposition, and every documented error path.
 """
 
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -14,12 +18,19 @@ import urllib.request
 
 import pytest
 
-from repro.service import ResultStore, ServerThread, VerificationService
+from repro.service import (
+    ERROR_CODES,
+    ResultStore,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    VerificationService,
+)
 from repro.workloads import generate_jobs, jobs_to_wire, post_jobs
 
 
 def _request(base_url, path, data=None, method=None):
-    """(status, decoded JSON body) for one request; never raises HTTPError."""
+    """(status, decoded JSON body, headers) for one request; never raises."""
     request = urllib.request.Request(
         base_url + path,
         data=data,
@@ -28,9 +39,9 @@ def _request(base_url, path, data=None, method=None):
     )
     try:
         with urllib.request.urlopen(request, timeout=30) as response:
-            return response.status, json.loads(response.read())
+            return response.status, json.loads(response.read()), dict(response.headers)
     except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
+        return error.code, json.loads(error.read()), dict(error.headers)
 
 
 @pytest.fixture()
@@ -41,21 +52,22 @@ def server():
 
 class TestEndpoints:
     def test_healthz(self, server):
-        status, payload = _request(server.base_url, "/healthz")
+        status, payload, _ = _request(server.base_url, "/v1/healthz")
         assert status == 200
         assert payload["status"] == "ok"
+        assert payload["api_version"] == "v1"
         assert payload["store"] == "memory"
 
     def test_single_job_engine_then_store(self, server):
         job = generate_jobs(1, seed=3)[0]
         spec = json.dumps(job.to_spec()).encode()
-        status, first = _request(server.base_url, "/jobs", spec)
+        status, first, _ = _request(server.base_url, "/v1/jobs", spec)
         assert status == 200
         assert first["served_from"] == "engine"
         assert first["fingerprint"] == job.fingerprint
         assert first["result"]["nonempty"] in (True, False)
 
-        status, second = _request(server.base_url, "/jobs", spec)
+        status, second, _ = _request(server.base_url, "/v1/jobs", spec)
         assert status == 200
         assert second["served_from"] == "store"
         assert second["result"]["nonempty"] == first["result"]["nonempty"]
@@ -63,11 +75,11 @@ class TestEndpoints:
 
     def test_job_lookup_by_fingerprint(self, server):
         job = generate_jobs(1, seed=4)[0]
-        _request(server.base_url, "/jobs", json.dumps(job.to_spec()).encode())
-        status, payload = _request(server.base_url, f"/jobs/{job.fingerprint}")
+        _request(server.base_url, "/v1/jobs", json.dumps(job.to_spec()).encode())
+        status, payload, _ = _request(server.base_url, f"/v1/jobs/{job.fingerprint}")
         assert status == 200
         assert payload["served_from"] == "store"
-        status, _ = _request(server.base_url, "/jobs/" + "0" * 64)
+        status, _, _ = _request(server.base_url, "/v1/jobs/" + "0" * 64)
         assert status == 404
 
     def test_batch_cold_then_warm(self, server):
@@ -87,15 +99,21 @@ class TestEndpoints:
     def test_batch_status_and_stats(self, server):
         jobs = generate_jobs(3, seed=12)
         report = post_jobs(server.base_url, jobs)
-        status, payload = _request(server.base_url, f"/batch/{report['batch_id']}")
+        status, payload, _ = _request(server.base_url, f"/v1/batch/{report['batch_id']}")
         assert status == 200
         assert payload["completed"] is True
         assert payload["report"]["executed"] == 3
 
-        status, stats = _request(server.base_url, "/stats")
+        status, stats, _ = _request(server.base_url, "/v1/stats")
         assert status == 200
         assert stats["executed"] == 3
         assert stats["store_size"] == 3
+        # The new observability blocks are always present.
+        assert stats["queue"]["depth"] == 0 and stats["queue"]["shed_total"] == 0
+        assert stats["connections"]["open"] >= 1
+        submit = stats["latency"]["jobs_submit"]
+        assert submit["count"] == 1
+        assert submit["p50_ms"] <= submit["p95_ms"] <= submit["p99_ms"]
 
     def test_client_fingerprints_verified_end_to_end(self, server):
         jobs = generate_jobs(2, seed=13)
@@ -103,6 +121,214 @@ class TestEndpoints:
         assert report["executed"] == 2
         wire = jobs_to_wire(jobs)
         assert all("fingerprint" in spec for spec in wire["jobs"])
+
+
+class TestConnectionLayer:
+    def test_service_client_reuses_one_connection(self, server):
+        with ServiceClient(server.base_url) as client:
+            client.healthz()
+            jobs = generate_jobs(2, seed=41)
+            client.submit_batch(jobs)
+            client.submit_batch(jobs)
+            client.stats()
+        # Four requests, one TCP connection (plus the fixture's baseline).
+        assert server.service.stats.connections_total == 1
+
+    def test_close_per_request_opens_n_connections(self, server):
+        with ServiceClient(server.base_url, keep_alive=False) as client:
+            for _ in range(3):
+                client.healthz()
+        assert server.service.stats.connections_total == 3
+
+    def test_pipelined_requests_on_one_socket(self, server):
+        host, port = server.address
+        request = b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(request * 3)  # all three before reading any response
+            deadline = time.time() + 10
+            data = b""
+            while data.count(b"HTTP/1.1 200") < 3 and time.time() < deadline:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        assert data.count(b"HTTP/1.1 200") == 3
+        assert data.count(b"Connection: keep-alive") == 3
+        assert server.service.stats.connections_total == 1
+
+    def test_http_1_0_closes_by_default(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"GET /v1/healthz HTTP/1.0\r\nHost: t\r\n\r\n")
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        assert b"HTTP/1.1 200" in data
+        assert b"Connection: close" in data
+
+    def test_connection_cap_answers_503(self):
+        service = VerificationService(store=ResultStore.in_memory(), max_connections=1)
+        with ServerThread(service=service) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as first:
+                # Occupy the single slot with a real keep-alive request.
+                first.sendall(b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                while b"\r\n\r\n" not in first.recv(65536):
+                    pass
+                status, payload, headers = _request(server.base_url, "/v1/healthz")
+                assert status == 503
+                assert payload["error"]["code"] == "too-many-connections"
+                assert headers.get("Retry-After") is not None
+            assert service.stats.connections_refused >= 1
+
+
+class TestLoadShedding:
+    def test_shed_everything_mode(self):
+        service = VerificationService(store=ResultStore.in_memory(), max_pending=0)
+        with ServerThread(service=service) as server:
+            spec = json.dumps(generate_jobs(1, seed=43)[0].to_spec()).encode()
+            status, payload, headers = _request(server.base_url, "/v1/jobs", spec)
+            assert status == 429
+            assert payload["error"]["code"] == "overloaded"
+            assert payload["error"]["detail"]["queue_limit"] == 0
+            assert headers["Retry-After"].isdigit()
+            # Reads are never shed; the gate guards work-bearing requests only.
+            status, stats, _ = _request(server.base_url, "/v1/stats")
+            assert status == 200
+            assert stats["queue"]["shed_total"] == 1
+
+    def test_client_retries_until_admitted(self):
+        # max_pending=1 with a slow engine: the second concurrent batch is
+        # shed at first, and the client's Retry-After backoff gets it
+        # through once the first completes.
+        service = VerificationService(
+            store=ResultStore.in_memory(), max_pending=1, execute_delay=0.3, retry_after=1
+        )
+        with ServerThread(service=service) as server:
+            results = {}
+
+            def submit(tag, seed, delay):
+                time.sleep(delay)
+                with ServiceClient(server.base_url, retries=5) as client:
+                    results[tag] = client.submit_batch(generate_jobs(1, seed=seed))
+
+            threads = [
+                threading.Thread(target=submit, args=("a", 51, 0.0)),
+                threading.Thread(target=submit, args=("b", 52, 0.1)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert results["a"]["executed"] == 1
+            assert results["b"]["executed"] == 1
+            assert service.stats.shed >= 1
+
+    def test_shed_without_retries_raises_service_error(self):
+        service = VerificationService(store=ResultStore.in_memory(), max_pending=0)
+        with ServerThread(service=service) as server:
+            with ServiceClient(server.base_url, retries=0) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.submit_batch(generate_jobs(1, seed=44))
+            assert excinfo.value.status == 429
+            assert excinfo.value.code == "overloaded"
+
+
+class TestAuth:
+    @pytest.fixture()
+    def auth_server(self):
+        service = VerificationService(store=ResultStore.in_memory(), auth_token="open-sesame")
+        with ServerThread(service=service) as handle:
+            yield handle
+
+    def test_healthz_stays_open(self, auth_server):
+        status, payload, _ = _request(auth_server.base_url, "/v1/healthz")
+        assert status == 200
+        assert payload["auth"] is True
+
+    def test_missing_token_is_401(self, auth_server):
+        status, payload, headers = _request(auth_server.base_url, "/v1/stats")
+        assert status == 401
+        assert payload["error"]["code"] == "auth-required"
+        assert "Bearer" in headers["WWW-Authenticate"]
+
+    def test_wrong_token_is_403(self, auth_server):
+        with ServiceClient(auth_server.base_url, auth_token="wrong", retries=0) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.stats()
+        assert excinfo.value.status == 403
+        assert excinfo.value.code == "auth-invalid"
+        assert auth_server.service.stats.auth_rejected == 1
+
+    def test_bearer_and_header_tokens_accepted(self, auth_server):
+        with ServiceClient(auth_server.base_url, auth_token="open-sesame") as client:
+            report = client.submit_batch(generate_jobs(1, seed=45))
+            assert report["executed"] == 1
+        request = urllib.request.Request(
+            auth_server.base_url + "/v1/stats", headers={"X-Auth-Token": "open-sesame"}
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 200
+
+
+class TestMetrics:
+    def test_prometheus_exposition(self, server):
+        post_jobs(server.base_url, generate_jobs(2, seed=46))
+        request = urllib.request.Request(server.base_url + "/v1/metrics")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["Content-Type"].startswith("text/plain; version=0.0.4")
+            text = response.read().decode()
+        lines = text.splitlines()
+        # Every sample line is preceded by HELP/TYPE metadata for its family.
+        families = {
+            line.split()[2]: line.split()[3]
+            for line in lines
+            if line.startswith("# TYPE")
+        }
+        assert families["repro_jobs_executed_total"] == "counter"
+        assert families["repro_queue_depth"] == "gauge"
+        assert families["repro_request_latency_seconds"] == "summary"
+        assert "repro_jobs_executed_total 2" in text
+        assert 'repro_request_latency_seconds{endpoint="jobs_submit",quantile="0.99"}' in text
+        assert 'repro_request_latency_seconds_count{endpoint="jobs_submit"} 1' in text
+        # No trailing garbage: every non-comment line is `name[{labels}] value`.
+        for line in lines:
+            if line.startswith("#") or not line:
+                continue
+            assert len(line.rsplit(" ", 1)) == 2
+
+
+class TestVersioning:
+    def test_legacy_aliases_answer_with_deprecation(self, server):
+        for path in ("/healthz", "/stats"):
+            status, _, headers = _request(server.base_url, path)
+            assert status == 200
+            assert headers["Deprecation"] == "true"
+            assert headers["Link"] == f'</v1{path}>; rel="successor-version"'
+
+    def test_legacy_jobs_roundtrip(self, server):
+        # The old unversioned wire format keeps working verbatim.
+        job = generate_jobs(1, seed=47)[0]
+        spec = json.dumps(job.to_spec()).encode()
+        status, payload, headers = _request(server.base_url, "/jobs", spec)
+        assert status == 200
+        assert payload["served_from"] == "engine"
+        assert headers["Deprecation"] == "true"
+        status, payload, _ = _request(server.base_url, f"/jobs/{job.fingerprint}")
+        assert status == 200 and payload["served_from"] == "store"
+
+    def test_v1_routes_carry_no_deprecation(self, server):
+        _, _, headers = _request(server.base_url, "/v1/healthz")
+        assert "Deprecation" not in headers
+
+    def test_unknown_version_is_404_with_hint(self, server):
+        status, payload, _ = _request(server.base_url, "/v2/healthz")
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-version"
+        assert "/v1/healthz" in payload["error"]["detail"]
 
 
 class TestInFlightDedup:
@@ -154,7 +380,7 @@ class TestBatchEvents:
         jobs = generate_jobs(3, seed=15)
         report = post_jobs(server.base_url, jobs)
         with urllib.request.urlopen(
-            f"{server.base_url}/batch/{report['batch_id']}/events", timeout=30
+            f"{server.base_url}/v1/batch/{report['batch_id']}/events", timeout=30
         ) as response:
             assert response.headers["Content-Type"] == "application/x-ndjson"
             events = [json.loads(line) for line in response.read().decode().splitlines()]
@@ -171,12 +397,13 @@ class TestBatchEvents:
         )
         with ServerThread(service=service) as server:
             jobs = generate_jobs(2, seed=16)
-            status, accepted = _request(
+            status, accepted, _ = _request(
                 server.base_url,
-                "/jobs",
+                "/v1/jobs",
                 json.dumps({**jobs_to_wire(jobs), "wait": False}).encode(),
             )
             assert status == 202 and accepted["status"] == "accepted"
+            assert accepted["events_url"].startswith("/v1/batch/")
             # The stream follows the in-progress batch until batch_done.
             with urllib.request.urlopen(
                 server.base_url + accepted["events_url"], timeout=30
@@ -187,78 +414,101 @@ class TestBatchEvents:
             assert events[-1]["event"] == "batch_done"
             assert events[-1]["executed"] == 2
 
-            status, payload = _request(server.base_url, accepted["status_url"])
+            status, payload, _ = _request(server.base_url, accepted["status_url"])
             assert status == 200 and payload["completed"] is True
 
 
 class TestErrorPaths:
+    def test_every_error_code_is_documented(self):
+        # The envelope contract: codes asserted across this class must all
+        # be documented in ERROR_CODES (and carry their status in the doc).
+        for code, doc in ERROR_CODES.items():
+            assert doc.split(":")[0].isdigit(), (code, doc)
+
     def test_malformed_json_body(self, server):
-        status, payload = _request(server.base_url, "/jobs", b"{not json")
+        status, payload, _ = _request(server.base_url, "/v1/jobs", b"{not json")
         assert status == 400
-        assert payload["error"] == "invalid-json"
+        assert payload["error"]["code"] == "invalid-json"
+        assert set(payload["error"]) == {"code", "message", "detail"}
 
     def test_malformed_spec_shape(self, server):
-        status, payload = _request(
-            server.base_url, "/jobs", json.dumps({"system": {"bogus": 1}}).encode()
+        status, payload, _ = _request(
+            server.base_url, "/v1/jobs", json.dumps({"system": {"bogus": 1}}).encode()
         )
         assert status == 400
-        assert payload["error"] == "invalid-spec"
+        assert payload["error"]["code"] == "invalid-spec"
 
     def test_unknown_theory_kind(self, server):
         spec = generate_jobs(1, seed=0)[0].to_spec()
         spec["theory"] = {"kind": "no_such_theory"}
-        status, payload = _request(server.base_url, "/jobs", json.dumps(spec).encode())
+        status, payload, _ = _request(server.base_url, "/v1/jobs", json.dumps(spec).encode())
         assert status == 400
-        assert payload["error"] == "invalid-spec"
-        assert "no_such_theory" in payload["message"]
+        assert payload["error"]["code"] == "invalid-spec"
+        assert "no_such_theory" in payload["error"]["message"]
 
     def test_client_server_fingerprint_mismatch(self, server):
         spec = generate_jobs(1, seed=0)[0].to_spec()
         spec["fingerprint"] = "deadbeef" * 8
-        status, payload = _request(server.base_url, "/jobs", json.dumps(spec).encode())
+        status, payload, _ = _request(server.base_url, "/v1/jobs", json.dumps(spec).encode())
         assert status == 409
-        assert payload["error"] == "fingerprint-mismatch"
+        assert payload["error"]["code"] == "fingerprint-mismatch"
         # Nothing was executed or stored for the rejected submission.
-        status, stats = _request(server.base_url, "/stats")
+        status, stats, _ = _request(server.base_url, "/v1/stats")
         assert stats["executed"] == 0 and stats["store_size"] == 0
 
     def test_mismatch_inside_batch_rejects_whole_request(self, server):
         jobs = generate_jobs(2, seed=5)
         wire = jobs_to_wire(jobs)
         wire["jobs"][1]["fingerprint"] = "0" * 64
-        status, payload = _request(server.base_url, "/jobs", json.dumps(wire).encode())
+        status, payload, _ = _request(server.base_url, "/v1/jobs", json.dumps(wire).encode())
         assert status == 409
-        assert "jobs[1]" in payload["message"]
+        assert "jobs[1]" in payload["error"]["message"]
 
     def test_empty_batch_rejected(self, server):
-        status, payload = _request(
-            server.base_url, "/jobs", json.dumps({"jobs": []}).encode()
+        status, payload, _ = _request(
+            server.base_url, "/v1/jobs", json.dumps({"jobs": []}).encode()
         )
         assert status == 400
+        assert payload["error"]["code"] == "invalid-spec"
 
     def test_unknown_paths_and_methods(self, server):
-        assert _request(server.base_url, "/nope")[0] == 404
-        assert _request(server.base_url, "/batch/zzz")[0] == 404
-        assert _request(server.base_url, "/healthz", data=b"", method="POST")[0] == 405
+        status, payload, _ = _request(server.base_url, "/v1/nope")
+        assert status == 404 and payload["error"]["code"] == "not-found"
+        assert "/v1" in payload["error"]["detail"]
+        status, payload, _ = _request(server.base_url, "/v1/batch/zzz")
+        assert status == 404 and payload["error"]["code"] == "not-found"
+        status, payload, _ = _request(
+            server.base_url, "/v1/healthz", data=b"", method="POST"
+        )
+        assert status == 405 and payload["error"]["code"] == "method-not-allowed"
+
+    def test_service_error_surfaces_envelope(self, server):
+        with ServiceClient(server.base_url, retries=0) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.lookup("0" * 64)
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "not-found"
+        assert excinfo.value.payload["error"]["message"]
 
     def test_store_ttl_expiry_re_executes(self):
         service = VerificationService(store=ResultStore.in_memory(ttl_seconds=0.3))
         with ServerThread(service=service) as server:
             job = generate_jobs(1, seed=31)[0]
             spec = json.dumps(job.to_spec()).encode()
-            _, first = _request(server.base_url, "/jobs", spec)
+            _, first, _ = _request(server.base_url, "/v1/jobs", spec)
             assert first["served_from"] == "engine"
-            _, warm = _request(server.base_url, "/jobs", spec)
+            _, warm, _ = _request(server.base_url, "/v1/jobs", spec)
             assert warm["served_from"] == "store"
             time.sleep(0.35)
-            _, expired = _request(server.base_url, "/jobs", spec)
+            _, expired, _ = _request(server.base_url, "/v1/jobs", spec)
             assert expired["served_from"] == "engine"
             assert expired["result"]["nonempty"] == first["result"]["nonempty"]
             assert service.stats.executed == 2
 
 
 class TestParallelWorkers:
-    def test_batch_with_worker_pool_matches_store_round(self, tmp_path):
+    def test_batch_with_spawned_worker_pool_matches_store_round(self, tmp_path):
+        # workers=2 exercises the spawn-based pool end to end through HTTP.
         service = VerificationService(store=ResultStore(tmp_path / "served.sqlite"), workers=2)
         with ServerThread(service=service) as server:
             jobs = generate_jobs(4, seed=17)
