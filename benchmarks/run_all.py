@@ -22,7 +22,9 @@ Three phases, all optional:
   :func:`repro.workloads.stress_workloads`) rides along in the same record.
   ``--profile WORKLOAD`` instead runs one engine/stress workload under
   ``cProfile`` and prints the top cumulative functions -- the hot-spot
-  locator for future perf PRs.
+  locator for future perf PRs.  A ``telemetry`` section measures the cost
+  of opt-in solver tracing (:class:`repro.telemetry.TraceRecorder`) against
+  the untraced default, pinning down that instrumentation is pay-as-you-go.
 * **service** -- measures the batch verification service
   (:mod:`repro.service`) on a seeded random workload batch
   (:mod:`repro.workloads`): serial vs parallel execution and cold vs
@@ -53,7 +55,13 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import AllDatabasesTheory, EmptinessSolver, HomTheory, clique_template  # noqa: E402
+from repro import (  # noqa: E402
+    AllDatabasesTheory,
+    EmptinessSolver,
+    HomTheory,
+    TraceRecorder,
+    clique_template,
+)
 from repro.fraisse.search import STRATEGY_NAMES  # noqa: E402
 from repro.library import odd_red_cycle_system, triangle_system  # noqa: E402
 from repro.perf import cache_stats_snapshot, caches_disabled, reset_cache_stats  # noqa: E402
@@ -158,6 +166,55 @@ def run_engine_comparison(smoke: bool, rounds: int) -> dict:
             f"speedup {legacy / fast:.2f}x"
         )
     return results
+
+
+def run_telemetry_overhead(smoke: bool, rounds: int) -> dict:
+    """Measure the cost of opt-in solver tracing on the gated workload.
+
+    The metrics registry itself is free on the solve path -- counters are
+    plain integer bumps the engine made before telemetry existed, and every
+    gauge/counter callback runs at scrape time, not solve time -- so the
+    only per-job telemetry knob is the opt-in :class:`TraceRecorder`.  This
+    phase times ``bench_e2`` untraced (exactly what every phase above runs,
+    so the engine guard in ``check_regression.py`` already gates the
+    telemetry-off path) and with a recorder attached, putting a measured
+    number behind the "zero overhead when off, bounded cost when on" claim.
+    """
+    workload = engine_workloads(smoke)["bench_e2"]
+    system = workload["system"]()
+    untraced_times = []
+    traced_times = []
+    spans = 0
+    events = 0
+    for _ in range(rounds):
+        untraced_times.append(_time_check(workload["theory"], system, legacy=False))
+        solver = EmptinessSolver(workload["theory"](), max_configurations=200_000)
+        recorder = TraceRecorder()
+        start = time.perf_counter()
+        traced_result = solver.check(system, trace=recorder)
+        traced_times.append(time.perf_counter() - start)
+        spans = len(recorder.spans)
+        events = len(recorder.events)
+        assert traced_result.nonempty == workload["expected_nonempty"], (
+            f"telemetry phase: traced verdict {traced_result.nonempty} does "
+            f"not match the expected answer {workload['expected_nonempty']}"
+        )
+    untraced = min(untraced_times)
+    traced = min(traced_times)
+    overhead = (traced / untraced - 1.0) if untraced > 0 else None
+    print(
+        f"  bench_e2 tracing: untraced {untraced:.3f}s  traced {traced:.3f}s  "
+        f"overhead {overhead * 100:+.1f}%  ({spans} spans, {events} events)"
+    )
+    return {
+        "workload": workload["description"],
+        "rounds": rounds,
+        "untraced_seconds": round(untraced, 4),
+        "traced_seconds": round(traced, 4),
+        "trace_overhead_percent": round(overhead * 100, 1) if overhead is not None else None,
+        "trace_spans": spans,
+        "trace_events": events,
+    }
 
 
 def run_stress_comparison(smoke: bool, rounds: int) -> dict:
@@ -652,15 +709,18 @@ def main(argv=None) -> int:
         if not args.skip_stress:
             print("running adversarial stress phase ...")
             stress = run_stress_comparison(args.smoke, rounds)
+        print("measuring telemetry/tracing overhead ...")
+        telemetry_overhead = run_telemetry_overhead(args.smoke, rounds)
         print("checking strategy agreement ...")
         agreement = run_strategy_agreement()
         record = {
-            "schema_version": 2,
+            "schema_version": 3,
             "mode": "smoke" if args.smoke else "full",
             "python": platform.python_version(),
             "platform": platform.platform(),
             "engine": engine,
             "stress": stress,
+            "telemetry": telemetry_overhead,
             "strategy_agreement": agreement,
             "cache_stats": cache_stats_snapshot(),
         }

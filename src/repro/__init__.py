@@ -60,9 +60,17 @@ from repro.service import (
     VerificationJob,
     run_batch,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    TraceRecorder,
+    chrome_trace,
+    configure_logging,
+    get_logger,
+    validate_exposition,
+)
 from repro.workloads import generate_jobs
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Schema",
@@ -98,5 +106,11 @@ __all__ = [
     "BatchReport",
     "run_batch",
     "generate_jobs",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "chrome_trace",
+    "configure_logging",
+    "get_logger",
+    "validate_exposition",
     "__version__",
 ]

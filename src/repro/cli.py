@@ -11,6 +11,8 @@ A thin operational front door to the library:
 * ``repro serve`` -- run the async HTTP front door: job specs in, verdicts
   out, with store-first serving and in-flight fingerprint dedup;
 * ``repro store`` -- inspect, export or clear a result store;
+* ``repro trace`` -- export a stored solver trace as Chrome trace-event
+  JSON for Perfetto / about://tracing;
 * ``repro bench`` -- shortcut to the unified benchmark runner (equivalent to
   ``python benchmarks/run_all.py`` when running from a checkout);
 * ``repro info`` -- version, available strategies, cache configuration.
@@ -22,6 +24,7 @@ stable executable without the ``PYTHONPATH=src`` workaround.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -35,6 +38,7 @@ from repro import (
     __version__,
     clique_template,
     odd_red_cycle_free_template,
+    telemetry,
 )
 from repro.errors import StoreError
 from repro.fraisse.search import STRATEGY_NAMES
@@ -198,6 +202,10 @@ def _command_batch(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
+    if args.trace:
+        # Trace recording is observability-only: fingerprints (and thus
+        # store keys / dedup) are unchanged by the flag.
+        jobs = [dataclasses.replace(job, trace=True) for job in jobs]
     store = ResultStore(args.store) if args.store else None
     try:
         try:
@@ -228,6 +236,11 @@ def _command_batch(args: argparse.Namespace) -> int:
             print(f"  elapsed: {report.elapsed_seconds:.3f}s")
             if args.store:
                 print(f"  store: {args.store} ({len(store)} results)")
+                if args.trace:
+                    print(
+                        "  traces recorded; export one with "
+                        f"`repro trace <fingerprint> --db {args.store}`"
+                    )
             for result in report.errors:
                 print(f"  ERROR {result.label}: {result.error}")
         return 1 if report.errors else 0
@@ -271,9 +284,50 @@ def _command_serve(args: argparse.Namespace) -> int:
             auth_token=auth_token,
             max_pending=max_pending,
             max_connections=args.max_connections,
+            log_level=args.log_level,
+            log_json=args.log_json,
         )
     finally:
         store.close()
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """Export a stored solver trace as Chrome trace-event JSON.
+
+    The output opens directly in Perfetto (https://ui.perfetto.dev) or
+    Chrome's about://tracing; ``--raw`` dumps the recorder's native form
+    (seconds-based spans) instead.
+    """
+    if not Path(args.db).is_file():
+        print(f"no result store at {args.db}", file=sys.stderr)
+        return 2
+    try:
+        store_handle = ResultStore(args.db)
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    with store_handle as store:
+        result = store.get(args.fingerprint)
+        if result is None:
+            print(f"no stored verdict for fingerprint {args.fingerprint[:16]!r}", file=sys.stderr)
+            return 2
+        if result.trace is None:
+            print(
+                f"no trace recorded for fingerprint {args.fingerprint[:16]!r}; "
+                "re-run the job with tracing on (repro batch --trace, or "
+                '"trace": true in the job spec)',
+                file=sys.stderr,
+            )
+            return 2
+        payload = result.trace if args.raw else telemetry.chrome_trace(result.trace)
+    rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        Path(args.output).write_text(rendered)
+        events = len(payload.get("traceEvents", payload.get("spans", [])))
+        print(f"wrote {args.output} ({events} events)")
+    else:
+        print(rendered, end="")
+    return 0
 
 
 def _command_store(args: argparse.Namespace) -> int:
@@ -376,6 +430,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the per-family abstract configuration caps",
     )
+    batch.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a solver trace per executed job (persisted with the "
+        "verdict when --store is set; export via `repro trace`)",
+    )
     batch.add_argument("--json", action="store_true", help="full report as JSON")
     batch.set_defaults(handler=_command_batch)
 
@@ -438,6 +498,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="open connection cap; over-cap connects are answered 503 "
         f"(default: {DEFAULT_MAX_CONNECTIONS})",
     )
+    serve.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="enable structured logs at this level (default: logging off)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines (implies --log-level info unless set)",
+    )
     serve.set_defaults(handler=_command_serve)
 
     store = subparsers.add_parser("store", help="inspect or manage a result store")
@@ -445,6 +516,23 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("--db", required=True, help="path of the SQLite result store")
     store.add_argument("--output", default=None, help="file for `export` (default: stdout)")
     store.set_defaults(handler=_command_store)
+
+    trace = subparsers.add_parser(
+        "trace", help="export a stored solver trace as Chrome trace-event JSON"
+    )
+    trace.add_argument("fingerprint", help="job fingerprint (full SHA-256 hex)")
+    trace.add_argument("--db", required=True, help="path of the SQLite result store")
+    trace.add_argument(
+        "--output",
+        default=None,
+        help="file to write (default: stdout); open it in https://ui.perfetto.dev",
+    )
+    trace.add_argument(
+        "--raw",
+        action="store_true",
+        help="dump the recorder's native seconds-based form instead",
+    )
+    trace.set_defaults(handler=_command_trace)
 
     bench = subparsers.add_parser("bench", help="run the unified benchmark runner")
     bench.add_argument("--smoke", action="store_true", help="CI-sized benchmark run")

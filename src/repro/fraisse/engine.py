@@ -36,6 +36,7 @@ from repro.fraisse.search import StrategySpec, abstraction_key_score, make_strat
 from repro.logic.structures import Structure
 from repro.perf import BoundedCache, caches_enabled
 from repro.systems.dds import DatabaseDrivenSystem, Run, Transition
+from repro.telemetry import TraceRecorder
 
 
 @dataclass
@@ -188,8 +189,16 @@ class EmptinessSolver:
 
     # -- main entry point ------------------------------------------------------
 
-    def check(self, system: DatabaseDrivenSystem) -> EmptinessResult:
-        """Is there a database in the theory's class driving an accepting run?"""
+    def check(
+        self, system: DatabaseDrivenSystem, trace: Optional[TraceRecorder] = None
+    ) -> EmptinessResult:
+        """Is there a database in the theory's class driving an accepting run?
+
+        ``trace``, when given, records timed spans for the solver phases
+        (plan compilation, per-transition drives, witness reconstruction)
+        and frontier milestones; untraced runs only pay ``trace is None``
+        predicates.
+        """
         if not system.schema.is_subschema_of(self._theory.schema):
             raise SolverError(
                 "the system's schema is not contained in the theory's schema: "
@@ -208,9 +217,16 @@ class EmptinessSolver:
         # Compiled transition plans drive the fast path; with caches disabled
         # the engine never consults plans and runs the legacy
         # materialize-then-evaluate loop below.
-        plan_set: Optional[PlanSet] = (
-            compile_plans(system, self._theory) if caches_enabled() else None
-        )
+        if trace is None:
+            plan_set: Optional[PlanSet] = (
+                compile_plans(system, self._theory) if caches_enabled() else None
+            )
+        elif caches_enabled():
+            with trace.span("compile_plans", "plan") as span_args:
+                plan_set = compile_plans(system, self._theory)
+                span_args["plans"] = len(plan_set)
+        else:
+            plan_set = None
 
         goal: Optional[_SearchNode] = None
         for state in sorted(system.initial_states):
@@ -235,11 +251,27 @@ class EmptinessSolver:
             stats.max_frontier_size = max(stats.max_frontier_size, len(frontier))
             node = frontier.pop()
             stats.configurations_explored += 1
+            if trace is not None:
+                explored = stats.configurations_explored
+                # Power-of-two milestones: O(log n) instants however long
+                # the search runs, each carrying the live frontier size.
+                if explored & (explored - 1) == 0:
+                    trace.instant(
+                        "frontier_milestone",
+                        "search",
+                        explored=explored,
+                        frontier=len(frontier),
+                        depth=node.depth,
+                    )
             if stats.configurations_explored > self._max_configurations:
                 stats.elapsed_seconds = time.perf_counter() - start_time
                 self._snapshot_plan_statistics(plan_set, stats)
                 return EmptinessResult(nonempty=False, exhausted=False, statistics=stats)
             for transition in system.transitions_from(node.state):
+                if trace is not None:
+                    drive_start = trace.now()
+                    candidates_before = stats.candidates_generated
+                    enqueued_before = stats.configurations_enqueued
                 if plan_set is not None:
                     goal = self._drive_plan(
                         system,
@@ -261,6 +293,19 @@ class EmptinessSolver:
                         visited,
                         stats,
                     )
+                if trace is not None:
+                    trace.add_span(
+                        "drive",
+                        "plan" if plan_set is not None else "legacy",
+                        drive_start,
+                        trace.now(),
+                        {
+                            "state": node.state,
+                            "transition": str(transition),
+                            "candidates": stats.candidates_generated - candidates_before,
+                            "enqueued": stats.configurations_enqueued - enqueued_before,
+                        },
+                    )
                 if goal is not None:
                     break
 
@@ -269,9 +314,17 @@ class EmptinessSolver:
         if goal is None:
             return EmptinessResult(nonempty=False, exhausted=True, statistics=stats)
 
-        run = self._reconstruct_run(system, goal)
-        if self._verify_witnesses:
-            system.validate_run(run)
+        if trace is None:
+            run = self._reconstruct_run(system, goal)
+            if self._verify_witnesses:
+                system.validate_run(run)
+        else:
+            with trace.span("reconstruct_run", "witness") as span_args:
+                run = self._reconstruct_run(system, goal)
+                span_args["steps"] = len(run.steps)
+            if self._verify_witnesses:
+                with trace.span("validate_run", "witness"):
+                    system.validate_run(run)
         return EmptinessResult(
             nonempty=True,
             witness_database=run.database,

@@ -33,6 +33,8 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Protocol, Union
 from repro.errors import StoreError
 
 #: Column order of a result row; every backend stores exactly these fields.
+#: ``wall_seconds`` (worker wall clock) and ``trace`` (serialized solver
+#: trace, JSON or NULL) arrived with schema v3 and are nullable.
 ROW_FIELDS = (
     "fingerprint",
     "created_at",
@@ -44,6 +46,8 @@ ROW_FIELDS = (
     "run_length",
     "statistics",
     "job_spec",
+    "wall_seconds",
+    "trace",
 )
 
 
@@ -159,7 +163,7 @@ class MemoryBackend:
 
 
 #: Current on-disk schema version of :class:`SQLiteBackend`.
-SQLITE_SCHEMA_VERSION = 2
+SQLITE_SCHEMA_VERSION = 3
 
 _SQLITE_SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -172,7 +176,9 @@ CREATE TABLE IF NOT EXISTS results (
     witness_size INTEGER,
     run_length INTEGER,
     statistics TEXT NOT NULL,
-    job_spec TEXT NOT NULL
+    job_spec TEXT NOT NULL,
+    wall_seconds REAL,
+    trace TEXT
 )
 """
 
@@ -182,9 +188,18 @@ def _migrate_v2(connection: sqlite3.Connection) -> None:
     connection.execute("CREATE INDEX IF NOT EXISTS idx_results_created_at ON results (created_at)")
 
 
+def _migrate_v3(connection: sqlite3.Connection) -> None:
+    """v2 -> v3: worker wall clock and the opt-in solver trace per verdict."""
+    columns = {name for (_, name, *_rest) in connection.execute("PRAGMA table_info(results)")}
+    if "wall_seconds" not in columns:
+        connection.execute("ALTER TABLE results ADD COLUMN wall_seconds REAL")
+    if "trace" not in columns:
+        connection.execute("ALTER TABLE results ADD COLUMN trace TEXT")
+
+
 #: Ordered migration hooks: target version -> migration applying the step
 #: from the previous version.  Extend (never edit) when the schema evolves.
-SQLITE_MIGRATIONS = {2: _migrate_v2}
+SQLITE_MIGRATIONS = {2: _migrate_v2, 3: _migrate_v3}
 
 
 class SQLiteBackend:
@@ -255,7 +270,9 @@ class SQLiteBackend:
         return dict(zip(ROW_FIELDS, row)) if row is not None else None
 
     def put(self, key: str, row: Mapping[str, Any]) -> None:
-        values = tuple(row[field] for field in ROW_FIELDS)
+        # Nullable late-schema fields may be absent from rows written by
+        # older callers; missing keys store as NULL.
+        values = tuple(row.get(field) for field in ROW_FIELDS)
         with self._lock:
             self._connection.execute(
                 f"INSERT OR REPLACE INTO results ({', '.join(ROW_FIELDS)}) "

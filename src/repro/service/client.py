@@ -240,6 +240,15 @@ class ServiceClient:
         """The stored verdict for ``fingerprint`` (404 -> ServiceError)."""
         return self.request("GET", f"/jobs/{fingerprint}")
 
+    def trace(self, fingerprint: str) -> Dict[str, Any]:
+        """The recorded solver trace for ``fingerprint`` (404 -> ServiceError).
+
+        Traces only exist for jobs submitted with ``trace=True``; the
+        ``"trace"`` field of the response is the stored recorder dict that
+        :func:`repro.telemetry.chrome_trace` converts for Perfetto.
+        """
+        return self.request("GET", f"/jobs/{fingerprint}/trace")
+
     def batch_status(self, batch_id: str) -> Dict[str, Any]:
         return self.request("GET", f"/batch/{batch_id}")
 

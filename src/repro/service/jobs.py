@@ -25,6 +25,7 @@ from repro.fraisse.base import DatabaseTheory
 from repro.fraisse.engine import EmptinessSolver
 from repro.service.specs import theory_from_spec, theory_to_spec
 from repro.systems.dds import DatabaseDrivenSystem
+from repro.telemetry import TraceRecorder
 
 #: Default engine configuration cap for service jobs: far below the library
 #: default because batches run hundreds of heterogeneous jobs and a single
@@ -41,16 +42,21 @@ class VerificationJob:
     strategy: str = "bfs"
     max_configurations: int = DEFAULT_JOB_MAX_CONFIGURATIONS
     label: str = ""
+    #: Record a solver trace while executing (opt-in, observability-only).
+    trace: bool = False
 
     def to_spec(self) -> Dict[str, Any]:
         """The JSON-safe wire format of the job (see :meth:`from_spec`)."""
-        return {
+        spec = {
             "system": self.system.to_spec(),
             "theory": theory_to_spec(self.theory),
             "strategy": self.strategy,
             "max_configurations": self.max_configurations,
             "label": self.label,
         }
+        if self.trace:
+            spec["trace"] = True
+        return spec
 
     @classmethod
     def from_spec(cls, spec: Mapping[str, Any]) -> "VerificationJob":
@@ -60,12 +66,14 @@ class VerificationJob:
             strategy=spec.get("strategy", "bfs"),
             max_configurations=spec.get("max_configurations", DEFAULT_JOB_MAX_CONFIGURATIONS),
             label=spec.get("label", ""),
+            trace=bool(spec.get("trace", False)),
         )
 
     def canonical_json(self) -> str:
         """The canonical JSON rendering the fingerprint is computed over.
 
-        The label is presentation-only and excluded, so relabelling a job
+        The label and the trace flag are presentation/observability-only
+        and excluded, so relabelling a job -- or re-running it traced --
         does not invalidate its cached verdict.  Memoised: the runner needs
         it several times per job (store lookup, wire payload, store write)
         and the spec serialization walks the whole system.
@@ -74,6 +82,7 @@ class VerificationJob:
         if cached is None:
             spec = self.to_spec()
             spec.pop("label", None)
+            spec.pop("trace", None)
             cached = json.dumps(spec, sort_keys=True, separators=(",", ":"))
             object.__setattr__(self, "_canonical_json", cached)
         return cached
@@ -107,6 +116,17 @@ class JobResult:
     cached: bool = False
     witness_size: Optional[int] = None
     run_length: Optional[int] = None
+    #: End-to-end wall clock as the executing worker saw it: spec rebuild,
+    #: plan priming and the engine run (``elapsed_seconds`` is engine-only).
+    wall_seconds: Optional[float] = None
+    #: When the stored verdict row was created (set on store reads).
+    created_at: Optional[float] = None
+    #: Recorded solver trace (:meth:`TraceRecorder.as_dict`) when the job
+    #: asked for one; served via its own endpoint, never inlined here.
+    trace: Optional[Dict[str, Any]] = None
+    #: Engine counter deltas measured in a pool worker, merged into the
+    #: parent's telemetry and stripped before the result is stored/served.
+    worker_counters: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -124,6 +144,11 @@ class JobResult:
             "cached": self.cached,
             "witness_size": self.witness_size,
             "run_length": self.run_length,
+            "wall_seconds": (
+                round(self.wall_seconds, 6) if self.wall_seconds is not None else None
+            ),
+            "created_at": self.created_at,
+            "has_trace": self.trace is not None,
         }
 
 
@@ -157,7 +182,8 @@ def execute_job(job: VerificationJob, timeout_seconds: Optional[float] = None) -
             max_configurations=job.max_configurations,
             strategy=job.strategy,
         )
-        result = solver.check(job.system)
+        recorder = TraceRecorder() if job.trace else None
+        result = solver.check(job.system, trace=recorder)
         return JobResult(
             fingerprint=fingerprint,
             label=job.label,
@@ -171,6 +197,7 @@ def execute_job(job: VerificationJob, timeout_seconds: Optional[float] = None) -
                 else None
             ),
             run_length=result.run.length if result.run is not None else None,
+            trace=recorder.as_dict() if recorder is not None else None,
         )
     except JobTimeout as exc:
         return JobResult(

@@ -27,29 +27,50 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.fraisse.plans import prime_plans
 from repro.service.jobs import JobResult, VerificationJob, execute_job
 from repro.service.store import ResultStore
 
+_log = telemetry.get_logger("runner")
 
-def _execute_payload(payload: Tuple[Dict[str, Any], Optional[float]]) -> JobResult:
+#: Worker payload: ``(spec, timeout, correlation fields for log lines)``.
+WorkerPayload = Tuple[Dict[str, Any], Optional[float], Dict[str, str]]
+
+
+def _execute_payload(payload: WorkerPayload) -> JobResult:
     """Worker entry point (top-level so it pickles under any start method)."""
-    spec, timeout_seconds = payload
-    job = VerificationJob.from_spec(spec)
-    # Warm the process-wide compiled-plan cache before the timed run: guards
-    # are keyed by the theory's stable plan key, so same-theory jobs later in
-    # the batch (the common shape of generated batches) reuse the compiled
-    # evaluators instead of recompiling per job.
-    prime_plans(job.system, job.theory)
-    return execute_job(job, timeout_seconds=timeout_seconds)
+    spec, timeout_seconds, log_fields = payload
+    began = time.perf_counter()
+    with telemetry.log_context(**log_fields):
+        job = VerificationJob.from_spec(spec)
+        # Warm the process-wide compiled-plan cache before the timed run: guards
+        # are keyed by the theory's stable plan key, so same-theory jobs later in
+        # the batch (the common shape of generated batches) reuse the compiled
+        # evaluators instead of recompiling per job.
+        prime_plans(job.system, job.theory)
+        result = execute_job(job, timeout_seconds=timeout_seconds)
+    result.wall_seconds = time.perf_counter() - began
+    return result
 
 
 def _execute_indexed_payload(
-    payload: Tuple[int, Dict[str, Any], Optional[float]],
+    payload: Tuple[int, Dict[str, Any], Optional[float], Dict[str, str]],
 ) -> Tuple[int, JobResult]:
-    """Index-carrying worker entry point for unordered completion streams."""
-    index, spec, timeout_seconds = payload
-    return index, _execute_payload((spec, timeout_seconds))
+    """Index-carrying worker entry point for unordered completion streams.
+
+    This only ever runs inside a pool worker process, so it also measures
+    the engine counter movement (cache hits/misses, plan compilations) the
+    job caused there; the parent folds the delta into its own telemetry --
+    counters in a child process are otherwise invisible to ``/v1/metrics``.
+    """
+    index, spec, timeout_seconds, log_fields = payload
+    before = telemetry.engine_counters_snapshot()
+    result = _execute_payload((spec, timeout_seconds, log_fields))
+    result.worker_counters = telemetry.engine_counters_delta(
+        before, telemetry.engine_counters_snapshot()
+    )
+    return index, result
 
 
 @dataclass
@@ -165,7 +186,10 @@ class BatchRunner:
         pending: List[Tuple[int, VerificationJob]] = []
         for index, job in enumerate(jobs):
             cached = self._store.get(job.fingerprint) if self._store is not None else None
-            if cached is not None:
+            # A traced job whose stored verdict has no trace re-executes so
+            # the requested trace actually gets recorded (same verdict; the
+            # store row is rewritten with the trace attached).
+            if cached is not None and not (job.trace and cached.trace is None):
                 cached.label = cached.label or job.label
                 results[index] = cached
                 report.cache_hits += 1
@@ -183,6 +207,16 @@ class BatchRunner:
 
         report.results = [result for result in results if result is not None]
         report.elapsed_seconds = time.perf_counter() - start
+        _log.info(
+            "batch finished",
+            extra={
+                "jobs": len(jobs),
+                "cache_hits": report.cache_hits,
+                "executed": report.executed,
+                "workers": self._workers,
+                "batch_seconds": round(report.elapsed_seconds, 3),
+            },
+        )
         return report
 
     # -- execution ---------------------------------------------------------------
@@ -201,18 +235,25 @@ class BatchRunner:
         callers like the HTTP server invoke this off the main thread where
         the alarm would be silently skipped.
         """
+        log_fields = telemetry.current_log_context()
         if self._workers == 1 or len(jobs) == 1 and self._timeout_seconds is None:
             for index, job in enumerate(jobs):
-                payload = (job.to_spec(), self._timeout_seconds)
+                payload = (job.to_spec(), self._timeout_seconds, log_fields)
                 yield index, self._verified(job, index, _execute_payload(payload))
             return
-        payloads = [(index, job.to_spec(), self._timeout_seconds) for index, job in enumerate(jobs)]
+        payloads = [
+            (index, job.to_spec(), self._timeout_seconds, log_fields)
+            for index, job in enumerate(jobs)
+        ]
         context = multiprocessing.get_context(self._start_method)
         processes = min(self._workers, len(jobs))
+        _log.debug("starting worker pool", extra={"workers": processes, "jobs": len(jobs)})
         with context.Pool(processes=processes) as pool:
             for index, result in pool.imap_unordered(
                 _execute_indexed_payload, payloads, chunksize=1
             ):
+                telemetry.merge_worker_counters(result.worker_counters)
+                result.worker_counters = None
                 yield index, self._verified(jobs[index], index, result)
 
     def _verified(self, job: VerificationJob, index: int, result: JobResult) -> JobResult:
@@ -222,6 +263,11 @@ class BatchRunner:
                 f"{job.fingerprint[:12]} != worker fingerprint "
                 f"{result.fingerprint[:12]}; spec serialization is "
                 "not canonical"
+            )
+        if result.error is not None:
+            _log.warning(
+                "job failed",
+                extra={"fingerprint": result.fingerprint[:12], "error": result.error},
             )
         return result
 

@@ -31,9 +31,16 @@ always-on endpoint hardened for sustained mixed cold/warm traffic:
   with distinct ``401`` (missing) / ``403`` (wrong) paths; ``/v1/healthz``
   stays open for probes.
 * **Observability.**  ``GET /v1/stats`` reports queue depth, connection
-  counts and per-endpoint latency percentiles (p50/p95/p99 over a sliding
-  window); ``GET /v1/metrics`` exports the same data in Prometheus text
-  exposition format.
+  counts, per-endpoint latency percentiles (p50/p95/p99 over a sliding
+  window), store counters and a cumulative engine search rollup;
+  ``GET /v1/metrics`` exports the whole stack -- service counters, request
+  latency, engine cache/plan/search families, store counters and
+  worker-pool totals -- through one :class:`~repro.telemetry.MetricsRegistry`
+  in Prometheus text exposition format.  Jobs submitted with
+  ``"trace": true`` persist a solver trace served by
+  ``GET /v1/jobs/{fingerprint}/trace``; structured JSON logs with
+  request-id/fingerprint correlation are enabled via ``run_server``'s
+  ``log_level``/``log_json``.
 
 Wire format -- the canonical JSON job specs of :mod:`repro.service.jobs`,
 mounted under the versioned ``/v1`` prefix:
@@ -43,7 +50,8 @@ mounted under the versioned ``/v1`` prefix:
   (``"wait": false`` returns ``202`` immediately with a batch id).  A spec
   may carry an optional client-computed ``"fingerprint"``, which the server
   verifies against its own canonical fingerprint (``409`` on mismatch).
-* ``GET /v1/jobs/{fingerprint}`` serves a stored verdict (``404`` if absent).
+* ``GET /v1/jobs/{fingerprint}`` serves a stored verdict (``404`` if absent);
+  ``GET /v1/jobs/{fingerprint}/trace`` serves its recorded solver trace.
 * ``GET /v1/batch/{id}`` reports batch status; ``GET /v1/batch/{id}/events``
   streams batch progress as NDJSON, replaying past events then following
   live until the batch completes.
@@ -71,17 +79,20 @@ import re
 import threading
 import time
 import uuid
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from http import HTTPStatus
 from pathlib import Path
-from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.service.jobs import JobResult, VerificationJob
 from repro.service.runner import BatchReport, BatchRunner
 from repro.service.store import ResultStore
+
+_log = telemetry.get_logger("serve")
 
 #: Reject request bodies beyond this size (a light DoS guard; generated
 #: batch specs run a few KB per job).
@@ -166,24 +177,81 @@ def error_envelope(code: str, message: str, detail: Optional[Any] = None) -> Dic
     return {"error": {"code": code, "message": message, "detail": detail}}
 
 
-@dataclass
-class ServiceStats:
-    """Monotonic counters surfaced by ``GET /v1/stats`` and ``/v1/metrics``."""
+#: Service counter attributes -> ``(metric name, help text)``.  Attribute
+#: names are the historical ``ServiceStats`` dataclass fields (what
+#: ``/v1/stats`` reports at top level); metric names are what
+#: ``/v1/metrics`` has always exported for each.
+SERVICE_COUNTERS: Dict[str, Tuple[str, str]] = {
+    "jobs_received": ("repro_jobs_received_total", "Jobs received across all requests."),
+    "executed": ("repro_jobs_executed_total", "Jobs run on the engine."),
+    "store_hits": ("repro_store_hits_total", "Jobs served from the store."),
+    "inflight_joins": (
+        "repro_inflight_joins_total",
+        "Jobs joined onto an in-flight execution.",
+    ),
+    "batch_dedup": (
+        "repro_batch_dedup_total",
+        "Duplicate jobs deduplicated within one batch.",
+    ),
+    "batches": ("repro_batches_total", "Batches accepted."),
+    "rejected": (
+        "repro_requests_rejected_total",
+        "Requests refused (parse, auth, shed, size).",
+    ),
+    "shed": (
+        "repro_requests_shed_total",
+        "Work-bearing requests shed by the admission gate.",
+    ),
+    "auth_rejected": (
+        "repro_auth_rejected_total",
+        "Requests with missing or invalid auth tokens.",
+    ),
+    "connections_total": (
+        "repro_connections_opened_total",
+        "Connections accepted since start.",
+    ),
+    "connections_refused": (
+        "repro_connections_refused_total",
+        "Connections refused by the connection cap.",
+    ),
+}
 
-    jobs_received: int = 0
-    executed: int = 0
-    store_hits: int = 0
-    inflight_joins: int = 0
-    batch_dedup: int = 0
-    batches: int = 0
-    rejected: int = 0
-    shed: int = 0
-    auth_rejected: int = 0
-    connections_total: int = 0
-    connections_refused: int = 0
+
+class ServiceStats:
+    """Monotonic counters surfaced by ``GET /v1/stats`` and ``/v1/metrics``.
+
+    Each field is backed by a :class:`~repro.telemetry.Counter` in the
+    service's metrics registry, so the JSON stats endpoint and the
+    Prometheus exposition read the same storage.  The attribute API of the
+    old dataclass is preserved (``stats.executed += 1``, integer reads).
+    """
+
+    def __init__(self, registry: telemetry.MetricsRegistry) -> None:
+        object.__setattr__(
+            self,
+            "_counters",
+            {
+                attr: registry.counter(metric_name, help_text)
+                for attr, (metric_name, help_text) in SERVICE_COUNTERS.items()
+            },
+        )
+
+    def __getattr__(self, name: str) -> int:
+        counter = self.__dict__["_counters"].get(name)
+        if counter is None:
+            raise AttributeError(name)
+        return int(counter.value())
+
+    def __setattr__(self, name: str, value: int) -> None:
+        counter = self.__dict__["_counters"].get(name)
+        if counter is None:
+            raise AttributeError(f"unknown service counter {name!r}")
+        counter.inc(value - counter.value())  # monotonic: negative deltas raise
 
     def as_dict(self) -> Dict[str, int]:
-        return dataclasses.asdict(self)
+        return {
+            attr: int(counter.value()) for attr, counter in self.__dict__["_counters"].items()
+        }
 
 
 def _percentile(ordered: List[float], q: float) -> float:
@@ -195,70 +263,40 @@ def _percentile(ordered: List[float], q: float) -> float:
 class LatencyTracker:
     """Per-endpoint latency percentiles over a sliding sample window.
 
-    Only ever touched from the event-loop thread, so plain containers are
-    safe.  Percentiles are nearest-rank over the last ``window`` samples;
-    count/sum are lifetime totals (what Prometheus summaries expect).
+    Backed by a registry :class:`~repro.telemetry.Summary` (window
+    quantiles plus lifetime ``_sum``/``_count``), which renders the
+    ``repro_request_latency_seconds`` exposition; this wrapper adds the
+    millisecond JSON report ``/v1/stats`` serves.
     """
 
     QUANTILES = (0.5, 0.95, 0.99)
 
-    def __init__(self, window: int = LATENCY_WINDOW) -> None:
-        self._window = window
-        self._samples: Dict[str, Deque[float]] = {}
-        self._counts: Dict[str, int] = {}
-        self._sums: Dict[str, float] = {}
+    def __init__(self, registry: telemetry.MetricsRegistry, window: int = LATENCY_WINDOW) -> None:
+        self._summary = registry.summary(
+            "repro_request_latency_seconds",
+            "Request latency by endpoint.",
+            labelnames=("endpoint",),
+            window=window,
+            quantiles=self.QUANTILES,
+        )
 
     def observe(self, endpoint: str, seconds: float) -> None:
-        bucket = self._samples.get(endpoint)
-        if bucket is None:
-            bucket = self._samples[endpoint] = deque(maxlen=self._window)
-            self._counts[endpoint] = 0
-            self._sums[endpoint] = 0.0
-        bucket.append(seconds)
-        self._counts[endpoint] += 1
-        self._sums[endpoint] += seconds
-
-    def quantiles(self, endpoint: str) -> Dict[float, float]:
-        ordered = sorted(self._samples.get(endpoint, ()))
-        if not ordered:
-            return {}
-        return {q: _percentile(ordered, q) for q in self.QUANTILES}
+        self._summary.observe(seconds, endpoint=endpoint)
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """JSON-ready per-endpoint summary (milliseconds, for /v1/stats)."""
         report: Dict[str, Dict[str, float]] = {}
-        for endpoint, count in self._counts.items():
-            quantiles = self.quantiles(endpoint)
+        for key, (window, count, total) in self._summary.snapshot().items():
+            endpoint = dict(key)["endpoint"]
+            ordered = sorted(window)
             report[endpoint] = {
                 "count": count,
-                "mean_ms": round(1000.0 * self._sums[endpoint] / count, 3),
-                "p50_ms": round(1000.0 * quantiles[0.5], 3),
-                "p95_ms": round(1000.0 * quantiles[0.95], 3),
-                "p99_ms": round(1000.0 * quantiles[0.99], 3),
+                "mean_ms": round(1000.0 * total / count, 3),
+                "p50_ms": round(1000.0 * _percentile(ordered, 0.5), 3),
+                "p95_ms": round(1000.0 * _percentile(ordered, 0.95), 3),
+                "p99_ms": round(1000.0 * _percentile(ordered, 0.99), 3),
             }
         return report
-
-    def prometheus_lines(self) -> List[str]:
-        """Summary-typed exposition lines (seconds, for /v1/metrics)."""
-        lines = [
-            "# HELP repro_request_latency_seconds Request latency by endpoint.",
-            "# TYPE repro_request_latency_seconds summary",
-        ]
-        for endpoint in sorted(self._counts):
-            for q, value in self.quantiles(endpoint).items():
-                lines.append(
-                    f'repro_request_latency_seconds{{endpoint="{endpoint}",'
-                    f'quantile="{q}"}} {value:.6f}'
-                )
-            lines.append(
-                f'repro_request_latency_seconds_sum{{endpoint="{endpoint}"}} '
-                f"{self._sums[endpoint]:.6f}"
-            )
-            lines.append(
-                f'repro_request_latency_seconds_count{{endpoint="{endpoint}"}} '
-                f"{self._counts[endpoint]}"
-            )
-        return lines
 
 
 @dataclass
@@ -404,13 +442,222 @@ class VerificationService:
         self._execute_delay = execute_delay
         self._pending = 0
         self._open_connections = 0
+        self._executing_jobs = 0
         self._inflight: Dict[str, asyncio.Future] = {}
         self._batches: "OrderedDict[str, BatchRecord]" = OrderedDict()
         self._batch_tasks: set = set()
         self._conn_tasks: set = set()
-        self.stats = ServiceStats()
-        self.latency = LatencyTracker()
+        self.registry = telemetry.MetricsRegistry()
+        self.stats = ServiceStats(self.registry)
+        self.latency = LatencyTracker(self.registry)
+        self.engine_rollup = telemetry.EngineRollup()
+        self._register_telemetry()
         self._server: Optional[asyncio.AbstractServer] = None
+
+    def _register_telemetry(self) -> None:
+        """Wire every non-counter metric family into the registry.
+
+        Gauges and engine/store/worker counters are callback-driven: they
+        read live service state (or the process-wide telemetry counters) at
+        scrape time, so the hot paths carry no metrics bookkeeping at all.
+        """
+        registry = self.registry
+
+        def engine_cache_field(field: str):
+            def read() -> Dict[str, int]:
+                caches = telemetry.engine_counters_snapshot()["caches"]
+                return {name: counters[field] for name, counters in caches.items()}
+
+            return read
+
+        def worker_cache_field(field: str):
+            def read() -> Dict[str, int]:
+                caches = telemetry.worker_counters_snapshot()["caches"]
+                return {name: counters[field] for name, counters in caches.items()}
+
+            return read
+
+        def worker_total(field: str):
+            def read() -> int:
+                return telemetry.worker_counters_snapshot()[field]
+
+            return read
+
+        def store_total(field: str):
+            def read() -> int:
+                return getattr(self._store.stats, field) if self._store is not None else 0
+
+            return read
+
+        def rollup_total(field: str):
+            def read() -> float:
+                rollup = self.engine_rollup
+                if field in rollup.totals:
+                    return rollup.totals[field]
+                return getattr(rollup, field)  # jobs / engine_seconds / derived properties
+
+            return read
+
+        # -- live service gauges --------------------------------------------------
+        registry.gauge(
+            "repro_inflight_fingerprints",
+            "Unique fingerprints currently executing.",
+            callback=lambda: len(self._inflight),
+        )
+        registry.gauge(
+            "repro_queue_depth",
+            "Work-bearing requests in flight.",
+            callback=lambda: self._pending,
+        )
+        registry.gauge(
+            "repro_queue_limit",
+            "Admission gate size (-1 = unbounded).",
+            callback=lambda: self._max_pending if self._max_pending is not None else -1,
+        )
+        registry.gauge(
+            "repro_connections_open", "Open connections.", callback=lambda: self._open_connections
+        )
+        registry.gauge(
+            "repro_connections_limit", "Connection cap.", callback=lambda: self._max_connections
+        )
+        registry.gauge(
+            "repro_store_size",
+            "Entries in the verdict store.",
+            callback=lambda: self._store.backend.count() if self._store is not None else 0,
+        )
+        registry.gauge(
+            "repro_jobs_executing",
+            "Jobs currently running on the engine.",
+            callback=lambda: self._executing_jobs,
+        )
+        registry.gauge(
+            "repro_worker_processes",
+            "Configured worker pool size.",
+            callback=lambda: self._workers,
+        )
+        registry.gauge(
+            "repro_worker_utilization",
+            "Executing jobs as a fraction of the worker pool (saturates at 1).",
+            callback=lambda: min(1.0, self._executing_jobs / self._workers),
+        )
+        # -- engine counters (this process) ---------------------------------------
+        registry.counter_callback(
+            "repro_engine_cache_hits_total",
+            "Engine bounded-cache hits in this process, by cache.",
+            ("cache",),
+            engine_cache_field("hits"),
+        )
+        registry.counter_callback(
+            "repro_engine_cache_misses_total",
+            "Engine bounded-cache misses in this process, by cache.",
+            ("cache",),
+            engine_cache_field("misses"),
+        )
+        registry.counter_callback(
+            "repro_engine_cache_evictions_total",
+            "Engine bounded-cache evictions in this process, by cache.",
+            ("cache",),
+            engine_cache_field("evictions"),
+        )
+        registry.counter_callback(
+            "repro_plan_compilations_total",
+            "Transition guard plans compiled in this process.",
+            (),
+            telemetry.plan_compilation_count,
+        )
+        # -- worker-pool counters (marshalled back from worker processes) ---------
+        registry.counter_callback(
+            "repro_worker_jobs_total",
+            "Jobs executed inside pool worker processes.",
+            (),
+            worker_total("jobs"),
+        )
+        registry.counter_callback(
+            "repro_worker_plan_compilations_total",
+            "Guard plans compiled inside pool worker processes.",
+            (),
+            worker_total("plan_compilations"),
+        )
+        registry.counter_callback(
+            "repro_worker_cache_hits_total",
+            "Engine cache hits inside pool worker processes, by cache.",
+            ("cache",),
+            worker_cache_field("hits"),
+        )
+        registry.counter_callback(
+            "repro_worker_cache_misses_total",
+            "Engine cache misses inside pool worker processes, by cache.",
+            ("cache",),
+            worker_cache_field("misses"),
+        )
+        # -- store counters -------------------------------------------------------
+        registry.counter_callback(
+            "repro_store_gets_total", "Store lookups.", (), store_total("gets")
+        )
+        registry.counter_callback(
+            "repro_store_lookup_hits_total",
+            "Store lookups that found a fresh row.",
+            (),
+            store_total("hits"),
+        )
+        registry.counter_callback(
+            "repro_store_lookup_misses_total",
+            "Store lookups that found nothing (or an expired row).",
+            (),
+            store_total("misses"),
+        )
+        registry.counter_callback(
+            "repro_store_puts_total", "Verdicts written to the store.", (), store_total("puts")
+        )
+        registry.counter_callback(
+            "repro_store_evictions_total",
+            "Store rows evicted by the max_entries cap.",
+            (),
+            store_total("evictions"),
+        )
+        registry.counter_callback(
+            "repro_store_ttl_expirations_total",
+            "Store rows dropped by TTL expiry.",
+            (),
+            store_total("ttl_expirations"),
+        )
+        # -- engine search rollup (cumulative over completed jobs) ----------------
+        registry.counter_callback(
+            "repro_engine_jobs_total",
+            "Completed engine runs folded into the search rollup.",
+            (),
+            rollup_total("jobs"),
+        )
+        registry.counter_callback(
+            "repro_engine_seconds_total",
+            "Cumulative engine search seconds across completed jobs.",
+            (),
+            rollup_total("engine_seconds"),
+        )
+        registry.counter_callback(
+            "repro_engine_configurations_explored_total",
+            "Configurations explored across completed jobs.",
+            (),
+            rollup_total("configurations_explored"),
+        )
+        registry.counter_callback(
+            "repro_engine_candidates_generated_total",
+            "Successor candidates generated across completed jobs.",
+            (),
+            rollup_total("candidates_generated"),
+        )
+        registry.counter_callback(
+            "repro_engine_candidates_pruned_total",
+            "Candidates discarded before expansion across completed jobs.",
+            (),
+            rollup_total("candidates_pruned"),
+        )
+        registry.counter_callback(
+            "repro_engine_guard_rejections_total",
+            "Guard evaluations that rejected a candidate across completed jobs.",
+            (),
+            rollup_total("guard_rejections"),
+        )
 
     # -- job parsing -------------------------------------------------------------
 
@@ -480,7 +727,10 @@ class VerificationService:
         for index, job in enumerate(jobs):
             fingerprint = job.fingerprint
             cached = self._store.get(fingerprint) if self._store is not None else None
-            if cached is not None:
+            # A traced submission of a verdict stored without a trace
+            # re-executes (the verdict is identical; the run records the
+            # trace and the store row is rewritten with it attached).
+            if cached is not None and not (job.trace and cached.trace is None):
                 cached.label = cached.label or job.label
                 counters["store_hits"] += 1
                 self.stats.store_hits += 1
@@ -516,13 +766,18 @@ class VerificationService:
                         self._store.put(job, result)
                 except Exception as exc:  # noqa: BLE001 - cache write must not lose a verdict
                     # The verdict is still valid; it just was not cached.
-                    print(
-                        f"repro serve: store write failed for "
-                        f"{job.fingerprint[:12]}: {type(exc).__name__}: {exc}",
-                        flush=True,
+                    _log.error(
+                        "store write failed",
+                        extra={
+                            "fingerprint": job.fingerprint[:12],
+                            "error": f"{type(exc).__name__}: {exc}",
+                        },
                     )
                 counters["executed"] += 1
                 self.stats.executed += 1
+                self._executing_jobs -= 1
+                if result.ok:
+                    self.engine_rollup.record(result.statistics)
                 self._inflight.pop(job.fingerprint, None)
                 if not future.done():
                     future.set_result(result)
@@ -537,9 +792,16 @@ class VerificationService:
                         label=job.label,
                         error=f"{type(exc).__name__}: {exc}",
                     )
+                    self._executing_jobs -= 1
                     self._inflight.pop(job.fingerprint, None)
                     future.set_result(result)
                     job_done(index, result, "engine")
+
+            # Correlation fields (request id, fingerprint) must be captured
+            # here: run_group executes on a plain executor thread, outside
+            # this coroutine's contextvars.
+            log_fields = telemetry.current_log_context()
+            self._executing_jobs += len(fresh)
 
             def run_group() -> None:
                 # Runs on an executor thread; the loop never blocks on the
@@ -547,8 +809,9 @@ class VerificationService:
                 if self._execute_delay:
                     time.sleep(self._execute_delay)
                 try:
-                    for local_index, result in self._runner.execute_indexed(fresh_jobs):
-                        loop.call_soon_threadsafe(settle, local_index, result)
+                    with telemetry.log_context(**log_fields):
+                        for local_index, result in self._runner.execute_indexed(fresh_jobs):
+                            loop.call_soon_threadsafe(settle, local_index, result)
                 except BaseException as exc:  # noqa: BLE001 - becomes errored results
                     loop.call_soon_threadsafe(settle_failure, exc)
 
@@ -824,35 +1087,51 @@ class VerificationService:
         keep_alive = request.wants_keep_alive()
         started = time.perf_counter()
         label = "unrouted"
-        try:
-            version_rest = self._strip_version(request.path)
-            deprecated = version_rest is None
-            rest = request.path if deprecated else version_rest
-            extra = self._deprecation_headers(request.path) if deprecated else {}
-            label, handler = self._route(request, rest)
-            self._check_auth(request, rest)
-            stream_open = await handler(request, writer, extra, keep_alive)
-            if stream_open is False:
-                keep_alive = False
-        except ApiError as error:
-            # 404/405 are routine probe answers (cache-miss lookups, evicted
-            # batches); "rejected" counts requests the server refused to parse.
-            if error.status not in (404, 405):
-                self.stats.rejected += 1
-            if error.close:
-                keep_alive = False
-            headers = dict(error.headers)
-            if label == "unrouted":
-                label = "error"
-            await self._send_json(
-                writer,
-                error.status,
-                error_envelope(error.code, error.message, error.detail),
-                headers=headers,
-                keep_alive=keep_alive,
-            )
-        finally:
-            self.latency.observe(label, time.perf_counter() - started)
+        status: Optional[int] = None
+        request_id = uuid.uuid4().hex[:12]
+        with telemetry.log_context(request_id=request_id):
+            try:
+                version_rest = self._strip_version(request.path)
+                deprecated = version_rest is None
+                rest = request.path if deprecated else version_rest
+                extra = self._deprecation_headers(request.path) if deprecated else {}
+                label, handler = self._route(request, rest)
+                self._check_auth(request, rest)
+                stream_open = await handler(request, writer, extra, keep_alive)
+                if stream_open is False:
+                    keep_alive = False
+            except ApiError as error:
+                # 404/405 are routine probe answers (cache-miss lookups, evicted
+                # batches); "rejected" counts requests the server refused to parse.
+                status = error.status
+                if error.status not in (404, 405):
+                    self.stats.rejected += 1
+                if error.close:
+                    keep_alive = False
+                headers = dict(error.headers)
+                if label == "unrouted":
+                    label = "error"
+                await self._send_json(
+                    writer,
+                    error.status,
+                    error_envelope(error.code, error.message, error.detail),
+                    headers=headers,
+                    keep_alive=keep_alive,
+                )
+            finally:
+                elapsed = time.perf_counter() - started
+                self.latency.observe(label, elapsed)
+                # Per-request access line; ``status`` is only known on the
+                # error path (success handlers write their own codes).
+                fields: Dict[str, Any] = {
+                    "endpoint": label,
+                    "method": request.method,
+                    "path": request.path,
+                    "ms": round(1000.0 * elapsed, 3),
+                }
+                if status is not None:
+                    fields["status"] = status
+                _log.info("request", extra=fields)
         return keep_alive
 
     @staticmethod
@@ -899,6 +1178,8 @@ class VerificationService:
                 return "jobs_submit", self._handle_jobs
         elif rest.startswith("/jobs/"):
             if method == "GET":
+                if rest.endswith("/trace"):
+                    return "job_trace", self._handle_job_trace
                 return "job_lookup", self._handle_job_lookup
         elif rest.startswith("/batch/"):
             if method == "GET":
@@ -911,7 +1192,8 @@ class VerificationService:
                 "not-found",
                 f"unknown path {request.path}",
                 detail=f"endpoints live under /{API_VERSION}: jobs, jobs/{{fingerprint}}, "
-                "batch/{id}, batch/{id}/events, healthz, stats, metrics",
+                "jobs/{fingerprint}/trace, batch/{id}, batch/{id}/events, "
+                "healthz, stats, metrics",
             )
         raise ApiError(405, "method-not-allowed", f"{method} not supported on {request.path}")
 
@@ -986,6 +1268,15 @@ class VerificationService:
                 "total": self.stats.connections_total,
                 "refused": self.stats.connections_refused,
             },
+            "workers": {
+                "configured": self._workers,
+                "executing": self._executing_jobs,
+            },
+            # Cumulative engine search rollup over every job this server
+            # actually executed (store hits excluded -- their search work
+            # was already counted when the verdict was first computed).
+            "engine": self.engine_rollup.as_dict(),
+            "store": self._store.stats.as_dict() if self._store is not None else None,
             "latency": self.latency.summary(),
         }
 
@@ -1008,72 +1299,14 @@ class VerificationService:
         )
 
     def _render_metrics(self) -> str:
-        """The Prometheus text exposition of the service state."""
-        counters = {
-            "repro_jobs_received_total": (
-                self.stats.jobs_received,
-                "Jobs received across all requests.",
-            ),
-            "repro_jobs_executed_total": (self.stats.executed, "Jobs run on the engine."),
-            "repro_store_hits_total": (self.stats.store_hits, "Jobs served from the store."),
-            "repro_inflight_joins_total": (
-                self.stats.inflight_joins,
-                "Jobs joined onto an in-flight execution.",
-            ),
-            "repro_batch_dedup_total": (
-                self.stats.batch_dedup,
-                "Duplicate jobs deduplicated within one batch.",
-            ),
-            "repro_batches_total": (self.stats.batches, "Batches accepted."),
-            "repro_requests_rejected_total": (
-                self.stats.rejected,
-                "Requests refused (parse, auth, shed, size).",
-            ),
-            "repro_requests_shed_total": (
-                self.stats.shed,
-                "Work-bearing requests shed by the admission gate.",
-            ),
-            "repro_auth_rejected_total": (
-                self.stats.auth_rejected,
-                "Requests with missing or invalid auth tokens.",
-            ),
-            "repro_connections_opened_total": (
-                self.stats.connections_total,
-                "Connections accepted since start.",
-            ),
-            "repro_connections_refused_total": (
-                self.stats.connections_refused,
-                "Connections refused by the connection cap.",
-            ),
-        }
-        gauges = {
-            "repro_inflight_fingerprints": (
-                len(self._inflight),
-                "Unique fingerprints currently executing.",
-            ),
-            "repro_queue_depth": (self._pending, "Work-bearing requests in flight."),
-            "repro_queue_limit": (
-                self._max_pending if self._max_pending is not None else -1,
-                "Admission gate size (-1 = unbounded).",
-            ),
-            "repro_connections_open": (self._open_connections, "Open connections."),
-            "repro_connections_limit": (self._max_connections, "Connection cap."),
-            "repro_store_size": (
-                self._store.backend.count() if self._store is not None else 0,
-                "Entries in the verdict store.",
-            ),
-        }
-        lines: List[str] = []
-        for name, (value, help_text) in counters.items():
-            lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {value}")
-        for name, (value, help_text) in gauges.items():
-            lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {value}")
-        lines.extend(self.latency.prometheus_lines())
-        return "\n".join(lines) + "\n"
+        """The Prometheus text exposition of the whole stack.
+
+        Everything lives in the registry: service counters (via
+        :class:`ServiceStats`), request latency (via :class:`LatencyTracker`),
+        and the callback-driven engine/store/worker families registered in
+        :meth:`_register_telemetry`.
+        """
+        return self.registry.render()
 
     def _parse_body(self, body: bytes) -> Any:
         try:
@@ -1151,10 +1384,7 @@ class VerificationService:
             # run_batch already finished the record with an error report;
             # retrieving the exception here silences the GC-time warning.
             exc = task.exception()
-            print(
-                f"repro serve: batch task failed: {type(exc).__name__}: {exc}",
-                flush=True,
-            )
+            _log.error("batch task failed", extra={"error": f"{type(exc).__name__}: {exc}"})
 
     async def _handle_job_lookup(
         self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
@@ -1173,6 +1403,40 @@ class VerificationService:
             writer,
             200,
             {"served_from": "store", "fingerprint": fingerprint, "result": cached.as_dict()},
+            headers=extra,
+            keep_alive=keep,
+        )
+
+    async def _handle_job_trace(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> None:
+        """Serve the recorded solver trace of a stored verdict.
+
+        Traces only exist for jobs submitted with ``"trace": true``; the
+        payload is the stored :meth:`TraceRecorder.as_dict` form (seconds),
+        which ``repro trace`` converts to Chrome trace-event JSON.
+        """
+        rest = self._strip_version(request.path) or request.path
+        fingerprint = rest[len("/jobs/") : -len("/trace")].rstrip("/")
+        cached = self._store.get(fingerprint) if self._store is not None else None
+        if cached is None:
+            raise ApiError(
+                404,
+                "not-found",
+                f"no stored verdict for fingerprint {fingerprint[:16]!r}"
+                + (" (currently in flight)" if fingerprint in self._inflight else ""),
+            )
+        if cached.trace is None:
+            raise ApiError(
+                404,
+                "not-found",
+                f"no trace recorded for fingerprint {fingerprint[:16]!r}",
+                detail='re-submit the job with "trace": true to record one',
+            )
+        await self._send_json(
+            writer,
+            200,
+            {"fingerprint": fingerprint, "trace": cached.trace},
             headers=extra,
             keep_alive=keep,
         )
@@ -1294,13 +1558,20 @@ def run_server(
     max_pending: Optional[int] = DEFAULT_MAX_PENDING,
     max_connections: int = DEFAULT_MAX_CONNECTIONS,
     execute_delay: float = 0.0,
+    log_level: Optional[str] = None,
+    log_json: bool = False,
 ) -> int:
     """Run the service until interrupted (the ``repro serve`` entry point).
 
     With ``port=0`` the OS picks a free port; the bound port is printed and,
     when ``port_file`` is given, written there so scripts (the CI smoke job)
-    can discover it race-free.
+    can discover it race-free.  ``log_level``/``log_json`` switch on the
+    structured request/batch/worker log stream (stderr; JSON lines when
+    ``log_json`` is set); with neither given, logging stays unconfigured and
+    only warnings surface through Python's last-resort handler.
     """
+    if log_level is not None or log_json:
+        telemetry.configure_logging(level=log_level or "info", json_lines=log_json)
     service = VerificationService(
         store=store,
         workers=workers,

@@ -34,6 +34,34 @@ from repro.service.backends import MemoryBackend, SQLiteBackend, StoreBackend
 from repro.service.jobs import JobResult, VerificationJob
 
 
+class StoreStats:
+    """Monotonic per-store counters, exposed as ``repro_store_*`` metrics.
+
+    Counting happens at the store layer (not the backend) so every backend
+    gets the same instrumentation for free; all fields only ever increase.
+    """
+
+    __slots__ = ("gets", "hits", "misses", "puts", "evictions", "ttl_expirations")
+
+    def __init__(self) -> None:
+        self.gets = 0
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.ttl_expirations = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "gets": self.gets,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "ttl_expirations": self.ttl_expirations,
+        }
+
+
 class ResultStore:
     """A fingerprint-keyed verdict store over a pluggable backend.
 
@@ -66,6 +94,7 @@ class ResultStore:
         self._backend: StoreBackend = backend if backend is not None else SQLiteBackend(path)
         self._ttl_seconds = ttl_seconds
         self._max_entries = max_entries
+        self.stats = StoreStats()
 
     @classmethod
     def in_memory(
@@ -97,15 +126,20 @@ class ResultStore:
         if row is None:
             return None
         if self._ttl_seconds is not None and row["created_at"] < time.time() - self._ttl_seconds:
-            self._backend.delete(fingerprint)
+            if self._backend.delete(fingerprint):
+                self.stats.ttl_expirations += 1
             return None
         return row
 
     def get(self, fingerprint: str) -> Optional[JobResult]:
         """The stored result for a fingerprint, marked ``cached=True``."""
+        self.stats.gets += 1
         row = self._fresh_row(fingerprint)
         if row is None:
+            self.stats.misses += 1
             return None
+        self.stats.hits += 1
+        trace_json = row.get("trace")
         return JobResult(
             fingerprint=row["fingerprint"],
             label=row["label"],
@@ -116,6 +150,9 @@ class ResultStore:
             run_length=row["run_length"],
             statistics=json.loads(row["statistics"]),
             cached=True,
+            wall_seconds=row.get("wall_seconds"),
+            created_at=row["created_at"],
+            trace=json.loads(trace_json) if trace_json else None,
         )
 
     def put(self, job: VerificationJob, result: JobResult) -> None:
@@ -135,13 +172,21 @@ class ResultStore:
                 "run_length": result.run_length,
                 "statistics": json.dumps(result.statistics, sort_keys=True),
                 "job_spec": job.canonical_json(),
+                "wall_seconds": result.wall_seconds,
+                "trace": (
+                    json.dumps(result.trace, sort_keys=True)
+                    if result.trace is not None
+                    else None
+                ),
             },
         )
+        self.stats.puts += 1
         if self._max_entries is not None:
             excess = self._backend.count() - self._max_entries
             if excess > 0:
                 for key in self._backend.oldest_keys(excess):
-                    self._backend.delete(key)
+                    if self._backend.delete(key):
+                        self.stats.evictions += 1
 
     def purge_expired(self) -> int:
         """Eagerly delete every expired entry; returns the number removed."""
@@ -151,6 +196,7 @@ class ResultStore:
         for key in self._backend.expired_keys(time.time() - self._ttl_seconds):
             if self._backend.delete(key):
                 removed += 1
+        self.stats.ttl_expirations += removed
         return removed
 
     def __contains__(self, fingerprint: object) -> bool:
@@ -191,10 +237,12 @@ class ResultStore:
                     "run_length": row["run_length"],
                     "statistics": json.loads(row["statistics"]),
                     "job_spec": json.loads(row["job_spec"]),
+                    "wall_seconds": row.get("wall_seconds"),
+                    "has_trace": bool(row.get("trace")),
                 }
             )
         return {
-            "schema_version": 1,
+            "schema_version": 2,
             "backend": self._backend.name,
             "ttl_seconds": self._ttl_seconds,
             "count": len(entries),

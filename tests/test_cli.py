@@ -159,3 +159,52 @@ class TestBenchProfile:
     def test_profile_unknown_workload_rejected(self, capsys):
         assert main(["bench", "--profile", "not-a-workload"]) == 2
         assert "not-a-workload" in capsys.readouterr().err
+
+
+class TestTrace:
+    def _traced_store(self, tmp_path, capsys):
+        db = str(tmp_path / "traced.sqlite")
+        assert main(["batch", "--count", "2", "--seed", "7", "--trace", "--store", db]) == 0
+        out = capsys.readouterr().out
+        assert "traces recorded" in out and "repro trace" in out
+        from repro.service import ResultStore
+
+        with ResultStore(db) as store:
+            fingerprints = [entry["fingerprint"] for entry in store.export()["results"]]
+        return db, fingerprints
+
+    def test_batch_trace_then_export_chrome_json(self, tmp_path, capsys):
+        db, fingerprints = self._traced_store(tmp_path, capsys)
+        assert main(["trace", fingerprints[0], "--db", db]) == 0
+        exported = json.loads(capsys.readouterr().out)
+        assert exported["displayTimeUnit"] == "ms"
+        events = exported["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert any(event["ph"] == "X" for event in events)
+
+    def test_trace_output_file_and_raw(self, tmp_path, capsys):
+        db, fingerprints = self._traced_store(tmp_path, capsys)
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", fingerprints[0], "--db", db, "--output", str(out_file)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert json.loads(out_file.read_text())["traceEvents"]
+        assert main(["trace", fingerprints[0], "--db", db, "--raw"]) == 0
+        raw = json.loads(capsys.readouterr().out)
+        assert raw["unit"] == "seconds" and raw["spans"]
+
+    def test_trace_error_paths(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.sqlite")
+        assert main(["trace", "0" * 64, "--db", missing]) == 2
+        assert "no result store" in capsys.readouterr().err
+        # A store with verdicts but no traces: clear remediation hint.
+        db = str(tmp_path / "plain.sqlite")
+        assert main(["batch", "--count", "1", "--seed", "7", "--store", db]) == 0
+        capsys.readouterr()
+        from repro.service import ResultStore
+
+        with ResultStore(db) as store:
+            fingerprint = store.export()["results"][0]["fingerprint"]
+        assert main(["trace", "0" * 64, "--db", db]) == 2
+        assert "no stored verdict" in capsys.readouterr().err
+        assert main(["trace", fingerprint, "--db", db]) == 2
+        assert "--trace" in capsys.readouterr().err

@@ -26,6 +26,12 @@ from repro.service import (
     ServiceError,
     VerificationService,
 )
+from repro.telemetry import (
+    chrome_trace,
+    counter_regressions,
+    parse_exposition,
+    validate_exposition,
+)
 from repro.workloads import generate_jobs, jobs_to_wire, post_jobs
 
 
@@ -518,3 +524,100 @@ class TestParallelWorkers:
             assert [r["nonempty"] for r in cold["results"]] == [
                 r["nonempty"] for r in warm["results"]
             ]
+
+
+class TestObservability:
+    """The telemetry surface: search traces, /v1/stats rollups, metrics lint."""
+
+    def test_traced_job_round_trip(self, server):
+        job = generate_jobs(1, seed=21)[0]
+        spec = dict(job.to_spec())
+        spec["trace"] = True
+        status, submitted, _ = _request(server.base_url, "/v1/jobs", json.dumps(spec).encode())
+        assert status == 200
+        assert submitted["served_from"] == "engine"
+        assert submitted["result"]["has_trace"] is True
+
+        status, payload, _ = _request(
+            server.base_url, f"/v1/jobs/{job.fingerprint}/trace"
+        )
+        assert status == 200
+        assert payload["fingerprint"] == job.fingerprint
+        trace = payload["trace"]
+        assert trace["unit"] == "seconds" and trace["spans"], trace
+        exported = chrome_trace(trace)
+        assert exported["traceEvents"][0]["ph"] == "M"
+        assert any(event["ph"] == "X" for event in exported["traceEvents"])
+
+    def test_trace_endpoint_404s(self, server):
+        # Unknown fingerprint: no verdict at all.
+        status, payload, _ = _request(server.base_url, "/v1/jobs/" + "0" * 64 + "/trace")
+        assert status == 404
+        assert payload["error"]["code"] == "not-found"
+        # Known verdict, but the job never opted into tracing.
+        job = generate_jobs(1, seed=22)[0]
+        _request(server.base_url, "/v1/jobs", json.dumps(job.to_spec()).encode())
+        status, payload, _ = _request(
+            server.base_url, f"/v1/jobs/{job.fingerprint}/trace"
+        )
+        assert status == 404
+        assert "trace" in payload["error"]["detail"]
+
+    def test_traced_resubmit_of_untraced_verdict_reexecutes(self, server):
+        job = generate_jobs(1, seed=23)[0]
+        plain = json.dumps(job.to_spec()).encode()
+        status, first, _ = _request(server.base_url, "/v1/jobs", plain)
+        assert first["served_from"] == "engine" and first["result"]["has_trace"] is False
+        # Re-submitting traced must not be short-circuited by the store: the
+        # verdict exists but the requested trace does not.
+        spec = dict(job.to_spec())
+        spec["trace"] = True
+        status, traced, _ = _request(server.base_url, "/v1/jobs", json.dumps(spec).encode())
+        assert traced["served_from"] == "engine"
+        assert traced["result"]["nonempty"] == first["result"]["nonempty"]
+        status, payload, _ = _request(
+            server.base_url, f"/v1/jobs/{job.fingerprint}/trace"
+        )
+        assert status == 200 and payload["trace"]["spans"]
+        # And now the traced row serves warm, trace intact.
+        status, warm, _ = _request(server.base_url, "/v1/jobs", json.dumps(spec).encode())
+        assert warm["served_from"] == "store" and warm["result"]["has_trace"] is True
+
+    def test_stats_engine_store_worker_sections(self, server):
+        jobs = generate_jobs(3, seed=24)
+        post_jobs(server.base_url, jobs)
+        post_jobs(server.base_url, jobs)  # warm rerun: store movement, no engine movement
+        status, stats, _ = _request(server.base_url, "/v1/stats")
+        assert status == 200
+        engine = stats["engine"]
+        assert engine["jobs"] == 3  # store hits never count as engine work
+        assert engine["configurations_explored"] > 0
+        assert engine["engine_seconds"] > 0
+        assert 0.0 <= engine["cache_hit_rate"] <= 1.0
+        store = stats["store"]
+        assert store["puts"] == 3 and store["hits"] == 3
+        workers = stats["workers"]
+        assert workers["configured"] == 1 and workers["executing"] == 0
+
+    def test_live_metrics_lint_clean_and_monotone(self, server):
+        jobs = generate_jobs(2, seed=25)
+        post_jobs(server.base_url, jobs)
+        with ServiceClient(server.base_url) as client:
+            before = client.metrics()
+            post_jobs(server.base_url, jobs)  # warm
+            after = client.metrics()
+        assert validate_exposition(before) == []
+        assert validate_exposition(after) == []
+        assert counter_regressions(before, after) == []
+        for family in (
+            "repro_engine_jobs_total",
+            "repro_engine_cache_hits_total",
+            "repro_plan_compilations_total",
+            "repro_store_lookup_hits_total",
+            "repro_store_puts_total",
+            "repro_worker_processes",
+            "repro_jobs_executing",
+        ):
+            assert family in after, f"{family} missing from /v1/metrics"
+        hits = parse_exposition(after).samples[("repro_store_hits_total", ())]
+        assert hits == 2  # the warm rerun, counted once per job

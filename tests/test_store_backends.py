@@ -79,6 +79,29 @@ class TestBackendParity:
         store.put(job, result)
         assert len(store) == 1
 
+    def test_wall_seconds_and_trace_round_trip(self, store):
+        # Schema v3 columns: measured wall clock and the opt-in solver trace
+        # must survive storage on both backends.
+        job = VerificationJob(
+            triangle_system(),
+            AllDatabasesTheory(GRAPH_SCHEMA),
+            label="traced",
+            trace=True,
+        )
+        result = execute_job(job)
+        result.wall_seconds = 1.25
+        assert result.trace is not None and result.trace["spans"]
+        store.put(job, result)
+        cached = store.get(job.fingerprint)
+        assert cached.wall_seconds == pytest.approx(1.25)
+        assert cached.trace == result.trace
+
+    def test_untraced_result_round_trips_with_null_trace(self, store):
+        job, result = _decided_job(label="untraced")
+        assert result.trace is None
+        store.put(job, result)
+        assert store.get(job.fingerprint).trace is None
+
 
 class TestRetention:
     def test_ttl_expiry_reads_as_missing(self):
