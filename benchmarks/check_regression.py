@@ -16,7 +16,10 @@ Two guarded records, selected with ``--kind``:
   ``BENCH_service.json``: keep-alive throughput must not lose to the
   close-per-request baseline measured in the same fresh run
   (``--min-ratio``), and must retain a fraction of the committed record's
-  keep-alive throughput (``--tolerance`` with an absolute rps floor).
+  keep-alive throughput (``--tolerance`` with an absolute rps floor).  It
+  also gates the fault-tolerance phase: arming the retry policy on a clean
+  run must stay within ``--max-retry-overhead`` percent of the plain run
+  (the design target is <2%; the gate leaves headroom for noisy runners).
 
 Both guards are tolerance-based: the committed records are produced in
 ``full`` mode on a quiet machine while CI runs the smaller smoke workload
@@ -61,6 +64,12 @@ DEFAULT_MIN_RPS_FLOOR = 10.0
 #: retain.  Looser than the engine tolerance: throughput is wall-clock on
 #: shared runners and the smoke load differs from the committed full run.
 DEFAULT_SERVICE_TOLERANCE = 0.1
+
+#: Maximum percent a clean run may slow down with a retry policy armed.
+#: The design target is <2%; CI smoke batches are tiny (seconds of work on
+#: shared runners), so the gate only catches the policy growing a real
+#: per-job cost, not scheduling jitter.
+DEFAULT_MAX_RETRY_OVERHEAD_PERCENT = 25.0
 
 
 class GuardDataError(Exception):
@@ -170,12 +179,37 @@ def _throughput_of(load_test: dict, record_name: str, mode: str) -> float:
     return throughput
 
 
+def _retry_overhead_of(record: dict, record_name: str) -> float:
+    """The clean-run retry-policy overhead percent, or an explicit failure."""
+    service = record.get("service")
+    if not isinstance(service, dict) or not service:
+        raise GuardDataError(
+            f"{record_name} record has no 'service' section; was the service "
+            "phase skipped when it was produced?"
+        )
+    fault_tolerance = service.get("fault_tolerance")
+    if not isinstance(fault_tolerance, dict):
+        raise GuardDataError(
+            f"{record_name} record has no 'fault_tolerance' entry; it "
+            "predates the fault-tolerance phase -- regenerate it with "
+            "benchmarks/run_all.py"
+        )
+    overhead = fault_tolerance.get("retry_overhead_percent")
+    if not isinstance(overhead, (int, float)):
+        raise GuardDataError(
+            f"{record_name} record has no usable retry_overhead_percent "
+            f"(got {overhead!r})"
+        )
+    return overhead
+
+
 def check_service(
     baseline_path: Path,
     current_path: Path,
     tolerance: float = DEFAULT_SERVICE_TOLERANCE,
     min_rps_floor: float = DEFAULT_MIN_RPS_FLOOR,
     min_ratio: float = DEFAULT_MIN_KEEPALIVE_RATIO,
+    max_retry_overhead: float = DEFAULT_MAX_RETRY_OVERHEAD_PERCENT,
 ) -> int:
     try:
         baseline = json.loads(baseline_path.read_text())
@@ -192,6 +226,7 @@ def check_service(
         fresh_load = _load_test_of(current, "current")
         fresh_keepalive = _throughput_of(fresh_load, "current", "keepalive")
         fresh_close = _throughput_of(fresh_load, "current", "close_per_request")
+        fresh_overhead = _retry_overhead_of(current, "current")
     except GuardDataError as error:
         print(f"GUARD FAILURE: {error}", file=sys.stderr)
         return 2
@@ -220,6 +255,17 @@ def check_service(
             file=sys.stderr,
         )
         failed = True
+    print(
+        f"fault tolerance: retry-armed clean-run overhead "
+        f"{fresh_overhead:+.1f}% (allowed <= {max_retry_overhead:.0f}%)"
+    )
+    if fresh_overhead > max_retry_overhead:
+        print(
+            f"REGRESSION: arming the retry policy slows a clean run by "
+            f"{fresh_overhead:.1f}% (allowed <= {max_retry_overhead:.0f}%)",
+            file=sys.stderr,
+        )
+        failed = True
     if failed:
         return 1
     print("service regression guard passed")
@@ -244,11 +290,16 @@ def main(argv=None) -> int:
                         help="absolute minimum keep-alive throughput (service)")
     parser.add_argument("--min-ratio", type=float, default=DEFAULT_MIN_KEEPALIVE_RATIO,
                         help="minimum keepalive/close throughput ratio (service)")
+    parser.add_argument("--max-retry-overhead", type=float,
+                        default=DEFAULT_MAX_RETRY_OVERHEAD_PERCENT,
+                        help="maximum clean-run slowdown percent with a retry "
+                        "policy armed (service)")
     args = parser.parse_args(argv)
     if args.kind == "service":
         tolerance = args.tolerance if args.tolerance is not None else DEFAULT_SERVICE_TOLERANCE
         return check_service(
-            args.baseline, args.current, tolerance, args.min_rps_floor, args.min_ratio
+            args.baseline, args.current, tolerance, args.min_rps_floor,
+            args.min_ratio, args.max_retry_overhead,
         )
     tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
     return check(

@@ -31,8 +31,10 @@ Three phases, all optional:
   warm-cache reruns against the fingerprinted result store, cross-checking
   that every mode returns identical verdicts, plus a concurrent load test
   of the HTTP front door (keep-alive vs close-per-request clients over a
-  mixed cold/warm traffic shape, with tail-latency percentiles).  Results
-  go to ``BENCH_service.json``.
+  mixed cold/warm traffic shape, with tail-latency percentiles), and a
+  fault-tolerance phase (retry-policy overhead on clean runs, recovery
+  wall-clock under an injected worker crash).  Results go to
+  ``BENCH_service.json``.
 
 Usage::
 
@@ -577,6 +579,94 @@ def run_load_test(smoke: bool) -> dict:
     }
 
 
+def run_fault_tolerance_benchmark(smoke: bool) -> dict:
+    """Cost of the retry machinery on clean runs, and recovery under faults.
+
+    Two questions, both answered on the same seeded batch:
+
+    * **overhead** -- a clean run with a retry policy armed must cost about
+      the same as one without (the policy only spends time when a transient
+      failure actually happens).  Target <2 percent; the regression guard
+      allows more headroom for shared-runner noise.
+    * **recovery** -- with a worker crash injected on one job's first
+      attempt, the batch must still produce identical verdicts, and the
+      extra wall-clock is the measured price of one supervised respawn and
+      retry.
+    """
+    from repro import faults
+    from repro.service import BatchRunner, RetryPolicy
+    from repro.workloads import generate_jobs
+
+    jobs = generate_jobs(12 if smoke else 48, seed=2017)
+    workers = 2
+    rounds = 2 if smoke else 3
+    plain_times = []
+    armed_times = []
+    baseline_verdicts = None
+    for _ in range(rounds):
+        plain = BatchRunner(workers=workers, timeout_seconds=300).run(jobs)
+        armed = BatchRunner(
+            workers=workers,
+            timeout_seconds=300,
+            retry_policy=RetryPolicy.with_retries(2),
+        ).run(jobs)
+        if baseline_verdicts is None:
+            baseline_verdicts = plain.verdicts
+        assert plain.verdicts == armed.verdicts == baseline_verdicts, (
+            "arming the retry policy changed the verdicts on a clean run"
+        )
+        assert armed.fault_tolerance["retries"] == 0, (
+            "a clean run should never retry"
+        )
+        plain_times.append(plain.elapsed_seconds)
+        armed_times.append(armed.elapsed_seconds)
+    plain_best = min(plain_times)
+    armed_best = min(armed_times)
+    overhead = (armed_best / plain_best - 1.0) * 100 if plain_best > 0 else None
+
+    # Recovery: crash the worker on one job's first attempt (the env var is
+    # the only channel that reaches spawned workers) and time the rerun.
+    previous = os.environ.get(faults.FAULTS_ENV_VAR)
+    os.environ[faults.FAULTS_ENV_VAR] = (
+        f"worker.crash:match={jobs[0].fingerprint[:12]},attempt=1"
+    )
+    try:
+        recovery = BatchRunner(
+            workers=workers,
+            timeout_seconds=300,
+            retry_policy=RetryPolicy.with_retries(1),
+        ).run(jobs)
+    finally:
+        if previous is None:
+            del os.environ[faults.FAULTS_ENV_VAR]
+        else:
+            os.environ[faults.FAULTS_ENV_VAR] = previous
+    assert recovery.verdicts == baseline_verdicts, (
+        "recovery from an injected worker crash changed the verdicts"
+    )
+    assert recovery.fault_tolerance["worker_crashes"] == 1
+    assert recovery.fault_tolerance["retries"] == 1
+
+    print(
+        f"  fault tolerance: clean {plain_best:.3f}s  retry-armed "
+        f"{armed_best:.3f}s  overhead {overhead:+.1f}%  "
+        f"crash-recovery {recovery.elapsed_seconds:.3f}s"
+    )
+    return {
+        "job_count": len(jobs),
+        "workers": workers,
+        "rounds": rounds,
+        "clean_seconds": round(plain_best, 4),
+        "retry_armed_seconds": round(armed_best, 4),
+        "retry_overhead_percent": round(overhead, 2) if overhead is not None else None,
+        "crash_recovery_seconds": round(recovery.elapsed_seconds, 4),
+        "recovery_fault_counters": {
+            key: value for key, value in recovery.fault_tolerance.items() if value
+        },
+        "verdicts_preserved": True,
+    }
+
+
 def run_service_benchmark(smoke: bool) -> dict:
     """The batch-service record: store-focused, fan-out, and scaling phases.
 
@@ -610,6 +700,7 @@ def run_service_benchmark(smoke: bool) -> dict:
         record["heavy"] = heavy
     record["scaling"] = run_worker_scaling(smoke)
     record["load_test"] = run_load_test(smoke)
+    record["fault_tolerance"] = run_fault_tolerance_benchmark(smoke)
     return record
 
 

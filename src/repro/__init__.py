@@ -57,6 +57,7 @@ from repro.service import (
     BatchRunner,
     JobResult,
     ResultStore,
+    RetryPolicy,
     VerificationJob,
     run_batch,
 )
@@ -70,7 +71,7 @@ from repro.telemetry import (
 )
 from repro.workloads import generate_jobs
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Schema",
@@ -104,6 +105,7 @@ __all__ = [
     "ResultStore",
     "BatchRunner",
     "BatchReport",
+    "RetryPolicy",
     "run_batch",
     "generate_jobs",
     "MetricsRegistry",

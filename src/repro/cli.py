@@ -49,7 +49,7 @@ from repro.library import (
 )
 from repro.perf import cache_stats_snapshot, caches_enabled, set_caches_enabled
 from repro.relational.csp import COLORED_GRAPH_SCHEMA, GRAPH_SCHEMA
-from repro.service import BatchRunner, ResultStore
+from repro.service import BatchRunner, ResultStore, RetryPolicy
 from repro.service.server import DEFAULT_MAX_CONNECTIONS, DEFAULT_MAX_PENDING
 from repro.workloads import FAMILIES, generate_jobs
 
@@ -209,7 +209,12 @@ def _command_batch(args: argparse.Namespace) -> int:
     store = ResultStore(args.store) if args.store else None
     try:
         try:
-            runner = BatchRunner(store=store, workers=args.workers, timeout_seconds=args.timeout)
+            runner = BatchRunner(
+                store=store,
+                workers=args.workers,
+                timeout_seconds=args.timeout,
+                retry_policy=RetryPolicy.with_retries(args.retries),
+            )
         except ValueError as error:
             print(str(error), file=sys.stderr)
             return 2
@@ -234,6 +239,12 @@ def _command_batch(args: argparse.Namespace) -> int:
             )
             print(f"  cache hits: {report.cache_hits}, executed: {report.executed}")
             print(f"  elapsed: {report.elapsed_seconds:.3f}s")
+            faults_seen = {k: v for k, v in report.fault_tolerance.items() if v}
+            if faults_seen:
+                print(
+                    "  fault tolerance: "
+                    + ", ".join(f"{k} {v}" for k, v in sorted(faults_seen.items()))
+                )
             if args.store:
                 print(f"  store: {args.store} ({len(store)} results)")
                 if args.trace:
@@ -264,6 +275,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     auth_token = args.auth_token or os.environ.get("REPRO_AUTH_TOKEN") or None
     max_pending = None if args.max_pending < 0 else args.max_pending
     try:
+        retry_policy = RetryPolicy.with_retries(args.retries)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.drain_timeout <= 0:
+        print("drain-timeout must be positive", file=sys.stderr)
+        return 2
+    try:
         if args.store:
             store = ResultStore(args.store, ttl_seconds=args.ttl, max_entries=args.max_entries)
         else:
@@ -284,6 +303,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             auth_token=auth_token,
             max_pending=max_pending,
             max_connections=args.max_connections,
+            retry_policy=retry_policy,
+            drain_timeout=args.drain_timeout,
             log_level=args.log_level,
             log_json=args.log_json,
         )
@@ -436,6 +457,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a solver trace per executed job (persisted with the "
         "verdict when --store is set; export via `repro trace`)",
     )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per job after a transient failure -- worker "
+        "crash, deadline kill, timeout (default: 0, never retry)",
+    )
     batch.add_argument("--json", action="store_true", help="full report as JSON")
     batch.set_defaults(handler=_command_batch)
 
@@ -497,6 +525,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_CONNECTIONS,
         help="open connection cap; over-cap connects are answered 503 "
         f"(default: {DEFAULT_MAX_CONNECTIONS})",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per job after a transient failure -- worker "
+        "crash, deadline kill, timeout (default: 0, never retry)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds SIGTERM/SIGINT waits for in-flight work before "
+        "exiting (default: 30)",
     )
     serve.add_argument(
         "--log-level",

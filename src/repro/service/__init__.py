@@ -10,8 +10,9 @@ layer:
 * :class:`~repro.service.store.ResultStore` -- a SQLite-backed verdict cache
   keyed by fingerprint, with a JSON export;
 * :class:`~repro.service.runner.BatchRunner` -- fans jobs out over
-  ``multiprocessing`` workers with per-job timeout/error capture and
-  serial-equivalence guarantees.
+  supervised ``multiprocessing`` workers with per-job timeout/error capture,
+  serial-equivalence guarantees, crash/deadline detection and a bounded
+  :class:`~repro.service.runner.RetryPolicy` for transient failures.
 
 Random workloads to drive it live in :mod:`repro.workloads`; the CLI front
 doors are ``repro batch`` / ``repro store`` for one-shot runs and ``repro
@@ -25,11 +26,19 @@ from repro.service.backends import MemoryBackend, SQLiteBackend, StoreBackend
 from repro.service.client import ServiceClient, ServiceError, jobs_to_wire, post_jobs
 from repro.service.jobs import (
     DEFAULT_JOB_MAX_CONFIGURATIONS,
+    JOB_ERROR_CODES,
+    RETRYABLE_ERROR_CODES,
     JobResult,
     VerificationJob,
     execute_job,
 )
-from repro.service.runner import BatchReport, BatchRunner, FingerprintMismatch, run_batch
+from repro.service.runner import (
+    BatchReport,
+    BatchRunner,
+    FingerprintMismatch,
+    RetryPolicy,
+    run_batch,
+)
 from repro.service.server import (
     API_VERSION,
     ERROR_CODES,
@@ -62,8 +71,11 @@ __all__ = [
     "ResultStore",
     "BatchRunner",
     "BatchReport",
+    "RetryPolicy",
     "FingerprintMismatch",
     "run_batch",
+    "JOB_ERROR_CODES",
+    "RETRYABLE_ERROR_CODES",
     "THEORY_KINDS",
     "theory_from_spec",
     "theory_to_spec",

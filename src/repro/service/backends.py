@@ -34,7 +34,11 @@ from repro.errors import StoreError
 
 #: Column order of a result row; every backend stores exactly these fields.
 #: ``wall_seconds`` (worker wall clock) and ``trace`` (serialized solver
-#: trace, JSON or NULL) arrived with schema v3 and are nullable.
+#: trace, JSON or NULL) arrived with schema v3 and are nullable.  Schema v4
+#: added the transient-failure bookkeeping: ``error``/``error_code`` (NULL
+#: for verdicts), ``cacheable`` (0 marks an observability-only error row
+#: that must never serve as a warm verdict) and ``expires_at`` (per-row
+#: expiry for short-lived error rows, NULL = store TTL policy only).
 ROW_FIELDS = (
     "fingerprint",
     "created_at",
@@ -48,7 +52,15 @@ ROW_FIELDS = (
     "job_spec",
     "wall_seconds",
     "trace",
+    "error",
+    "error_code",
+    "cacheable",
+    "expires_at",
 )
+
+#: Values assumed for row fields absent from a ``put`` (rows written by
+#: pre-v4 callers are cacheable verdicts).
+ROW_DEFAULTS = {"cacheable": 1}
 
 
 class StoreBackend(Protocol):
@@ -98,6 +110,10 @@ class StoreBackend(Protocol):
 
     def rows(self) -> Iterator[Dict[str, Any]]:
         """Every row, ordered by key (for export)."""
+        ...
+
+    def checkpoint(self) -> None:
+        """Flush any buffered writes to durable storage (may be a no-op)."""
         ...
 
     def close(self) -> None:
@@ -158,12 +174,15 @@ class MemoryBackend:
             snapshot = [dict(self._rows[key]) for key in sorted(self._rows)]
         yield from snapshot
 
+    def checkpoint(self) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
 
 #: Current on-disk schema version of :class:`SQLiteBackend`.
-SQLITE_SCHEMA_VERSION = 3
+SQLITE_SCHEMA_VERSION = 4
 
 _SQLITE_SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -178,7 +197,11 @@ CREATE TABLE IF NOT EXISTS results (
     statistics TEXT NOT NULL,
     job_spec TEXT NOT NULL,
     wall_seconds REAL,
-    trace TEXT
+    trace TEXT,
+    error TEXT,
+    error_code TEXT,
+    cacheable INTEGER NOT NULL DEFAULT 1,
+    expires_at REAL
 )
 """
 
@@ -197,9 +220,24 @@ def _migrate_v3(connection: sqlite3.Connection) -> None:
         connection.execute("ALTER TABLE results ADD COLUMN trace TEXT")
 
 
+def _migrate_v4(connection: sqlite3.Connection) -> None:
+    """v3 -> v4: transient-failure rows (error, error_code, cacheable, expiry)."""
+    columns = {name for (_, name, *_rest) in connection.execute("PRAGMA table_info(results)")}
+    if "error" not in columns:
+        connection.execute("ALTER TABLE results ADD COLUMN error TEXT")
+    if "error_code" not in columns:
+        connection.execute("ALTER TABLE results ADD COLUMN error_code TEXT")
+    if "cacheable" not in columns:
+        connection.execute(
+            "ALTER TABLE results ADD COLUMN cacheable INTEGER NOT NULL DEFAULT 1"
+        )
+    if "expires_at" not in columns:
+        connection.execute("ALTER TABLE results ADD COLUMN expires_at REAL")
+
+
 #: Ordered migration hooks: target version -> migration applying the step
 #: from the previous version.  Extend (never edit) when the schema evolves.
-SQLITE_MIGRATIONS = {2: _migrate_v2, 3: _migrate_v3}
+SQLITE_MIGRATIONS = {2: _migrate_v2, 3: _migrate_v3, 4: _migrate_v4}
 
 
 class SQLiteBackend:
@@ -216,9 +254,21 @@ class SQLiteBackend:
         self._path = str(path)
         # The HTTP server calls into the store from the event-loop thread
         # while tests drive it from the main thread; a single lock around a
-        # single connection keeps SQLite happy without WAL ceremony.
+        # single connection keeps SQLite happy.
         self._lock = threading.RLock()
         self._connection = sqlite3.connect(self._path, check_same_thread=False)
+        self._wal = False
+        if self._path != ":memory:":
+            # WAL keeps the main database file consistent under a hard kill
+            # (a crash loses at most the tail of the log, never corrupts
+            # committed rows) and lets readers proceed during commits.
+            # synchronous=NORMAL is the standard WAL pairing: commits are
+            # atomic across process kills; only an OS/power failure can drop
+            # the very last commits, which for a verdict cache means
+            # re-execution, not corruption.
+            mode = self._connection.execute("PRAGMA journal_mode=WAL").fetchone()[0]
+            self._wal = str(mode).lower() == "wal"
+            self._connection.execute("PRAGMA synchronous=NORMAL")
         self._migrate()
 
     @property
@@ -269,10 +319,14 @@ class SQLiteBackend:
             ).fetchone()
         return dict(zip(ROW_FIELDS, row)) if row is not None else None
 
+    @property
+    def wal_enabled(self) -> bool:
+        return self._wal
+
     def put(self, key: str, row: Mapping[str, Any]) -> None:
         # Nullable late-schema fields may be absent from rows written by
-        # older callers; missing keys store as NULL.
-        values = tuple(row.get(field) for field in ROW_FIELDS)
+        # older callers; missing keys store as NULL (or the v4 defaults).
+        values = tuple(row.get(field, ROW_DEFAULTS.get(field)) for field in ROW_FIELDS)
         with self._lock:
             self._connection.execute(
                 f"INSERT OR REPLACE INTO results ({', '.join(ROW_FIELDS)}) "
@@ -340,6 +394,21 @@ class SQLiteBackend:
         for row in fetched:
             yield dict(zip(ROW_FIELDS, row))
 
+    def checkpoint(self) -> None:
+        """Flush the write-ahead log into the main database file.
+
+        Called by the server's graceful drain so a subsequent hard kill has
+        nothing left in flight; a no-op outside WAL mode.
+        """
+        with self._lock:
+            self._connection.commit()
+            if self._wal:
+                self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
     def close(self) -> None:
         with self._lock:
+            try:
+                self.checkpoint()
+            except sqlite3.Error:
+                pass
             self._connection.close()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.parse
 from typing import Any, Dict, Optional, Sequence, Tuple
@@ -27,11 +28,19 @@ DEFAULT_TIMEOUT = 600.0
 #: Default retry budget for retryable statuses (429 overload, 503 cap).
 DEFAULT_RETRIES = 3
 
-#: Fallback wait when a retryable response carries no Retry-After header.
+#: Base of the exponential backoff between retries (doubles per attempt).
 DEFAULT_BACKOFF_SECONDS = 0.25
 
-#: Statuses worth retrying: the server sheds (429) or refuses the
-#: connection (503) under load, and both advertise Retry-After.
+#: Ceiling on any single backoff sleep, however many attempts have failed.
+DEFAULT_BACKOFF_MAX_SECONDS = 5.0
+
+#: Default total wall-clock budget for one logical request across all its
+#: retries; when it would be exceeded, the client gives up immediately.
+DEFAULT_RETRY_DEADLINE_SECONDS = 60.0
+
+#: Statuses worth retrying: the server sheds (429), refuses the connection
+#: (503 too-many-connections) or drains (503 draining) under load, and all
+#: of them advertise Retry-After.
 RETRYABLE_STATUSES = frozenset({429, 503})
 
 
@@ -94,6 +103,19 @@ class ServiceClient:
         :class:`ServiceError` is raised.  Retrying a ``POST /v1/jobs`` is
         safe: verdicts are deterministic and the server dedups by
         fingerprint, so a repeated submission never runs work twice.
+    backoff_base / backoff_max:
+        Exponential backoff between retries: attempt *n* waits
+        ``min(backoff_max, max(Retry-After, backoff_base * 2**(n-1)))``
+        seconds, randomized down by up to ``jitter`` so synchronized
+        clients decorrelate.  The server's ``Retry-After`` acts as a floor,
+        never a cap -- repeated shedding backs off further than the server's
+        fixed hint.
+    jitter:
+        Fraction in ``[0, 1]`` of each delay that may be randomly shaved.
+    retry_deadline:
+        Total wall-clock budget in seconds for one logical request across
+        all its retries; once sleeping again would exceed it the client
+        raises instead of sleeping.  ``None`` disables the budget.
     keep_alive:
         When False, a fresh connection is opened per request (the
         close-per-request baseline the load-test benchmark compares
@@ -108,9 +130,19 @@ class ServiceClient:
         auth_token: Optional[str] = None,
         timeout: float = DEFAULT_TIMEOUT,
         retries: int = DEFAULT_RETRIES,
+        backoff_base: float = DEFAULT_BACKOFF_SECONDS,
+        backoff_max: float = DEFAULT_BACKOFF_MAX_SECONDS,
+        jitter: float = 0.5,
+        retry_deadline: Optional[float] = DEFAULT_RETRY_DEADLINE_SECONDS,
         keep_alive: bool = True,
         api_version: str = "v1",
     ) -> None:
+        if backoff_base < 0 or backoff_max < 0:
+            raise ValueError("backoff seconds must be >= 0")
+        if not 0 <= jitter <= 1:
+            raise ValueError("jitter must be within [0, 1]")
+        if retry_deadline is not None and retry_deadline <= 0:
+            raise ValueError("retry_deadline must be positive when set")
         parsed = urllib.parse.urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if parsed.scheme not in ("http", ""):
             raise ValueError(f"unsupported scheme {parsed.scheme!r} (http only)")
@@ -121,6 +153,10 @@ class ServiceClient:
         self._auth_token = auth_token
         self._timeout = timeout
         self._retries = retries
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._jitter = jitter
+        self._retry_deadline = retry_deadline
         self._keep_alive = keep_alive
         self._prefix = f"/{api_version}" if api_version else ""
         self._connection: Optional[http.client.HTTPConnection] = None
@@ -183,15 +219,39 @@ class ServiceClient:
             payload = raw.decode("utf-8", "replace")
         return response.status, payload, response
 
+    def _compute_delay(
+        self,
+        attempt: int,
+        retry_after: Optional[str],
+        rng: Optional[random.Random] = None,
+    ) -> float:
+        """Backoff before retry ``attempt`` (1-based), honouring Retry-After.
+
+        The exponential curve ``backoff_base * 2**(attempt-1)`` is floored
+        by the server's ``Retry-After`` hint, capped at ``backoff_max`` and
+        randomized down by up to ``jitter``.
+        """
+        try:
+            floor = float(retry_after) if retry_after else 0.0
+        except ValueError:
+            floor = 0.0
+        delay = min(self._backoff_max, max(floor, self._backoff_base * 2.0 ** (attempt - 1)))
+        draw = (rng or random).random()
+        return delay * (1 - self._jitter * draw)
+
     def request(self, method: str, path: str, payload: Any = None) -> Any:
         """Issue one API call (path relative to ``/v1``), with shed retries.
 
         Returns the decoded JSON body on 2xx; raises :class:`ServiceError`
-        otherwise.  429/503 responses are retried up to ``retries`` times,
-        sleeping for the server's ``Retry-After`` between attempts.
+        otherwise.  429/503 responses are retried up to ``retries`` times
+        with exponential backoff (jittered, floored by the server's
+        ``Retry-After``), all within the total ``retry_deadline`` budget.
         """
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         url = self._prefix + path
+        deadline = (
+            time.monotonic() + self._retry_deadline if self._retry_deadline is not None else None
+        )
         attempt = 0
         while True:
             status, decoded, response = self._once(method, url, body)
@@ -199,13 +259,12 @@ class ServiceClient:
                 return decoded
             if status in RETRYABLE_STATUSES and attempt < self._retries:
                 attempt += 1
-                retry_after = response.getheader("Retry-After")
-                try:
-                    delay = float(retry_after) if retry_after else DEFAULT_BACKOFF_SECONDS
-                except ValueError:
-                    delay = DEFAULT_BACKOFF_SECONDS
-                time.sleep(min(delay, self._timeout))
-                continue
+                delay = self._compute_delay(attempt, response.getheader("Retry-After"))
+                if deadline is None or time.monotonic() + delay <= deadline:
+                    time.sleep(delay)
+                    continue
+                # Sleeping again would blow the total budget: fail now with
+                # the response in hand rather than later with nothing new.
             raise ServiceError(method, f"http://{self._host}:{self._port}{url}", status, decoded)
 
     # -- the API surface ---------------------------------------------------------

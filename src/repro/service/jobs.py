@@ -32,6 +32,28 @@ from repro.telemetry import TraceRecorder
 #: pathological instance must not stall the whole batch.
 DEFAULT_JOB_MAX_CONFIGURATIONS = 20_000
 
+#: Job-level error codes and what they mean.  The retry policy keys off
+#: these: transient infrastructure failures are retryable, deterministic
+#: failures of the job itself are not (retrying would reproduce them).
+JOB_ERROR_CODES = {
+    "timeout": "the in-worker wall-clock budget elapsed mid-run (retryable)",
+    "deadline-exceeded": (
+        "the parent-side deadline (timeout + grace) elapsed with no result; "
+        "the worker was killed (retryable)"
+    ),
+    "worker-crashed": "the worker process died mid-job (retryable)",
+    "store-io": "a store write failed after the verdict was computed (retryable)",
+    "spec-error": "the job spec could not be rebuilt into a runnable job (not retryable)",
+    "engine-error": "the engine raised while deciding the job (not retryable)",
+    "runner-error": "the batch runner itself failed before producing results (not retryable)",
+}
+
+#: Error codes the default :class:`~repro.service.runner.RetryPolicy`
+#: considers transient.
+RETRYABLE_ERROR_CODES = frozenset(
+    {"timeout", "deadline-exceeded", "worker-crashed", "store-io"}
+)
+
 
 @dataclass(frozen=True)
 class VerificationJob:
@@ -44,6 +66,10 @@ class VerificationJob:
     label: str = ""
     #: Record a solver trace while executing (opt-in, observability-only).
     trace: bool = False
+    #: Per-job retry budget override (extra attempts after the first); None
+    #: defers to the runner's :class:`RetryPolicy`.  Execution policy, not
+    #: job identity -- excluded from the fingerprint like ``label``/``trace``.
+    retries: Optional[int] = None
 
     def to_spec(self) -> Dict[str, Any]:
         """The JSON-safe wire format of the job (see :meth:`from_spec`)."""
@@ -56,10 +82,13 @@ class VerificationJob:
         }
         if self.trace:
             spec["trace"] = True
+        if self.retries is not None:
+            spec["retries"] = self.retries
         return spec
 
     @classmethod
     def from_spec(cls, spec: Mapping[str, Any]) -> "VerificationJob":
+        retries = spec.get("retries")
         return cls(
             system=DatabaseDrivenSystem.from_spec(spec["system"]),
             theory=theory_from_spec(spec["theory"]),
@@ -67,22 +96,25 @@ class VerificationJob:
             max_configurations=spec.get("max_configurations", DEFAULT_JOB_MAX_CONFIGURATIONS),
             label=spec.get("label", ""),
             trace=bool(spec.get("trace", False)),
+            retries=int(retries) if retries is not None else None,
         )
 
     def canonical_json(self) -> str:
         """The canonical JSON rendering the fingerprint is computed over.
 
-        The label and the trace flag are presentation/observability-only
-        and excluded, so relabelling a job -- or re-running it traced --
-        does not invalidate its cached verdict.  Memoised: the runner needs
-        it several times per job (store lookup, wire payload, store write)
-        and the spec serialization walks the whole system.
+        The label, trace flag and retry budget are presentation/execution
+        policy only and excluded, so relabelling a job -- or re-running it
+        traced or with a different retry budget -- does not invalidate its
+        cached verdict.  Memoised: the runner needs it several times per job
+        (store lookup, wire payload, store write) and the spec serialization
+        walks the whole system.
         """
         cached = self.__dict__.get("_canonical_json")
         if cached is None:
             spec = self.to_spec()
             spec.pop("label", None)
             spec.pop("trace", None)
+            spec.pop("retries", None)
             cached = json.dumps(spec, sort_keys=True, separators=(",", ":"))
             object.__setattr__(self, "_canonical_json", cached)
         return cached
@@ -113,6 +145,12 @@ class JobResult:
     statistics: Dict[str, Any] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     error: Optional[str] = None
+    #: Machine-readable failure class (a :data:`JOB_ERROR_CODES` key) when
+    #: ``error`` is set; the retry policy classifies on this, never on the
+    #: human-readable message.
+    error_code: Optional[str] = None
+    #: How many execution attempts this result consumed (1 = first try).
+    attempts: int = 1
     cached: bool = False
     witness_size: Optional[int] = None
     run_length: Optional[int] = None
@@ -141,6 +179,8 @@ class JobResult:
             "statistics": self.statistics,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "error": self.error,
+            "error_code": self.error_code,
+            "attempts": self.attempts,
             "cached": self.cached,
             "witness_size": self.witness_size,
             "run_length": self.run_length,
@@ -205,6 +245,7 @@ def execute_job(job: VerificationJob, timeout_seconds: Optional[float] = None) -
             label=job.label,
             elapsed_seconds=time.perf_counter() - start,
             error=f"timeout: {exc}",
+            error_code="timeout",
         )
     except Exception as exc:  # noqa: BLE001 - batch jobs must not kill the runner
         return JobResult(
@@ -212,6 +253,9 @@ def execute_job(job: VerificationJob, timeout_seconds: Optional[float] = None) -
             label=job.label,
             elapsed_seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
+            # Engine/library exceptions are deterministic in the job spec:
+            # retrying reproduces them, so they classify as non-retryable.
+            error_code="engine-error",
         )
     finally:
         if use_alarm:

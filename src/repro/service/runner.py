@@ -1,4 +1,4 @@
-"""The batch runner: fan verification jobs out over worker processes.
+"""The batch runner: fan verification jobs out over supervised workers.
 
 The decision procedure is deterministic in the job spec, so parallelism is
 embarrassing: each job ships to a worker as its JSON spec, the worker
@@ -11,39 +11,70 @@ rebuilds it (``VerificationJob.from_spec``), runs the engine, and returns a
 * **fingerprint stability** -- every worker recomputes the fingerprint from
   the shipped spec and the parent verifies it matches, catching any
   non-canonical serialization before it can poison the store,
-* **graceful failure** -- a worker error or timeout yields an errored
-  :class:`JobResult` for that job only; the rest of the batch proceeds.
+* **graceful failure** -- a worker error, crash, or timeout yields an
+  errored :class:`JobResult` for that job only; the rest of the batch
+  proceeds.  Parallel execution runs on a
+  :class:`~repro.service.supervisor.SupervisedPool`: dead workers surface
+  as ``worker-crashed`` results, wedged workers are killed at a parent-side
+  deadline (``timeout + grace``) and surface as ``deadline-exceeded`` --
+  the batch never hangs on a lost worker,
+* **bounded retries** -- a :class:`RetryPolicy` re-executes transiently
+  failed jobs (crash/timeout/store-IO) with exponential backoff and jitter;
+  deterministic failures (bad specs, engine errors) are never retried.
 
 Results are written to the :class:`~repro.service.store.ResultStore` by the
 parent only (SQLite single-writer), and jobs whose fingerprint is already
 stored are served from it without spawning any work -- the warm-cache path
-the service exists for.
+the service exists for.  Transient failures are recorded in the store as
+non-cacheable rows (observability only) and re-execute on resubmission.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.fraisse.plans import prime_plans
-from repro.service.jobs import JobResult, VerificationJob, execute_job
+from repro.service.jobs import (
+    RETRYABLE_ERROR_CODES,
+    JobResult,
+    VerificationJob,
+    execute_job,
+)
 from repro.service.store import ResultStore
+from repro.service.supervisor import PoolEvent, SupervisedPool
 
 _log = telemetry.get_logger("runner")
 
-#: Worker payload: ``(spec, timeout, correlation fields for log lines)``.
-WorkerPayload = Tuple[Dict[str, Any], Optional[float], Dict[str, str]]
+#: Worker payload: ``(spec, fingerprint, timeout, correlation log fields)``.
+#: The fingerprint rides along so a worker that cannot even rebuild the spec
+#: can still report a structured error for the right job.
+WorkerPayload = Tuple[Dict[str, Any], str, Optional[float], Dict[str, str]]
+
+#: Parent-side grace margin added to the per-job timeout before a worker is
+#: declared wedged and killed (the in-worker alarm gets first shot).
+DEFAULT_GRACE_SECONDS = 5.0
 
 
 def _execute_payload(payload: WorkerPayload) -> JobResult:
     """Worker entry point (top-level so it pickles under any start method)."""
-    spec, timeout_seconds, log_fields = payload
+    spec, fingerprint, timeout_seconds, log_fields = payload
     began = time.perf_counter()
     with telemetry.log_context(**log_fields):
-        job = VerificationJob.from_spec(spec)
+        try:
+            job = VerificationJob.from_spec(spec)
+        except Exception as exc:  # noqa: BLE001 - a bad spec must not kill the worker
+            return JobResult(
+                fingerprint=fingerprint,
+                label=str(spec.get("label", "")),
+                wall_seconds=time.perf_counter() - began,
+                error=f"{type(exc).__name__}: {exc}",
+                error_code="spec-error",
+            )
         # Warm the process-wide compiled-plan cache before the timed run: guards
         # are keyed by the theory's stable plan key, so same-theory jobs later in
         # the batch (the common shape of generated batches) reuse the compiled
@@ -54,23 +85,109 @@ def _execute_payload(payload: WorkerPayload) -> JobResult:
     return result
 
 
-def _execute_indexed_payload(
-    payload: Tuple[int, Dict[str, Any], Optional[float], Dict[str, str]],
-) -> Tuple[int, JobResult]:
-    """Index-carrying worker entry point for unordered completion streams.
+def _supervised_entry(payload: WorkerPayload, attempt: int) -> JobResult:
+    """Pool-worker entry point: fault hooks + engine-counter measurement.
 
-    This only ever runs inside a pool worker process, so it also measures
-    the engine counter movement (cache hits/misses, plan compilations) the
-    job caused there; the parent folds the delta into its own telemetry --
-    counters in a child process are otherwise invisible to ``/v1/metrics``.
+    This only ever runs inside a supervised worker process, so it hosts the
+    destructive fault points (``worker.crash`` hard-kills the process,
+    ``worker.hang`` wedges it past its deadline) and measures the engine
+    counter movement the job caused there; the parent folds the delta into
+    its own telemetry -- counters in a child process are otherwise invisible
+    to ``/v1/metrics``.
     """
-    index, spec, timeout_seconds, log_fields = payload
+    fingerprint = payload[1]
+    faults.crash_point("worker.crash", key=fingerprint, attempt=attempt)
+    faults.hang_point("worker.hang", key=fingerprint, attempt=attempt)
     before = telemetry.engine_counters_snapshot()
-    result = _execute_payload((spec, timeout_seconds, log_fields))
+    result = _execute_payload(payload)
     result.worker_counters = telemetry.engine_counters_delta(
         before, telemetry.engine_counters_snapshot()
     )
-    return index, result
+    result.attempts = attempt
+    return result
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transiently failed jobs are re-executed.
+
+    ``max_attempts`` counts total executions (1 = never retry, the
+    default).  Backoff for attempt *n* (1-based) is
+    ``min(backoff_max_seconds, backoff_base_seconds * backoff_factor**(n-1))``
+    randomized down by up to ``jitter`` (a fraction in [0, 1]) so retry
+    storms decorrelate.  Only error codes in ``retryable_codes`` are
+    retried: crashes, deadline kills, timeouts and store IO are transient;
+    spec and engine errors are deterministic in the job and would only
+    reproduce.
+    """
+
+    max_attempts: int = 1
+    backoff_base_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 2.0
+    jitter: float = 0.5
+    retryable_codes: frozenset = RETRYABLE_ERROR_CODES
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_seconds < 0 or self.backoff_max_seconds < 0:
+            raise ValueError("backoff seconds must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be within [0, 1]")
+
+    @classmethod
+    def with_retries(cls, retries: int, **overrides: Any) -> "RetryPolicy":
+        """Policy granting ``retries`` extra attempts (the CLI's ``--retries``)."""
+        return cls(max_attempts=retries + 1, **overrides)
+
+    def attempts_for(self, job: VerificationJob) -> int:
+        """Total attempts for one job; the job's own budget wins when set."""
+        if job.retries is not None:
+            return job.retries + 1
+        return self.max_attempts
+
+    def should_retry(self, result: JobResult, attempt: int, job: VerificationJob) -> bool:
+        return (
+            result.error is not None
+            and result.error_code in self.retryable_codes
+            and attempt < self.attempts_for(job)
+        )
+
+    def delay_seconds(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before the attempt *after* ``attempt`` (1-based) runs."""
+        delay = min(
+            self.backoff_max_seconds,
+            self.backoff_base_seconds * self.backoff_factor ** (attempt - 1),
+        )
+        draw = (rng or random).random()
+        return delay * (1 - self.jitter * draw)
+
+
+class RunnerStats:
+    """Monotonic fault-tolerance counters, exposed as ``repro_*_total`` metrics."""
+
+    __slots__ = (
+        "retries",
+        "worker_crashes",
+        "deadline_exceeded",
+        "worker_respawns",
+        "store_put_retries",
+        "store_put_failures",
+    )
+
+    def __init__(self) -> None:
+        self.retries = 0
+        self.worker_crashes = 0
+        self.deadline_exceeded = 0
+        self.worker_respawns = 0
+        self.store_put_retries = 0
+        self.store_put_failures = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 @dataclass
@@ -82,6 +199,9 @@ class BatchReport:
     workers: int = 1
     cache_hits: int = 0
     executed: int = 0
+    #: Fault-tolerance counter movement this batch caused (retries, crashes,
+    #: deadline kills, respawns) -- the CLI surfaces it in ``--json`` output.
+    fault_tolerance: Dict[str, int] = field(default_factory=dict)
 
     @property
     def verdicts(self) -> List[Optional[bool]]:
@@ -119,6 +239,7 @@ class BatchReport:
             "cache_hits": self.cache_hits,
             "executed": self.executed,
             "verdict_counts": self.verdict_counts(),
+            "fault_tolerance": dict(self.fault_tolerance),
             "results": [result.as_dict() for result in self.results],
         }
 
@@ -140,8 +261,9 @@ class BatchRunner:
         the calling process -- the reference behaviour parallel runs must
         reproduce verdict-for-verdict.
     timeout_seconds:
-        Per-job wall-clock budget enforced inside workers (Unix only); jobs
-        over budget come back as errored results, never as verdicts.
+        Per-job wall-clock budget enforced inside workers (Unix only) and,
+        in pool mode, by a parent-side deadline of ``timeout + grace`` that
+        kills wedged workers the in-worker alarm cannot reach.
     start_method:
         ``multiprocessing`` start method for the pool.  The default is
         ``"spawn"``: the HTTP server runs batches off executor threads, and
@@ -152,6 +274,12 @@ class BatchRunner:
         are module-level precisely so they pickle under spawn.  Pass
         ``"fork"`` to recover the old behaviour in single-threaded batch
         scripts where startup latency dominates.
+    retry_policy:
+        :class:`RetryPolicy` for transient failures; the default never
+        retries, preserving strict one-shot semantics.
+    grace_seconds:
+        Parent-side margin over ``timeout_seconds`` before a worker is
+        declared wedged.
     """
 
     def __init__(
@@ -160,6 +288,8 @@ class BatchRunner:
         workers: int = 1,
         timeout_seconds: Optional[float] = None,
         start_method: str = "spawn",
+        retry_policy: Optional[RetryPolicy] = None,
+        grace_seconds: float = DEFAULT_GRACE_SECONDS,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -168,18 +298,28 @@ class BatchRunner:
                 f"unknown start method {start_method!r}; this platform supports "
                 f"{multiprocessing.get_all_start_methods()}"
             )
+        if grace_seconds <= 0:
+            raise ValueError("grace_seconds must be positive")
         self._store = store
         self._workers = workers
         self._timeout_seconds = timeout_seconds
         self._start_method = start_method
+        self._retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._grace_seconds = grace_seconds
+        self.stats = RunnerStats()
 
     @property
     def store(self) -> Optional[ResultStore]:
         return self._store
 
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._retry_policy
+
     def run(self, jobs: Sequence[VerificationJob]) -> BatchReport:
         """Execute a batch; the report's results align with ``jobs``."""
         start = time.perf_counter()
+        stats_before = self.stats.as_dict()
         report = BatchReport(workers=self._workers)
         results: List[Optional[JobResult]] = [None] * len(jobs)
 
@@ -202,11 +342,14 @@ class BatchRunner:
                 index, job = pending[local_index]
                 results[index] = result
                 report.executed += 1
-                if self._store is not None and result.ok:
-                    self._store.put(job, result)
+                self.record(job, result)
 
         report.results = [result for result in results if result is not None]
         report.elapsed_seconds = time.perf_counter() - start
+        stats_after = self.stats.as_dict()
+        report.fault_tolerance = {
+            key: stats_after[key] - stats_before[key] for key in stats_after
+        }
         _log.info(
             "batch finished",
             extra={
@@ -215,9 +358,47 @@ class BatchRunner:
                 "executed": report.executed,
                 "workers": self._workers,
                 "batch_seconds": round(report.elapsed_seconds, 3),
+                "retries": report.fault_tolerance.get("retries", 0),
+                "worker_crashes": report.fault_tolerance.get("worker_crashes", 0),
             },
         )
         return report
+
+    # -- store write-back --------------------------------------------------------
+
+    def record(self, job: VerificationJob, result: JobResult) -> None:
+        """Write one executed result back to the store (when one is attached).
+
+        Verdicts are written with bounded retries (store IO is a transient,
+        retryable failure class -- an injected or real write error must not
+        discard a computed verdict).  Transient execution failures are
+        recorded as non-cacheable error rows for observability; permanent
+        failures are not stored at all.  Store problems never propagate: the
+        caller still holds the result.
+        """
+        if self._store is None:
+            return
+        if result.ok:
+            attempts = max(3, self._retry_policy.max_attempts)
+            for attempt in range(1, attempts + 1):
+                try:
+                    self._store.put(job, result)
+                    return
+                except Exception as exc:  # noqa: BLE001 - store IO must not kill the batch
+                    if attempt == attempts:
+                        self.stats.store_put_failures += 1
+                        _log.error(
+                            "store write failed; verdict not persisted",
+                            extra={"fingerprint": result.fingerprint[:12], "error": str(exc)},
+                        )
+                        return
+                    self.stats.store_put_retries += 1
+                    time.sleep(self._retry_policy.delay_seconds(attempt))
+        elif result.error_code in RETRYABLE_ERROR_CODES:
+            try:
+                self._store.put_error(job, result)
+            except Exception:  # noqa: BLE001 - best-effort observability row
+                pass
 
     # -- execution ---------------------------------------------------------------
 
@@ -237,24 +418,105 @@ class BatchRunner:
         """
         log_fields = telemetry.current_log_context()
         if self._workers == 1 or len(jobs) == 1 and self._timeout_seconds is None:
-            for index, job in enumerate(jobs):
-                payload = (job.to_spec(), self._timeout_seconds, log_fields)
-                yield index, self._verified(job, index, _execute_payload(payload))
+            yield from self._execute_serial(jobs, log_fields)
             return
-        payloads = [
-            (index, job.to_spec(), self._timeout_seconds, log_fields)
-            for index, job in enumerate(jobs)
-        ]
+        yield from self._execute_supervised(jobs, log_fields)
+
+    def _payload(self, job: VerificationJob, log_fields: Dict[str, str]) -> WorkerPayload:
+        return (job.to_spec(), job.fingerprint, self._timeout_seconds, log_fields)
+
+    def _execute_serial(
+        self, jobs: Sequence[VerificationJob], log_fields: Dict[str, str]
+    ) -> Iterator[Tuple[int, JobResult]]:
+        policy = self._retry_policy
+        for index, job in enumerate(jobs):
+            payload = self._payload(job, log_fields)
+            attempt = 1
+            while True:
+                result = _execute_payload(payload)
+                result.attempts = attempt
+                if policy.should_retry(result, attempt, job):
+                    self.stats.retries += 1
+                    time.sleep(policy.delay_seconds(attempt))
+                    attempt += 1
+                    continue
+                yield index, self._verified(job, index, result)
+                break
+
+    def _execute_supervised(
+        self, jobs: Sequence[VerificationJob], log_fields: Dict[str, str]
+    ) -> Iterator[Tuple[int, JobResult]]:
+        policy = self._retry_policy
         context = multiprocessing.get_context(self._start_method)
         processes = min(self._workers, len(jobs))
-        _log.debug("starting worker pool", extra={"workers": processes, "jobs": len(jobs)})
-        with context.Pool(processes=processes) as pool:
-            for index, result in pool.imap_unordered(
-                _execute_indexed_payload, payloads, chunksize=1
-            ):
-                telemetry.merge_worker_counters(result.worker_counters)
-                result.worker_counters = None
-                yield index, self._verified(jobs[index], index, result)
+        # Every job may crash a worker on every allowed attempt; anything
+        # past that budget is a crash loop the pool should refuse to feed.
+        respawn_budget = processes + sum(policy.attempts_for(job) for job in jobs)
+        _log.debug(
+            "starting supervised pool",
+            extra={"workers": processes, "jobs": len(jobs)},
+        )
+        pool = SupervisedPool(
+            context,
+            processes,
+            _supervised_entry,
+            grace_seconds=self._grace_seconds,
+            max_respawns=respawn_budget,
+        )
+        payloads = [self._payload(job, log_fields) for job in jobs]
+        try:
+            for index in range(len(jobs)):
+                pool.submit(index, 1, payloads[index], self._timeout_seconds)
+            for event in pool.events():
+                index, job = event.index, jobs[event.index]
+                result = self._event_result(event, job)
+                if policy.should_retry(result, event.attempt, job):
+                    self.stats.retries += 1
+                    pool.submit_later(
+                        policy.delay_seconds(event.attempt),
+                        index,
+                        event.attempt + 1,
+                        payloads[index],
+                        self._timeout_seconds,
+                    )
+                    continue
+                yield index, self._verified(job, index, result)
+        finally:
+            pool.close()
+            self.stats.worker_respawns += pool.respawns
+
+    def _event_result(self, event: PoolEvent, job: VerificationJob) -> JobResult:
+        """Convert one supervision event into a (possibly errored) result."""
+        if event.kind == "done":
+            result = event.result
+            telemetry.merge_worker_counters(result.worker_counters)
+            result.worker_counters = None
+            return result
+        if event.kind == "crashed":
+            self.stats.worker_crashes += 1
+            return JobResult(
+                fingerprint=job.fingerprint,
+                label=job.label,
+                wall_seconds=event.elapsed_seconds,
+                attempts=event.attempt,
+                error=(
+                    f"worker-crashed: worker process died mid-job "
+                    f"(exit code {event.exitcode})"
+                ),
+                error_code="worker-crashed",
+            )
+        self.stats.deadline_exceeded += 1
+        return JobResult(
+            fingerprint=job.fingerprint,
+            label=job.label,
+            wall_seconds=event.elapsed_seconds,
+            attempts=event.attempt,
+            error=(
+                f"deadline-exceeded: no result within {self._timeout_seconds}s "
+                f"+ {self._grace_seconds}s grace; worker killed"
+            ),
+            error_code="deadline-exceeded",
+        )
 
     def _verified(self, job: VerificationJob, index: int, result: JobResult) -> JobResult:
         if result.fingerprint != job.fingerprint:
@@ -267,7 +529,12 @@ class BatchRunner:
         if result.error is not None:
             _log.warning(
                 "job failed",
-                extra={"fingerprint": result.fingerprint[:12], "error": result.error},
+                extra={
+                    "fingerprint": result.fingerprint[:12],
+                    "error": result.error,
+                    "error_code": result.error_code,
+                    "attempts": result.attempts,
+                },
             )
         return result
 
@@ -277,6 +544,12 @@ def run_batch(
     store: Optional[ResultStore] = None,
     workers: int = 1,
     timeout_seconds: Optional[float] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> BatchReport:
     """One-shot convenience wrapper around :class:`BatchRunner`."""
-    return BatchRunner(store=store, workers=workers, timeout_seconds=timeout_seconds).run(jobs)
+    return BatchRunner(
+        store=store,
+        workers=workers,
+        timeout_seconds=timeout_seconds,
+        retry_policy=retry_policy,
+    ).run(jobs)

@@ -26,6 +26,12 @@ always-on endpoint hardened for sustained mixed cold/warm traffic:
   bounded admission gate; over-limit requests are shed with ``429`` +
   ``Retry-After`` instead of queueing without bound.  Queue depth and shed
   counts are tracked and exported.
+* **Graceful drain.**  ``SIGTERM``/``SIGINT`` stop admission (new work gets
+  ``503`` + ``Retry-After``, code ``draining``), let in-flight batches
+  finish within ``--drain-timeout``, checkpoint the store and exit ``0``.
+  Transient job failures (worker crashes, deadline kills) are retried per
+  a configurable :class:`~repro.service.runner.RetryPolicy` and recorded as
+  short-lived non-cacheable store rows, never as verdicts.
 * **Auth.**  Optional shared-secret token auth (``Authorization: Bearer``
   or ``X-Auth-Token``, compared constant-time via :func:`hmac.compare_digest`)
   with distinct ``401`` (missing) / ``403`` (wrong) paths; ``/v1/healthz``
@@ -76,6 +82,7 @@ import hmac
 import json
 import math
 import re
+import signal
 import threading
 import time
 import uuid
@@ -89,7 +96,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 from repro import telemetry
 from repro.errors import ReproError
 from repro.service.jobs import JobResult, VerificationJob
-from repro.service.runner import BatchReport, BatchRunner
+from repro.service.runner import DEFAULT_GRACE_SECONDS, BatchReport, BatchRunner, RetryPolicy
 from repro.service.store import ResultStore
 
 _log = telemetry.get_logger("serve")
@@ -142,6 +149,10 @@ ERROR_CODES: Dict[str, str] = {
     "payload-too-large": "413: the request body exceeds MAX_BODY_BYTES",
     "overloaded": "429: the admission gate is full; retry after Retry-After seconds",
     "too-many-connections": "503: the connection cap is reached; retry after Retry-After seconds",
+    "draining": (
+        "503: the server is draining for shutdown and accepts no new work; "
+        "retry against another instance after Retry-After seconds"
+    ),
     "internal": "500: unexpected server-side failure",
 }
 
@@ -213,6 +224,14 @@ SERVICE_COUNTERS: Dict[str, Tuple[str, str]] = {
     "connections_refused": (
         "repro_connections_refused_total",
         "Connections refused by the connection cap.",
+    ),
+    "drains_started": (
+        "repro_drain_started_total",
+        "Graceful-drain sequences started (SIGTERM/SIGINT or drain()).",
+    ),
+    "drain_rejected": (
+        "repro_drain_rejected_total",
+        "Work-bearing requests refused because the server was draining.",
     ),
 }
 
@@ -404,6 +423,13 @@ class VerificationService:
         request (see the module constants for the defaults).
     retry_after:
         Integer seconds advertised in ``Retry-After`` on 429/503 responses.
+    retry_policy:
+        :class:`~repro.service.runner.RetryPolicy` for transient job
+        failures (worker crashes, deadline kills, timeouts); the default
+        never retries.
+    grace_seconds:
+        Parent-side margin over ``timeout_seconds`` before a pool worker is
+        declared wedged and killed (see :class:`BatchRunner`).
     execute_delay:
         Artificial pre-execution delay in seconds.  A test/benchmark aid:
         it widens the in-flight window so concurrent duplicate submissions
@@ -421,6 +447,8 @@ class VerificationService:
         idle_timeout: float = IDLE_TIMEOUT_SECONDS,
         read_timeout: float = READ_TIMEOUT_SECONDS,
         retry_after: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        grace_seconds: float = DEFAULT_GRACE_SECONDS,
         execute_delay: float = 0.0,
     ) -> None:
         if max_pending is not None and max_pending < 0:
@@ -429,7 +457,17 @@ class VerificationService:
             raise ValueError("max_connections must be >= 1")
         self._store = store
         self._workers = workers
-        self._runner = BatchRunner(workers=workers, timeout_seconds=timeout_seconds)
+        # The runner carries the store so settle() can delegate write-back to
+        # BatchRunner.record (bounded retries + non-cacheable error rows);
+        # the server itself only calls execute_indexed, which never touches
+        # the store, so the single-writer discipline (loop thread) holds.
+        self._runner = BatchRunner(
+            store=store,
+            workers=workers,
+            timeout_seconds=timeout_seconds,
+            retry_policy=retry_policy,
+            grace_seconds=grace_seconds,
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=max(4, workers), thread_name_prefix="repro-serve"
         )
@@ -443,6 +481,7 @@ class VerificationService:
         self._pending = 0
         self._open_connections = 0
         self._executing_jobs = 0
+        self._draining = False
         self._inflight: Dict[str, asyncio.Future] = {}
         self._batches: "OrderedDict[str, BatchRecord]" = OrderedDict()
         self._batch_tasks: set = set()
@@ -486,6 +525,12 @@ class VerificationService:
         def store_total(field: str):
             def read() -> int:
                 return getattr(self._store.stats, field) if self._store is not None else 0
+
+            return read
+
+        def runner_total(field: str):
+            def read() -> int:
+                return getattr(self._runner.stats, field)
 
             return read
 
@@ -539,6 +584,42 @@ class VerificationService:
             "repro_worker_utilization",
             "Executing jobs as a fraction of the worker pool (saturates at 1).",
             callback=lambda: min(1.0, self._executing_jobs / self._workers),
+        )
+        registry.gauge(
+            "repro_draining",
+            "1 while the server is draining for shutdown, else 0.",
+            callback=lambda: 1 if self._draining else 0,
+        )
+        # -- fault-tolerance counters (the batch runner's supervision layer) ------
+        registry.counter_callback(
+            "repro_retries_total",
+            "Job attempts re-executed after a transient failure.",
+            (),
+            runner_total("retries"),
+        )
+        registry.counter_callback(
+            "repro_worker_crashes_total",
+            "Pool worker processes that died mid-job.",
+            (),
+            runner_total("worker_crashes"),
+        )
+        registry.counter_callback(
+            "repro_deadline_exceeded_total",
+            "Jobs killed by the parent-side deadline (timeout + grace).",
+            (),
+            runner_total("deadline_exceeded"),
+        )
+        registry.counter_callback(
+            "repro_worker_respawns_total",
+            "Pool workers respawned by the supervisor.",
+            (),
+            runner_total("worker_respawns"),
+        )
+        registry.counter_callback(
+            "repro_store_put_retries_total",
+            "Store verdict writes retried after an IO failure.",
+            (),
+            runner_total("store_put_retries"),
         )
         # -- engine counters (this process) ---------------------------------------
         registry.counter_callback(
@@ -608,6 +689,12 @@ class VerificationService:
         )
         registry.counter_callback(
             "repro_store_puts_total", "Verdicts written to the store.", (), store_total("puts")
+        )
+        registry.counter_callback(
+            "repro_store_error_puts_total",
+            "Transient failures recorded as non-cacheable store rows.",
+            (),
+            store_total("error_puts"),
         )
         registry.counter_callback(
             "repro_store_evictions_total",
@@ -761,18 +848,10 @@ class VerificationService:
                 # in-flight future hangs this request and every later
                 # submission of the same fingerprint.
                 index, job, future = fresh[local_index]
-                try:
-                    if self._store is not None and result.ok:
-                        self._store.put(job, result)
-                except Exception as exc:  # noqa: BLE001 - cache write must not lose a verdict
-                    # The verdict is still valid; it just was not cached.
-                    _log.error(
-                        "store write failed",
-                        extra={
-                            "fingerprint": job.fingerprint[:12],
-                            "error": f"{type(exc).__name__}: {exc}",
-                        },
-                    )
+                # record() writes verdicts with bounded retries, records
+                # transient failures as non-cacheable rows, and never raises
+                # -- a cache write failure must not lose a computed verdict.
+                self._runner.record(job, result)
                 counters["executed"] += 1
                 self.stats.executed += 1
                 self._executing_jobs -= 1
@@ -904,7 +983,15 @@ class VerificationService:
     # -- admission gate ----------------------------------------------------------
 
     def _admit(self) -> None:
-        """Pass the admission gate or shed the request with 429."""
+        """Pass the admission gate, or refuse: 503 draining / 429 shed."""
+        if self._draining:
+            self.stats.drain_rejected += 1
+            raise ApiError(
+                503,
+                "draining",
+                "the server is draining for shutdown and accepts no new work",
+                headers={"Retry-After": str(self._retry_after)},
+            )
         if self._max_pending is not None and self._pending >= self._max_pending:
             self.stats.shed += 1
             raise ApiError(
@@ -931,6 +1018,63 @@ class VerificationService:
     async def serve_forever(self) -> None:
         assert self._server is not None, "start() must be called first"
         await self._server.serve_forever()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Gracefully wind the service down; returns True on a clean drain.
+
+        Drain mode (entered at most once; re-entry just reports the state):
+
+        1. Stop accepting: the listening socket closes, and work-bearing
+           requests on surviving keep-alive connections are refused with
+           ``503`` + ``Retry-After`` (code ``draining``).
+        2. Finish in-flight work: wait -- up to ``timeout`` seconds -- for
+           running batches, in-flight fingerprints and admitted requests to
+           complete.  Nothing is cancelled inside the budget, so clients
+           already being served get their results.
+        3. Checkpoint the store: buffered WAL pages are flushed to the main
+           database so an immediate ``SIGKILL`` after a clean drain loses
+           nothing.
+
+        A False return means the budget elapsed with work still in flight
+        (``stop()`` will then cancel it); the store is checkpointed either
+        way.
+        """
+        if self._draining:
+            return not (self._batch_tasks or self._inflight or self._pending)
+        self._draining = True
+        self.stats.drains_started += 1
+        _log.info("drain started", extra={"timeout_seconds": timeout})
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + timeout
+        while self._batch_tasks or self._inflight or self._pending:
+            if time.monotonic() >= deadline:
+                break
+            await asyncio.sleep(0.05)
+        clean = not (self._batch_tasks or self._inflight or self._pending)
+        if self._store is not None:
+            try:
+                self._store.checkpoint()
+            except Exception as exc:  # noqa: BLE001 - drain must still complete
+                _log.error(
+                    "store checkpoint failed during drain",
+                    extra={"error": f"{type(exc).__name__}: {exc}"},
+                )
+        _log.info(
+            "drain finished",
+            extra={
+                "clean": clean,
+                "batches_in_flight": len(self._batch_tasks),
+                "jobs_in_flight": len(self._inflight),
+            },
+        )
+        return clean
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -1238,7 +1382,7 @@ class VerificationService:
             writer,
             200,
             {
-                "status": "ok",
+                "status": "draining" if self._draining else "ok",
                 "version": __version__,
                 "api_version": API_VERSION,
                 "workers": self._workers,
@@ -1557,6 +1701,8 @@ def run_server(
     auth_token: Optional[str] = None,
     max_pending: Optional[int] = DEFAULT_MAX_PENDING,
     max_connections: int = DEFAULT_MAX_CONNECTIONS,
+    retry_policy: Optional[RetryPolicy] = None,
+    drain_timeout: float = 30.0,
     execute_delay: float = 0.0,
     log_level: Optional[str] = None,
     log_json: bool = False,
@@ -1569,6 +1715,13 @@ def run_server(
     structured request/batch/worker log stream (stderr; JSON lines when
     ``log_json`` is set); with neither given, logging stays unconfigured and
     only warnings surface through Python's last-resort handler.
+
+    ``SIGTERM``/``SIGINT`` trigger a graceful drain (see
+    :meth:`VerificationService.drain`): new work is refused with ``503``,
+    in-flight batches get up to ``drain_timeout`` seconds to finish, the
+    store is checkpointed, and the process exits ``0`` on a clean drain
+    (``1`` when the budget elapsed with work still in flight).  A second
+    signal skips the remaining budget and exits immediately.
     """
     if log_level is not None or log_json:
         telemetry.configure_logging(level=log_level or "info", json_lines=log_json)
@@ -1579,27 +1732,67 @@ def run_server(
         auth_token=auth_token,
         max_pending=max_pending,
         max_connections=max_connections,
+        retry_policy=retry_policy,
         execute_delay=execute_delay,
     )
 
-    async def _serve() -> None:
+    async def _serve() -> int:
+        loop = asyncio.get_running_loop()
+        drain_task: Optional[asyncio.Task] = None
+
+        def _on_signal(signame: str) -> None:
+            nonlocal drain_task
+            if drain_task is None:
+                print(
+                    f"repro serve: {signame} received, draining "
+                    f"(budget {drain_timeout}s)",
+                    flush=True,
+                )
+                drain_task = loop.create_task(service.drain(drain_timeout))
+            else:
+                # Second signal: the operator wants out now.
+                print(f"repro serve: second {signame}, exiting immediately", flush=True)
+                drain_task.cancel()
+
+        for signame in ("SIGTERM", "SIGINT"):
+            signum = getattr(signal, signame, None)
+            if signum is None:
+                continue
+            try:
+                loop.add_signal_handler(signum, _on_signal, signame)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms/loops without signal support fall back to Ctrl-C
+
         bound_host, bound_port = await service.start(host, port)
         print(
             f"repro serve: listening on http://{bound_host}:{bound_port} "
             f"(api /{API_VERSION}, auth {'on' if auth_token else 'off'}, "
-            f"max_pending {max_pending}, max_connections {max_connections})",
+            f"max_pending {max_pending}, max_connections {max_connections}, "
+            f"drain_timeout {drain_timeout}s)",
             flush=True,
         )
         if port_file is not None:
             Path(port_file).write_text(f"{bound_port}\n")
+        clean = True
         try:
             await service.serve_forever()
+        except asyncio.CancelledError:
+            pass  # the drain closed the listener out from under serve_forever
         finally:
+            if drain_task is not None:
+                try:
+                    clean = await drain_task
+                except asyncio.CancelledError:
+                    clean = False
             await service.stop()
+        print(f"repro serve: drained {'cleanly' if clean else 'with work in flight'}", flush=True)
+        return 0 if clean else 1
 
     try:
-        asyncio.run(_serve())
+        return asyncio.run(_serve())
     except KeyboardInterrupt:
+        # Loops without add_signal_handler (e.g. Windows Proactor quirks)
+        # land here: no graceful drain, but still an orderly exit.
         print("repro serve: shutting down", flush=True)
     return 0
 
@@ -1655,6 +1848,11 @@ class ServerThread:
         if self.address is None:
             raise RuntimeError("server failed to start within 30s")
         return self
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Run a graceful drain on the server's loop; returns its verdict."""
+        future = asyncio.run_coroutine_threadsafe(self.service.drain(timeout), self._loop)
+        return future.result(timeout=timeout + 30)
 
     def stop(self) -> None:
         if self._thread.is_alive():

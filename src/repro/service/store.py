@@ -18,9 +18,13 @@ The store owns retention *policy* on top of the backend mechanisms:
 * **Eviction** -- with ``max_entries`` set, writes evict the oldest entries
   beyond the cap, so a long-running server's cache stays bounded.
 
-Errored and timed-out jobs are deliberately **not** stored: a missing entry
-means "never decided", so transient failures are retried on the next batch
-instead of being cached forever.
+Errored and timed-out jobs are **never cached as verdicts**: ``put``
+rejects them, and the only way to store one is :meth:`ResultStore.put_error`,
+which writes a short-lived *non-cacheable* row (``cacheable=0`` plus its own
+``expires_at``).  Such rows are invisible to the warm-cache path -- ``get``
+reports a miss and the job re-executes on resubmission -- but remain
+inspectable (``get(..., include_errors=True)``) so operators can see *why*
+a fingerprint keeps failing.
 """
 
 from __future__ import annotations
@@ -30,8 +34,12 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
+from repro import faults
 from repro.service.backends import MemoryBackend, SQLiteBackend, StoreBackend
 from repro.service.jobs import JobResult, VerificationJob
+
+#: How long a transient-failure row stays visible before it lazily expires.
+DEFAULT_ERROR_TTL_SECONDS = 300.0
 
 
 class StoreStats:
@@ -41,13 +49,14 @@ class StoreStats:
     gets the same instrumentation for free; all fields only ever increase.
     """
 
-    __slots__ = ("gets", "hits", "misses", "puts", "evictions", "ttl_expirations")
+    __slots__ = ("gets", "hits", "misses", "puts", "error_puts", "evictions", "ttl_expirations")
 
     def __init__(self) -> None:
         self.gets = 0
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.error_puts = 0
         self.evictions = 0
         self.ttl_expirations = 0
 
@@ -57,6 +66,7 @@ class StoreStats:
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
+            "error_puts": self.error_puts,
             "evictions": self.evictions,
             "ttl_expirations": self.ttl_expirations,
         }
@@ -125,26 +135,38 @@ class ResultStore:
         row = self._backend.get(fingerprint)
         if row is None:
             return None
-        if self._ttl_seconds is not None and row["created_at"] < time.time() - self._ttl_seconds:
+        now = time.time()
+        expires_at = row.get("expires_at")
+        expired = expires_at is not None and now > expires_at
+        if not expired and self._ttl_seconds is not None:
+            expired = row["created_at"] < now - self._ttl_seconds
+        if expired:
             if self._backend.delete(fingerprint):
                 self.stats.ttl_expirations += 1
             return None
         return row
 
-    def get(self, fingerprint: str) -> Optional[JobResult]:
-        """The stored result for a fingerprint, marked ``cached=True``."""
+    def get(self, fingerprint: str, include_errors: bool = False) -> Optional[JobResult]:
+        """The stored result for a fingerprint, marked ``cached=True``.
+
+        Non-cacheable rows (transient failures recorded by
+        :meth:`put_error`) read as misses unless ``include_errors`` is set:
+        an error must never be served where a verdict is expected, and a
+        resubmitted job must re-execute.
+        """
         self.stats.gets += 1
         row = self._fresh_row(fingerprint)
-        if row is None:
+        if row is None or (not row.get("cacheable", 1) and not include_errors):
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         trace_json = row.get("trace")
+        error = row.get("error")
         return JobResult(
             fingerprint=row["fingerprint"],
             label=row["label"],
-            nonempty=bool(row["nonempty"]),
-            exhausted=bool(row["exhausted"]),
+            nonempty=bool(row["nonempty"]) if error is None else None,
+            exhausted=bool(row["exhausted"]) if error is None else False,
             elapsed_seconds=row["elapsed_seconds"],
             witness_size=row["witness_size"],
             run_length=row["run_length"],
@@ -153,12 +175,19 @@ class ResultStore:
             wall_seconds=row.get("wall_seconds"),
             created_at=row["created_at"],
             trace=json.loads(trace_json) if trace_json else None,
+            error=error,
+            error_code=row.get("error_code"),
         )
 
     def put(self, job: VerificationJob, result: JobResult) -> None:
-        """Store a completed result (errored results are rejected)."""
+        """Store a completed verdict (errored results are rejected).
+
+        Transient failures go through :meth:`put_error` instead, which
+        marks them non-cacheable -- they are *never* valid warm verdicts.
+        """
         if not result.ok or result.nonempty is None:
             raise ValueError("only completed results belong in the store")
+        faults.raise_point("store.put", key=result.fingerprint)
         self._backend.put(
             result.fingerprint,
             {
@@ -178,15 +207,65 @@ class ResultStore:
                     if result.trace is not None
                     else None
                 ),
+                "error": None,
+                "error_code": None,
+                "cacheable": 1,
+                "expires_at": None,
             },
         )
         self.stats.puts += 1
-        if self._max_entries is not None:
-            excess = self._backend.count() - self._max_entries
-            if excess > 0:
-                for key in self._backend.oldest_keys(excess):
-                    if self._backend.delete(key):
-                        self.stats.evictions += 1
+        self._evict_excess()
+
+    def put_error(
+        self,
+        job: VerificationJob,
+        result: JobResult,
+        ttl_seconds: float = DEFAULT_ERROR_TTL_SECONDS,
+    ) -> None:
+        """Record a transient failure as a short-lived, non-cacheable row.
+
+        The row documents *why* the fingerprint most recently failed (for
+        ``GET /v1/jobs/{fingerprint}`` style inspection) without ever being
+        served as a verdict: ``get`` skips it and the job re-executes on
+        resubmission.  A later successful :meth:`put` simply overwrites it.
+        """
+        if result.error is None:
+            raise ValueError("put_error requires an errored result")
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        now = time.time()
+        self._backend.put(
+            result.fingerprint,
+            {
+                "fingerprint": result.fingerprint,
+                "created_at": now,
+                "label": result.label,
+                "nonempty": 0,
+                "exhausted": 0,
+                "elapsed_seconds": result.elapsed_seconds,
+                "witness_size": None,
+                "run_length": None,
+                "statistics": json.dumps(result.statistics, sort_keys=True),
+                "job_spec": job.canonical_json(),
+                "wall_seconds": result.wall_seconds,
+                "trace": None,
+                "error": result.error,
+                "error_code": result.error_code,
+                "cacheable": 0,
+                "expires_at": now + ttl_seconds,
+            },
+        )
+        self.stats.error_puts += 1
+        self._evict_excess()
+
+    def _evict_excess(self) -> None:
+        if self._max_entries is None:
+            return
+        excess = self._backend.count() - self._max_entries
+        if excess > 0:
+            for key in self._backend.oldest_keys(excess):
+                if self._backend.delete(key):
+                    self.stats.evictions += 1
 
     def purge_expired(self) -> int:
         """Eagerly delete every expired entry; returns the number removed."""
@@ -239,10 +318,13 @@ class ResultStore:
                     "job_spec": json.loads(row["job_spec"]),
                     "wall_seconds": row.get("wall_seconds"),
                     "has_trace": bool(row.get("trace")),
+                    "error": row.get("error"),
+                    "error_code": row.get("error_code"),
+                    "cacheable": bool(row.get("cacheable", 1)),
                 }
             )
         return {
-            "schema_version": 2,
+            "schema_version": 3,
             "backend": self._backend.name,
             "ttl_seconds": self._ttl_seconds,
             "count": len(entries),
@@ -254,6 +336,10 @@ class ResultStore:
         Path(path).write_text(json.dumps(self.export(), indent=2) + "\n")
 
     # -- lifecycle ----------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush buffered writes to durable storage (graceful-drain hook)."""
+        self._backend.checkpoint()
 
     def close(self) -> None:
         self._backend.close()

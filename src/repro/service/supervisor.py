@@ -1,0 +1,397 @@
+"""A parent-supervised worker pool that survives dying and wedging workers.
+
+``multiprocessing.Pool`` has no equivalent of ``BrokenProcessPool``: when a
+spawn worker is OOM-killed or segfaults mid-job, ``imap_unordered`` simply
+never yields that job and the parent hangs forever.  The in-worker SIGALRM
+budget cannot help — a dead process runs no signal handlers.  This module
+replaces the pool with explicit supervision:
+
+* **persistent workers** — ``processes`` long-lived spawn workers compete
+  for tasks on a shared queue (same load-balancing as ``imap_unordered``
+  with ``chunksize=1``, same one-time spawn cost per worker);
+* **per-worker result pipes** — each worker reports ``started`` before and
+  ``done`` after every task on its own duplex pipe, so the parent always
+  knows *which* task a worker was holding.  A worker death shows up as EOF
+  on its pipe (or a failed liveness check) and is surfaced as a structured
+  ``crashed`` event for exactly the task it held, never as a hang;
+* **parent-side deadlines** — a task with a timeout gets a parent-side
+  deadline of ``timeout + grace``: the in-worker alarm fires first in the
+  healthy case, and the parent kills the worker outright when the alarm
+  could not (wedged C loop, blocked syscall, suspended process) and emits a
+  ``deadline`` event;
+* **automatic respawn** — any lost worker is replaced while work remains,
+  so one poisonous job cannot shrink the pool for the rest of the batch.
+
+The pool is policy-free: it reports ``done``/``crashed``/``deadline``
+events and accepts resubmissions (:meth:`SupervisedPool.submit_later`), and
+the :class:`~repro.service.runner.BatchRunner` decides what to retry.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro import telemetry
+
+_log = telemetry.get_logger("supervisor")
+
+#: How long one supervision tick waits for worker messages.
+POLL_SECONDS = 0.05
+
+#: How long the parent tolerates "tasks outstanding, queue apparently empty,
+#: every worker idle" before it re-enqueues unclaimed tasks.  This closes
+#: the (microscopic) window where a worker is killed after dequeuing a task
+#: but before reporting ``started`` — the one loss mode pipes cannot see.
+STALL_RECOVERY_SECONDS = 5.0
+
+
+class WorkerPoolError(RuntimeError):
+    """The pool lost more workers than its respawn budget allows."""
+
+
+@dataclass
+class PoolEvent:
+    """One supervision outcome for a submitted task."""
+
+    kind: str  # "done" | "crashed" | "deadline"
+    index: int
+    attempt: int
+    result: Any = None
+    exitcode: Optional[int] = None
+    elapsed_seconds: float = 0.0
+
+
+def _worker_main(work_queue: Any, conn: Any, entry: Callable[[Any, int], Any]) -> None:
+    """Worker process loop: announce, execute, report, repeat.
+
+    ``started`` is sent *before* ``entry`` runs so the parent can attribute
+    a mid-task death to the right task.  ``entry`` is expected to capture
+    its own exceptions into its result value; anything that still escapes
+    (e.g. an unpicklable result) kills this worker and is handled by the
+    parent's crash path.
+    """
+    while True:
+        item = work_queue.get()
+        if item is None:
+            conn.send(("bye",))
+            conn.close()
+            return
+        index, attempt, payload = item
+        conn.send(("started", index, attempt))
+        result = entry(payload, attempt)
+        conn.send(("done", index, attempt, result))
+
+
+class _Slot:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("process", "conn", "index", "attempt", "deadline", "started_at")
+
+    def __init__(self, process: Any, conn: Any) -> None:
+        self.process = process
+        self.conn = conn
+        self.index: Optional[int] = None
+        self.attempt: int = 0
+        self.deadline: Optional[float] = None
+        self.started_at: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.index is not None
+
+
+class SupervisedPool:
+    """Fixed-size supervised worker pool over a ``multiprocessing`` context.
+
+    Parameters
+    ----------
+    context:
+        ``multiprocessing`` context (spawn/fork/forkserver).
+    processes:
+        Worker count; lost workers are respawned while work remains.
+    entry:
+        Module-level callable ``entry(payload, attempt) -> result`` run in
+        the worker (must pickle under spawn).
+    grace_seconds:
+        Parent-side margin added to a task's timeout before the worker is
+        declared wedged and killed.
+    max_respawns:
+        Safety valve against crash loops; defaults to a budget generous
+        enough for every task to crash a worker on every retry attempt.
+    """
+
+    def __init__(
+        self,
+        context: Any,
+        processes: int,
+        entry: Callable[[Any, int], Any],
+        grace_seconds: float = 5.0,
+        max_respawns: Optional[int] = None,
+    ) -> None:
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        if grace_seconds <= 0:
+            raise ValueError("grace_seconds must be positive")
+        self._ctx = context
+        self._processes = processes
+        self._entry = entry
+        self._grace = grace_seconds
+        self._max_respawns = max_respawns
+        self._work_queue = context.Queue()
+        self._slots: List[_Slot] = []
+        self._outstanding = 0
+        #: Tasks submitted but not yet reported ``started``: payloads are
+        #: retained here so stall recovery can re-enqueue them.
+        self._unclaimed: Dict[Tuple[int, int], Tuple[Any, Optional[float]]] = {}
+        #: Settled (index, attempt) pairs; duplicate reports are dropped.
+        self._settled: Set[Tuple[int, int]] = set()
+        #: (ready_at, seq, task) heap for backoff-delayed resubmissions.
+        self._delayed: List[Tuple[float, int, Tuple[int, int, Any, Optional[float]]]] = []
+        self._seq = itertools.count()
+        self._stall_since: Optional[float] = None
+        self.respawns = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for _ in range(self._processes):
+            self._spawn_slot()
+
+    def _spawn_slot(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._work_queue, child_conn, self._entry),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._slots.append(_Slot(process, parent_conn))
+
+    def close(self) -> None:
+        """Terminate every worker and release IPC resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            if slot.process.is_alive():
+                slot.process.terminate()
+        for slot in self._slots:
+            slot.process.join(timeout=2.0)
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join(timeout=2.0)
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+        self._slots.clear()
+        # Unconsumed queue items would keep the feeder thread alive and
+        # block interpreter exit; we are abandoning them deliberately.
+        self._work_queue.close()
+        self._work_queue.cancel_join_thread()
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, index: int, attempt: int, payload: Any, timeout: Optional[float]) -> None:
+        """Enqueue one task; pairs with exactly one event from :meth:`events`."""
+        self._outstanding += 1
+        self._unclaimed[(index, attempt)] = (payload, timeout)
+        self._work_queue.put((index, attempt, payload))
+
+    def submit_later(
+        self,
+        delay_seconds: float,
+        index: int,
+        attempt: int,
+        payload: Any,
+        timeout: Optional[float],
+    ) -> None:
+        """Like :meth:`submit`, but the task becomes runnable after a delay.
+
+        Used for retry backoff: the pool keeps polling while the task waits,
+        so other jobs keep executing during the backoff window.
+        """
+        self._outstanding += 1
+        ready_at = time.monotonic() + max(0.0, delay_seconds)
+        heapq.heappush(
+            self._delayed, (ready_at, next(self._seq), (index, attempt, payload, timeout))
+        )
+
+    def _release_due(self) -> None:
+        now = time.monotonic()
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, (index, attempt, payload, timeout) = heapq.heappop(self._delayed)
+            self._unclaimed[(index, attempt)] = (payload, timeout)
+            self._work_queue.put((index, attempt, payload))
+
+    # -- supervision loop --------------------------------------------------------
+
+    def events(self) -> Iterator[PoolEvent]:
+        """Yield one event per outstanding task until none remain.
+
+        Callers may resubmit (``submit``/``submit_later``) between events;
+        the loop runs until every submission is settled.
+        """
+        self.start()
+        while self._outstanding > 0:
+            self._release_due()
+            ready = mp_connection.wait(
+                [slot.conn for slot in self._slots], timeout=POLL_SECONDS
+            )
+            by_conn = {slot.conn: slot for slot in self._slots}
+            for conn in ready:
+                slot = by_conn.get(conn)
+                if slot is None:  # slot removed by an earlier event this tick
+                    continue
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    event = self._reap_dead(slot)
+                    if event is not None:
+                        yield event
+                    continue
+                event = self._handle_message(slot, message)
+                if event is not None:
+                    yield event
+            for event in self._sweep():
+                yield event
+
+    def _handle_message(self, slot: _Slot, message: Tuple[Any, ...]) -> Optional[PoolEvent]:
+        kind = message[0]
+        if kind == "started":
+            _, index, attempt = message
+            task = self._unclaimed.pop((index, attempt), None)
+            timeout = task[1] if task is not None else None
+            slot.index = index
+            slot.attempt = attempt
+            slot.started_at = time.monotonic()
+            slot.deadline = (
+                slot.started_at + timeout + self._grace if timeout is not None else None
+            )
+            return None
+        if kind == "done":
+            _, index, attempt, result = message
+            slot.index = None
+            slot.deadline = None
+            return self._settle(
+                PoolEvent(
+                    "done",
+                    index,
+                    attempt,
+                    result=result,
+                    elapsed_seconds=time.monotonic() - slot.started_at,
+                )
+            )
+        # "bye": the worker drained a shutdown sentinel (close() path).
+        return None
+
+    def _settle(self, event: PoolEvent) -> Optional[PoolEvent]:
+        key = (event.index, event.attempt)
+        if key in self._settled:
+            # Stall recovery can duplicate a task; only the first report counts.
+            return None
+        self._settled.add(key)
+        self._outstanding -= 1
+        return event
+
+    def _sweep(self) -> Iterator[PoolEvent]:
+        """Deadline enforcement, death detection and stall recovery."""
+        now = time.monotonic()
+        for slot in list(self._slots):
+            if slot.busy and slot.deadline is not None and now > slot.deadline:
+                index, attempt = slot.index, slot.attempt
+                elapsed = now - slot.started_at
+                _log.warning(
+                    "worker deadline exceeded; killing",
+                    extra={"task_index": index, "attempt": attempt, "elapsed": round(elapsed, 3)},
+                )
+                self._discard_slot(slot, kill=True)
+                self._respawn_if_needed()
+                event = self._settle(
+                    PoolEvent("deadline", index, attempt, elapsed_seconds=elapsed)
+                )
+                if event is not None:
+                    yield event
+            elif not slot.process.is_alive() and not slot.conn.poll():
+                # Dead with no buffered messages left; EOF may not surface
+                # through wait() on every platform, so check liveness too.
+                event = self._reap_dead(slot)
+                if event is not None:
+                    yield event
+        self._recover_stall()
+
+    def _reap_dead(self, slot: _Slot) -> Optional[PoolEvent]:
+        """A worker died: surface its held task (if any) and replace it."""
+        if slot not in self._slots:
+            return None
+        index, attempt = slot.index, slot.attempt
+        elapsed = time.monotonic() - slot.started_at if slot.busy else 0.0
+        # Join (via discard) before reading the exit code: pipe EOF can
+        # arrive before the dead process has been reaped, when exitcode
+        # is still None.
+        self._discard_slot(slot, kill=False)
+        exitcode = slot.process.exitcode
+        self._respawn_if_needed()
+        if index is None:
+            return None  # idle worker died; nothing to report, already replaced
+        _log.warning(
+            "worker crashed mid-task",
+            extra={"task_index": index, "attempt": attempt, "exitcode": exitcode},
+        )
+        return self._settle(
+            PoolEvent("crashed", index, attempt, exitcode=exitcode, elapsed_seconds=elapsed)
+        )
+
+    def _discard_slot(self, slot: _Slot, kill: bool) -> None:
+        if kill and slot.process.is_alive():
+            slot.process.kill()
+        slot.process.join(timeout=2.0)
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if slot in self._slots:
+            self._slots.remove(slot)
+
+    def _respawn_if_needed(self) -> None:
+        if self._outstanding <= 0 or self._closed:
+            return
+        budget = self._max_respawns
+        if budget is not None and self.respawns >= budget:
+            raise WorkerPoolError(
+                f"worker pool exhausted its respawn budget ({budget}); "
+                "a job is likely crash-looping beyond its retry allowance"
+            )
+        self.respawns += 1
+        self._spawn_slot()
+
+    def _recover_stall(self) -> None:
+        """Re-enqueue tasks lost in the dequeue-to-started window."""
+        busy = any(slot.busy for slot in self._slots)
+        if busy or not self._unclaimed or self._delayed or not self._work_queue.empty():
+            self._stall_since = None
+            return
+        now = time.monotonic()
+        if self._stall_since is None:
+            self._stall_since = now
+            return
+        if now - self._stall_since < STALL_RECOVERY_SECONDS:
+            return
+        self._stall_since = None
+        _log.warning(
+            "re-enqueueing unclaimed tasks after stall",
+            extra={"tasks": len(self._unclaimed)},
+        )
+        for (index, attempt), (payload, _timeout) in list(self._unclaimed.items()):
+            self._work_queue.put((index, attempt, payload))

@@ -1,0 +1,229 @@
+"""Chaos suite: injected faults against the real execution stack.
+
+Every test here runs the *production* code path -- supervised spawn
+workers, the retry policy, the SQLite store, the HTTP server -- with
+faults armed through `repro.faults`, and asserts the fault-tolerance
+contract: verdicts identical to a fault-free serial run, bounded
+completion (no hangs), transient failures never cached as verdicts, and a
+clean drain on SIGTERM.
+
+Crash/hang faults are armed via the ``REPRO_FAULTS`` environment variable
+(the only channel that reaches spawned workers) with ``match``/``attempt``
+selectors, which fire deterministically regardless of which worker process
+picks a job up.  Store faults fire in the parent and are installed
+programmatically.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.faults import FAULTS_ENV_VAR
+from repro.service import BatchRunner, ResultStore, RetryPolicy, run_batch
+from repro.service.server import ServerThread, VerificationService
+from repro.service.client import ServiceClient, ServiceError
+from repro.workloads import generate_jobs
+
+#: Generous per-job budget: chaos jobs are light, the budget only has to be
+#: far above their real runtime so no *un*-injected deadline ever fires.
+JOB_TIMEOUT = 30.0
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+    faults.registry.clear()
+    yield
+    faults.registry.clear()
+
+
+def _verdicts(results):
+    return [(r.fingerprint, r.nonempty, r.exhausted) for r in results]
+
+
+class TestChaosBatch:
+    def test_crashes_and_store_faults_preserve_verdicts(self, tmp_path, monkeypatch):
+        """>= 20 jobs with worker kills and a store write failure complete
+        with verdicts identical to a fault-free serial run."""
+        jobs = generate_jobs(24, seed=7)
+        reference = run_batch(jobs, workers=1)
+        assert all(result.ok for result in reference.results)
+
+        # Kill the worker on the first attempt of three specific jobs --
+        # match/attempt selectors fire identically in any worker process.
+        prefixes = [jobs[i].fingerprint[:12] for i in (0, 9, 17)]
+        monkeypatch.setenv(
+            FAULTS_ENV_VAR,
+            ";".join(f"worker.crash:match={p},attempt=1" for p in prefixes),
+        )
+        # And fail the first verdict write in the parent.
+        faults.registry.install("store.put", times=1)
+
+        store = ResultStore(tmp_path / "chaos.sqlite")
+        runner = BatchRunner(
+            store=store,
+            workers=3,
+            timeout_seconds=JOB_TIMEOUT,
+            retry_policy=RetryPolicy.with_retries(1),
+        )
+        started = time.monotonic()
+        report = runner.run(jobs)
+        elapsed = time.monotonic() - started
+        assert elapsed < 120, "chaos batch must complete, not hang"
+
+        assert _verdicts(report.results) == _verdicts(reference.results)
+        crashed = [r for r in report.results if r.attempts > 1]
+        assert len(crashed) == 3
+        assert report.fault_tolerance["worker_crashes"] == 3
+        assert report.fault_tolerance["retries"] == 3
+        assert report.fault_tolerance["worker_respawns"] >= 3
+        assert report.fault_tolerance["store_put_retries"] >= 1
+        # Every verdict made it to the store despite the injected write error.
+        assert len(store) == len(jobs)
+        store.close()
+
+    def test_hung_worker_is_killed_at_deadline_and_retried(self, monkeypatch):
+        jobs = generate_jobs(2, seed=11)
+        monkeypatch.setenv(FAULTS_ENV_VAR, "worker.hang:attempt=1,delay=60")
+        runner = BatchRunner(
+            workers=2,
+            timeout_seconds=1.5,
+            grace_seconds=1.0,
+            retry_policy=RetryPolicy.with_retries(1),
+        )
+        started = time.monotonic()
+        report = runner.run(jobs)
+        elapsed = time.monotonic() - started
+        # Bounded by (timeout + grace) per attempt, nowhere near the 60s hang.
+        assert elapsed < 30
+        assert all(result.ok for result in report.results)
+        assert all(result.attempts == 2 for result in report.results)
+        assert report.fault_tolerance["deadline_exceeded"] == 2
+
+    def test_exhausted_retries_surface_structured_error(self, monkeypatch):
+        jobs = generate_jobs(2, seed=13)
+        prefix = jobs[0].fingerprint[:12]
+        # Crash job 0 on *every* attempt: no attempt/times selector.
+        monkeypatch.setenv(FAULTS_ENV_VAR, f"worker.crash:match={prefix}")
+        runner = BatchRunner(
+            workers=2,
+            timeout_seconds=JOB_TIMEOUT,
+            retry_policy=RetryPolicy.with_retries(1),
+        )
+        report = runner.run(jobs)
+        by_fp = {r.fingerprint: r for r in report.results}
+        failed = by_fp[jobs[0].fingerprint]
+        assert failed.error_code == "worker-crashed"
+        assert failed.attempts == 2
+        assert f"exit code {faults.CRASH_EXIT_CODE}" in failed.error
+        assert by_fp[jobs[1].fingerprint].ok
+
+
+class TestTransientErrorsNotCached:
+    def test_crash_rows_are_store_misses_and_reexecute(self, tmp_path, monkeypatch):
+        jobs = generate_jobs(2, seed=17)
+        fp0 = jobs[0].fingerprint
+        monkeypatch.setenv(FAULTS_ENV_VAR, f"worker.crash:match={fp0[:12]}")
+        store = ResultStore(tmp_path / "transient.sqlite")
+        runner = BatchRunner(store=store, workers=2, timeout_seconds=JOB_TIMEOUT)
+        report = runner.run(jobs)
+        by_fp = {r.fingerprint: r for r in report.results}
+        assert by_fp[fp0].error_code == "worker-crashed"
+
+        # The failure is recorded for inspection but never served as a verdict.
+        assert store.get(fp0) is None
+        recorded = store.get(fp0, include_errors=True)
+        assert recorded is not None and recorded.error_code == "worker-crashed"
+
+        # Resubmission with the fault disarmed re-executes and overwrites.
+        monkeypatch.delenv(FAULTS_ENV_VAR)
+        report2 = BatchRunner(store=store, workers=2, timeout_seconds=JOB_TIMEOUT).run(jobs)
+        by_fp2 = {r.fingerprint: r for r in report2.results}
+        assert by_fp2[fp0].ok and not by_fp2[fp0].cached
+        assert store.get(fp0) is not None and store.get(fp0).ok
+        store.close()
+
+
+class TestGracefulDrain:
+    def test_drain_refuses_work_and_finishes_clean(self):
+        service = VerificationService(store=ResultStore.in_memory())
+        with ServerThread(service=service) as server:
+            with ServiceClient(server.base_url, retries=0) as client:
+                assert client.healthz()["status"] == "ok"
+                job = generate_jobs(1, seed=19)[0]
+                client.submit_job(job)  # real work before the drain
+
+                assert server.drain(timeout=5.0) is True
+                assert service.draining
+
+                # The established keep-alive connection survives the drain,
+                # but new work on it is refused with the machine code.
+                with pytest.raises(ServiceError) as excinfo:
+                    client.submit_job(job)
+                assert excinfo.value.status == 503
+                assert excinfo.value.code == "draining"
+
+                health = client.healthz()
+                assert health["status"] == "draining"
+                exposition = client.metrics()
+                assert "repro_draining 1" in exposition
+                assert "repro_drain_rejected_total 1" in exposition
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        port_file = tmp_path / "port"
+        env = {**os.environ, "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")}
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--port-file",
+                str(port_file),
+                "--store",
+                str(tmp_path / "drain.sqlite"),
+                "--drain-timeout",
+                "10",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not port_file.exists() and time.monotonic() < deadline:
+                assert process.poll() is None, process.stdout.read()
+                time.sleep(0.05)
+            port = int(port_file.read_text().strip())
+
+            # One real round trip so the drain has a served request behind it.
+            spec = json.dumps(generate_jobs(1, seed=23)[0].to_spec()).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/jobs",
+                data=spec,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+
+            process.send_signal(signal.SIGTERM)
+            returncode = process.wait(timeout=20)
+            output = process.stdout.read()
+            assert returncode == 0, output
+            assert "draining" in output
+            assert "drained cleanly" in output
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

@@ -90,13 +90,20 @@ class TestMissingKeysAreHardFailures:
         assert "GUARD FAILURE" in capsys.readouterr().err
 
 
-def _service_record(path, keepalive=500.0, close=450.0, load_test=...):
+def _service_record(
+    path, keepalive=500.0, close=450.0, load_test=..., retry_overhead=1.0, fault_tolerance=...
+):
     if load_test is ...:
         load_test = {
             "keepalive": {"throughput_rps": keepalive},
             "close_per_request": {"throughput_rps": close},
         }
-    payload = {"mode": "full", "service": {"load_test": load_test}}
+    if fault_tolerance is ...:
+        fault_tolerance = {"retry_overhead_percent": retry_overhead}
+    payload = {
+        "mode": "full",
+        "service": {"load_test": load_test, "fault_tolerance": fault_tolerance},
+    }
     path.write_text(json.dumps(payload))
     return path
 
@@ -134,6 +141,25 @@ class TestServiceGuard:
         )
         assert check_regression.check_service(baseline, current) == 2
         assert "close_per_request" in capsys.readouterr().err
+
+    def test_fails_when_retry_overhead_blows_past_limit(self, tmp_path, capsys):
+        baseline = _service_record(tmp_path / "b.json")
+        current = _service_record(tmp_path / "c.json", retry_overhead=60.0)
+        assert check_regression.check_service(baseline, current) == 1
+        assert "retry policy" in capsys.readouterr().err
+
+    def test_negative_retry_overhead_passes(self, tmp_path):
+        # Timing noise can make the armed run measure faster than plain.
+        baseline = _service_record(tmp_path / "b.json")
+        current = _service_record(tmp_path / "c.json", retry_overhead=-2.5)
+        assert check_regression.check_service(baseline, current) == 0
+
+    def test_missing_fault_tolerance_is_hard_failure(self, tmp_path, capsys):
+        baseline = _service_record(tmp_path / "b.json")
+        current = _service_record(tmp_path / "c.json", fault_tolerance=None)
+        assert check_regression.check_service(baseline, current) == 2
+        err = capsys.readouterr().err
+        assert "GUARD FAILURE" in err and "fault_tolerance" in err
 
     def test_main_kind_service(self, tmp_path):
         baseline = _service_record(tmp_path / "b.json")

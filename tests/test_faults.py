@@ -1,0 +1,114 @@
+"""Unit tests for the fault-injection registry (`repro.faults`).
+
+The destructive hooks (worker crash, worker hang) are exercised end-to-end
+by the chaos suite (`test_chaos.py`); here we pin down the registry
+mechanics -- rule parsing, matching, consumption, env activation -- that
+the chaos behaviour depends on.
+"""
+
+import pytest
+
+from repro import faults
+from repro.faults import FAULTS_ENV_VAR, FaultInjected, FaultRegistry, parse_rules
+
+
+@pytest.fixture(autouse=True)
+def clean_registry(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+    faults.registry.clear()
+    yield
+    faults.registry.clear()
+
+
+class TestParseRules:
+    def test_empty_text_parses_to_no_rules(self):
+        assert parse_rules("") == []
+        assert parse_rules("  ;  ") == []
+
+    def test_single_rule_with_options(self):
+        (rule,) = parse_rules("worker.crash:times=2,match=abc,attempt=1")
+        assert rule.point == "worker.crash"
+        assert rule.times == 2
+        assert rule.match == "abc"
+        assert rule.attempt == 1
+
+    def test_multiple_rules_semicolon_separated(self):
+        rules = parse_rules("worker.crash:times=1;store.put:match=ff")
+        assert [rule.point for rule in rules] == ["worker.crash", "store.put"]
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            parse_rules("worker.explode:times=1")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault option"):
+            parse_rules("worker.crash:bogus=1")
+
+    def test_delay_parses_as_float(self):
+        (rule,) = parse_rules("worker.hang:delay=1.5")
+        assert rule.delay == 1.5
+
+
+class TestRegistry:
+    def test_inactive_by_default(self):
+        registry = FaultRegistry()
+        assert not registry.active()
+        assert registry.check("worker.crash", key="anything") is None
+
+    def test_install_and_consume_times_budget(self):
+        registry = FaultRegistry()
+        registry.install("store.put", times=2)
+        assert registry.check("store.put", key="a") is not None
+        assert registry.check("store.put", key="b") is not None
+        assert registry.check("store.put", key="c") is None
+        assert registry.fired_total() == 2
+
+    def test_match_restricts_to_key_substring(self):
+        registry = FaultRegistry()
+        registry.install("store.put", match="deadbeef")
+        assert registry.check("store.put", key="0000") is None
+        assert registry.check("store.put", key="xxdeadbeefxx") is not None
+
+    def test_attempt_matching_fires_only_on_that_attempt(self):
+        registry = FaultRegistry()
+        registry.install("worker.crash", attempt=1)
+        assert registry.check("worker.crash", key="k", attempt=2) is None
+        assert registry.check("worker.crash", key="k", attempt=1) is not None
+        # attempt= rules have no times budget by default: they fire on every
+        # first attempt (the process-independent way to hit respawned workers).
+        assert registry.check("worker.crash", key="k2", attempt=1) is not None
+
+    def test_env_rules_activate_and_track_changes(self, monkeypatch):
+        registry = FaultRegistry()
+        monkeypatch.setenv(FAULTS_ENV_VAR, "store.put:times=1")
+        assert registry.active()
+        assert registry.check("store.put", key="k") is not None
+        monkeypatch.setenv(FAULTS_ENV_VAR, "worker.hang:delay=0.1")
+        # A changed env value re-parses: the old rule is gone.
+        assert registry.check("store.put", key="k") is None
+        assert registry.check("worker.hang", key="k") is not None
+
+    def test_clear_removes_installed_rules(self):
+        registry = FaultRegistry()
+        registry.install("store.put")
+        registry.clear()
+        assert registry.check("store.put", key="k") is None
+
+
+class TestHooks:
+    def test_raise_point_raises_fault_injected(self):
+        faults.registry.install("store.put", times=1)
+        with pytest.raises(FaultInjected):
+            faults.raise_point("store.put", key="k")
+        # Budget consumed: the next call is a no-op.
+        faults.raise_point("store.put", key="k")
+
+    def test_delay_point_sleeps_for_rule_delay(self):
+        faults.registry.install("server.delay", times=1, delay=0.01)
+        assert faults.delay_point("server.delay", key="k") == 0.01
+        assert faults.delay_point("server.delay", key="k") == 0.0
+
+    def test_crash_and_hang_points_are_noops_without_rules(self):
+        # Must not kill or wedge the test process.
+        faults.crash_point("worker.crash", key="k")
+        faults.hang_point("worker.hang", key="k")

@@ -621,3 +621,40 @@ class TestObservability:
             assert family in after, f"{family} missing from /v1/metrics"
         hits = parse_exposition(after).samples[("repro_store_hits_total", ())]
         assert hits == 2  # the warm rerun, counted once per job
+
+
+class TestConnectionFaults:
+    """Client/server resilience to broken connections (reliability suite)."""
+
+    def test_client_retries_stale_keepalive_connection(self):
+        # A keep-alive connection the server has idle-timed-out must be
+        # replaced transparently on the next request, not surfaced as an
+        # error to the caller.
+        service = VerificationService(store=ResultStore.in_memory(), idle_timeout=0.3)
+        with ServerThread(service=service) as server:
+            with ServiceClient(server.base_url) as client:
+                assert client.healthz()["status"] == "ok"
+                time.sleep(0.8)  # server side closes the idle connection
+                assert client.healthz()["status"] == "ok"
+            # Two TCP connections total: the original and the replacement.
+            assert service.stats.connections_total == 2
+
+    def test_mid_body_client_disconnect_leaves_server_healthy(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /v1/jobs HTTP/1.1\r\n"
+                b"Host: t\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 1000\r\n"
+                b"\r\n"
+                b'{"jobs": ['  # a fraction of the promised body, then gone
+            )
+        # The aborted read must not 500 the connection task or leak state:
+        # the server keeps answering and its connection gauge returns to 1
+        # (the probe's own connection).
+        deadline = time.time() + 10
+        while server.service._open_connections > 0 and time.time() < deadline:
+            time.sleep(0.05)
+        status, payload, _ = _request(server.base_url, "/v1/healthz")
+        assert status == 200 and payload["status"] == "ok"

@@ -10,6 +10,7 @@ from repro.errors import StoreError
 from repro.library import triangle_system
 from repro.relational import GRAPH_SCHEMA, AllDatabasesTheory, HomTheory, clique_template
 from repro.service import (
+    JobResult,
     MemoryBackend,
     ResultStore,
     SQLiteBackend,
@@ -278,3 +279,114 @@ class TestStoreServiceIntegration:
         with ResultStore(tmp_path / "hom.sqlite") as store:
             cached = store.get(job.fingerprint)
             assert cached is not None and cached.nonempty == result.nonempty
+
+
+def _transient_failure(job):
+    return JobResult(
+        fingerprint=job.fingerprint,
+        label=job.label,
+        error="worker-crashed: worker process died mid-job (exit code 86)",
+        error_code="worker-crashed",
+    )
+
+
+class TestErrorRows:
+    """Schema v4: transient failures stored as non-cacheable, short-lived rows."""
+
+    def test_put_rejects_errored_results(self, store):
+        job, _ = _decided_job()
+        with pytest.raises(ValueError):
+            store.put(job, _transient_failure(job))
+
+    def test_put_error_requires_an_error(self, store):
+        job, result = _decided_job()
+        with pytest.raises(ValueError):
+            store.put_error(job, result)
+
+    def test_error_rows_read_as_misses(self, store):
+        job, _ = _decided_job(label="failing")
+        store.put_error(job, _transient_failure(job))
+        assert store.stats.error_puts == 1
+        # Invisible to the warm-cache path: the job re-executes on resubmit.
+        assert store.get(job.fingerprint) is None
+        # But inspectable when asked for explicitly.
+        recorded = store.get(job.fingerprint, include_errors=True)
+        assert recorded is not None
+        assert recorded.error_code == "worker-crashed"
+        assert recorded.nonempty is None and not recorded.ok
+
+    def test_error_rows_expire_on_their_own_ttl(self, store):
+        job, _ = _decided_job()
+        store.put_error(job, _transient_failure(job), ttl_seconds=0.05)
+        time.sleep(0.1)
+        assert store.get(job.fingerprint, include_errors=True) is None
+        assert store.stats.ttl_expirations == 1
+
+    def test_successful_put_overwrites_error_row(self, store):
+        job, result = _decided_job()
+        store.put_error(job, _transient_failure(job))
+        store.put(job, result)
+        cached = store.get(job.fingerprint)
+        assert cached is not None and cached.ok
+        assert cached.nonempty == result.nonempty
+
+    def test_export_marks_error_rows(self, store):
+        job, _ = _decided_job(label="failing")
+        store.put_error(job, _transient_failure(job))
+        export = store.export()
+        assert export["schema_version"] == 3
+        (entry,) = export["results"]
+        assert entry["error_code"] == "worker-crashed"
+        assert entry["cacheable"] is False
+
+
+class TestDurability:
+    """WAL journaling and the graceful-drain checkpoint hook."""
+
+    def test_file_backed_store_runs_in_wal_mode(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "wal.sqlite")
+        try:
+            assert backend.wal_enabled
+        finally:
+            backend.close()
+
+    def test_memory_store_skips_wal(self):
+        backend = SQLiteBackend(":memory:")
+        try:
+            assert not backend.wal_enabled
+        finally:
+            backend.close()
+
+    def test_checkpoint_flushes_wal_to_main_database(self, tmp_path):
+        path = tmp_path / "ckpt.sqlite"
+        store = ResultStore(path)
+        try:
+            for job, result in _distinct_jobs(3):
+                store.put(job, result)
+            store.checkpoint()
+            # After a TRUNCATE checkpoint the WAL carries no frames: every
+            # verdict is in the main database file, visible to a reader
+            # that never touches the WAL.
+            wal = path.with_name(path.name + "-wal")
+            assert not wal.exists() or wal.stat().st_size == 0
+        finally:
+            store.close()
+        with ResultStore(path) as reopened:
+            assert len(reopened) == 3
+
+    def test_checkpoint_is_a_noop_for_memory_backend(self):
+        store = ResultStore(backend=MemoryBackend())
+        store.checkpoint()  # must not raise
+
+    def test_migrated_legacy_store_accepts_error_rows(self, tmp_path):
+        path = tmp_path / "legacy-err.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute(_LEGACY_SCHEMA)
+        connection.commit()
+        connection.close()
+        with ResultStore(path) as store:
+            job, _ = _decided_job()
+            store.put_error(job, _transient_failure(job))
+            assert store.get(job.fingerprint) is None
+            recorded = store.get(job.fingerprint, include_errors=True)
+            assert recorded is not None and recorded.error_code == "worker-crashed"
