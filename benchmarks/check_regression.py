@@ -20,6 +20,11 @@ Two guarded records, selected with ``--kind``:
   also gates the fault-tolerance phase: arming the retry policy on a clean
   run must stay within ``--max-retry-overhead`` percent of the plain run
   (the design target is <2%; the gate leaves headroom for noisy runners).
+  Finally it gates the cluster phase: the sharded fleet's warm-serve
+  throughput (coordinator + runners over one shared keyspace) must retain
+  a fraction of the committed number (``--cluster-tolerance`` with an
+  absolute jobs/second floor), and the fresh record must assert verdict
+  parity with a serial single-node run.
 
 Both guards are tolerance-based: the committed records are produced in
 ``full`` mode on a quiet machine while CI runs the smaller smoke workload
@@ -70,6 +75,16 @@ DEFAULT_SERVICE_TOLERANCE = 0.1
 #: shared runners), so the gate only catches the policy growing a real
 #: per-job cost, not scheduling jitter.
 DEFAULT_MAX_RETRY_OVERHEAD_PERCENT = 25.0
+
+#: Absolute fleet warm-serve throughput floor in jobs/second.  The warm
+#: path is three HTTP hops per job (client -> coordinator -> keyspace), so
+#: this only catches the distributed tier falling over, not noise.
+DEFAULT_MIN_CLUSTER_JPS_FLOOR = 5.0
+
+#: Fraction of the committed fleet warm-serve throughput the fresh run
+#: must retain.  As loose as the front-door tolerance and for the same
+#: reason: wall-clock over real sockets on shared CI runners.
+DEFAULT_CLUSTER_TOLERANCE = 0.1
 
 
 class GuardDataError(Exception):
@@ -203,6 +218,40 @@ def _retry_overhead_of(record: dict, record_name: str) -> float:
     return overhead
 
 
+def _cluster_of(record: dict, record_name: str) -> dict:
+    """The cluster section of a service record, or an explicit failure."""
+    service = record.get("service")
+    if not isinstance(service, dict) or not service:
+        raise GuardDataError(
+            f"{record_name} record has no 'service' section; was the service "
+            "phase skipped when it was produced?"
+        )
+    cluster = service.get("cluster")
+    if not isinstance(cluster, dict):
+        raise GuardDataError(
+            f"{record_name} record has no 'cluster' entry; it predates the "
+            "distributed verdict cluster -- regenerate it with "
+            "benchmarks/run_all.py"
+        )
+    return cluster
+
+
+def _cluster_throughput_of(cluster: dict, record_name: str) -> float:
+    throughput = cluster.get("warm_throughput_jps")
+    if not isinstance(throughput, (int, float)) or throughput <= 0:
+        raise GuardDataError(
+            f"{record_name} cluster phase has no usable warm_throughput_jps "
+            f"(got {throughput!r})"
+        )
+    if cluster.get("verdicts_match_serial") is not True:
+        raise GuardDataError(
+            f"{record_name} cluster phase did not assert verdict parity with "
+            "a serial run (verdicts_match_serial is "
+            f"{cluster.get('verdicts_match_serial')!r})"
+        )
+    return throughput
+
+
 def check_service(
     baseline_path: Path,
     current_path: Path,
@@ -210,6 +259,8 @@ def check_service(
     min_rps_floor: float = DEFAULT_MIN_RPS_FLOOR,
     min_ratio: float = DEFAULT_MIN_KEEPALIVE_RATIO,
     max_retry_overhead: float = DEFAULT_MAX_RETRY_OVERHEAD_PERCENT,
+    min_cluster_jps_floor: float = DEFAULT_MIN_CLUSTER_JPS_FLOOR,
+    cluster_tolerance: float = DEFAULT_CLUSTER_TOLERANCE,
 ) -> int:
     try:
         baseline = json.loads(baseline_path.read_text())
@@ -227,6 +278,12 @@ def check_service(
         fresh_keepalive = _throughput_of(fresh_load, "current", "keepalive")
         fresh_close = _throughput_of(fresh_load, "current", "close_per_request")
         fresh_overhead = _retry_overhead_of(current, "current")
+        committed_cluster = _cluster_throughput_of(
+            _cluster_of(baseline, "baseline"), "baseline"
+        )
+        fresh_cluster = _cluster_throughput_of(
+            _cluster_of(current, "current"), "current"
+        )
     except GuardDataError as error:
         print(f"GUARD FAILURE: {error}", file=sys.stderr)
         return 2
@@ -266,6 +323,21 @@ def check_service(
             file=sys.stderr,
         )
         failed = True
+    cluster_floor = max(min_cluster_jps_floor, committed_cluster * cluster_tolerance)
+    print(
+        f"cluster: committed fleet warm-serve {committed_cluster:.0f} jobs/s "
+        f"({baseline.get('mode', '?')} mode), fresh {fresh_cluster:.0f} jobs/s "
+        f"({current.get('mode', '?')} mode), floor {cluster_floor:.0f} jobs/s"
+    )
+    if fresh_cluster < cluster_floor:
+        print(
+            f"REGRESSION: fleet warm-serve throughput {fresh_cluster:.0f} "
+            f"jobs/s dropped below the floor {cluster_floor:.0f} jobs/s "
+            f"(committed {committed_cluster:.0f} jobs/s, tolerance "
+            f"{cluster_tolerance})",
+            file=sys.stderr,
+        )
+        failed = True
     if failed:
         return 1
     print("service regression guard passed")
@@ -294,12 +366,21 @@ def main(argv=None) -> int:
                         default=DEFAULT_MAX_RETRY_OVERHEAD_PERCENT,
                         help="maximum clean-run slowdown percent with a retry "
                         "policy armed (service)")
+    parser.add_argument("--min-cluster-jps-floor", type=float,
+                        default=DEFAULT_MIN_CLUSTER_JPS_FLOOR,
+                        help="absolute minimum fleet warm-serve throughput in "
+                        "jobs/second (service)")
+    parser.add_argument("--cluster-tolerance", type=float,
+                        default=DEFAULT_CLUSTER_TOLERANCE,
+                        help="fraction of the committed fleet warm-serve "
+                        "throughput to require (service)")
     args = parser.parse_args(argv)
     if args.kind == "service":
         tolerance = args.tolerance if args.tolerance is not None else DEFAULT_SERVICE_TOLERANCE
         return check_service(
             args.baseline, args.current, tolerance, args.min_rps_floor,
             args.min_ratio, args.max_retry_overhead,
+            args.min_cluster_jps_floor, args.cluster_tolerance,
         )
     tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
     return check(

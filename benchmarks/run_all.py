@@ -667,6 +667,97 @@ def run_fault_tolerance_benchmark(smoke: bool) -> dict:
     }
 
 
+def run_cluster_benchmark(smoke: bool) -> dict:
+    """Fleet throughput: coordinator + runners over one shared keyspace.
+
+    Builds the full distributed topology in-process -- a ``repro store
+    serve`` keyspace thread, two runner nodes whose stores point at it,
+    and a fingerprint-sharded coordinator front door -- and measures:
+
+    * **cold** -- one fan-out execution of the seeded batch across the
+      runner fleet (verdicts asserted identical to a serial single-node
+      run, the distributed tier's acceptance bar);
+    * **warm serve** -- repeated reruns of the same batch through the
+      coordinator, all answered from the shared keyspace.  Best-round
+      throughput is the gated number (check_regression.py): it covers the
+      coordinator's store-first path, the HTTP backend and the keyspace
+      server in one figure.
+    """
+    from repro.service import (
+        CoordinatorService,
+        KeyspaceServerThread,
+        ResultStore,
+        ServerThread,
+        ServiceClient,
+        VerificationService,
+    )
+    from repro.service.runner import BatchRunner
+    from repro.workloads import generate_jobs
+
+    jobs = generate_jobs(12 if smoke else 48, seed=2019)
+    serial = {}
+    for _, result in BatchRunner(workers=1).execute_indexed(jobs):
+        serial[result.fingerprint] = (result.nonempty, result.exhausted)
+    rounds = 3 if smoke else 5
+    with KeyspaceServerThread() as keyspace:
+        runner_a = ServerThread(
+            service=VerificationService(store=ResultStore.from_url(keyspace.base_url))
+        )
+        runner_b = ServerThread(
+            service=VerificationService(store=ResultStore.from_url(keyspace.base_url))
+        )
+        with runner_a, runner_b:
+            coordinator = ServerThread(
+                service=CoordinatorService(
+                    runners=[runner_a.base_url, runner_b.base_url],
+                    store=ResultStore.from_url(keyspace.base_url),
+                )
+            )
+            with coordinator:
+                with ServiceClient(coordinator.base_url, timeout=300) as client:
+                    began = time.perf_counter()
+                    cold = client.submit_batch(jobs)
+                    cold_seconds = time.perf_counter() - began
+                    verdicts = {
+                        entry["fingerprint"]: (entry["nonempty"], entry["exhausted"])
+                        for entry in cold["results"]
+                    }
+                    assert verdicts == serial, (
+                        "the sharded fleet changed verdicts vs a serial single-node run"
+                    )
+                    assert cold["executed"] == len(jobs)
+                    warm_times = []
+                    for _ in range(rounds):
+                        began = time.perf_counter()
+                        warm = client.submit_batch(jobs)
+                        warm_times.append(time.perf_counter() - began)
+                        assert warm["executed"] == 0, (
+                            "a warm fleet rerun re-executed jobs instead of "
+                            "serving them from the shared keyspace"
+                        )
+                executed_per_runner = [
+                    runner_a.service.stats.executed,
+                    runner_b.service.stats.executed,
+                ]
+    warm_best = min(warm_times)
+    throughput = len(jobs) / warm_best if warm_best > 0 else None
+    print(
+        f"  cluster: {len(jobs)} jobs over 2 runners  cold {cold_seconds:.3f}s  "
+        f"warm {warm_best:.4f}s  warm-serve {throughput:.0f} jobs/s  "
+        f"shard split {executed_per_runner}"
+    )
+    return {
+        "job_count": len(jobs),
+        "runners": 2,
+        "warm_rounds": rounds,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_best_seconds": round(warm_best, 4),
+        "warm_throughput_jps": round(throughput, 2) if throughput else None,
+        "shard_split": executed_per_runner,
+        "verdicts_match_serial": True,
+    }
+
+
 def run_service_benchmark(smoke: bool) -> dict:
     """The batch-service record: store-focused, fan-out, and scaling phases.
 
@@ -701,6 +792,7 @@ def run_service_benchmark(smoke: bool) -> dict:
     record["scaling"] = run_worker_scaling(smoke)
     record["load_test"] = run_load_test(smoke)
     record["fault_tolerance"] = run_fault_tolerance_benchmark(smoke)
+    record["cluster"] = run_cluster_benchmark(smoke)
     return record
 
 

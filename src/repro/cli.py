@@ -9,8 +9,15 @@ A thin operational front door to the library:
 * ``repro batch`` -- generate seeded random workloads and run them through
   the batch verification service (parallel workers, persistent store);
 * ``repro serve`` -- run the async HTTP front door: job specs in, verdicts
-  out, with store-first serving and in-flight fingerprint dedup;
-* ``repro store`` -- inspect, export or clear a result store;
+  out, with store-first serving and in-flight fingerprint dedup; grows a
+  fleet via ``--role coordinator --runner URL`` (fingerprint-sharded
+  forwarding) and ``--role runner`` nodes sharing one keyspace;
+* ``repro store`` -- inspect, export, clear or *serve* a result store
+  (``repro store serve`` runs the networked keyspace backend);
+
+Every command that touches a store takes the same ``--store`` backend URL:
+``sqlite:PATH`` (or a bare path), ``memory:``, or ``http://host:port`` for
+a remote keyspace served by ``repro store serve``.
 * ``repro trace`` -- export a stored solver trace as Chrome trace-event
   JSON for Perfetto / about://tracing;
 * ``repro bench`` -- shortcut to the unified benchmark runner (equivalent to
@@ -52,6 +59,31 @@ from repro.relational.csp import COLORED_GRAPH_SCHEMA, GRAPH_SCHEMA
 from repro.service import BatchRunner, ResultStore, RetryPolicy
 from repro.service.server import DEFAULT_MAX_CONNECTIONS, DEFAULT_MAX_PENDING
 from repro.workloads import FAMILIES, generate_jobs
+
+def _warn_deprecated(old: str, new: str) -> None:
+    print(f"repro: {old} is deprecated; use {new}", file=sys.stderr)
+
+
+def _resolve_store_spec(args: argparse.Namespace) -> Optional[str]:
+    """The store backend spec from ``--store``, honoring the old ``--db``.
+
+    ``--db`` predates the URL-style backend addressing and stays as a
+    deprecated alias; ``--store`` wins when both are given.
+    """
+    db = getattr(args, "db", None)
+    if db is not None:
+        if args.store is not None:
+            return args.store
+        _warn_deprecated("--db", "--store")
+        return db
+    return args.store
+
+
+def _store_token() -> Optional[str]:
+    """Shared-secret for a remote (``http://``) store backend, from the
+    environment only -- tokens on the command line leak via ``ps``."""
+    return os.environ.get("REPRO_STORE_TOKEN") or None
+
 
 #: Named example workloads: name -> (system builder, theory builder).
 EXAMPLES: Dict[str, Tuple[Callable, Callable]] = {
@@ -206,7 +238,13 @@ def _command_batch(args: argparse.Namespace) -> int:
         # Trace recording is observability-only: fingerprints (and thus
         # store keys / dedup) are unchanged by the flag.
         jobs = [dataclasses.replace(job, trace=True) for job in jobs]
-    store = ResultStore(args.store) if args.store else None
+    try:
+        store = (
+            ResultStore.from_url(args.store, token=_store_token()) if args.store else None
+        )
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     try:
         try:
             runner = BatchRunner(
@@ -250,7 +288,7 @@ def _command_batch(args: argparse.Namespace) -> int:
                 if args.trace:
                     print(
                         "  traces recorded; export one with "
-                        f"`repro trace <fingerprint> --db {args.store}`"
+                        f"`repro trace <fingerprint> --store {args.store}`"
                     )
             for result in report.errors:
                 print(f"  ERROR {result.label}: {result.error}")
@@ -261,7 +299,7 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    from repro.service.server import run_server
+    from repro.service.server import VerificationService, run_server
     from repro.service.store import ResultStore
 
     if args.workers < 1:
@@ -269,6 +307,12 @@ def _command_serve(args: argparse.Namespace) -> int:
         return 2
     if args.max_connections < 1:
         print("max-connections must be >= 1", file=sys.stderr)
+        return 2
+    if args.role == "coordinator" and not args.runner:
+        print("--role coordinator needs at least one --runner URL", file=sys.stderr)
+        return 2
+    if args.runner and args.role != "coordinator":
+        print("--runner only applies to --role coordinator", file=sys.stderr)
         return 2
     # --auth-token wins; the environment variable keeps the secret out of
     # `ps` output and shell history for production deployments.
@@ -284,32 +328,82 @@ def _command_serve(args: argparse.Namespace) -> int:
         return 2
     try:
         if args.store:
-            store = ResultStore(args.store, ttl_seconds=args.ttl, max_entries=args.max_entries)
+            store = ResultStore.from_url(
+                args.store,
+                ttl_seconds=args.ttl,
+                max_entries=args.max_entries,
+                token=_store_token(),
+            )
         else:
-            # No path given: verdicts are still cached and deduplicated for the
-            # lifetime of the server, just not across restarts.
+            # No backend given: verdicts are still cached and deduplicated for
+            # the lifetime of the server, just not across restarts.
             store = ResultStore.in_memory(ttl_seconds=args.ttl, max_entries=args.max_entries)
-    except (ValueError, StoreError) as error:  # bad --ttl/--max-entries/store file
+    except (ValueError, StoreError) as error:  # bad --ttl/--max-entries/store spec
+        print(str(error), file=sys.stderr)
+        return 2
+    service_kwargs = dict(
+        store=store,
+        workers=args.workers,
+        timeout_seconds=args.timeout,
+        auth_token=auth_token,
+        max_pending=max_pending,
+        max_connections=args.max_connections,
+        retry_policy=retry_policy,
+    )
+    try:
+        if args.role == "coordinator":
+            from repro.service.coordinator import CoordinatorService
+
+            # Runners in one fleet usually share the coordinator's token;
+            # override via the environment when they differ.
+            runner_token = os.environ.get("REPRO_RUNNER_TOKEN") or auth_token
+            service = CoordinatorService(
+                runners=args.runner, runner_token=runner_token, **service_kwargs
+            )
+        else:
+            service = VerificationService(**service_kwargs)
+            if args.role == "runner":
+                # Same service, different announced role: a runner is a single
+                # node that happens to share its keyspace with a fleet.
+                service.role = "runner"
+    except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
     try:
         return run_server(
-            store=store,
-            workers=args.workers,
-            timeout_seconds=args.timeout,
+            service=service,
             host=args.host,
             port=args.port,
             port_file=args.port_file,
-            auth_token=auth_token,
-            max_pending=max_pending,
-            max_connections=args.max_connections,
-            retry_policy=retry_policy,
             drain_timeout=args.drain_timeout,
             log_level=args.log_level,
             log_json=args.log_json,
         )
     finally:
         store.close()
+
+
+def _sqlite_path(spec: str) -> Optional[str]:
+    """The filesystem path behind a SQLite store spec; None for other backends."""
+    if spec.startswith(("http://", "https://")) or spec in ("memory", "memory:", "memory://"):
+        return None
+    if spec.startswith("sqlite:"):
+        path = spec[len("sqlite:"):]
+        return path[2:] if path.startswith("//") else path
+    return spec
+
+
+def _open_existing_store(spec: str) -> ResultStore:
+    """Open a store for inspection without creating a missing SQLite file.
+
+    Opening a missing path would create an empty database -- for every
+    inspection action that is a typo, not an intent.  Remote and in-memory
+    backends have no file to guard.
+    """
+    path = _sqlite_path(spec)
+    if path is not None and path != ":memory:" and not Path(path).is_file():
+        raise StoreError(f"no result store at {path}")
+    return ResultStore.from_url(spec, token=_store_token())
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -319,11 +413,12 @@ def _command_trace(args: argparse.Namespace) -> int:
     Chrome's about://tracing; ``--raw`` dumps the recorder's native form
     (seconds-based spans) instead.
     """
-    if not Path(args.db).is_file():
-        print(f"no result store at {args.db}", file=sys.stderr)
+    spec = _resolve_store_spec(args)
+    if not spec:
+        print("trace needs a store: pass --store URL", file=sys.stderr)
         return 2
     try:
-        store_handle = ResultStore(args.db)
+        store_handle = _open_existing_store(spec)
     except StoreError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -352,14 +447,31 @@ def _command_trace(args: argparse.Namespace) -> int:
 
 
 def _command_store(args: argparse.Namespace) -> int:
-    if not Path(args.db).is_file():
-        # Opening a missing path would create an empty database -- for every
-        # action that is a typo, not an intent.
-        print(f"no result store at {args.db}", file=sys.stderr)
+    spec = _resolve_store_spec(args)
+    if args.action == "serve":
+        from repro.service.keyspace import run_keyspace_server
+
+        auth_token = args.auth_token or os.environ.get("REPRO_AUTH_TOKEN") or None
+        try:
+            run_keyspace_server(
+                spec or "memory:",
+                host=args.host,
+                port=args.port,
+                ttl_seconds=args.ttl,
+                max_entries=args.max_entries,
+                auth_token=auth_token,
+                port_file=args.port_file,
+            )
+        except (ValueError, StoreError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        return 0
+    if not spec:
+        print(f"store {args.action} needs a store: pass --store URL", file=sys.stderr)
         return 2
     try:
-        store_handle = ResultStore(args.db)
-    except StoreError as error:  # e.g. written by a newer schema version
+        store_handle = _open_existing_store(spec)
+    except StoreError as error:  # missing file, or a newer schema version
         print(str(error), file=sys.stderr)
         return 2
     with store_handle as store:
@@ -370,7 +482,7 @@ def _command_store(args: argparse.Namespace) -> int:
                 1 for e in export["results"] if not e["nonempty"] and e["exhausted"]
             )
             inconclusive = export["count"] - nonempty - definitive_empty
-            print(f"store {args.db}: {export['count']} results")
+            print(f"store {spec}: {export['count']} results")
             print(
                 f"  nonempty: {nonempty}, empty: {definitive_empty}"
                 + (f", inconclusive: {inconclusive}" if inconclusive else "")
@@ -385,7 +497,7 @@ def _command_store(args: argparse.Namespace) -> int:
                 print(json.dumps(store.export(), indent=2))
         elif args.action == "clear":
             removed = store.clear()
-            print(f"removed {removed} results from {args.db}")
+            print(f"removed {removed} results from {spec}")
     return 0
 
 
@@ -437,7 +549,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--store",
         default=None,
-        help="path of the SQLite result store (default: no persistence)",
+        help="result store backend URL -- sqlite:PATH, memory:, http://host:port, "
+        "or a bare SQLite path (default: no persistence)",
     )
     batch.add_argument(
         "--timeout",
@@ -484,9 +597,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="engine worker processes (default: 1)"
     )
     serve.add_argument(
+        "--role",
+        choices=["single", "runner", "coordinator"],
+        default="single",
+        help="node role: `single` serves and executes alone; `runner` is a "
+        "fleet execution node (point --store at the shared keyspace); "
+        "`coordinator` executes nothing and shards jobs across --runner "
+        "nodes by fingerprint (default: single)",
+    )
+    serve.add_argument(
+        "--runner",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="a runner node's base URL (repeatable; coordinator role only)",
+    )
+    serve.add_argument(
         "--store",
         default=None,
-        help="path of the SQLite result store (default: in-memory cache)",
+        help="result store backend URL -- sqlite:PATH, memory:, http://host:port "
+        "of a `repro store serve` keyspace ($REPRO_STORE_TOKEN authenticates), "
+        "or a bare SQLite path (default: in-memory cache)",
     )
     serve.add_argument(
         "--ttl",
@@ -553,17 +684,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=_command_serve)
 
-    store = subparsers.add_parser("store", help="inspect or manage a result store")
-    store.add_argument("action", choices=["stats", "export", "clear"], help="what to do")
-    store.add_argument("--db", required=True, help="path of the SQLite result store")
+    store = subparsers.add_parser("store", help="inspect, manage or serve a result store")
+    store.add_argument(
+        "action", choices=["stats", "export", "clear", "serve"], help="what to do"
+    )
+    store.add_argument(
+        "--store",
+        default=None,
+        help="backend URL -- sqlite:PATH, memory:, http://host:port, or a "
+        "bare SQLite path (for `serve`, the backing storage; default: memory:)",
+    )
+    store.add_argument("--db", default=None, help="deprecated alias for --store")
     store.add_argument("--output", default=None, help="file for `export` (default: stdout)")
+    store.add_argument(
+        "--host", default="127.0.0.1", help="`serve`: bind address (default: 127.0.0.1)"
+    )
+    store.add_argument(
+        "--port",
+        type=int,
+        default=8090,
+        help="`serve`: bind port; 0 lets the OS pick a free one (default: 8090)",
+    )
+    store.add_argument(
+        "--port-file",
+        default=None,
+        help="`serve`: write the bound port to this file once listening",
+    )
+    store.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="`serve`: row time-to-live in seconds, enforced server-side "
+        "(default: no expiry)",
+    )
+    store.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="`serve`: row cap; oldest rows are evicted beyond it",
+    )
+    store.add_argument(
+        "--auth-token",
+        default=None,
+        help="`serve`: require this shared-secret token on every request "
+        "except /v1/ (default: $REPRO_AUTH_TOKEN, else no auth)",
+    )
     store.set_defaults(handler=_command_store)
 
     trace = subparsers.add_parser(
         "trace", help="export a stored solver trace as Chrome trace-event JSON"
     )
     trace.add_argument("fingerprint", help="job fingerprint (full SHA-256 hex)")
-    trace.add_argument("--db", required=True, help="path of the SQLite result store")
+    trace.add_argument(
+        "--store",
+        default=None,
+        help="result store backend URL (sqlite:PATH, http://host:port, or a bare path)",
+    )
+    trace.add_argument("--db", default=None, help="deprecated alias for --store")
     trace.add_argument(
         "--output",
         default=None,

@@ -19,11 +19,37 @@ doors are ``repro batch`` / ``repro store`` for one-shot runs and ``repro
 serve`` -- the async HTTP service of :mod:`repro.service.server`, with
 store-first serving and in-flight fingerprint dedup -- for always-on
 deployments.  Persistence is pluggable through the
-:class:`~repro.service.backends.StoreBackend` keyspace protocol.
+:class:`~repro.service.backends.StoreBackend` keyspace protocol, with
+URL-style addressing (``sqlite:PATH``, ``memory:``, ``http://host:port``)
+via :func:`~repro.service.backends.backend_from_url`.
+
+The distributed tier builds on the same two surfaces: ``repro store serve``
+(:mod:`repro.service.keyspace`) publishes any backend over the canonical
+wire format for :class:`~repro.service.client.HTTPBackend` clients, and a
+:class:`~repro.service.coordinator.CoordinatorService` shards fingerprints
+across runner nodes behind the unchanged ``/v1`` job API.
 """
 
-from repro.service.backends import MemoryBackend, SQLiteBackend, StoreBackend
-from repro.service.client import ServiceClient, ServiceError, jobs_to_wire, post_jobs
+from repro.service.backends import (
+    ROW_SCHEMA_VERSION,
+    MemoryBackend,
+    SQLiteBackend,
+    StoreBackend,
+    backend_from_url,
+)
+from repro.service.client import (
+    HTTPBackend,
+    ServiceClient,
+    ServiceError,
+    jobs_to_wire,
+    post_jobs,
+)
+from repro.service.coordinator import CoordinatorService
+from repro.service.keyspace import (
+    KeyspaceServerThread,
+    KeyspaceService,
+    run_keyspace_server,
+)
 from repro.service.jobs import (
     DEFAULT_JOB_MAX_CONFIGURATIONS,
     JOB_ERROR_CODES,
@@ -42,6 +68,7 @@ from repro.service.runner import (
 from repro.service.server import (
     API_VERSION,
     ERROR_CODES,
+    SERVICE_ROUTES,
     ApiError,
     ServerThread,
     VerificationService,
@@ -54,6 +81,14 @@ __all__ = [
     "StoreBackend",
     "SQLiteBackend",
     "MemoryBackend",
+    "HTTPBackend",
+    "backend_from_url",
+    "ROW_SCHEMA_VERSION",
+    "KeyspaceService",
+    "KeyspaceServerThread",
+    "run_keyspace_server",
+    "CoordinatorService",
+    "SERVICE_ROUTES",
     "VerificationService",
     "ServerThread",
     "run_server",

@@ -20,6 +20,19 @@ the mechanisms (timestamp scans and deletes).  Schema versioning is a
 backend concern: :class:`SQLiteBackend` records its schema version in
 SQLite's ``user_version`` pragma and upgrades older ``results`` tables in
 place through ordered migration hooks (see :data:`SQLITE_MIGRATIONS`).
+
+Multi-writer deployments (several ``repro serve`` runners sharing one
+remote keyspace) additionally need two conditional-write primitives --
+:meth:`StoreBackend.put_if_absent` and :meth:`StoreBackend.compare_and_put`
+-- so fleet-wide in-flight claims can be taken atomically.  Plain ``put``
+stays last-write-wins, which is safe for verdict rows because verdicts are
+deterministic per fingerprint: two writers racing on the same fingerprint
+write the same verdict.
+
+Backends are addressed uniformly by URL through :func:`backend_from_url`:
+``memory:``, ``sqlite:PATH`` (a bare path means sqlite), or ``http(s)://``
+for the networked :class:`~repro.service.client.HTTPBackend` talking to a
+``repro store serve`` keyspace server.
 """
 
 from __future__ import annotations
@@ -62,6 +75,12 @@ ROW_FIELDS = (
 #: pre-v4 callers are cacheable verdicts).
 ROW_DEFAULTS = {"cacheable": 1}
 
+#: Version of the row shape above.  Tracks :data:`SQLITE_SCHEMA_VERSION`:
+#: every schema migration that changes what a row carries bumps both.  The
+#: keyspace wire protocol advertises it in discovery so a networked client
+#: can refuse rows from a newer server instead of silently dropping fields.
+ROW_SCHEMA_VERSION = 4
+
 
 class StoreBackend(Protocol):
     """Keyspace contract the result store programs against.
@@ -81,7 +100,27 @@ class StoreBackend(Protocol):
         ...
 
     def put(self, key: str, row: Mapping[str, Any]) -> None:
-        """Insert or replace the row for ``key``."""
+        """Insert or replace the row for ``key`` (last write wins)."""
+        ...
+
+    def put_if_absent(self, key: str, row: Mapping[str, Any]) -> bool:
+        """Atomically insert ``row`` only when ``key`` has no row yet.
+
+        Returns True when the row was written, False when another writer
+        got there first.  This is the claim primitive for fleet-wide
+        in-flight dedup.
+        """
+        ...
+
+    def compare_and_put(
+        self, key: str, row: Mapping[str, Any], expected_created_at: float
+    ) -> bool:
+        """Atomically replace ``key``'s row only if its current
+        ``created_at`` equals ``expected_created_at``.
+
+        Returns True on success, False when the row is missing or was
+        rewritten since the caller read it (optimistic concurrency).
+        """
         ...
 
     def delete(self, key: str) -> bool:
@@ -125,6 +164,8 @@ class MemoryBackend:
     """An in-process dictionary keyspace; thread-safe, nothing persisted."""
 
     name = "memory"
+    #: Memory rows always carry the current row shape.
+    schema_version = ROW_SCHEMA_VERSION
 
     def __init__(self) -> None:
         self._rows: Dict[str, Dict[str, Any]] = {}
@@ -138,6 +179,23 @@ class MemoryBackend:
     def put(self, key: str, row: Mapping[str, Any]) -> None:
         with self._lock:
             self._rows[key] = dict(row)
+
+    def put_if_absent(self, key: str, row: Mapping[str, Any]) -> bool:
+        with self._lock:
+            if key in self._rows:
+                return False
+            self._rows[key] = dict(row)
+            return True
+
+    def compare_and_put(
+        self, key: str, row: Mapping[str, Any], expected_created_at: float
+    ) -> bool:
+        with self._lock:
+            current = self._rows.get(key)
+            if current is None or current.get("created_at") != expected_created_at:
+                return False
+            self._rows[key] = dict(row)
+            return True
 
     def delete(self, key: str) -> bool:
         with self._lock:
@@ -323,17 +381,43 @@ class SQLiteBackend:
     def wal_enabled(self) -> bool:
         return self._wal
 
-    def put(self, key: str, row: Mapping[str, Any]) -> None:
+    @staticmethod
+    def _row_values(row: Mapping[str, Any]) -> tuple:
         # Nullable late-schema fields may be absent from rows written by
         # older callers; missing keys store as NULL (or the v4 defaults).
-        values = tuple(row.get(field, ROW_DEFAULTS.get(field)) for field in ROW_FIELDS)
+        return tuple(row.get(field, ROW_DEFAULTS.get(field)) for field in ROW_FIELDS)
+
+    def put(self, key: str, row: Mapping[str, Any]) -> None:
         with self._lock:
             self._connection.execute(
                 f"INSERT OR REPLACE INTO results ({', '.join(ROW_FIELDS)}) "
                 f"VALUES ({', '.join('?' * len(ROW_FIELDS))})",
-                values,
+                self._row_values(row),
             )
             self._connection.commit()
+
+    def put_if_absent(self, key: str, row: Mapping[str, Any]) -> bool:
+        with self._lock:
+            cursor = self._connection.execute(
+                f"INSERT OR IGNORE INTO results ({', '.join(ROW_FIELDS)}) "
+                f"VALUES ({', '.join('?' * len(ROW_FIELDS))})",
+                self._row_values(row),
+            )
+            self._connection.commit()
+            return cursor.rowcount > 0
+
+    def compare_and_put(
+        self, key: str, row: Mapping[str, Any], expected_created_at: float
+    ) -> bool:
+        assignments = ", ".join(f"{field} = ?" for field in ROW_FIELDS)
+        with self._lock:
+            cursor = self._connection.execute(
+                f"UPDATE results SET {assignments} "
+                "WHERE fingerprint = ? AND created_at = ?",
+                (*self._row_values(row), key, expected_created_at),
+            )
+            self._connection.commit()
+            return cursor.rowcount > 0
 
     def delete(self, key: str) -> bool:
         with self._lock:
@@ -412,3 +496,41 @@ class SQLiteBackend:
             except sqlite3.Error:
                 pass
             self._connection.close()
+
+
+def backend_from_url(
+    spec: Union[str, Path],
+    *,
+    token: Optional[str] = None,
+    timeout: float = 30.0,
+) -> StoreBackend:
+    """Build a backend from a URL-style spec; the one addressing scheme.
+
+    Accepted forms:
+
+    * ``memory:`` (or plain ``memory``) -- process-local
+      :class:`MemoryBackend`;
+    * ``sqlite:PATH`` / ``sqlite:///PATH`` -- durable
+      :class:`SQLiteBackend` at ``PATH`` (``sqlite::memory:`` works);
+    * ``http://HOST:PORT`` / ``https://...`` -- networked
+      :class:`~repro.service.client.HTTPBackend` against a ``repro store
+      serve`` keyspace server (``token``/``timeout`` apply only here);
+    * anything else -- treated as a bare SQLite path, which is what every
+      pre-URL caller passed.
+    """
+    text = str(spec)
+    if text in ("memory", "memory:", "memory://"):
+        return MemoryBackend()
+    if text.startswith(("http://", "https://")):
+        # Deferred import: client.py imports from this module at load time.
+        from repro.service.client import HTTPBackend
+
+        return HTTPBackend(text, token=token, timeout=timeout)
+    if text.startswith("sqlite:"):
+        path = text[len("sqlite:"):]
+        if path.startswith("//"):  # sqlite:///relative or sqlite:////abs
+            path = path[2:]
+        if not path:
+            raise StoreError(f"sqlite backend spec {text!r} is missing a path")
+        return SQLiteBackend(path)
+    return SQLiteBackend(text)

@@ -6,9 +6,17 @@ connection across calls (``http.client`` under the hood, nothing beyond the
 stdlib), attaches the shared-secret auth token when one is configured, and
 retries load-shed responses honouring the server's ``Retry-After``.
 
+Since the distributed tier, the same client is also the transport for the
+keyspace wire protocol: :class:`HTTPBackend` implements the
+:class:`~repro.service.backends.StoreBackend` contract over a
+:class:`ServiceClient` pointed at a ``repro store serve`` keyspace server,
+so a fleet of runners shares one remote verdict cache through the exact
+interface the local SQLite store uses.
+
 The module-level :func:`jobs_to_wire` / :func:`post_jobs` helpers are the
-functional face of the same client; ``repro.workloads`` re-exports them for
-backwards compatibility with pre-``/v1`` scripts.
+functional face of the same client; ``repro.workloads`` re-exports them --
+now as deprecated shims -- for backwards compatibility with pre-``/v1``
+scripts.
 """
 
 from __future__ import annotations
@@ -16,10 +24,13 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import threading
 import time
 import urllib.parse
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.errors import StoreError
+from repro.service.backends import ROW_DEFAULTS, ROW_FIELDS, ROW_SCHEMA_VERSION
 from repro.service.jobs import VerificationJob
 
 #: Default per-request socket timeout.  Batch verification is slow work.
@@ -183,7 +194,7 @@ class ServiceClient:
 
     # -- request core ------------------------------------------------------------
 
-    def _headers(self, has_body: bool) -> Dict[str, str]:
+    def _headers(self, has_body: bool, extra: Optional[Mapping[str, str]] = None) -> Dict[str, str]:
         headers: Dict[str, str] = {}
         if has_body:
             headers["Content-Type"] = "application/json"
@@ -191,13 +202,22 @@ class ServiceClient:
             headers["Authorization"] = f"Bearer {self._auth_token}"
         if not self._keep_alive:
             headers["Connection"] = "close"
+        if extra:
+            headers.update(extra)
         return headers
 
-    def _once(self, method: str, path: str, body: Optional[bytes]) -> Tuple[int, Any, Any]:
+    def _once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        extra_headers: Optional[Mapping[str, str]] = None,
+    ) -> Tuple[int, Any, Any]:
         """One request/response over the (possibly reused) connection."""
+        headers = self._headers(body is not None, extra_headers)
         connection = self._connect()
         try:
-            connection.request(method, path, body=body, headers=self._headers(body is not None))
+            connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             raw = response.read()
         except (http.client.RemoteDisconnected, BrokenPipeError, ConnectionResetError):
@@ -207,7 +227,7 @@ class ServiceClient:
             # idempotent (deterministic verdicts, fingerprint dedup).
             self.close()
             connection = self._connect()
-            connection.request(method, path, body=body, headers=self._headers(body is not None))
+            connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             raw = response.read()
         if not self._keep_alive or response.will_close:
@@ -239,13 +259,21 @@ class ServiceClient:
         draw = (rng or random).random()
         return delay * (1 - self._jitter * draw)
 
-    def request(self, method: str, path: str, payload: Any = None) -> Any:
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Any:
         """Issue one API call (path relative to ``/v1``), with shed retries.
 
         Returns the decoded JSON body on 2xx; raises :class:`ServiceError`
         otherwise.  429/503 responses are retried up to ``retries`` times
         with exponential backoff (jittered, floored by the server's
         ``Retry-After``), all within the total ``retry_deadline`` budget.
+        ``headers`` adds per-call headers (e.g. the keyspace protocol's
+        ``If-Match`` preconditions) on top of the standard set.
         """
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         url = self._prefix + path
@@ -254,7 +282,7 @@ class ServiceClient:
         )
         attempt = 0
         while True:
-            status, decoded, response = self._once(method, url, body)
+            status, decoded, response = self._once(method, url, body, headers)
             if status < 400:
                 return decoded
             if status in RETRYABLE_STATUSES and attempt < self._retries:
@@ -268,6 +296,14 @@ class ServiceClient:
             raise ServiceError(method, f"http://{self._host}:{self._port}{url}", status, decoded)
 
     # -- the API surface ---------------------------------------------------------
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    def discovery(self) -> Dict[str, Any]:
+        """``GET /v1/``: API version, node role, schema version, routes."""
+        return self.request("GET", "/")
 
     def healthz(self) -> Dict[str, Any]:
         return self.request("GET", "/healthz")
@@ -330,3 +366,180 @@ def post_jobs(
     """
     with ServiceClient(base_url, auth_token=auth_token, timeout=timeout) as client:
         return client.submit_batch(jobs, wait=wait, include_fingerprints=include_fingerprints)
+
+
+class HTTPBackend:
+    """The networked keyspace: :class:`StoreBackend` over the wire protocol.
+
+    Implements the exact contract of
+    :class:`~repro.service.backends.StoreBackend` by translating each
+    keyspace operation to one HTTP call against a ``repro store serve``
+    endpoint (see ``docs/keyspace-protocol.md``), so a
+    :class:`~repro.service.store.ResultStore` -- and therefore a whole
+    ``repro serve`` runner -- can sit on a remote shared verdict cache with
+    no store-layer changes.
+
+    Multi-writer semantics: plain :meth:`put` is last-write-wins (safe for
+    verdicts, which are deterministic per fingerprint);
+    :meth:`put_if_absent` maps to ``If-Match: *`` and
+    :meth:`compare_and_put` to ``If-Match: <created_at>``, both surfacing
+    the server's ``412 precondition-failed`` as a False return.  On first
+    contact the backend reads the server's discovery document and refuses a
+    keyspace whose row schema is *newer* than this build's
+    (:data:`~repro.service.backends.ROW_SCHEMA_VERSION`), mirroring the
+    SQLite backend's future-schema refusal.
+
+    One lock serializes calls: the underlying keep-alive connection is not
+    thread-safe, and backends are promised to be.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        token: Optional[str] = None,
+        timeout: float = 30.0,
+        retries: int = DEFAULT_RETRIES,
+    ) -> None:
+        self._base_url = base_url.rstrip("/")
+        self._client = ServiceClient(
+            self._base_url,
+            auth_token=token,
+            timeout=timeout,
+            retries=retries,
+            retry_deadline=max(timeout, 1.0),
+        )
+        self._lock = threading.RLock()
+        self._schema_version: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        # The URL already names the scheme, unlike sqlite's bare path.
+        return self._base_url
+
+    @property
+    def schema_version(self) -> int:
+        with self._lock:
+            self._check_schema()
+            assert self._schema_version is not None
+            return self._schema_version
+
+    def _check_schema(self) -> None:
+        """First-contact handshake: refuse a newer-schema server (cached)."""
+        if self._schema_version is not None:
+            return
+        try:
+            document = self._client.discovery()
+        except ServiceError as error:
+            raise StoreError(
+                f"keyspace server at {self._base_url} refused discovery: {error}"
+            ) from error
+        remote = document.get("store", {}).get("schema_version")
+        if not isinstance(remote, int):
+            raise StoreError(
+                f"keyspace server at {self._base_url} did not advertise a "
+                "store schema version; not a repro keyspace endpoint?"
+            )
+        if remote > ROW_SCHEMA_VERSION:
+            raise StoreError(
+                f"keyspace server at {self._base_url} has row schema version "
+                f"{remote}, newer than this build's {ROW_SCHEMA_VERSION}; "
+                "refusing to touch it"
+            )
+        self._schema_version = remote
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Any:
+        with self._lock:
+            self._check_schema()
+            try:
+                return self._client.request(method, path, payload, headers=headers)
+            except ServiceError:
+                raise
+            except OSError as error:
+                raise StoreError(
+                    f"keyspace server at {self._base_url} unreachable: {error}"
+                ) from error
+
+    @staticmethod
+    def _normalize(row: Mapping[str, Any]) -> Dict[str, Any]:
+        # The wire carries full-shape rows so every backend behind the
+        # server returns the same field set (the SQLite column behaviour).
+        return {field: row.get(field, ROW_DEFAULTS.get(field)) for field in ROW_FIELDS}
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self._call("GET", f"/keys/{key}")["row"]
+        except ServiceError as error:
+            if error.status == 404:
+                return None
+            raise StoreError(f"keyspace get({key!r}) failed: {error}") from error
+
+    def put(self, key: str, row: Mapping[str, Any]) -> None:
+        try:
+            self._call("PUT", f"/keys/{key}", self._normalize(row))
+        except ServiceError as error:
+            raise StoreError(f"keyspace put({key!r}) failed: {error}") from error
+
+    def put_if_absent(self, key: str, row: Mapping[str, Any]) -> bool:
+        try:
+            self._call(
+                "PUT", f"/keys/{key}", self._normalize(row), headers={"If-Match": "*"}
+            )
+            return True
+        except ServiceError as error:
+            if error.status == 412:
+                return False
+            raise StoreError(f"keyspace put_if_absent({key!r}) failed: {error}") from error
+
+    def compare_and_put(
+        self, key: str, row: Mapping[str, Any], expected_created_at: float
+    ) -> bool:
+        try:
+            self._call(
+                "PUT",
+                f"/keys/{key}",
+                self._normalize(row),
+                headers={"If-Match": repr(float(expected_created_at))},
+            )
+            return True
+        except ServiceError as error:
+            if error.status == 412:
+                return False
+            raise StoreError(f"keyspace compare_and_put({key!r}) failed: {error}") from error
+
+    def delete(self, key: str) -> bool:
+        try:
+            return bool(self._call("DELETE", f"/keys/{key}")["deleted"])
+        except ServiceError as error:
+            raise StoreError(f"keyspace delete({key!r}) failed: {error}") from error
+
+    def keys(self) -> List[str]:
+        return list(self._call("GET", "/keys")["keys"])
+
+    def count(self) -> int:
+        return int(self._call("GET", "/count")["count"])
+
+    def clear(self) -> int:
+        return int(self._call("POST", "/clear")["removed"])
+
+    def oldest_keys(self, limit: int) -> List[str]:
+        return list(self._call("GET", f"/scan/oldest?limit={int(limit)}")["keys"])
+
+    def expired_keys(self, cutoff: float) -> List[str]:
+        quoted = urllib.parse.quote(repr(float(cutoff)))
+        return list(self._call("GET", f"/scan/expired?cutoff={quoted}")["keys"])
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        yield from self._call("GET", "/rows")["rows"]
+
+    def checkpoint(self) -> None:
+        self._call("POST", "/checkpoint")
+
+    def close(self) -> None:
+        with self._lock:
+            self._client.close()

@@ -46,6 +46,10 @@ JOB_ERROR_CODES = {
     "spec-error": "the job spec could not be rebuilt into a runnable job (not retryable)",
     "engine-error": "the engine raised while deciding the job (not retryable)",
     "runner-error": "the batch runner itself failed before producing results (not retryable)",
+    "runner-unavailable": (
+        "the coordinator could not reach any runner for the job's shard; "
+        "the job was not executed (retryable at the client once a runner returns)"
+    ),
 }
 
 #: Error codes the default :class:`~repro.service.runner.RetryPolicy`
@@ -190,6 +194,33 @@ class JobResult:
             "created_at": self.created_at,
             "has_trace": self.trace is not None,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobResult":
+        """Rebuild a result from its :meth:`as_dict` wire form.
+
+        The coordinator uses this to reconstitute results forwarded by
+        runner nodes.  ``has_trace`` is presentation-only (traces travel via
+        their own endpoint) and drops away; unknown keys are ignored so a
+        newer runner can answer an older coordinator.
+        """
+        nonempty = payload.get("nonempty")
+        return cls(
+            fingerprint=payload["fingerprint"],
+            label=payload.get("label", ""),
+            nonempty=bool(nonempty) if nonempty is not None else None,
+            exhausted=bool(payload.get("exhausted", False)),
+            statistics=dict(payload.get("statistics") or {}),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            error=payload.get("error"),
+            error_code=payload.get("error_code"),
+            attempts=int(payload.get("attempts", 1)),
+            cached=bool(payload.get("cached", False)),
+            witness_size=payload.get("witness_size"),
+            run_length=payload.get("run_length"),
+            wall_seconds=payload.get("wall_seconds"),
+            created_at=payload.get("created_at"),
+        )
 
 
 class JobTimeout(Exception):

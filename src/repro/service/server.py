@@ -97,7 +97,7 @@ from repro import telemetry
 from repro.errors import ReproError
 from repro.service.jobs import JobResult, VerificationJob
 from repro.service.runner import DEFAULT_GRACE_SECONDS, BatchReport, BatchRunner, RetryPolicy
-from repro.service.store import ResultStore
+from repro.service.store import DEFAULT_CLAIM_TTL_SECONDS, ResultStore
 
 _log = telemetry.get_logger("serve")
 
@@ -134,6 +134,10 @@ LATENCY_WINDOW = 2048
 #: The one API version this server speaks.
 API_VERSION = "v1"
 
+#: How often a node polls the shared keyspace for a verdict another node
+#: is computing (the cluster analogue of an in-flight future await).
+CLUSTER_POLL_SECONDS = 0.05
+
 #: Machine error codes of the unified error envelope
 #: ``{"error": {"code", "message", "detail"}}``, and when each is returned.
 ERROR_CODES: Dict[str, str] = {
@@ -154,7 +158,24 @@ ERROR_CODES: Dict[str, str] = {
         "retry against another instance after Retry-After seconds"
     ),
     "internal": "500: unexpected server-side failure",
+    "runner-unavailable": (
+        "502: the coordinator could not reach any runner for a job's shard; "
+        "the job was not executed"
+    ),
 }
+
+#: Routes of the job-serving API, advertised by ``GET /v1/`` discovery.
+SERVICE_ROUTES = (
+    "GET /",
+    "GET /healthz",
+    "GET /stats",
+    "GET /metrics",
+    "POST /jobs",
+    "GET /jobs/{fingerprint}",
+    "GET /jobs/{fingerprint}/trace",
+    "GET /batch/{id}",
+    "GET /batch/{id}/events",
+)
 
 
 class ApiError(Exception):
@@ -232,6 +253,18 @@ SERVICE_COUNTERS: Dict[str, Tuple[str, str]] = {
     "drain_rejected": (
         "repro_drain_rejected_total",
         "Work-bearing requests refused because the server was draining.",
+    ),
+    "cluster_joins": (
+        "repro_cluster_joins_total",
+        "Jobs served from another node's execution via the shared keyspace.",
+    ),
+    "forwarded": (
+        "repro_jobs_forwarded_total",
+        "Jobs forwarded to runner nodes by the coordinator.",
+    ),
+    "runner_failovers": (
+        "repro_runner_failovers_total",
+        "Job groups rerouted to a surviving runner after a runner failure.",
     ),
 }
 
@@ -434,7 +467,24 @@ class VerificationService:
         Artificial pre-execution delay in seconds.  A test/benchmark aid:
         it widens the in-flight window so concurrent duplicate submissions
         demonstrably share one execution.
+    cluster_dedup:
+        Extend the in-flight dedup domain fleet-wide through the store's
+        claim rows (see :meth:`ResultStore.try_claim`), so concurrent
+        identical submissions to *different* nodes sharing one keyspace
+        still execute once.  ``None`` (default) auto-enables it exactly
+        when the store is a shared remote keyspace; claims are pointless
+        on a process-private store.
+    node_id:
+        Name this node signs its cluster claims with; defaults to a random
+        tag.  Surfaced in discovery so operators can map claims to nodes.
+    claim_ttl:
+        Seconds a cluster claim blocks duplicate execution before other
+        nodes may take it over (the damage bound of a node dying mid-job).
     """
+
+    #: What this node answers for ``role`` in discovery; the coordinator
+    #: subclass overrides it.
+    role = "single"
 
     def __init__(
         self,
@@ -450,6 +500,9 @@ class VerificationService:
         retry_policy: Optional[RetryPolicy] = None,
         grace_seconds: float = DEFAULT_GRACE_SECONDS,
         execute_delay: float = 0.0,
+        cluster_dedup: Optional[bool] = None,
+        node_id: Optional[str] = None,
+        claim_ttl: float = DEFAULT_CLAIM_TTL_SECONDS,
     ) -> None:
         if max_pending is not None and max_pending < 0:
             raise ValueError("max_pending must be >= 0 (or None to disable shedding)")
@@ -457,6 +510,11 @@ class VerificationService:
             raise ValueError("max_connections must be >= 1")
         self._store = store
         self._workers = workers
+        if cluster_dedup is None:
+            cluster_dedup = store is not None and store.is_shared
+        self._cluster_dedup = bool(cluster_dedup) and store is not None
+        self._node_id = node_id or f"node-{uuid.uuid4().hex[:8]}"
+        self._claim_ttl = claim_ttl
         # The runner carries the store so settle() can delegate write-back to
         # BatchRunner.record (bounded retries + non-cacheable error rows);
         # the server itself only calls execute_indexed, which never touches
@@ -789,6 +847,7 @@ class VerificationService:
             "store_hits": 0,
             "inflight_joins": 0,
             "batch_dedup": 0,
+            "cluster_joins": 0,
         }
         slots: List[Optional[Tuple[JobResult, str]]] = [None] * len(jobs)
         joins: List[Tuple[int, asyncio.Future, str]] = []
@@ -862,6 +921,20 @@ class VerificationService:
                     future.set_result(result)
                 job_done(index, result, "engine")
 
+            def settle_cluster(local_index: int, result: JobResult) -> None:
+                # Another node sharing the keyspace executed the job; the
+                # verdict arrived through the store, not the local engine.
+                index, job, future = fresh[local_index]
+                if job.label and job.label != result.label:
+                    result = dataclasses.replace(result, label=job.label)
+                counters["cluster_joins"] += 1
+                self.stats.cluster_joins += 1
+                self._executing_jobs -= 1
+                self._inflight.pop(job.fingerprint, None)
+                if not future.done():
+                    future.set_result(result)
+                job_done(index, result, "cluster")
+
             def settle_failure(exc: BaseException) -> None:
                 for local_index, (index, job, future) in enumerate(fresh):
                     if future.done():
@@ -889,8 +962,17 @@ class VerificationService:
                     time.sleep(self._execute_delay)
                 try:
                     with telemetry.log_context(**log_fields):
-                        for local_index, result in self._runner.execute_indexed(fresh_jobs):
-                            loop.call_soon_threadsafe(settle, local_index, result)
+                        local, remote = self._claim_fresh(fresh_jobs)
+                        if local:
+                            group = [fresh_jobs[i] for i in local]
+                            for group_index, result in self._execute_fresh(group):
+                                loop.call_soon_threadsafe(settle, local[group_index], result)
+                        for local_index, result, executed in self._await_cluster(
+                            remote, fresh_jobs
+                        ):
+                            loop.call_soon_threadsafe(
+                                settle if executed else settle_cluster, local_index, result
+                            )
                 except BaseException as exc:  # noqa: BLE001 - becomes errored results
                     loop.call_soon_threadsafe(settle_failure, exc)
 
@@ -908,6 +990,94 @@ class VerificationService:
 
         assert all(slot is not None for slot in slots)
         return [slot for slot in slots if slot is not None], counters
+
+    # -- fresh-execution hooks (executor-thread side) ----------------------------
+
+    def _execute_fresh(self, jobs: List[VerificationJob]):
+        """Execute jobs missed by every cache layer; yields ``(index, result)``.
+
+        Runs on an executor thread, streaming results as they complete.
+        This is the override point for alternative execution backends: the
+        base class runs the local engine pool, the coordinator forwards
+        fingerprint shards to runner nodes.
+        """
+        return self._runner.execute_indexed(jobs)
+
+    def _claim_fresh(
+        self, jobs: List[VerificationJob]
+    ) -> Tuple[List[int], Dict[int, VerificationJob]]:
+        """Partition fresh jobs into locally-claimed and remotely-executing.
+
+        With cluster dedup off, everything is local.  Otherwise each job's
+        fingerprint is claimed in the shared keyspace; jobs whose claim is
+        held by another node go to the remote-wait set.  Traced submissions
+        always execute locally (the remote executor may store an untraced
+        verdict, which a traced run must not accept), and a failing claim
+        layer degrades to local execution rather than blocking work.
+        """
+        if not self._cluster_dedup or self._store is None:
+            return list(range(len(jobs))), {}
+        local: List[int] = []
+        remote: Dict[int, VerificationJob] = {}
+        for index, job in enumerate(jobs):
+            if job.trace:
+                local.append(index)
+                continue
+            try:
+                won = self._store.try_claim(
+                    job, owner=self._node_id, ttl_seconds=self._claim_ttl
+                )
+            except Exception as exc:  # noqa: BLE001 - claims are best-effort
+                _log.warning(
+                    "cluster claim failed; executing locally",
+                    extra={"fingerprint": job.fingerprint[:12], "error": str(exc)},
+                )
+                won = True
+            if won:
+                local.append(index)
+            else:
+                remote[index] = job
+        return local, remote
+
+    def _await_cluster(
+        self, remote: Dict[int, VerificationJob], jobs: List[VerificationJob]
+    ):
+        """Wait out jobs another node claimed; yields ``(index, result, executed)``.
+
+        Polls the shared store until each remote verdict lands (``executed``
+        False) or the foreign claim expires -- a node died mid-job -- at
+        which point the claim is taken over and the job runs locally after
+        all (``executed`` True).  Termination is bounded by the claim TTL
+        plus one local execution; a dead keyspace also falls back to local
+        execution.
+        """
+        waiting = dict(remote)
+        while waiting:
+            for index, job in sorted(waiting.items()):
+                run_local = False
+                try:
+                    cached = self._store.get(job.fingerprint)
+                except Exception:  # noqa: BLE001 - keyspace down: run it here
+                    cached = None
+                    run_local = True
+                if cached is not None:
+                    cached.label = cached.label or job.label
+                    del waiting[index]
+                    yield index, cached, False
+                    continue
+                if not run_local:
+                    try:
+                        run_local = self._store.try_claim(
+                            job, owner=self._node_id, ttl_seconds=self._claim_ttl
+                        )
+                    except Exception:  # noqa: BLE001
+                        run_local = True
+                if run_local:
+                    del waiting[index]
+                    for _, result in self._execute_fresh([job]):
+                        yield index, result, True
+            if waiting:
+                time.sleep(CLUSTER_POLL_SECONDS)
 
     async def run_batch(self, record: BatchRecord, jobs: List[VerificationJob]) -> Dict[str, Any]:
         """Resolve a batch, emitting progress events and the final report.
@@ -928,6 +1098,7 @@ class VerificationService:
                         "store_hits": 0,
                         "inflight_joins": 0,
                         "batch_dedup": 0,
+                        "cluster_joins": 0,
                         "elapsed_seconds": 0.0,
                         "verdict_counts": {},
                         "results": [],
@@ -957,6 +1128,7 @@ class VerificationService:
             "store_hits": counters["store_hits"],
             "inflight_joins": counters["inflight_joins"],
             "batch_dedup": counters["batch_dedup"],
+            "cluster_joins": counters["cluster_joins"],
             "elapsed_seconds": round(report.elapsed_seconds, 6),
             "verdict_counts": report.verdict_counts(),
             "results": [
@@ -1308,7 +1480,10 @@ class VerificationService:
     def _route(self, request: Request, rest: str):
         """Resolve ``(label, handler)`` for a version-stripped path."""
         method = request.method
-        if rest == "/healthz":
+        if rest == "/":
+            if method == "GET":
+                return "discovery", self._handle_discovery
+        elif rest == "/healthz":
             if method == "GET":
                 return "healthz", self._handle_healthz
         elif rest == "/stats":
@@ -1337,7 +1512,7 @@ class VerificationService:
                 f"unknown path {request.path}",
                 detail=f"endpoints live under /{API_VERSION}: jobs, jobs/{{fingerprint}}, "
                 "jobs/{fingerprint}/trace, batch/{id}, batch/{id}/events, "
-                "healthz, stats, metrics",
+                f"healthz, stats, metrics; GET /{API_VERSION}/ lists them all",
             )
         raise ApiError(405, "method-not-allowed", f"{method} not supported on {request.path}")
 
@@ -1345,10 +1520,12 @@ class VerificationService:
         """Enforce the shared-secret token, when one is configured.
 
         ``/v1/healthz`` (and its legacy alias) stays open so liveness
-        probes need no secret.  Missing credentials are 401; present but
-        wrong credentials are 403.  Comparison is constant-time.
+        probes need no secret, and ``GET /v1/`` discovery stays open
+        because it is API documentation, not data.  Missing credentials
+        are 401; present but wrong credentials are 403.  Comparison is
+        constant-time.
         """
-        if self._auth_token is None or rest == "/healthz":
+        if self._auth_token is None or rest in ("/healthz", "/"):
             return
         supplied: Optional[str] = None
         authorization = request.headers.get("authorization")
@@ -1373,6 +1550,39 @@ class VerificationService:
 
     # -- endpoint handlers -------------------------------------------------------
 
+    def _discovery_document(self) -> Dict[str, Any]:
+        """The ``GET /v1/`` body: who this node is and how to talk to it.
+
+        Role, API version, store schema version, the route list and the
+        full error-code catalogue in one machine-readable place; the
+        coordinator subclass extends it with the runner fleet.
+        """
+        from repro import __version__  # deferred: repro imports this package
+        from repro.service.backends import ROW_SCHEMA_VERSION
+
+        return {
+            "service": "repro",
+            "version": __version__,
+            "api_version": API_VERSION,
+            "role": self.role,
+            "node_id": self._node_id,
+            "store": {
+                "backend": self._store.backend.name if self._store is not None else None,
+                "schema_version": ROW_SCHEMA_VERSION,
+                "shared": self._store.is_shared if self._store is not None else False,
+                "cluster_dedup": self._cluster_dedup,
+            },
+            "routes": list(SERVICE_ROUTES),
+            "error_codes": dict(ERROR_CODES),
+        }
+
+    async def _handle_discovery(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> None:
+        await self._send_json(
+            writer, 200, self._discovery_document(), headers=extra, keep_alive=keep
+        )
+
     async def _handle_healthz(
         self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
     ) -> None:
@@ -1385,6 +1595,7 @@ class VerificationService:
                 "status": "draining" if self._draining else "ok",
                 "version": __version__,
                 "api_version": API_VERSION,
+                "role": self.role,
                 "workers": self._workers,
                 "store": self._store.path if self._store is not None else None,
                 "inflight": len(self._inflight),
@@ -1397,6 +1608,8 @@ class VerificationService:
     def _stats_payload(self) -> Dict[str, Any]:
         return {
             **self.stats.as_dict(),
+            "role": self.role,
+            "node_id": self._node_id,
             "inflight": len(self._inflight),
             # Raw backend count: len(store) would run a TTL purge scan
             # per poll, too heavy for a monitoring endpoint.
@@ -1706,8 +1919,14 @@ def run_server(
     execute_delay: float = 0.0,
     log_level: Optional[str] = None,
     log_json: bool = False,
+    service: Optional[VerificationService] = None,
 ) -> int:
     """Run the service until interrupted (the ``repro serve`` entry point).
+
+    ``service`` injects a pre-built service instance -- how the CLI runs a
+    :class:`~repro.service.coordinator.CoordinatorService` under the same
+    signal handling, drain sequence and port-file plumbing; the other
+    service-construction parameters are then ignored.
 
     With ``port=0`` the OS picks a free port; the bound port is printed and,
     when ``port_file`` is given, written there so scripts (the CI smoke job)
@@ -1725,16 +1944,17 @@ def run_server(
     """
     if log_level is not None or log_json:
         telemetry.configure_logging(level=log_level or "info", json_lines=log_json)
-    service = VerificationService(
-        store=store,
-        workers=workers,
-        timeout_seconds=timeout_seconds,
-        auth_token=auth_token,
-        max_pending=max_pending,
-        max_connections=max_connections,
-        retry_policy=retry_policy,
-        execute_delay=execute_delay,
-    )
+    if service is None:
+        service = VerificationService(
+            store=store,
+            workers=workers,
+            timeout_seconds=timeout_seconds,
+            auth_token=auth_token,
+            max_pending=max_pending,
+            max_connections=max_connections,
+            retry_policy=retry_policy,
+            execute_delay=execute_delay,
+        )
 
     async def _serve() -> int:
         loop = asyncio.get_running_loop()

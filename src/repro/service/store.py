@@ -35,11 +35,24 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro import faults
-from repro.service.backends import MemoryBackend, SQLiteBackend, StoreBackend
+from repro.service.backends import (
+    MemoryBackend,
+    SQLiteBackend,
+    StoreBackend,
+    backend_from_url,
+)
 from repro.service.jobs import JobResult, VerificationJob
 
 #: How long a transient-failure row stays visible before it lazily expires.
 DEFAULT_ERROR_TTL_SECONDS = 300.0
+
+#: Error code of a fleet-wide in-flight claim row (see ``try_claim``).
+CLAIM_ERROR_CODE = "in-flight"
+
+#: How long a claim row blocks duplicate execution before a dead claimer's
+#: claim can be taken over.  Bounds the damage of a node crashing mid-job:
+#: other nodes re-execute after at most this long.
+DEFAULT_CLAIM_TTL_SECONDS = 120.0
 
 
 class StoreStats:
@@ -114,6 +127,29 @@ class ResultStore:
     ) -> "ResultStore":
         """A store over the dictionary backend (no SQLite, no persistence)."""
         return cls(backend=MemoryBackend(), ttl_seconds=ttl_seconds, max_entries=max_entries)
+
+    @classmethod
+    def from_url(
+        cls,
+        spec: Union[str, Path],
+        *,
+        ttl_seconds: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        token: Optional[str] = None,
+    ) -> "ResultStore":
+        """A store over whatever backend the URL-style ``spec`` names.
+
+        ``memory:``, ``sqlite:PATH``, ``http://HOST:PORT`` (a ``repro store
+        serve`` keyspace, reached through
+        :class:`~repro.service.client.HTTPBackend` with ``token`` attached)
+        or a bare SQLite path -- the one addressing scheme every CLI
+        ``--store`` flag accepts.
+        """
+        return cls(
+            backend=backend_from_url(spec, token=token),
+            ttl_seconds=ttl_seconds,
+            max_entries=max_entries,
+        )
 
     @property
     def path(self) -> str:
@@ -257,6 +293,97 @@ class ResultStore:
         )
         self.stats.error_puts += 1
         self._evict_excess()
+
+    # -- fleet-wide in-flight claims ----------------------------------------------
+
+    @property
+    def is_shared(self) -> bool:
+        """True when the backend is a remote keyspace other nodes also use."""
+        return str(self._backend.name).startswith(("http://", "https://"))
+
+    def _claim_row(self, job: VerificationJob, owner: str, ttl_seconds: float) -> Dict[str, Any]:
+        now = time.time()
+        return {
+            "fingerprint": job.fingerprint,
+            "created_at": now,
+            "label": job.label,
+            "nonempty": 0,
+            "exhausted": 0,
+            "elapsed_seconds": 0.0,
+            "witness_size": None,
+            "run_length": None,
+            "statistics": "{}",
+            "job_spec": job.canonical_json(),
+            "wall_seconds": None,
+            "trace": None,
+            "error": owner,
+            "error_code": CLAIM_ERROR_CODE,
+            "cacheable": 0,
+            "expires_at": now + ttl_seconds,
+        }
+
+    def try_claim(
+        self,
+        job: VerificationJob,
+        owner: str = "",
+        ttl_seconds: float = DEFAULT_CLAIM_TTL_SECONDS,
+    ) -> bool:
+        """Atomically claim ``job``'s fingerprint for execution fleet-wide.
+
+        The claim is a short-lived non-cacheable row (``error_code
+        "in-flight"``, ``error`` = ``owner``): invisible to the warm path,
+        but its presence tells every other node sharing the backend that the
+        fingerprint is already being executed.  Returns True when this call
+        won the claim (caller executes, then ``put`` overwrites the claim
+        with the verdict); False when a live verdict or another node's live
+        claim exists (caller polls ``get`` instead of executing).
+
+        Dead claimers cannot wedge the fleet: an expired claim -- or any
+        expired row, e.g. an old transient-failure record -- is taken over
+        via compare-and-put, keyed on the ``created_at`` we just read so two
+        takeover racers cannot both win.
+        """
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        row = self._claim_row(job, owner, ttl_seconds)
+        if self._backend.put_if_absent(job.fingerprint, row):
+            return True
+        current = self._backend.get(job.fingerprint)
+        if current is None:
+            # The competing row vanished between the two calls (expired and
+            # reaped, or deleted); one more absent-insert decides it.
+            return self._backend.put_if_absent(job.fingerprint, row)
+        now = time.time()
+        expires_at = current.get("expires_at")
+        expired = expires_at is not None and now > expires_at
+        if not expired and self._ttl_seconds is not None:
+            expired = current["created_at"] < now - self._ttl_seconds
+        if expired or (
+            not current.get("cacheable", 1)
+            and current.get("error_code") != CLAIM_ERROR_CODE
+        ):
+            # Stale row, or a live transient-failure record (which a
+            # resubmission is allowed to overwrite by re-executing).
+            return self._backend.compare_and_put(
+                job.fingerprint, row, current["created_at"]
+            )
+        return False
+
+    def release_claim(self, fingerprint: str, owner: str = "") -> bool:
+        """Drop ``owner``'s claim without writing a verdict (failure paths).
+
+        Only removes a row that still *is* this owner's claim; a verdict or
+        another node's claim written since is left untouched.
+        """
+        current = self._backend.get(fingerprint)
+        if (
+            current is not None
+            and not current.get("cacheable", 1)
+            and current.get("error_code") == CLAIM_ERROR_CODE
+            and current.get("error") == owner
+        ):
+            return self._backend.delete(fingerprint)
+        return False
 
     def _evict_excess(self) -> None:
         if self._max_entries is None:

@@ -91,7 +91,14 @@ class TestMissingKeysAreHardFailures:
 
 
 def _service_record(
-    path, keepalive=500.0, close=450.0, load_test=..., retry_overhead=1.0, fault_tolerance=...
+    path,
+    keepalive=500.0,
+    close=450.0,
+    load_test=...,
+    retry_overhead=1.0,
+    fault_tolerance=...,
+    cluster_jps=25.0,
+    cluster=...,
 ):
     if load_test is ...:
         load_test = {
@@ -100,9 +107,18 @@ def _service_record(
         }
     if fault_tolerance is ...:
         fault_tolerance = {"retry_overhead_percent": retry_overhead}
+    if cluster is ...:
+        cluster = {
+            "warm_throughput_jps": cluster_jps,
+            "verdicts_match_serial": True,
+        }
     payload = {
         "mode": "full",
-        "service": {"load_test": load_test, "fault_tolerance": fault_tolerance},
+        "service": {
+            "load_test": load_test,
+            "fault_tolerance": fault_tolerance,
+            "cluster": cluster,
+        },
     }
     path.write_text(json.dumps(payload))
     return path
@@ -160,6 +176,29 @@ class TestServiceGuard:
         assert check_regression.check_service(baseline, current) == 2
         err = capsys.readouterr().err
         assert "GUARD FAILURE" in err and "fault_tolerance" in err
+
+    def test_fails_when_cluster_throughput_collapses(self, tmp_path, capsys):
+        baseline = _service_record(tmp_path / "b.json", cluster_jps=100.0)
+        current = _service_record(tmp_path / "c.json", cluster_jps=1.0)
+        assert check_regression.check_service(baseline, current) == 1
+        assert "warm-serve" in capsys.readouterr().err
+
+    def test_missing_cluster_is_hard_failure(self, tmp_path, capsys):
+        baseline = _service_record(tmp_path / "b.json")
+        current = _service_record(tmp_path / "c.json", cluster=None)
+        assert check_regression.check_service(baseline, current) == 2
+        err = capsys.readouterr().err
+        assert "GUARD FAILURE" in err and "cluster" in err
+
+    def test_cluster_without_verdict_parity_is_hard_failure(self, tmp_path, capsys):
+        baseline = _service_record(tmp_path / "b.json")
+        current = _service_record(
+            tmp_path / "c.json",
+            cluster={"warm_throughput_jps": 50.0, "verdicts_match_serial": False},
+        )
+        assert check_regression.check_service(baseline, current) == 2
+        err = capsys.readouterr().err
+        assert "GUARD FAILURE" in err and "parity" in err
 
     def test_main_kind_service(self, tmp_path):
         baseline = _service_record(tmp_path / "b.json")

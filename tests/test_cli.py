@@ -208,3 +208,75 @@ class TestTrace:
         assert "no stored verdict" in capsys.readouterr().err
         assert main(["trace", fingerprint, "--db", db]) == 2
         assert "--trace" in capsys.readouterr().err
+
+
+class TestStoreUrls:
+    """URL-style `--store` addressing, shared by batch / serve / store / trace."""
+
+    def test_batch_accepts_sqlite_url(self, tmp_path, capsys):
+        db = tmp_path / "url.sqlite"
+        assert main(["batch", "--count", "2", "--seed", "1", "--store", f"sqlite:{db}"]) == 0
+        assert db.is_file()
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", f"sqlite:{db}"]) == 0
+        assert "2 results" in capsys.readouterr().out
+
+    def test_store_db_flag_is_deprecated_alias(self, tmp_path, capsys):
+        db = str(tmp_path / "alias.sqlite")
+        assert main(["batch", "--count", "2", "--seed", "1", "--store", db]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--db", db]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "2 results" in captured.out
+        # --store wins when both are given, and stays silent.
+        assert main(["store", "stats", "--store", db, "--db", "ignored"]) == 0
+        assert "deprecated" not in capsys.readouterr().err
+
+    def test_store_and_trace_against_remote_keyspace(self, capsys):
+        from repro.service import KeyspaceServerThread
+
+        with KeyspaceServerThread() as keyspace:
+            assert (
+                main(
+                    [
+                        "batch", "--count", "2", "--seed", "1",
+                        "--trace", "--store", keyspace.base_url,
+                    ]
+                )
+                == 0
+            )
+            capsys.readouterr()
+            assert main(["store", "stats", "--store", keyspace.base_url]) == 0
+            assert "2 results" in capsys.readouterr().out
+            from repro.service.client import HTTPBackend
+
+            backend = HTTPBackend(keyspace.base_url)
+            fingerprint = backend.keys()[0]
+            backend.close()
+            assert main(["trace", fingerprint, "--store", keyspace.base_url]) == 0
+            assert "traceEvents" in capsys.readouterr().out
+
+    def test_store_actions_require_a_spec(self, capsys):
+        assert main(["store", "stats"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_store_serve_rejects_bad_policy(self, capsys):
+        assert main(["store", "serve", "--ttl", "-1", "--port", "0"]) == 2
+        assert "ttl" in capsys.readouterr().err.lower()
+
+
+class TestServeRoles:
+    def test_coordinator_requires_runners(self, capsys):
+        assert main(["serve", "--role", "coordinator", "--port", "0"]) == 2
+        assert "--runner" in capsys.readouterr().err
+
+    def test_runner_flag_requires_coordinator_role(self, capsys):
+        assert (
+            main(["serve", "--runner", "http://127.0.0.1:1", "--port", "0"]) == 2
+        )
+        assert "coordinator" in capsys.readouterr().err
+
+    def test_role_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--role", "supervisor"])

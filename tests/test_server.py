@@ -32,7 +32,8 @@ from repro.telemetry import (
     parse_exposition,
     validate_exposition,
 )
-from repro.workloads import generate_jobs, jobs_to_wire, post_jobs
+from repro.service.client import jobs_to_wire, post_jobs
+from repro.workloads import generate_jobs
 
 
 def _request(base_url, path, data=None, method=None):
