@@ -19,7 +19,7 @@ def test_e1_example1_all_databases(benchmark):
     solver = EmptinessSolver(AllDatabasesTheory(COLORED_GRAPH_SCHEMA))
     result = run_once(benchmark, solver.check, system)
     assert result.nonempty
-    benchmark.extra_info["witness_size"] = result.witness_database.size
+    benchmark.extra_info["witness_size"] = result.run.database.size
     benchmark.extra_info["configurations"] = result.statistics.configurations_explored
 
 

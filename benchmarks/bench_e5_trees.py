@@ -60,14 +60,14 @@ def test_e5_descendant_query(benchmark, automaton_name, builder):
                       descendant_system())
     assert result.nonempty
     benchmark.extra_info["automaton"] = automaton_name
-    benchmark.extra_info["witness_size"] = result.witness_database.size
+    benchmark.extra_info["witness_size"] = result.run.database.size
 
 
 def test_e5_cca_query_universal(benchmark):
     automaton = universal_automaton(["a", "b"])
     result = run_once(benchmark, EmptinessSolver(TreeRunTheory(automaton)).check, cca_system())
     assert result.nonempty
-    benchmark.extra_info["witness_size"] = result.witness_database.size
+    benchmark.extra_info["witness_size"] = result.run.database.size
 
 
 def test_e5_caterpillar_walk(benchmark):
@@ -79,7 +79,7 @@ def test_e5_caterpillar_walk(benchmark):
     result = run_once(benchmark, EmptinessSolver(TreeRunTheory(caterpillar_automaton())).check,
                       system)
     assert result.nonempty
-    benchmark.extra_info["witness_size"] = result.witness_database.size
+    benchmark.extra_info["witness_size"] = result.run.database.size
 
 
 def test_e5_blowup_measurement(benchmark):

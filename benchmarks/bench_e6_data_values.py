@@ -69,4 +69,4 @@ def test_e6_data_trees_theorem9(benchmark):
     theory = with_data_values(TreeRunTheory(automaton), NATURALS_WITH_EQUALITY)
     result = run_once(benchmark, EmptinessSolver(theory).check, system)
     assert result.nonempty
-    benchmark.extra_info["witness_size"] = result.witness_database.size
+    benchmark.extra_info["witness_size"] = result.run.database.size

@@ -10,7 +10,10 @@ Two guarded records, selected with ``--kind``:
       current_speedup < max(min_floor, committed_speedup * tolerance)
 
   for the gated workload (``bench_e2``, the HOM scaling instance the
-  compiled transition plans target).
+  compiled transition plans target).  It also gates the witness-certificate
+  phase: recording certificates on the seeded batch must stay within
+  ``--max-certify-overhead`` percent of the plain run (the design target
+  is <5%; the gate leaves headroom for noisy runners).
 
 * ``service`` gates the HTTP front door's load test in
   ``BENCH_service.json``: keep-alive throughput must not lose to the
@@ -70,6 +73,13 @@ DEFAULT_MIN_RPS_FLOOR = 10.0
 #: shared runners and the smoke load differs from the committed full run.
 DEFAULT_SERVICE_TOLERANCE = 0.1
 
+#: Maximum percent the witness-certificate opt-in may slow the seeded
+#: batch down.  The design target is <5% (pinned by the committed
+#: full-mode record); CI smoke batches finish in fractions of a second on
+#: shared runners, so the gate leaves headroom for scheduling jitter and
+#: only catches certificate recording growing a real per-job cost.
+DEFAULT_MAX_CERTIFY_OVERHEAD_PERCENT = 25.0
+
 #: Maximum percent a clean run may slow down with a retry policy armed.
 #: The design target is <2%; CI smoke batches are tiny (seconds of work on
 #: shared runners), so the gate only catches the policy growing a real
@@ -125,12 +135,38 @@ def _speedup_of(record: dict, record_name: str, workload: str) -> float:
     return speedup
 
 
+def _certify_of(record: dict, record_name: str) -> dict:
+    """The certify section of an engine record, or an explicit failure."""
+    certify = record.get("certify")
+    if not isinstance(certify, dict):
+        raise GuardDataError(
+            f"{record_name} record has no 'certify' entry; it predates the "
+            "witness-certificate phase -- regenerate it with "
+            "benchmarks/run_all.py"
+        )
+    overhead = certify.get("certificate_overhead_percent")
+    if not isinstance(overhead, (int, float)):
+        raise GuardDataError(
+            f"{record_name} record has no usable "
+            f"certificate_overhead_percent (got {overhead!r})"
+        )
+    if not certify.get("nonempty"):
+        raise GuardDataError(
+            f"{record_name} certify phase validated no certificates "
+            f"(nonempty is {certify.get('nonempty')!r}) -- the seeded "
+            "workload must produce nonempty verdicts for the gate to mean "
+            "anything"
+        )
+    return certify
+
+
 def check(
     baseline_path: Path,
     current_path: Path,
     workload: str = "bench_e2",
     tolerance: float = DEFAULT_TOLERANCE,
     min_floor: float = DEFAULT_MIN_FLOOR,
+    max_certify_overhead: float = DEFAULT_MAX_CERTIFY_OVERHEAD_PERCENT,
 ) -> int:
     try:
         baseline = json.loads(baseline_path.read_text())
@@ -145,6 +181,7 @@ def check(
     try:
         committed = _speedup_of(baseline, "baseline", workload)
         fresh = _speedup_of(current, "current", workload)
+        fresh_certify = _certify_of(current, "current")
     except GuardDataError as error:
         print(f"GUARD FAILURE: {error}", file=sys.stderr)
         return 2
@@ -154,6 +191,7 @@ def check(
         f"({baseline.get('mode', '?')} mode), fresh {fresh:.2f}x "
         f"({current.get('mode', '?')} mode), floor {floor:.2f}x"
     )
+    failed = False
     if fresh < floor:
         print(
             f"REGRESSION: {workload} fast-path speedup {fresh:.2f}x dropped "
@@ -161,6 +199,22 @@ def check(
             f"(committed {committed:.2f}x, tolerance {tolerance})",
             file=sys.stderr,
         )
+        failed = True
+    certify_overhead = fresh_certify["certificate_overhead_percent"]
+    print(
+        f"certify: opt-in overhead {certify_overhead:+.1f}% over "
+        f"{fresh_certify['nonempty']} nonempty verdicts "
+        f"(allowed <= {max_certify_overhead:.0f}%)"
+    )
+    if certify_overhead > max_certify_overhead:
+        print(
+            f"REGRESSION: recording witness certificates slows the seeded "
+            f"batch by {certify_overhead:.1f}% "
+            f"(allowed <= {max_certify_overhead:.0f}%)",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
     print("benchmark regression guard passed")
     return 0
@@ -358,6 +412,10 @@ def main(argv=None) -> int:
                         help="fraction of the committed number to require")
     parser.add_argument("--min-floor", type=float, default=DEFAULT_MIN_FLOOR,
                         help="absolute minimum acceptable engine speedup")
+    parser.add_argument("--max-certify-overhead", type=float,
+                        default=DEFAULT_MAX_CERTIFY_OVERHEAD_PERCENT,
+                        help="maximum seeded-batch slowdown percent with "
+                        "certificate recording on (engine)")
     parser.add_argument("--min-rps-floor", type=float, default=DEFAULT_MIN_RPS_FLOOR,
                         help="absolute minimum keep-alive throughput (service)")
     parser.add_argument("--min-ratio", type=float, default=DEFAULT_MIN_KEEPALIVE_RATIO,
@@ -384,7 +442,8 @@ def main(argv=None) -> int:
         )
     tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
     return check(
-        args.baseline, args.current, args.workload, tolerance, args.min_floor
+        args.baseline, args.current, args.workload, tolerance, args.min_floor,
+        args.max_certify_overhead,
     )
 
 

@@ -25,6 +25,10 @@ Three phases, all optional:
   locator for future perf PRs.  A ``telemetry`` section measures the cost
   of opt-in solver tracing (:class:`repro.telemetry.TraceRecorder`) against
   the untraced default, pinning down that instrumentation is pay-as-you-go.
+  A ``certify`` section does the same for opt-in witness certificates
+  (:mod:`repro.certify`): the recording overhead of ``certificate=True``
+  on a seeded batch (budget: <5%) and the cost of the engine-independent
+  validator against re-running the engine on the same nonempty jobs.
 * **service** -- measures the batch verification service
   (:mod:`repro.service`) on a seeded random workload batch
   (:mod:`repro.workloads`): serial vs parallel execution and cold vs
@@ -216,6 +220,90 @@ def run_telemetry_overhead(smoke: bool, rounds: int) -> dict:
         "trace_overhead_percent": round(overhead * 100, 1) if overhead is not None else None,
         "trace_spans": spans,
         "trace_events": events,
+    }
+
+
+def run_certify_benchmark(smoke: bool, rounds: int) -> dict:
+    """Measure the witness-certificate opt-in against the plain batch path.
+
+    Two numbers back the certificate design claims.  First, the recording
+    overhead: executing a seeded workload batch with ``certificate=True``
+    (one spec serialization + zlib per nonempty verdict) must stay within a
+    few percent of the plain run -- the committed full-mode record pins the
+    <5% budget, and ``check_regression.py`` gates it with noise headroom.
+    Second, the payoff: re-checking the resulting certificates with the
+    engine-independent validator (:func:`repro.certify.validate_encoded`)
+    is compared against re-running the engine on the same nonempty jobs,
+    which is what a consumer without certificates would have to do.
+    """
+    import dataclasses
+
+    from repro.certify import validate_encoded
+    from repro.service.jobs import execute_job
+    from repro.workloads import generate_jobs
+
+    count = 20 if smoke else 40
+    jobs = generate_jobs(count, seed=7)
+    certified_jobs = [dataclasses.replace(job, certificate=True) for job in jobs]
+    plain_times = []
+    certified_times = []
+    certified_results = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        plain_results = [execute_job(job) for job in jobs]
+        plain_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        certified_results = [execute_job(job) for job in certified_jobs]
+        certified_times.append(time.perf_counter() - start)
+        assert [r.nonempty for r in plain_results] == [
+            r.nonempty for r in certified_results
+        ], "certify phase: certified verdicts diverged from the plain run"
+    encoded = [r.certificate for r in certified_results if r.nonempty]
+    assert encoded and all(encoded), (
+        "certify phase: a nonempty verdict came back without a certificate"
+    )
+    nonempty_jobs = [
+        job for job, r in zip(jobs, certified_results) if r.nonempty
+    ]
+    validate_times = []
+    reexecute_times = []
+    kinds = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        kinds = sorted({validate_encoded(cert)["theory_kind"] for cert in encoded})
+        validate_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        for job in nonempty_jobs:
+            execute_job(job)
+        reexecute_times.append(time.perf_counter() - start)
+    plain = min(plain_times)
+    certified = min(certified_times)
+    validate = min(validate_times)
+    reexecute = min(reexecute_times)
+    overhead = (certified / plain - 1.0) if plain > 0 else None
+    print(
+        f"  certify: batch plain {plain:.3f}s  certified {certified:.3f}s  "
+        f"overhead {overhead * 100:+.1f}%  "
+        f"({len(encoded)} certificates: {', '.join(kinds)})"
+    )
+    print(
+        f"  certify: validate {validate:.4f}s vs engine re-run {reexecute:.3f}s  "
+        f"({reexecute / validate:.1f}x faster)" if validate > 0 else ""
+    )
+    return {
+        "workload": f"generate_jobs({count}, seed=7) executed serially",
+        "rounds": rounds,
+        "jobs": count,
+        "nonempty": len(encoded),
+        "theory_kinds": kinds,
+        "plain_seconds": round(plain, 4),
+        "certified_seconds": round(certified, 4),
+        "certificate_overhead_percent": (
+            round(overhead * 100, 1) if overhead is not None else None
+        ),
+        "validate_seconds": round(validate, 4),
+        "reexecute_seconds": round(reexecute, 4),
+        "validation_speedup": round(reexecute / validate, 1) if validate > 0 else None,
     }
 
 
@@ -894,16 +982,19 @@ def main(argv=None) -> int:
             stress = run_stress_comparison(args.smoke, rounds)
         print("measuring telemetry/tracing overhead ...")
         telemetry_overhead = run_telemetry_overhead(args.smoke, rounds)
+        print("measuring witness-certificate overhead and validator payoff ...")
+        certify = run_certify_benchmark(args.smoke, rounds)
         print("checking strategy agreement ...")
         agreement = run_strategy_agreement()
         record = {
-            "schema_version": 3,
+            "schema_version": 4,
             "mode": "smoke" if args.smoke else "full",
             "python": platform.python_version(),
             "platform": platform.platform(),
             "engine": engine,
             "stress": stress,
             "telemetry": telemetry_overhead,
+            "certify": certify,
             "strategy_agreement": agreement,
             "cache_stats": cache_stats_snapshot(),
         }

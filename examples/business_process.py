@@ -64,7 +64,7 @@ def main() -> None:
     result = solver.check(system)
     print(f"Over all catalogues: {'can ship' if result.nonempty else 'can never ship'}")
     print("A smallest catalogue that lets the workflow ship:")
-    print(result.witness_database.describe())
+    print(result.run.database.describe())
     print("Shipping run:", result.run)
     print()
 

@@ -28,7 +28,7 @@ def main() -> None:
     result = solver.check(system)
     print(f"Over ALL databases the system is {'non' if result.nonempty else ''}empty.")
     print("Witness database found by the solver:")
-    print(result.witness_database.describe())
+    print(result.run.database.describe())
     print("Accepting run driven by it:")
     print(result.run)
     print()

@@ -51,8 +51,8 @@ def word_case() -> None:
         print(f"  find {name}: {status} (expected {expectation})")
         if result.nonempty:
             labels = [
-                "b" if result.witness_database.holds("label_b", position) else "a"
-                for position in sorted(result.witness_database.domain)
+                "b" if result.run.database.holds("label_b", position) else "a"
+                for position in sorted(result.run.database.domain)
             ]
             print(f"    witness word: {''.join(labels)}")
     print()
@@ -80,7 +80,7 @@ def tree_case() -> None:
         result = EmptinessSolver(TreeRunTheory(automaton)).check(three_incomparable)
         status = "nonempty" if result.nonempty else "empty"
         print(f"    over {name}: {status}; "
-              f"witness tree size {result.witness_database.size if result.nonempty else '-'}")
+              f"witness tree size {result.run.database.size if result.nonempty else '-'}")
     print()
 
     deep_pair = DatabaseDrivenSystem.build(
@@ -94,7 +94,7 @@ def tree_case() -> None:
     result = EmptinessSolver(TreeRunTheory(caterpillar_automaton())).check(deep_pair)
     print("  walk two strict descendant steps over caterpillar trees: "
           f"{'nonempty' if result.nonempty else 'empty'}; "
-          f"expanded witness tree has {result.witness_database.size} nodes")
+          f"expanded witness tree has {result.run.database.size} nodes")
 
 
 def main() -> None:

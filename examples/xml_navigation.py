@@ -48,7 +48,7 @@ def main() -> None:
     result = EmptinessSolver(tensor).check(system)
     print(f"With shared attribute values allowed: {'nonempty' if result.nonempty else 'empty'}")
     print("Witness data tree (node ids are document order, sim links equal attributes):")
-    print(result.witness_database.describe())
+    print(result.run.database.describe())
     print("Run:", result.run)
     print()
 

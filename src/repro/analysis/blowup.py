@@ -93,7 +93,7 @@ class SolverProfile:
             configurations_explored=result.statistics.configurations_explored,
             candidates_generated=result.statistics.candidates_generated,
             elapsed_seconds=result.statistics.elapsed_seconds,
-            witness_size=result.witness_database.size if result.witness_database else None,
+            witness_size=result.run.database.size if result.run is not None else None,
         )
 
     def row(self) -> Tuple[str, str, int, int, float, Optional[int]]:

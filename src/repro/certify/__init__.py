@@ -1,0 +1,33 @@
+"""Replayable witness certificates (engine-independent proof objects).
+
+A *certificate* packages everything needed to re-check a positive emptiness
+verdict without the solver: the system spec, the theory spec, the witness
+database spec, the run (state/valuation trace plus the transition indices
+taken), and per-theory *accepting evidence* (the accepted word, the accepting
+tree run, the element-to-value assignment).  :mod:`repro.certify.format`
+builds, renders, and encodes certificates; :mod:`repro.certify.validator`
+re-checks them using only :mod:`repro.logic` primitives -- it deliberately
+imports nothing from :mod:`repro.fraisse.engine`, :mod:`repro.fraisse.plans`
+or :mod:`repro.perf`, so it cannot share a bug with the fast path.
+"""
+
+from repro.certify.format import (
+    CERTIFICATE_FORMAT,
+    build_certificate,
+    decode_certificate,
+    encode_certificate,
+    render_certificate,
+)
+from repro.certify.validator import validate_certificate, validate_encoded
+from repro.errors import CertificateError
+
+__all__ = [
+    "CERTIFICATE_FORMAT",
+    "CertificateError",
+    "build_certificate",
+    "decode_certificate",
+    "encode_certificate",
+    "render_certificate",
+    "validate_certificate",
+    "validate_encoded",
+]

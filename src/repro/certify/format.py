@@ -1,0 +1,105 @@
+"""Certificate construction, canonical rendering, and wire encoding.
+
+The certificate is a plain JSON object (format version
+:data:`CERTIFICATE_FORMAT`):
+
+``format``
+    The integer format version.
+``system`` / ``theory`` / ``database``
+    The canonical specs of the verified system, its database theory, and the
+    witness database (``DatabaseDrivenSystem.to_spec`` /
+    ``DatabaseTheory.to_spec`` / ``Structure.to_spec``).
+``steps``
+    The accepting run as ``[state, {register: element}]`` pairs.
+``transitions``
+    For each consecutive step pair, the index of the justifying transition in
+    ``system["transitions"]`` (the spec preserves definition order).
+``evidence``
+    The theory's accepting evidence from
+    :meth:`~repro.fraisse.base.DatabaseTheory.certify`.
+
+For storage and the wire the canonical JSON text is zlib-compressed and
+base64-encoded (witness databases repeat relation tuples heavily, so the
+compressed form is typically a small fraction of the JSON size).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import zlib
+from typing import Any, Dict
+
+from repro.errors import CertificateError
+
+#: Certificate format version; bump on incompatible layout changes.
+CERTIFICATE_FORMAT = 1
+
+
+def build_certificate(system: Any, theory: Any, result: Any) -> Dict[str, Any]:
+    """Assemble the certificate object for a nonempty :class:`EmptinessResult`.
+
+    ``system``/``theory``/``result`` are duck-typed (only ``to_spec`` and the
+    ``run``/``evidence`` fields are used), so this module stays import-free of
+    the engine.
+    """
+    run = getattr(result, "run", None)
+    if run is None:
+        raise CertificateError("only nonempty results carry a witness to certify")
+    system_spec = system.to_spec()
+    try:
+        theory_spec = theory.to_spec()
+    except NotImplementedError as exc:
+        raise CertificateError(
+            f"theory {type(theory).__name__} does not support spec serialization"
+        ) from exc
+    spec_transitions = [list(t) for t in system_spec["transitions"]]
+    transition_indices = []
+    for transition in run.transitions_taken:
+        rendered = [transition.source, str(transition.guard), transition.target]
+        try:
+            transition_indices.append(spec_transitions.index(rendered))
+        except ValueError:  # pragma: no cover - engine only takes system transitions
+            raise CertificateError(
+                f"run transition {rendered!r} is not a transition of the system"
+            ) from None
+    return {
+        "format": CERTIFICATE_FORMAT,
+        "system": system_spec,
+        "theory": theory_spec,
+        "database": run.database.to_spec(),
+        "steps": [[state, dict(valuation)] for state, valuation in run.steps],
+        "transitions": transition_indices,
+        "evidence": result.evidence if result.evidence is not None else {},
+    }
+
+
+def render_certificate(certificate: Dict[str, Any]) -> str:
+    """The canonical textual form of a certificate.
+
+    Single source of truth for both the CLI and the HTTP witness endpoint,
+    so the two renderings agree byte for byte.
+    """
+    return json.dumps(certificate, sort_keys=True, separators=(",", ":"))
+
+
+def encode_certificate(certificate: Dict[str, Any]) -> str:
+    """Compress and base64-encode a certificate for the store and the wire."""
+    return base64.b64encode(
+        zlib.compress(render_certificate(certificate).encode("utf-8"), level=6)
+    ).decode("ascii")
+
+
+def decode_certificate(text: str) -> Dict[str, Any]:
+    """Rebuild a certificate object from :func:`encode_certificate` output."""
+    if not isinstance(text, str) or not text:
+        raise CertificateError("encoded certificate must be a non-empty string")
+    try:
+        raw = zlib.decompress(base64.b64decode(text.encode("ascii"), validate=True))
+        certificate = json.loads(raw.decode("utf-8"))
+    except (binascii.Error, ValueError, zlib.error, UnicodeError) as exc:
+        raise CertificateError(f"undecodable certificate: {exc}") from exc
+    if not isinstance(certificate, dict):
+        raise CertificateError("certificate payload is not a JSON object")
+    return certificate

@@ -1,0 +1,565 @@
+"""Engine-independent certificate validation.
+
+Re-checks a certificate from first principles: the run is replayed against
+the system spec (guards re-parsed and re-evaluated on the witness database),
+and class membership is re-derived per theory kind from the certificate's
+evidence.  Everything here is re-implemented from the published spec formats
+on top of :mod:`repro.logic` and the standard library -- this module must
+stay free of imports from :mod:`repro.fraisse.engine`,
+:mod:`repro.fraisse.plans` and :mod:`repro.perf` (enforced by tests), so a
+bug in the solver's fast path cannot silently validate its own output.
+
+:func:`validate_certificate` raises :class:`~repro.errors.CertificateError`
+on the first failed check and returns a small report dict on success.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CertificateError, FormulaError, ReproError
+from repro.logic.parser import parse_formula
+from repro.logic.schema import Schema
+from repro.logic.structures import Structure, sorted_key_list
+
+from repro.certify.format import CERTIFICATE_FORMAT, decode_certificate
+
+#: Guard-variable suffixes of the DDS spec format (``x_old`` / ``x_new``).
+_OLD_SUFFIX = "_old"
+_NEW_SUFFIX = "_new"
+
+#: Relation/prefix names of the word- and tree-database encodings.
+_BEFORE = "before"
+_LABEL_PREFIX = "label_"
+_ANCESTOR = "anc"
+_DOCUMENT_ORDER = "doc"
+_CCA = "cca"
+
+#: Colour-predicate prefix of the HOM(H) lift.
+_HOM_COLOR_PREFIX = "hom_color_"
+
+
+def validate_encoded(text: str) -> Dict[str, Any]:
+    """Decode and validate a wire/store-encoded certificate."""
+    return validate_certificate(decode_certificate(text))
+
+
+def validate_certificate(certificate: Dict[str, Any]) -> Dict[str, Any]:
+    """Re-check a certificate; raises :class:`CertificateError` on failure.
+
+    Returns a report dict: ``{"format", "theory_kind", "steps",
+    "transitions", "witness_size"}``.
+    """
+    if not isinstance(certificate, dict):
+        raise CertificateError("certificate must be a JSON object")
+    if certificate.get("format") != CERTIFICATE_FORMAT:
+        raise CertificateError(
+            f"unsupported certificate format {certificate.get('format')!r} "
+            f"(this validator understands format {CERTIFICATE_FORMAT})"
+        )
+    for key in ("system", "theory", "database", "steps", "transitions", "evidence"):
+        if key not in certificate:
+            raise CertificateError(f"certificate is missing the {key!r} field")
+
+    try:
+        database = Structure.from_spec(certificate["database"])
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise CertificateError(f"malformed witness database spec: {exc}") from exc
+
+    steps = _check_run(certificate["system"], certificate["transitions"],
+                       certificate["steps"], database)
+    theory_spec = certificate["theory"]
+    kind = theory_spec.get("kind") if isinstance(theory_spec, dict) else None
+    _check_membership(theory_spec, database, certificate["evidence"])
+
+    return {
+        "format": CERTIFICATE_FORMAT,
+        "theory_kind": kind,
+        "steps": len(steps),
+        "transitions": len(certificate["transitions"]),
+        "witness_size": database.size,
+    }
+
+
+# -- run replay -----------------------------------------------------------------
+
+
+def _check_run(
+    system_spec: Dict[str, Any],
+    transition_indices: Sequence[int],
+    steps: Sequence[Any],
+    database: Structure,
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """Replay the run: initial state, valuations, guards, accepting state."""
+    if not isinstance(system_spec, dict):
+        raise CertificateError("system spec must be a JSON object")
+    try:
+        states = set(system_spec["states"])
+        registers = list(system_spec["registers"])
+        initial = set(system_spec["initial"])
+        accepting = set(system_spec["accepting"])
+        spec_transitions = [list(t) for t in system_spec["transitions"]]
+    except (KeyError, TypeError) as exc:
+        raise CertificateError(f"malformed system spec: {exc}") from exc
+
+    if not steps:
+        raise CertificateError("a run must contain at least one configuration")
+    normalized: List[Tuple[str, Dict[str, Any]]] = []
+    for index, step in enumerate(steps):
+        try:
+            state, valuation = step
+        except (TypeError, ValueError):
+            raise CertificateError(f"step {index} is not a [state, valuation] pair") from None
+        if state not in states:
+            raise CertificateError(f"step {index} uses unknown state {state!r}")
+        if not isinstance(valuation, dict) or set(valuation) != set(registers):
+            raise CertificateError(
+                f"step {index} valuation does not assign exactly the registers"
+            )
+        for register, value in valuation.items():
+            if value not in database.domain:
+                raise CertificateError(
+                    f"step {index} assigns register {register!r} to {value!r}, "
+                    "which is outside the witness domain"
+                )
+        normalized.append((state, dict(valuation)))
+
+    first_state = normalized[0][0]
+    if first_state not in initial:
+        raise CertificateError(f"run starts in non-initial state {first_state!r}")
+    final_state = normalized[-1][0]
+    if final_state not in accepting:
+        raise CertificateError(f"run ends in non-accepting state {final_state!r}")
+
+    if len(transition_indices) != len(normalized) - 1:
+        raise CertificateError(
+            f"{len(normalized)} steps need {len(normalized) - 1} transitions, "
+            f"certificate lists {len(transition_indices)}"
+        )
+    guard_cache: Dict[int, Any] = {}
+    for position, raw_index in enumerate(transition_indices):
+        if not isinstance(raw_index, int) or not 0 <= raw_index < len(spec_transitions):
+            raise CertificateError(f"transition index {raw_index!r} is out of range")
+        source, guard_text, target = spec_transitions[raw_index]
+        state_before, valuation_before = normalized[position]
+        state_after, valuation_after = normalized[position + 1]
+        if source != state_before or target != state_after:
+            raise CertificateError(
+                f"transition {raw_index} connects {source!r}->{target!r} but step "
+                f"{position} goes {state_before!r}->{state_after!r}"
+            )
+        guard = guard_cache.get(raw_index)
+        if guard is None:
+            try:
+                guard = parse_formula(guard_text)
+            except ReproError as exc:
+                raise CertificateError(
+                    f"unparsable guard {guard_text!r} in system spec: {exc}"
+                ) from exc
+            guard_cache[raw_index] = guard
+        combined = {}
+        for register in registers:
+            combined[register + _OLD_SUFFIX] = valuation_before[register]
+            combined[register + _NEW_SUFFIX] = valuation_after[register]
+        try:
+            holds = guard.evaluate(database, combined)
+        except (ReproError, FormulaError) as exc:
+            raise CertificateError(
+                f"guard {guard_text!r} cannot be evaluated on the witness: {exc}"
+            ) from exc
+        if not holds:
+            raise CertificateError(
+                f"guard {guard_text!r} fails on step {position} of the run"
+            )
+    return normalized
+
+
+# -- class membership, per theory kind -------------------------------------------
+
+
+def _check_membership(
+    theory_spec: Any, database: Structure, evidence: Any
+) -> None:
+    if not isinstance(theory_spec, dict) or "kind" not in theory_spec:
+        raise CertificateError("theory spec must be a JSON object with a 'kind' tag")
+    if not isinstance(evidence, dict):
+        raise CertificateError("certificate evidence must be a JSON object")
+    kind = theory_spec["kind"]
+    if kind == "all_databases":
+        _check_all_databases(theory_spec, database)
+    elif kind == "hom":
+        _check_hom(theory_spec, database)
+    elif kind == "word_run":
+        _check_word(theory_spec, database, evidence)
+    elif kind == "tree_run":
+        _check_tree(theory_spec, database, evidence)
+    elif kind == "data_valued":
+        _check_data_valued(theory_spec, database, evidence)
+    else:
+        raise CertificateError(f"unknown theory kind {kind!r}")
+
+
+def _check_all_databases(theory_spec: Dict[str, Any], database: Structure) -> None:
+    """Every finite database over the schema is in the class; check the schema."""
+    try:
+        schema = Schema.from_spec(theory_spec["schema"])
+    except (ReproError, KeyError, TypeError) as exc:
+        raise CertificateError(f"malformed all_databases schema: {exc}") from exc
+    if database.schema != schema:
+        raise CertificateError(
+            "witness database schema differs from the all_databases theory schema"
+        )
+
+
+def _check_hom(theory_spec: Dict[str, Any], database: Structure) -> None:
+    """HOM(H) lift: the colouring stored in the witness is a homomorphism."""
+    try:
+        template = Structure.from_spec(theory_spec["template"])
+    except (ReproError, KeyError, TypeError) as exc:
+        raise CertificateError(f"malformed HOM template spec: {exc}") from exc
+    color_names = {
+        element: f"{_HOM_COLOR_PREFIX}{index}"
+        for index, element in enumerate(sorted_key_list(template.domain))
+    }
+    expected_schema = template.schema.extend(
+        relations={name: 1 for name in color_names.values()}
+    )
+    if database.schema != expected_schema:
+        raise CertificateError(
+            "witness schema is not the template schema extended with colour predicates"
+        )
+    coloring: Dict[Any, Any] = {}
+    for template_element, name in color_names.items():
+        for (element,) in database.relation(name):
+            if element in coloring:
+                raise CertificateError(f"witness element {element!r} is multi-coloured")
+            coloring[element] = template_element
+    if set(coloring) != set(database.domain):
+        raise CertificateError("HOM witness colouring does not cover the domain")
+    for relation in template.schema.relation_names:
+        for t in database.relation(relation):
+            image = tuple(coloring[e] for e in t)
+            if not template.holds(relation, *image):
+                raise CertificateError(
+                    f"colouring is not a homomorphism: {relation}{t!r} maps to "
+                    f"{relation}{image!r}, which does not hold in the template"
+                )
+
+
+def _check_word(
+    theory_spec: Dict[str, Any], database: Structure, evidence: Dict[str, Any]
+) -> None:
+    """Worddb(L): decode the database into a word and re-check NFA acceptance."""
+    word = evidence.get("word")
+    if not isinstance(word, list) or not all(isinstance(w, str) for w in word):
+        raise CertificateError("word_run evidence must carry the accepted word")
+    decoded = _decode_word_database(database)
+    if decoded != word:
+        raise CertificateError(
+            f"witness database decodes to {decoded!r}, evidence claims {word!r}"
+        )
+    nfa = theory_spec.get("nfa")
+    if not isinstance(nfa, dict):
+        raise CertificateError("word_run theory spec is missing the NFA")
+    if not _nfa_accepts(nfa, word):
+        raise CertificateError(f"the NFA rejects the witness word {word!r}")
+
+
+def _decode_word_database(database: Structure) -> List[str]:
+    """Decode a WordSchema database: strict linear order, one label per position."""
+    elements = sorted_key_list(database.domain)
+    try:
+        before = database.relation(_BEFORE)
+    except ReproError as exc:
+        raise CertificateError(f"word witness has no {_BEFORE!r} relation: {exc}") from exc
+    for a in elements:
+        if (a, a) in before:
+            raise CertificateError(f"word order is not irreflexive at {a!r}")
+        for b in elements:
+            if a != b and ((a, b) in before) == ((b, a) in before):
+                raise CertificateError(
+                    f"word order is not a strict linear order on {a!r}, {b!r}"
+                )
+    ordered = sorted(elements, key=lambda e: sum(1 for b in elements if (b, e) in before))
+    label_relations = [
+        name for name in database.schema.relation_names if name.startswith(_LABEL_PREFIX)
+    ]
+    word: List[str] = []
+    for element in ordered:
+        letters = [
+            name[len(_LABEL_PREFIX):]
+            for name in label_relations
+            if database.holds(name, element)
+        ]
+        if len(letters) != 1:
+            raise CertificateError(
+                f"position {element!r} carries {len(letters)} labels instead of one"
+            )
+        word.append(letters[0])
+    return word
+
+
+def _nfa_accepts(nfa_spec: Dict[str, Any], word: Sequence[str]) -> bool:
+    """NFA acceptance by on-the-fly subset construction over the raw spec."""
+    try:
+        transitions = [tuple(t) for t in nfa_spec["transitions"]]
+        current = set(nfa_spec["initial"])
+        accepting = set(nfa_spec["accepting"])
+    except (KeyError, TypeError) as exc:
+        raise CertificateError(f"malformed NFA spec: {exc}") from exc
+    for letter in word:
+        current = {q for p, a, q in transitions if p in current and a == letter}
+        if not current:
+            return False
+    return bool(current & accepting)
+
+
+# -- tree certificates -----------------------------------------------------------
+
+
+def _tree_nodes(tree_spec: Any) -> List[Tuple[Tuple[int, ...], str, int]]:
+    """Flatten a tree spec into ``(path, label, child_count)`` in preorder.
+
+    Accepts the native spec shape (bare label string for leaves,
+    ``(label, [children])`` pairs otherwise) with tuples or JSON lists.
+    """
+    nodes: List[Tuple[Tuple[int, ...], str, int]] = []
+
+    def walk(spec: Any, path: Tuple[int, ...]) -> None:
+        if isinstance(spec, str):
+            nodes.append((path, spec, 0))
+            return
+        try:
+            label, children = spec
+        except (TypeError, ValueError):
+            raise CertificateError(f"malformed tree spec node {spec!r}") from None
+        if not isinstance(label, str):
+            raise CertificateError(f"tree node label {label!r} is not a string")
+        nodes.append((path, label, len(children)))
+        for index, child in enumerate(children):
+            walk(child, path + (index,))
+
+    walk(tree_spec, ())
+    return nodes
+
+
+def _check_tree(
+    theory_spec: Dict[str, Any], database: Structure, evidence: Dict[str, Any]
+) -> None:
+    """Treedb(L): the evidence tree matches the database and its run is accepting."""
+    if "tree" not in evidence or "run" not in evidence:
+        raise CertificateError("tree_run evidence must carry the tree and its run")
+    nodes = _tree_nodes(evidence["tree"])
+    paths = [path for path, _, _ in nodes]
+    label_of = {path: label for path, label, _ in nodes}
+    children_of = {path: count for path, _, count in nodes}
+
+    try:
+        run = {tuple(path): state for path, state in evidence["run"]}
+    except (TypeError, ValueError):
+        raise CertificateError("tree_run evidence run must be [path, state] pairs") from None
+    if set(run) != set(paths):
+        raise CertificateError("tree run does not assign exactly the tree's nodes")
+    _check_tree_run(theory_spec.get("automaton"), paths, label_of, children_of, run)
+    _check_tree_database(database, nodes)
+
+
+def _check_tree_run(
+    automaton_spec: Any,
+    paths: Sequence[Tuple[int, ...]],
+    label_of: Dict[Tuple[int, ...], str],
+    children_of: Dict[Tuple[int, ...], int],
+    run: Dict[Tuple[int, ...], str],
+) -> None:
+    """Local run rules: letters, leaves, root, firstchild/nextsibling/rightmost."""
+    if not isinstance(automaton_spec, dict):
+        raise CertificateError("tree_run theory spec is missing the automaton")
+    try:
+        letter_of = {state: letter for state, letter in automaton_spec["letter"]}
+        firstchild = {tuple(pair) for pair in automaton_spec["firstchild"]}
+        nextsibling = {tuple(pair) for pair in automaton_spec["nextsibling"]}
+        leaf_states = set(automaton_spec["leaf_states"])
+        root_states = set(automaton_spec["root_states"])
+        rightmost_states = set(automaton_spec["rightmost_states"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CertificateError(f"malformed tree automaton spec: {exc}") from exc
+
+    if run[()] not in root_states:
+        raise CertificateError(f"root state {run[()]!r} is not a root state")
+    for path in paths:
+        state = run[path]
+        if letter_of.get(state) != label_of[path]:
+            raise CertificateError(
+                f"state {state!r} at {path!r} reads {letter_of.get(state)!r}, "
+                f"node label is {label_of[path]!r}"
+            )
+        count = children_of[path]
+        if count == 0:
+            if state not in leaf_states:
+                raise CertificateError(f"leaf state {state!r} at {path!r} is not a leaf state")
+            continue
+        child_states = [run[path + (i,)] for i in range(count)]
+        if (child_states[0], state) not in firstchild:
+            raise CertificateError(
+                f"({child_states[0]!r}, {state!r}) is not a firstchild pair at {path!r}"
+            )
+        for left, right in zip(child_states, child_states[1:]):
+            if (right, left) not in nextsibling:
+                raise CertificateError(
+                    f"({right!r}, {left!r}) is not a nextsibling pair under {path!r}"
+                )
+        if child_states[-1] not in rightmost_states:
+            raise CertificateError(
+                f"last child state {child_states[-1]!r} under {path!r} is not rightmost"
+            )
+
+
+def _check_tree_database(
+    database: Structure, nodes: Sequence[Tuple[Tuple[int, ...], str, int]]
+) -> None:
+    """The witness database must be exactly Treedb of the evidence tree."""
+    paths = [path for path, _, _ in nodes]
+    ids = list(range(len(paths)))
+    if set(database.domain) != set(ids):
+        raise CertificateError(
+            "tree witness domain is not the preorder index range of the evidence tree"
+        )
+    alphabet = sorted(
+        name[len(_LABEL_PREFIX):]
+        for name in database.schema.relation_names
+        if name.startswith(_LABEL_PREFIX)
+    )
+    labels = {label for _, label, _ in nodes}
+    if not labels <= set(alphabet):
+        raise CertificateError("evidence tree uses labels outside the witness schema")
+
+    def is_prefix(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+        return len(a) <= len(b) and b[: len(a)] == a
+
+    expected_anc = set()
+    expected_doc = set()
+    for i in ids:
+        for j in ids:
+            if is_prefix(paths[i], paths[j]):
+                expected_anc.add((i, j))
+            if i != j and paths[i] < paths[j]:
+                expected_doc.add((i, j))
+    if set(database.relation(_ANCESTOR)) != expected_anc:
+        raise CertificateError("witness ancestor relation disagrees with the evidence tree")
+    if set(database.relation(_DOCUMENT_ORDER)) != expected_doc:
+        raise CertificateError("witness document order disagrees with the evidence tree")
+    for label in alphabet:
+        expected = {(i,) for i in ids if nodes[i][1] == label}
+        if set(database.relation(_LABEL_PREFIX + label)) != expected:
+            raise CertificateError(
+                f"witness label predicate {_LABEL_PREFIX + label!r} disagrees with the tree"
+            )
+    path_index = {path: i for i, path in enumerate(paths)}
+    cca = database.function(_CCA)
+    for i in ids:
+        for j in ids:
+            common: List[int] = []
+            for a, b in zip(paths[i], paths[j]):
+                if a != b:
+                    break
+                common.append(a)
+            if cca.get((i, j)) != path_index[tuple(common)]:
+                raise CertificateError(
+                    f"witness cca({i}, {j}) disagrees with the evidence tree"
+                )
+
+
+# -- data-value products ----------------------------------------------------------
+
+
+def _check_data_valued(
+    theory_spec: Dict[str, Any], database: Structure, evidence: Dict[str, Any]
+) -> None:
+    """Check the value relations from the assignment, then recurse on the base."""
+    values_raw = evidence.get("values")
+    if not isinstance(values_raw, dict):
+        raise CertificateError("data_valued evidence must carry the value assignment")
+    values_spec = theory_spec.get("values")
+    if not isinstance(values_spec, dict) or "kind" not in values_spec:
+        raise CertificateError("data_valued theory spec is missing the value domain")
+    relation_name = values_spec.get("relation_name")
+    if not isinstance(relation_name, str):
+        raise CertificateError("value domain spec is missing its relation name")
+
+    elements = sorted_key_list(database.domain)
+    assignment: Dict[Any, str] = {}
+    for element in elements:
+        key = str(element)
+        if key not in values_raw:
+            raise CertificateError(f"element {element!r} has no data value in the evidence")
+        assignment[element] = values_raw[key]
+
+    kind = values_spec["kind"]
+    if kind == "naturals_equality":
+        def value_holds(left: str, right: str) -> bool:
+            return left == right
+    elif kind in ("rationals_order", "naturals_order"):
+        def value_holds(left: str, right: str) -> bool:
+            try:
+                return Fraction(left) < Fraction(right)
+            except (ValueError, ZeroDivisionError) as exc:
+                raise CertificateError(f"non-rational data value: {exc}") from exc
+    else:
+        raise CertificateError(f"unknown value domain kind {kind!r}")
+
+    if theory_spec.get("injective"):
+        if len(set(assignment.values())) != len(assignment):
+            raise CertificateError("injective product evidence repeats a data value")
+
+    expected = {
+        (a, b)
+        for a in elements
+        for b in elements
+        if value_holds(assignment[a], assignment[b])
+    }
+    try:
+        actual = set(database.relation(relation_name))
+    except ReproError as exc:
+        raise CertificateError(
+            f"witness has no value relation {relation_name!r}: {exc}"
+        ) from exc
+    if actual != expected:
+        raise CertificateError(
+            f"witness value relation {relation_name!r} disagrees with the assignment"
+        )
+
+    base_spec = theory_spec.get("base")
+    if not isinstance(base_spec, dict):
+        raise CertificateError("data_valued theory spec is missing its base theory")
+    base_database = _project_off_relation(database, relation_name)
+    _check_membership(base_spec, base_database, evidence.get("base", {}))
+
+
+def _project_off_relation(database: Structure, relation_name: str) -> Structure:
+    """The witness with the value relation forgotten (the base-schema part)."""
+    relations = {
+        name: set(database.relation(name))
+        for name in database.schema.relation_names
+        if name != relation_name
+    }
+    functions = {
+        name: dict(database.function(name)) for name in database.schema.function_names
+    }
+    schema_relations = {
+        name: database.schema.relation(name).arity
+        for name in database.schema.relation_names
+        if name != relation_name
+    }
+    schema_functions = {
+        name: database.schema.function(name).arity
+        for name in database.schema.function_names
+    }
+    schema = Schema(relations=schema_relations, functions=schema_functions)
+    return Structure(
+        schema,
+        set(database.domain),
+        relations=relations,
+        functions=functions,
+        validate=False,
+    )

@@ -20,6 +20,8 @@ Every command that touches a store takes the same ``--store`` backend URL:
 a remote keyspace served by ``repro store serve``.
 * ``repro trace`` -- export a stored solver trace as Chrome trace-event
   JSON for Perfetto / about://tracing;
+* ``repro verify`` -- fetch a stored witness certificate and re-check it
+  with the engine-independent validator (:mod:`repro.certify`);
 * ``repro bench`` -- shortcut to the unified benchmark runner (equivalent to
   ``python benchmarks/run_all.py`` when running from a checkout);
 * ``repro info`` -- version, available strategies, cache configuration.
@@ -46,6 +48,13 @@ from repro import (
     clique_template,
     odd_red_cycle_free_template,
     telemetry,
+)
+from repro.certify import (
+    CertificateError,
+    build_certificate,
+    decode_certificate,
+    render_certificate,
+    validate_certificate,
 )
 from repro.errors import StoreError
 from repro.fraisse.search import STRATEGY_NAMES
@@ -104,12 +113,17 @@ EXAMPLES: Dict[str, Tuple[Callable, Callable]] = {
 
 def _command_demo(args: argparse.Namespace) -> int:
     system = odd_red_cycle_system()
-    all_result = EmptinessSolver(AllDatabasesTheory(COLORED_GRAPH_SCHEMA)).check(system)
+    theory = AllDatabasesTheory(COLORED_GRAPH_SCHEMA)
+    all_result = EmptinessSolver(theory).check(system)
     print("Example 1 (all databases):", "nonempty" if all_result.nonempty else "empty")
-    if all_result.witness_database is not None:
+    if all_result.run is not None:
         print("  witness database:")
-        for line in all_result.witness_database.describe().splitlines():
+        for line in all_result.run.database.describe().splitlines():
             print("   ", line)
+        # The canonical certificate rendering -- byte-identical to what the
+        # /v1/jobs/{fp}/witness endpoint serves after decoding.
+        print("  witness certificate:")
+        print("   ", render_certificate(build_certificate(system, theory, all_result)))
     hom_result = EmptinessSolver(HomTheory(odd_red_cycle_free_template())).check(system)
     print("Example 2 (HOM template):", "nonempty" if hom_result.nonempty else "empty")
     return 0
@@ -238,6 +252,10 @@ def _command_batch(args: argparse.Namespace) -> int:
         # Trace recording is observability-only: fingerprints (and thus
         # store keys / dedup) are unchanged by the flag.
         jobs = [dataclasses.replace(job, trace=True) for job in jobs]
+    if args.certificates:
+        # Like traces, certificates are artifacts, not job identity: the
+        # fingerprint (and thus store keys / dedup) is unchanged.
+        jobs = [dataclasses.replace(job, certificate=True) for job in jobs]
     try:
         store = (
             ResultStore.from_url(args.store, token=_store_token()) if args.store else None
@@ -289,6 +307,11 @@ def _command_batch(args: argparse.Namespace) -> int:
                     print(
                         "  traces recorded; export one with "
                         f"`repro trace <fingerprint> --store {args.store}`"
+                    )
+                if args.certificates:
+                    print(
+                        "  certificates recorded; re-check one with "
+                        f"`repro verify <fingerprint> --store {args.store}`"
                     )
             for result in report.errors:
                 print(f"  ERROR {result.label}: {result.error}")
@@ -446,6 +469,74 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_verify(args: argparse.Namespace) -> int:
+    """Fetch a stored witness certificate and re-check it without the engine.
+
+    Validation runs entirely in :mod:`repro.certify` -- the guards along
+    the run, the witness database's theory membership, and the accepting
+    evidence are re-derived from logic primitives, never by re-running the
+    solver.  Exit status: 0 valid, 1 invalid, 2 not found / usage.
+    """
+    encoded: Optional[str] = None
+    if args.url:
+        from repro.service.client import ServiceClient, ServiceError
+
+        client = ServiceClient(
+            args.url, auth_token=os.environ.get("REPRO_AUTH_TOKEN") or None
+        )
+        try:
+            payload = client.witness(args.fingerprint)
+        except (ServiceError, OSError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        finally:
+            client.close()
+        encoded = payload.get("certificate") if isinstance(payload, dict) else None
+    else:
+        spec = _resolve_store_spec(args)
+        if not spec:
+            print("verify needs a source: pass --store URL or --url URL", file=sys.stderr)
+            return 2
+        try:
+            store_handle = _open_existing_store(spec)
+        except StoreError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        with store_handle as store:
+            result = store.get(args.fingerprint)
+            if result is None:
+                print(
+                    f"no stored verdict for fingerprint {args.fingerprint[:16]!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            encoded = result.certificate
+    if not encoded:
+        print(
+            f"no witness certificate for fingerprint {args.fingerprint[:16]!r}; "
+            "re-run the job with certificates on (repro batch --certificates, "
+            'or "certificate": true in the job spec -- only nonempty verdicts '
+            "carry a witness)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        certificate = decode_certificate(encoded)
+        report = validate_certificate(certificate)
+    except CertificateError as error:
+        print(f"INVALID certificate for {args.fingerprint[:16]}: {error}", file=sys.stderr)
+        return 1
+    if args.raw:
+        print(render_certificate(certificate))
+    elif args.json:
+        print(json.dumps({"fingerprint": args.fingerprint, "valid": True, **report}, indent=2))
+    else:
+        print(f"certificate OK for fingerprint {args.fingerprint[:16]}")
+        for key, value in report.items():
+            print(f"  {key}: {value}")
+    return 0
+
+
 def _command_store(args: argparse.Namespace) -> int:
     spec = _resolve_store_spec(args)
     if args.action == "serve":
@@ -569,6 +660,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record a solver trace per executed job (persisted with the "
         "verdict when --store is set; export via `repro trace`)",
+    )
+    batch.add_argument(
+        "--certificates",
+        action="store_true",
+        help="build a replayable witness certificate per nonempty verdict "
+        "(persisted with the verdict when --store is set; re-check via "
+        "`repro verify`)",
     )
     batch.add_argument(
         "--retries",
@@ -752,6 +850,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the recorder's native seconds-based form instead",
     )
     trace.set_defaults(handler=_command_trace)
+
+    verify = subparsers.add_parser(
+        "verify", help="re-check a stored witness certificate without the engine"
+    )
+    verify.add_argument("fingerprint", help="job fingerprint (full SHA-256 hex)")
+    verify.add_argument(
+        "--store",
+        default=None,
+        help="result store backend URL (sqlite:PATH, http://host:port, or a bare path)",
+    )
+    verify.add_argument(
+        "--url",
+        default=None,
+        help="fetch from a running `repro serve` endpoint's "
+        "/v1/jobs/{fingerprint}/witness instead of a store "
+        "($REPRO_AUTH_TOKEN authenticates)",
+    )
+    verify.add_argument("--json", action="store_true", help="validation report as JSON")
+    verify.add_argument(
+        "--raw",
+        action="store_true",
+        help="print the canonical certificate JSON instead of the report",
+    )
+    verify.set_defaults(handler=_command_verify)
 
     bench = subparsers.add_parser("bench", help="run the unified benchmark runner")
     bench.add_argument("--smoke", action="store_true", help="CI-sized benchmark run")

@@ -169,9 +169,18 @@ class DataValuedTheory(DatabaseTheory):
             base_database.schema.union(self._values.schema), relations=relations
         )
 
-    def finalize(self, config: TheoryConfiguration) -> Tuple[Structure, Dict[Element, Element]]:
+    def certify(
+        self, config: TheoryConfiguration
+    ) -> Tuple[Structure, Dict[Element, Element], Dict[str, object]]:
+        """Finalize the base witness and record the element-to-value assignment.
+
+        The evidence payload nests the base theory's evidence under ``"base"``
+        and adds the final element-to-value map (values rendered as strings,
+        so :class:`~fractions.Fraction` survives JSON), letting a validator
+        re-derive every value relation of the product without the engine.
+        """
         witness: _DataWitness = config.witness
-        base_database, mapping = self._base.finalize(witness.base_config)
+        base_database, mapping, base_evidence = self._base.certify(witness.base_config)
         values = witness.values
         # Carry the recorded values across the mapping; elements introduced by
         # the base theory's expansion (e.g. connector word positions) receive
@@ -197,7 +206,16 @@ class DataValuedTheory(DatabaseTheory):
         expanded = base_database.expand(
             base_database.schema.union(self._values.schema), relations=relations
         )
-        return expanded, mapping
+        evidence = {
+            "base": base_evidence,
+            "values": {
+                str(element): str(value)
+                for element, value in sorted(
+                    final_values.items(), key=lambda item: str(item[0])
+                )
+            },
+        }
+        return expanded, mapping, evidence
 
     def abstraction_key(self, config: TheoryConfiguration) -> Hashable:
         witness: _DataWitness = config.witness

@@ -50,3 +50,7 @@ class AutomatonError(ReproError):
 
 class StoreError(ReproError):
     """A result-store backend is misconfigured or its schema is unusable."""
+
+
+class CertificateError(ReproError):
+    """A witness certificate is malformed, unsupported, or fails validation."""

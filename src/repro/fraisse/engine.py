@@ -26,8 +26,9 @@ switch used to measure the legacy, cache-free path).
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SolverError
 from repro.fraisse.base import DatabaseTheory, TheoryConfiguration, guard_holds
@@ -92,22 +93,41 @@ class SearchStatistics:
 class EmptinessResult:
     """Outcome of an emptiness check.
 
-    ``nonempty`` is True when an accepting run exists; in that case
-    ``witness_database`` and ``run`` describe a concrete database of the class
-    and an accepting run driven by it.  ``exhausted`` is True when the whole
+    ``nonempty`` is True when an accepting run exists; in that case ``run``
+    describes a concrete database of the class (``run.database``) and an
+    accepting run driven by it, and ``evidence`` carries the theory's
+    accepting evidence (see :meth:`~repro.fraisse.base.DatabaseTheory.certify`)
+    from which :func:`repro.certify.build_certificate` assembles a replayable,
+    engine-independent certificate.  ``exhausted`` is True when the whole
     abstract configuration space was explored (so a negative answer is
     definitive); it is False only if a resource limit interrupted the search.
     """
 
     nonempty: bool
-    witness_database: Optional[Structure] = None
     run: Optional[Run] = None
     exhausted: bool = True
     statistics: SearchStatistics = field(default_factory=SearchStatistics)
+    evidence: Optional[Dict[str, Any]] = None
 
     @property
     def empty(self) -> bool:
         return not self.nonempty
+
+    @property
+    def witness_database(self) -> Optional[Structure]:
+        """Deprecated accessor for the witness database; use ``run.database``.
+
+        Slated for removal in 2.0: the witness now lives on the run (and, in
+        serialized form, inside the certificate object).
+        """
+        warnings.warn(
+            "EmptinessResult.witness_database is deprecated; use "
+            "result.run.database (or the certificate object) instead. "
+            "It will be removed in 2.0.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run.database if self.run is not None else None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.nonempty
@@ -315,22 +335,22 @@ class EmptinessSolver:
             return EmptinessResult(nonempty=False, exhausted=True, statistics=stats)
 
         if trace is None:
-            run = self._reconstruct_run(system, goal)
+            run, evidence = self._reconstruct_run(system, goal)
             if self._verify_witnesses:
                 system.validate_run(run)
         else:
             with trace.span("reconstruct_run", "witness") as span_args:
-                run = self._reconstruct_run(system, goal)
+                run, evidence = self._reconstruct_run(system, goal)
                 span_args["steps"] = len(run.steps)
             if self._verify_witnesses:
                 with trace.span("validate_run", "witness"):
                     system.validate_run(run)
         return EmptinessResult(
             nonempty=True,
-            witness_database=run.database,
             run=run,
             exhausted=True,
             statistics=stats,
+            evidence=evidence,
         )
 
     # -- inner candidate loops ---------------------------------------------------
@@ -492,8 +512,10 @@ class EmptinessSolver:
 
     # -- witness reconstruction -------------------------------------------------
 
-    def _reconstruct_run(self, system: DatabaseDrivenSystem, goal: _SearchNode) -> Run:
-        """Rebuild a concrete run from the chain of search nodes.
+    def _reconstruct_run(
+        self, system: DatabaseDrivenSystem, goal: _SearchNode
+    ) -> Tuple[Run, Dict[str, Any]]:
+        """Rebuild a concrete run (plus certify evidence) from the search chain.
 
         Because every theory extends its witness monotonically (each step's
         witness embeds into the next by construction), the valuations recorded
@@ -507,7 +529,7 @@ class EmptinessSolver:
             chain.append(node)
             node = node.parent
         chain.reverse()
-        final_database, mapping = self._theory.finalize(chain[-1].config)
+        final_database, mapping, evidence = self._theory.certify(chain[-1].config)
         steps = [
             (
                 n.state,
@@ -519,7 +541,8 @@ class EmptinessSolver:
             for n in chain
         ]
         transitions_taken = [n.transition for n in chain[1:] if n.transition is not None]
-        return Run(database=final_database, steps=steps, transitions_taken=transitions_taken)
+        run = Run(database=final_database, steps=steps, transitions_taken=transitions_taken)
+        return run, evidence
 
 
 def decide_emptiness(

@@ -52,6 +52,9 @@ from repro.errors import StoreError
 #: for verdicts), ``cacheable`` (0 marks an observability-only error row
 #: that must never serve as a warm verdict) and ``expires_at`` (per-row
 #: expiry for short-lived error rows, NULL = store TTL policy only).
+#: Schema v5 added ``certificate``: the zlib+base64-encoded replayable
+#: witness certificate of a nonempty verdict (see :mod:`repro.certify`),
+#: NULL when the job did not opt in or the verdict is empty.
 ROW_FIELDS = (
     "fingerprint",
     "created_at",
@@ -69,6 +72,7 @@ ROW_FIELDS = (
     "error_code",
     "cacheable",
     "expires_at",
+    "certificate",
 )
 
 #: Values assumed for row fields absent from a ``put`` (rows written by
@@ -79,7 +83,7 @@ ROW_DEFAULTS = {"cacheable": 1}
 #: every schema migration that changes what a row carries bumps both.  The
 #: keyspace wire protocol advertises it in discovery so a networked client
 #: can refuse rows from a newer server instead of silently dropping fields.
-ROW_SCHEMA_VERSION = 4
+ROW_SCHEMA_VERSION = 5
 
 
 class StoreBackend(Protocol):
@@ -240,7 +244,7 @@ class MemoryBackend:
 
 
 #: Current on-disk schema version of :class:`SQLiteBackend`.
-SQLITE_SCHEMA_VERSION = 4
+SQLITE_SCHEMA_VERSION = 5
 
 _SQLITE_SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -259,7 +263,8 @@ CREATE TABLE IF NOT EXISTS results (
     error TEXT,
     error_code TEXT,
     cacheable INTEGER NOT NULL DEFAULT 1,
-    expires_at REAL
+    expires_at REAL,
+    certificate TEXT
 )
 """
 
@@ -293,9 +298,16 @@ def _migrate_v4(connection: sqlite3.Connection) -> None:
         connection.execute("ALTER TABLE results ADD COLUMN expires_at REAL")
 
 
+def _migrate_v5(connection: sqlite3.Connection) -> None:
+    """v4 -> v5: the compressed replayable witness certificate per verdict."""
+    columns = {name for (_, name, *_rest) in connection.execute("PRAGMA table_info(results)")}
+    if "certificate" not in columns:
+        connection.execute("ALTER TABLE results ADD COLUMN certificate TEXT")
+
+
 #: Ordered migration hooks: target version -> migration applying the step
 #: from the previous version.  Extend (never edit) when the schema evolves.
-SQLITE_MIGRATIONS = {2: _migrate_v2, 3: _migrate_v3, 4: _migrate_v4}
+SQLITE_MIGRATIONS = {2: _migrate_v2, 3: _migrate_v3, 4: _migrate_v4, 5: _migrate_v5}
 
 
 class SQLiteBackend:

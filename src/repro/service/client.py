@@ -344,6 +344,16 @@ class ServiceClient:
         """
         return self.request("GET", f"/jobs/{fingerprint}/trace")
 
+    def witness(self, fingerprint: str) -> Dict[str, Any]:
+        """The stored witness certificate for ``fingerprint`` (404 -> ServiceError).
+
+        Certificates only exist for nonempty verdicts of jobs submitted
+        with ``certificate=True``; the ``"certificate"`` field is the
+        encoded form that :func:`repro.certify.decode_certificate` and
+        :func:`repro.certify.validate_certificate` consume.
+        """
+        return self.request("GET", f"/jobs/{fingerprint}/witness")
+
     def batch_status(self, batch_id: str) -> Dict[str, Any]:
         return self.request("GET", f"/batch/{batch_id}")
 

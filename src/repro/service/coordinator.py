@@ -49,7 +49,12 @@ import asyncio
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.jobs import JobResult, VerificationJob
-from repro.service.server import SERVICE_COUNTERS, Request, VerificationService
+from repro.service.server import (
+    SERVICE_COUNTERS,
+    ApiError,
+    Request,
+    VerificationService,
+)
 
 _log = logging.getLogger("repro.service.coordinator")
 
@@ -409,6 +414,70 @@ class CoordinatorService(VerificationService):
             ],
         }
         return document
+
+    def _fetch_witness(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Ask the fingerprint's shard-preferred runners for the certificate.
+
+        Tries runners in rendezvous order (the executing runner is first
+        unless it failed over), skipping nodes in cooldown; a 404 or a dead
+        runner just moves on to the next candidate.
+        """
+        for url in self._shard_preference(fingerprint):
+            if self._in_cooldown(url):
+                continue
+            client = ServiceClient(
+                url,
+                auth_token=self._runner_token,
+                timeout=self._forward_timeout,
+                retries=0,
+            )
+            try:
+                payload = client.witness(fingerprint)
+            except (ServiceError, OSError):
+                continue
+            finally:
+                client.close()
+            if isinstance(payload, dict) and payload.get("certificate"):
+                return payload
+        return None
+
+    async def _handle_job_witness(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> None:
+        """Serve a witness certificate, forwarding to the fleet when needed.
+
+        The coordinator's own store is checked first (shared-store
+        deployments land here); otherwise the certificate is fetched from
+        the runner that executed the job -- its shard-preferred node --
+        and relayed unchanged, so coordinator- and runner-served payloads
+        carry the identical encoded certificate.
+        """
+        fingerprint = self._witness_of(request)
+        cached = self._store.get(fingerprint) if self._store is not None else None
+        if cached is not None and cached.certificate is not None:
+            await super()._handle_job_witness(request, writer, extra, keep)
+            return
+        loop = asyncio.get_running_loop()
+        # Fleet polling blocks on HTTP calls; keep it off the loop.
+        payload = await loop.run_in_executor(self._executor, self._fetch_witness, fingerprint)
+        if payload is None:
+            raise ApiError(
+                404,
+                "not-found",
+                f"no witness certificate stored for fingerprint {fingerprint[:16]!r}",
+                detail=(
+                    're-submit the job with "certificate": true to record one '
+                    "(only nonempty verdicts carry a witness)"
+                ),
+            )
+        self.stats.certificates_served += 1
+        await self._send_json(
+            writer,
+            200,
+            {**payload, "served_from": "runner"},
+            headers=extra,
+            keep_alive=keep,
+        )
 
     async def _handle_stats(
         self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool

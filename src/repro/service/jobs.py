@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
+from repro.certify import build_certificate, encode_certificate
 from repro.fraisse.base import DatabaseTheory
 from repro.fraisse.engine import EmptinessSolver
 from repro.service.specs import theory_from_spec, theory_to_spec
@@ -70,6 +71,9 @@ class VerificationJob:
     label: str = ""
     #: Record a solver trace while executing (opt-in, observability-only).
     trace: bool = False
+    #: Build and persist a replayable witness certificate for a nonempty
+    #: verdict (opt-in; see :mod:`repro.certify`).
+    certificate: bool = False
     #: Per-job retry budget override (extra attempts after the first); None
     #: defers to the runner's :class:`RetryPolicy`.  Execution policy, not
     #: job identity -- excluded from the fingerprint like ``label``/``trace``.
@@ -86,6 +90,8 @@ class VerificationJob:
         }
         if self.trace:
             spec["trace"] = True
+        if self.certificate:
+            spec["certificate"] = True
         if self.retries is not None:
             spec["retries"] = self.retries
         return spec
@@ -100,24 +106,26 @@ class VerificationJob:
             max_configurations=spec.get("max_configurations", DEFAULT_JOB_MAX_CONFIGURATIONS),
             label=spec.get("label", ""),
             trace=bool(spec.get("trace", False)),
+            certificate=bool(spec.get("certificate", False)),
             retries=int(retries) if retries is not None else None,
         )
 
     def canonical_json(self) -> str:
         """The canonical JSON rendering the fingerprint is computed over.
 
-        The label, trace flag and retry budget are presentation/execution
-        policy only and excluded, so relabelling a job -- or re-running it
-        traced or with a different retry budget -- does not invalidate its
-        cached verdict.  Memoised: the runner needs it several times per job
-        (store lookup, wire payload, store write) and the spec serialization
-        walks the whole system.
+        The label, trace/certificate flags and retry budget are
+        presentation/execution policy only and excluded, so relabelling a job
+        -- or re-running it traced, certified, or with a different retry
+        budget -- does not invalidate its cached verdict.  Memoised: the
+        runner needs it several times per job (store lookup, wire payload,
+        store write) and the spec serialization walks the whole system.
         """
         cached = self.__dict__.get("_canonical_json")
         if cached is None:
             spec = self.to_spec()
             spec.pop("label", None)
             spec.pop("trace", None)
+            spec.pop("certificate", None)
             spec.pop("retries", None)
             cached = json.dumps(spec, sort_keys=True, separators=(",", ":"))
             object.__setattr__(self, "_canonical_json", cached)
@@ -166,6 +174,10 @@ class JobResult:
     #: Recorded solver trace (:meth:`TraceRecorder.as_dict`) when the job
     #: asked for one; served via its own endpoint, never inlined here.
     trace: Optional[Dict[str, Any]] = None
+    #: Encoded witness certificate (:func:`repro.certify.encode_certificate`)
+    #: when the job asked for one and the verdict is nonempty; served via the
+    #: witness endpoint, never inlined here.
+    certificate: Optional[str] = None
     #: Engine counter deltas measured in a pool worker, merged into the
     #: parent's telemetry and stripped before the result is stored/served.
     worker_counters: Optional[Dict[str, Any]] = None
@@ -193,6 +205,7 @@ class JobResult:
             ),
             "created_at": self.created_at,
             "has_trace": self.trace is not None,
+            "has_certificate": self.certificate is not None,
         }
 
     @classmethod
@@ -200,9 +213,10 @@ class JobResult:
         """Rebuild a result from its :meth:`as_dict` wire form.
 
         The coordinator uses this to reconstitute results forwarded by
-        runner nodes.  ``has_trace`` is presentation-only (traces travel via
-        their own endpoint) and drops away; unknown keys are ignored so a
-        newer runner can answer an older coordinator.
+        runner nodes.  ``has_trace``/``has_certificate`` are presentation-only
+        (traces and witness certificates travel via their own endpoints) and
+        drop away; unknown keys are ignored so a newer runner can answer an
+        older coordinator.
         """
         nonempty = payload.get("nonempty")
         return cls(
@@ -255,6 +269,11 @@ def execute_job(job: VerificationJob, timeout_seconds: Optional[float] = None) -
         )
         recorder = TraceRecorder() if job.trace else None
         result = solver.check(job.system, trace=recorder)
+        certificate = None
+        if job.certificate and result.run is not None:
+            certificate = encode_certificate(
+                build_certificate(job.system, job.theory, result)
+            )
         return JobResult(
             fingerprint=fingerprint,
             label=job.label,
@@ -263,12 +282,11 @@ def execute_job(job: VerificationJob, timeout_seconds: Optional[float] = None) -
             statistics=result.statistics.as_dict(),
             elapsed_seconds=time.perf_counter() - start,
             witness_size=(
-                result.witness_database.size
-                if result.witness_database is not None
-                else None
+                result.run.database.size if result.run is not None else None
             ),
             run_length=result.run.length if result.run is not None else None,
             trace=recorder.as_dict() if recorder is not None else None,
+            certificate=certificate,
         )
     except JobTimeout as exc:
         return JobResult(

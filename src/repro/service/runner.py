@@ -326,10 +326,15 @@ class BatchRunner:
         pending: List[Tuple[int, VerificationJob]] = []
         for index, job in enumerate(jobs):
             cached = self._store.get(job.fingerprint) if self._store is not None else None
-            # A traced job whose stored verdict has no trace re-executes so
-            # the requested trace actually gets recorded (same verdict; the
-            # store row is rewritten with the trace attached).
-            if cached is not None and not (job.trace and cached.trace is None):
+            # A traced (or certified) job whose stored verdict lacks the
+            # requested artifact re-executes so it actually gets recorded
+            # (same verdict; the store row is rewritten with the artifact
+            # attached).  A cached empty verdict satisfies a certificate
+            # request -- only nonempty results carry a witness.
+            if cached is not None and not (
+                (job.trace and cached.trace is None)
+                or (job.certificate and cached.nonempty and cached.certificate is None)
+            ):
                 cached.label = cached.label or job.label
                 results[index] = cached
                 report.cache_hits += 1

@@ -173,6 +173,7 @@ SERVICE_ROUTES = (
     "POST /jobs",
     "GET /jobs/{fingerprint}",
     "GET /jobs/{fingerprint}/trace",
+    "GET /jobs/{fingerprint}/witness",
     "GET /batch/{id}",
     "GET /batch/{id}/events",
 )
@@ -265,6 +266,14 @@ SERVICE_COUNTERS: Dict[str, Tuple[str, str]] = {
     "runner_failovers": (
         "repro_runner_failovers_total",
         "Job groups rerouted to a surviving runner after a runner failure.",
+    ),
+    "certificates_recorded": (
+        "repro_certify_recorded_total",
+        "Witness certificates built and stored for nonempty verdicts.",
+    ),
+    "certificates_served": (
+        "repro_certify_served_total",
+        "Witness certificates served by the witness endpoint.",
     ),
 }
 
@@ -873,10 +882,14 @@ class VerificationService:
         for index, job in enumerate(jobs):
             fingerprint = job.fingerprint
             cached = self._store.get(fingerprint) if self._store is not None else None
-            # A traced submission of a verdict stored without a trace
-            # re-executes (the verdict is identical; the run records the
-            # trace and the store row is rewritten with it attached).
-            if cached is not None and not (job.trace and cached.trace is None):
+            # A traced (or certified) submission of a verdict stored without
+            # the requested artifact re-executes (the verdict is identical;
+            # the run records the trace/certificate and the store row is
+            # rewritten with it attached).
+            if cached is not None and not (
+                (job.trace and cached.trace is None)
+                or (job.certificate and cached.nonempty and cached.certificate is None)
+            ):
                 cached.label = cached.label or job.label
                 counters["store_hits"] += 1
                 self.stats.store_hits += 1
@@ -913,6 +926,8 @@ class VerificationService:
                 self._runner.record(job, result)
                 counters["executed"] += 1
                 self.stats.executed += 1
+                if result.certificate is not None:
+                    self.stats.certificates_recorded += 1
                 self._executing_jobs -= 1
                 if result.ok:
                     self.engine_rollup.record(result.statistics)
@@ -1010,17 +1025,18 @@ class VerificationService:
 
         With cluster dedup off, everything is local.  Otherwise each job's
         fingerprint is claimed in the shared keyspace; jobs whose claim is
-        held by another node go to the remote-wait set.  Traced submissions
-        always execute locally (the remote executor may store an untraced
-        verdict, which a traced run must not accept), and a failing claim
-        layer degrades to local execution rather than blocking work.
+        held by another node go to the remote-wait set.  Traced and
+        certificate-requesting submissions always execute locally (the remote
+        executor may store a verdict without the requested artifact, which
+        such a run must not accept), and a failing claim layer degrades to
+        local execution rather than blocking work.
         """
         if not self._cluster_dedup or self._store is None:
             return list(range(len(jobs))), {}
         local: List[int] = []
         remote: Dict[int, VerificationJob] = {}
         for index, job in enumerate(jobs):
-            if job.trace:
+            if job.trace or job.certificate:
                 local.append(index)
                 continue
             try:
@@ -1499,6 +1515,8 @@ class VerificationService:
             if method == "GET":
                 if rest.endswith("/trace"):
                     return "job_trace", self._handle_job_trace
+                if rest.endswith("/witness"):
+                    return "job_witness", self._handle_job_witness
                 return "job_lookup", self._handle_job_lookup
         elif rest.startswith("/batch/"):
             if method == "GET":
@@ -1511,7 +1529,8 @@ class VerificationService:
                 "not-found",
                 f"unknown path {request.path}",
                 detail=f"endpoints live under /{API_VERSION}: jobs, jobs/{{fingerprint}}, "
-                "jobs/{fingerprint}/trace, batch/{id}, batch/{id}/events, "
+                "jobs/{fingerprint}/trace, jobs/{fingerprint}/witness, "
+                "batch/{id}, batch/{id}/events, "
                 f"healthz, stats, metrics; GET /{API_VERSION}/ lists them all",
             )
         raise ApiError(405, "method-not-allowed", f"{method} not supported on {request.path}")
@@ -1794,6 +1813,53 @@ class VerificationService:
             writer,
             200,
             {"fingerprint": fingerprint, "trace": cached.trace},
+            headers=extra,
+            keep_alive=keep,
+        )
+
+    def _witness_of(self, request: Request) -> str:
+        rest = self._strip_version(request.path) or request.path
+        return rest[len("/jobs/") : -len("/witness")].rstrip("/")
+
+    async def _handle_job_witness(
+        self, request: Request, writer: asyncio.StreamWriter, extra: Dict[str, str], keep: bool
+    ) -> None:
+        """Serve the stored witness certificate of a nonempty verdict.
+
+        Certificates only exist for jobs submitted with ``"certificate":
+        true`` whose verdict is nonempty; the payload carries the encoded
+        (zlib+base64) certificate, which ``repro verify`` decodes and
+        re-checks without the engine (:mod:`repro.certify`).
+        """
+        fingerprint = self._witness_of(request)
+        cached = self._store.get(fingerprint) if self._store is not None else None
+        if cached is None:
+            raise ApiError(
+                404,
+                "not-found",
+                f"no stored verdict for fingerprint {fingerprint[:16]!r}"
+                + (" (currently in flight)" if fingerprint in self._inflight else ""),
+            )
+        if cached.certificate is None:
+            raise ApiError(
+                404,
+                "not-found",
+                f"no witness certificate stored for fingerprint {fingerprint[:16]!r}",
+                detail=(
+                    're-submit the job with "certificate": true to record one '
+                    "(only nonempty verdicts carry a witness)"
+                ),
+            )
+        self.stats.certificates_served += 1
+        await self._send_json(
+            writer,
+            200,
+            {
+                "served_from": "store",
+                "fingerprint": fingerprint,
+                "nonempty": cached.nonempty,
+                "certificate": cached.certificate,
+            },
             headers=extra,
             keep_alive=keep,
         )

@@ -213,6 +213,7 @@ class ResultStore:
             trace=json.loads(trace_json) if trace_json else None,
             error=error,
             error_code=row.get("error_code"),
+            certificate=row.get("certificate"),
         )
 
     def put(self, job: VerificationJob, result: JobResult) -> None:
@@ -224,6 +225,22 @@ class ResultStore:
         if not result.ok or result.nonempty is None:
             raise ValueError("only completed results belong in the store")
         faults.raise_point("store.put", key=result.fingerprint)
+        trace_json = (
+            json.dumps(result.trace, sort_keys=True) if result.trace is not None else None
+        )
+        certificate = result.certificate
+        if trace_json is None or certificate is None:
+            # An artifact-less rewrite (e.g. the coordinator's write-back of
+            # a result forwarded by a runner sharing this keyspace) must not
+            # clobber a trace/certificate another node recorded for the same
+            # verdict.  Both artifacts are deterministic in the fingerprint,
+            # so carrying them forward is always sound.
+            existing = self._backend.get(result.fingerprint)
+            if existing is not None and not existing.get("error_code"):
+                if trace_json is None:
+                    trace_json = existing.get("trace")
+                if certificate is None:
+                    certificate = existing.get("certificate")
         self._backend.put(
             result.fingerprint,
             {
@@ -238,15 +255,12 @@ class ResultStore:
                 "statistics": json.dumps(result.statistics, sort_keys=True),
                 "job_spec": job.canonical_json(),
                 "wall_seconds": result.wall_seconds,
-                "trace": (
-                    json.dumps(result.trace, sort_keys=True)
-                    if result.trace is not None
-                    else None
-                ),
+                "trace": trace_json,
                 "error": None,
                 "error_code": None,
                 "cacheable": 1,
                 "expires_at": None,
+                "certificate": certificate,
             },
         )
         self.stats.puts += 1
@@ -289,6 +303,7 @@ class ResultStore:
                 "error_code": result.error_code,
                 "cacheable": 0,
                 "expires_at": now + ttl_seconds,
+                "certificate": None,
             },
         )
         self.stats.error_puts += 1
@@ -320,6 +335,7 @@ class ResultStore:
             "error_code": CLAIM_ERROR_CODE,
             "cacheable": 0,
             "expires_at": now + ttl_seconds,
+            "certificate": None,
         }
 
     def try_claim(
@@ -445,13 +461,14 @@ class ResultStore:
                     "job_spec": json.loads(row["job_spec"]),
                     "wall_seconds": row.get("wall_seconds"),
                     "has_trace": bool(row.get("trace")),
+                    "has_certificate": bool(row.get("certificate")),
                     "error": row.get("error"),
                     "error_code": row.get("error_code"),
                     "cacheable": bool(row.get("cacheable", 1)),
                 }
             )
         return {
-            "schema_version": 3,
+            "schema_version": 4,
             "backend": self._backend.name,
             "ttl_seconds": self._ttl_seconds,
             "count": len(entries),

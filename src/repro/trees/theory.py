@@ -779,14 +779,28 @@ class TreeRunTheory(DatabaseTheory):
 
     # -- witness expansion -------------------------------------------------------------
 
-    def finalize(self, config: TheoryConfiguration) -> Tuple[Structure, Dict[Element, Element]]:
+    def certify(
+        self, config: TheoryConfiguration
+    ) -> Tuple[Structure, Dict[Element, Element], Dict[str, object]]:
+        """Expand the skeleton into an accepted tree plus its accepting run.
+
+        The evidence payload carries the expanded tree spec and the accepting
+        run (path -> state), so an engine-independent validator can rebuild
+        the tree database from paths, compare it with the witness database,
+        and re-check run validity against the automaton spec.
+        """
         skeleton: Skeleton = config.witness
         tree, placement = self.expand_skeleton(skeleton)
-        if not self._automaton.accepts(tree):  # pragma: no cover - soundness net
+        run = self._automaton.find_run(tree)
+        if run is None:  # pragma: no cover - soundness net
             raise TheoryError("internal error: expanded witness tree is not accepted")
         index = node_index_by_path(tree)
         mapping = {node: index[path] for node, path in placement.items()}
-        return treedb(tree, self._automaton.alphabet), mapping
+        evidence = {
+            "tree": tree.to_spec(),
+            "run": [[list(path), state] for path, state in sorted(run.items())],
+        }
+        return treedb(tree, self._automaton.alphabet), mapping, evidence
 
     def expand_skeleton(self, skeleton: Skeleton) -> Tuple[Tree, Dict[int, Tuple[int, ...]]]:
         """Expand a completable skeleton into an accepted tree.

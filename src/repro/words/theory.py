@@ -260,8 +260,16 @@ class WordRunTheory(DatabaseTheory):
             lambda: generic_abstraction_key(run_view, config.valuation),
         )
 
-    def finalize(self, config: TheoryConfiguration) -> Tuple[Structure, Dict[Element, Element]]:
-        """Expand the fragment into a full accepted word (the actual witness)."""
+    def certify(
+        self, config: TheoryConfiguration
+    ) -> Tuple[Structure, Dict[Element, Element], Dict[str, object]]:
+        """Expand the fragment into a full accepted word (the actual witness).
+
+        The evidence payload carries the expanded word itself, so an
+        engine-independent validator can decode the witness database back into
+        a word, compare it with the evidence, and re-check NFA acceptance from
+        the automaton spec alone.
+        """
         fragment: _WordFragment = config.witness
         states = list(fragment.states)
         full_states: List[str] = []
@@ -286,7 +294,7 @@ class WordRunTheory(DatabaseTheory):
             fragment.ids[fragment_index]: full_index
             for fragment_index, full_index in fragment_index_to_full.items()
         }
-        return database, mapping
+        return database, mapping, {"word": list(word)}
 
     def describe(self) -> str:
         return (

@@ -75,6 +75,23 @@ class TestBackendContract:
         for field in ROW_FIELDS:
             assert stored[field] == row[field], field
 
+    def test_certificate_column_round_trips_and_validates(self, backend):
+        # Schema v5: a real encoded certificate survives every backend
+        # byte-identically and still passes the engine-free validator.
+        from repro import AllDatabasesTheory, EmptinessSolver
+        from repro.certify import build_certificate, encode_certificate, validate_encoded
+        from repro.library import triangle_system
+        from repro.relational.csp import GRAPH_SCHEMA
+
+        system = triangle_system()
+        theory = AllDatabasesTheory(GRAPH_SCHEMA)
+        result = EmptinessSolver(theory).check(system)
+        encoded = encode_certificate(build_certificate(system, theory, result))
+        backend.put(KEY, make_row(certificate=encoded))
+        stored = backend.get(KEY)
+        assert stored["certificate"] == encoded
+        assert validate_encoded(stored["certificate"])["theory_kind"] == "all_databases"
+
     def test_put_is_last_write_wins(self, backend):
         backend.put(KEY, make_row(created_at=1.0, label="first"))
         backend.put(KEY, make_row(created_at=2.0, label="second"))

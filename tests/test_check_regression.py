@@ -12,10 +12,22 @@ check_regression = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(check_regression)
 
 
-def _record(path, speedup=10.0, workload="bench_e2", engine=...):
+def _record(
+    path,
+    speedup=10.0,
+    workload="bench_e2",
+    engine=...,
+    certify_overhead=2.0,
+    certify=...,
+):
     if engine is ...:
         engine = {workload: {"speedup": speedup}}
-    payload = {"mode": "full", "engine": engine}
+    if certify is ...:
+        certify = {
+            "certificate_overhead_percent": certify_overhead,
+            "nonempty": 20,
+        }
+    payload = {"mode": "full", "engine": engine, "certify": certify}
     path.write_text(json.dumps(payload))
     return path
 
@@ -42,6 +54,37 @@ class TestVerdicts:
         baseline = _record(tmp_path / "b.json", speedup=2.0)
         current = _record(tmp_path / "c.json", speedup=1.1)
         assert check_regression.check(baseline, current) == 1
+
+
+class TestCertifyGate:
+    def test_fails_when_certify_overhead_blows_past_limit(self, tmp_path, capsys):
+        baseline = _record(tmp_path / "b.json")
+        current = _record(tmp_path / "c.json", speedup=9.0, certify_overhead=60.0)
+        assert check_regression.check(baseline, current) == 1
+        assert "witness certificates" in capsys.readouterr().err
+
+    def test_negative_certify_overhead_passes(self, tmp_path):
+        # Timing noise can make the certified run measure faster than plain.
+        baseline = _record(tmp_path / "b.json")
+        current = _record(tmp_path / "c.json", speedup=9.0, certify_overhead=-1.5)
+        assert check_regression.check(baseline, current) == 0
+
+    def test_missing_certify_section_is_hard_failure(self, tmp_path, capsys):
+        baseline = _record(tmp_path / "b.json")
+        current = _record(tmp_path / "c.json", speedup=9.0, certify=None)
+        assert check_regression.check(baseline, current) == 2
+        err = capsys.readouterr().err
+        assert "GUARD FAILURE" in err and "certify" in err
+
+    def test_certify_with_no_certificates_is_hard_failure(self, tmp_path, capsys):
+        baseline = _record(tmp_path / "b.json")
+        current = _record(
+            tmp_path / "c.json",
+            speedup=9.0,
+            certify={"certificate_overhead_percent": 1.0, "nonempty": 0},
+        )
+        assert check_regression.check(baseline, current) == 2
+        assert "validated no certificates" in capsys.readouterr().err
 
 
 class TestMissingKeysAreHardFailures:

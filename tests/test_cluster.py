@@ -153,6 +153,60 @@ class TestShardedFleet:
         assert crashes >= 1
 
 
+class TestFleetWitness:
+    def test_coordinator_served_witness_identical_to_runners(self):
+        """The same fingerprint's witness, fetched through the coordinator
+        and straight from the executing runner, is byte-identical."""
+        from repro import AllDatabasesTheory
+        from repro.certify import validate_encoded
+        from repro.library import triangle_system
+        from repro.relational.csp import GRAPH_SCHEMA
+        from repro.service.jobs import VerificationJob
+
+        job = VerificationJob(
+            triangle_system(), AllDatabasesTheory(GRAPH_SCHEMA), certificate=True
+        )
+        with fleet() as (keyspace, runners, coordinator):
+            with ServiceClient(coordinator.base_url) as client:
+                report = client.submit_batch([job])
+                assert report["results"][0]["nonempty"] is True
+                # (has_certificate is presentation-only and does not survive
+                # the coordinator's wire round trip -- the witness endpoint
+                # is the source of truth, like traces.)
+                via_coordinator = client.witness(job.fingerprint)
+            # Every runner shares the keyspace, so each serves the witness.
+            runner_payloads = []
+            for runner in runners:
+                with ServiceClient(runner.base_url) as runner_client:
+                    runner_payloads.append(runner_client.witness(job.fingerprint))
+            for payload in runner_payloads:
+                assert payload["certificate"] == via_coordinator["certificate"]
+            assert validate_encoded(via_coordinator["certificate"])
+
+    def test_storeless_coordinator_forwards_witness_from_runner(self):
+        """Without a store of its own, the coordinator relays the executing
+        runner's certificate unchanged."""
+        from repro import AllDatabasesTheory
+        from repro.certify import validate_encoded
+        from repro.library import triangle_system
+        from repro.relational.csp import GRAPH_SCHEMA
+        from repro.service.jobs import VerificationJob
+
+        job = VerificationJob(
+            triangle_system(), AllDatabasesTheory(GRAPH_SCHEMA), certificate=True
+        )
+        with fleet(coordinator_store=False) as (keyspace, runners, coordinator):
+            with ServiceClient(coordinator.base_url) as client:
+                client.submit_batch([job])
+                payload = client.witness(job.fingerprint)
+            assert payload["served_from"] == "runner"
+            with ServiceClient(runners[0].base_url) as runner_client:
+                direct = runner_client.witness(job.fingerprint)
+            assert payload["certificate"] == direct["certificate"]
+            assert validate_encoded(payload["certificate"])
+            assert coordinator.service.stats.certificates_served >= 1
+
+
 class TestFleetDedup:
     def test_duplicate_batches_to_different_runners_execute_once(self):
         """The ISSUE's headline: same batch to two nodes, one execution each."""

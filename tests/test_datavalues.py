@@ -107,7 +107,7 @@ def test_tensor_product_allows_shared_values():
     assert result.nonempty
     system.validate_run(result.run)
     # The witness database carries the sim relation and two distinct nodes share a value.
-    assert any(a != b for a, b in result.witness_database.relation("sim"))
+    assert any(a != b for a, b in result.run.database.relation("sim"))
 
 
 def test_odot_product_forbids_shared_values_example6():

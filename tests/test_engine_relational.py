@@ -39,7 +39,7 @@ def check_both(system, theory, membership=None, max_size=3, expect=None):
         # the baseline must agree whenever its bound is large enough to see
         # the engine's witness.
         if baseline.nonempty is False:
-            assert result.witness_database.size > max_size
+            assert result.run.database.size > max_size
     else:
         assert not baseline.nonempty
     if expect is not None:
@@ -51,7 +51,7 @@ def test_example1_nonempty_over_all_databases():
     system = odd_red_cycle_system()
     result = check_both(system, AllDatabasesTheory(COLORED_GRAPH_SCHEMA), expect=True)
     assert result.run is not None
-    assert result.witness_database.size >= 1
+    assert result.run.database.size >= 1
 
 
 def test_example2_empty_over_hom_template():
@@ -66,7 +66,7 @@ def test_self_loop_system_needs_seed_guessing():
     system = self_loop_required_system()
     result = check_both(system, AllDatabasesTheory(GRAPH_SCHEMA), expect=True)
     # The witness must contain a self loop.
-    assert any(a == b for a, b in result.witness_database.relation("E"))
+    assert any(a == b for a, b in result.run.database.relation("E"))
 
 
 def test_triangle_over_bipartite_template_is_empty():
@@ -81,7 +81,7 @@ def test_triangle_over_k3_template_is_nonempty():
     theory = HomTheory(clique_template(3))
     result = EmptinessSolver(theory).check(system)
     assert result.nonempty
-    assert theory.membership(result.witness_database.project(GRAPH_SCHEMA))
+    assert theory.membership(result.run.database.project(GRAPH_SCHEMA))
 
 
 def test_red_path_system_scaling_and_witness_length():
@@ -215,7 +215,7 @@ def test_agreement_with_brute_force_on_random_single_register_systems():
             # Positive answers are certified by run replay; the baseline must
             # agree whenever its size bound covers the engine's witness.
             system.validate_run(engine.run)
-            assert baseline.nonempty or engine.witness_database.size > 2, (
+            assert baseline.nonempty or engine.run.database.size > 2, (
                 f"trial {trial}: engine found a small witness the baseline missed"
             )
         else:

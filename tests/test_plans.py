@@ -225,8 +225,8 @@ def test_fast_path_matches_legacy_verdicts_and_accounting(
     assert fast.exhausted and legacy.exhausted
     if expected:
         # verify_witnesses=True already replayed the run; assert artefacts.
-        assert fast.witness_database is not None and fast.run is not None
-        assert legacy.witness_database is not None and legacy.run is not None
+        assert fast.run is not None and fast.run.database is not None
+        assert legacy.run is not None and legacy.run.database is not None
 
     fs, ls = fast.statistics, legacy.statistics
     assert fs.candidates_generated == ls.candidates_generated

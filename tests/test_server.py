@@ -584,6 +584,103 @@ class TestObservability:
         status, warm, _ = _request(server.base_url, "/v1/jobs", json.dumps(spec).encode())
         assert warm["served_from"] == "store" and warm["result"]["has_trace"] is True
 
+    def test_certified_job_round_trip_and_cli_byte_agreement(self, server):
+        from repro import AllDatabasesTheory, EmptinessSolver
+        from repro.certify import build_certificate, decode_certificate, render_certificate
+        from repro.library import triangle_system
+        from repro.relational.csp import GRAPH_SCHEMA
+        from repro.service.jobs import VerificationJob
+
+        job = VerificationJob(
+            system=triangle_system(),
+            theory=AllDatabasesTheory(GRAPH_SCHEMA),
+            certificate=True,
+        )
+        spec = json.dumps(job.to_spec()).encode()
+        status, submitted, _ = _request(server.base_url, "/v1/jobs", spec)
+        assert status == 200
+        assert submitted["served_from"] == "engine"
+        assert submitted["result"]["nonempty"] is True
+        assert submitted["result"]["has_certificate"] is True
+
+        status, payload, _ = _request(
+            server.base_url, f"/v1/jobs/{job.fingerprint}/witness"
+        )
+        assert status == 200
+        assert payload["fingerprint"] == job.fingerprint
+        served = render_certificate(decode_certificate(payload["certificate"]))
+        # The HTTP-served certificate and a local CLI-style export are the
+        # same canonical bytes: verdict determinism end to end.
+        local = EmptinessSolver(job.theory).check(job.system)
+        assert served == render_certificate(
+            build_certificate(job.system, job.theory, local)
+        )
+        # A certified job's warm rerun is store-served, certificate intact.
+        status, warm, _ = _request(server.base_url, "/v1/jobs", spec)
+        assert warm["served_from"] == "store"
+        assert warm["result"]["has_certificate"] is True
+
+    def test_witness_endpoint_404s(self, server):
+        # Unknown fingerprint: no verdict at all.
+        status, payload, _ = _request(server.base_url, "/v1/jobs/" + "0" * 64 + "/witness")
+        assert status == 404
+        assert payload["error"]["code"] == "not-found"
+        # Known verdict, but the job never opted into certificates.
+        job = generate_jobs(1, seed=22)[0]
+        _request(server.base_url, "/v1/jobs", json.dumps(job.to_spec()).encode())
+        status, payload, _ = _request(
+            server.base_url, f"/v1/jobs/{job.fingerprint}/witness"
+        )
+        assert status == 404
+        assert "certificate" in payload["error"]["detail"]
+
+    def test_certified_resubmit_of_uncertified_verdict_reexecutes(self, server):
+        from repro import AllDatabasesTheory
+        from repro.library import triangle_system
+        from repro.relational.csp import GRAPH_SCHEMA
+        from repro.service.jobs import VerificationJob
+
+        job = VerificationJob(
+            system=triangle_system(), theory=AllDatabasesTheory(GRAPH_SCHEMA)
+        )
+        plain = json.dumps(job.to_spec()).encode()
+        _, first, _ = _request(server.base_url, "/v1/jobs", plain)
+        assert first["served_from"] == "engine"
+        assert first["result"]["has_certificate"] is False
+        # Re-submitting with certificate=true must not be short-circuited
+        # by the store: the verdict exists but the certificate does not.
+        spec = dict(job.to_spec())
+        spec["certificate"] = True
+        _, certified, _ = _request(server.base_url, "/v1/jobs", json.dumps(spec).encode())
+        assert certified["served_from"] == "engine"
+        assert certified["result"]["nonempty"] == first["result"]["nonempty"]
+        assert certified["result"]["has_certificate"] is True
+        status, payload, _ = _request(
+            server.base_url, f"/v1/jobs/{job.fingerprint}/witness"
+        )
+        assert status == 200 and payload["certificate"]
+
+    def test_certified_empty_verdict_serves_from_store(self, server):
+        from repro import HomTheory, odd_red_cycle_free_template
+        from repro.library import odd_red_cycle_system
+        from repro.service.jobs import VerificationJob
+
+        # The HOM example is empty: no witness exists, so a later certified
+        # submission is satisfied by the cached verdict (nothing to record).
+        job = VerificationJob(
+            system=odd_red_cycle_system(),
+            theory=HomTheory(odd_red_cycle_free_template()),
+        )
+        _, first, _ = _request(
+            server.base_url, "/v1/jobs", json.dumps(job.to_spec()).encode()
+        )
+        assert first["result"]["nonempty"] is False
+        spec = dict(job.to_spec())
+        spec["certificate"] = True
+        _, certified, _ = _request(server.base_url, "/v1/jobs", json.dumps(spec).encode())
+        assert certified["served_from"] == "store"
+        assert certified["result"]["has_certificate"] is False
+
     def test_stats_engine_store_worker_sections(self, server):
         jobs = generate_jobs(3, seed=24)
         post_jobs(server.base_url, jobs)

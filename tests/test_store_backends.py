@@ -97,6 +97,31 @@ class TestBackendParity:
         assert cached.wall_seconds == pytest.approx(1.25)
         assert cached.trace == result.trace
 
+    def test_certificate_round_trip(self, store):
+        # Schema v5 column: the encoded witness certificate must survive
+        # storage on both backends and still validate after the round trip.
+        from repro.certify import validate_encoded
+
+        job = VerificationJob(
+            triangle_system(),
+            AllDatabasesTheory(GRAPH_SCHEMA),
+            label="certified",
+            certificate=True,
+        )
+        result = execute_job(job)
+        assert result.certificate
+        store.put(job, result)
+        cached = store.get(job.fingerprint)
+        assert cached.certificate == result.certificate
+        report = validate_encoded(cached.certificate)
+        assert report["theory_kind"] == "all_databases"
+
+    def test_uncertified_result_round_trips_with_null_certificate(self, store):
+        job, result = _decided_job()
+        assert result.certificate is None
+        store.put(job, result)
+        assert store.get(job.fingerprint).certificate is None
+
     def test_untraced_result_round_trips_with_null_trace(self, store):
         job, result = _decided_job(label="untraced")
         assert result.trace is None
@@ -211,6 +236,56 @@ class TestSQLiteMigrations:
             assert "idx_results_created_at" in names
         finally:
             backend.close()
+
+    def test_v4_store_migrates_to_v5_with_null_certificates(self, tmp_path):
+        # A PR-7..9 era store: full row shape minus the certificate column.
+        path = tmp_path / "v4.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute(
+            """
+            CREATE TABLE results (
+                fingerprint TEXT PRIMARY KEY,
+                created_at REAL NOT NULL,
+                label TEXT NOT NULL DEFAULT '',
+                nonempty INTEGER NOT NULL,
+                exhausted INTEGER NOT NULL,
+                elapsed_seconds REAL NOT NULL,
+                witness_size INTEGER,
+                run_length INTEGER,
+                statistics TEXT NOT NULL,
+                job_spec TEXT NOT NULL,
+                wall_seconds REAL,
+                trace TEXT,
+                error TEXT,
+                error_code TEXT,
+                cacheable INTEGER NOT NULL DEFAULT 1,
+                expires_at REAL
+            )
+            """
+        )
+        connection.execute(
+            "INSERT INTO results (fingerprint, created_at, label, nonempty, "
+            "exhausted, elapsed_seconds, statistics, job_spec) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            ("e" * 64, time.time(), "v4-row", 1, 1, 0.25, "{}", "{}"),
+        )
+        connection.execute("PRAGMA user_version = 4")
+        connection.commit()
+        connection.close()
+
+        backend = SQLiteBackend(path)
+        try:
+            assert backend.schema_version == SQLITE_SCHEMA_VERSION
+            row = backend.get("e" * 64)
+            assert row is not None and row["label"] == "v4-row"
+            # Pre-certificate rows upgrade in place with no certificate.
+            assert row.get("certificate") is None
+        finally:
+            backend.close()
+        # The migrated store serves the old verdict through the full API.
+        with ResultStore(path) as store:
+            cached = store.get("e" * 64)
+            assert cached is not None and cached.certificate is None
 
     def test_newer_schema_refused(self, tmp_path):
         path = tmp_path / "future.sqlite"
@@ -334,7 +409,7 @@ class TestErrorRows:
         job, _ = _decided_job(label="failing")
         store.put_error(job, _transient_failure(job))
         export = store.export()
-        assert export["schema_version"] == 3
+        assert export["schema_version"] == 4
         (entry,) = export["results"]
         assert entry["error_code"] == "worker-crashed"
         assert entry["cacheable"] is False

@@ -313,4 +313,4 @@ def test_tree_theory_finalize_produces_accepted_tree():
     assert result.nonempty
     # finalize() raises internally if the expansion is not accepted, and the
     # run was replayed on the expanded Treedb; check basic shape here.
-    assert result.witness_database.size >= 3
+    assert result.run.database.size >= 3

@@ -138,7 +138,7 @@ def _check_against_brute_force(nfa, system, max_length=4, expect=None):
             break
     if result.nonempty:
         system.validate_run(result.run)
-        assert theory.membership(result.witness_database)
+        assert theory.membership(result.run.database)
     else:
         assert not brute, "engine says empty but a small word witness exists"
     if expect is not None:
@@ -177,7 +177,7 @@ def test_theorem10_walk_three_as_then_b():
     )
     result = _check_against_brute_force(one_b_nfa(), system, expect=True)
     # The expanded witness word must contain at least two a's before its b.
-    assert result.witness_database.size >= 3
+    assert result.run.database.size >= 3
 
 
 def test_theorem10_even_length_language():
@@ -193,7 +193,7 @@ def test_theorem10_even_length_language():
     )
     result = _check_against_brute_force(even_a_nfa(), system, expect=True)
     # Witness word is accepted, hence of even length.
-    assert result.witness_database.size % 2 == 0
+    assert result.run.database.size % 2 == 0
 
 
 def test_word_theory_data_values_theorem9_style():
